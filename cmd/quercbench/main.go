@@ -1,0 +1,163 @@
+// Command quercbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	quercbench -experiment fig3|fig4|table1|table2|all [-scale small|paper] [-csv dir]
+//
+// Results print as text tables shaped like the paper's artifacts; -csv also
+// writes machine-readable series for plotting.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"querc/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quercbench: ")
+	var (
+		experiment = flag.String("experiment", "all", "fig3, fig4, table1, table2, or all")
+		scaleFlag  = flag.String("scale", "small", "small (minutes) or paper (hours)")
+		csvDir     = flag.String("csv", "", "directory to write CSV series into (optional)")
+	)
+	flag.Parse()
+	scale := experiments.Scale(*scaleFlag)
+	if scale != experiments.ScaleSmall && scale != experiments.ScalePaper {
+		log.Fatalf("unknown scale %q", *scaleFlag)
+	}
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		fmt.Printf("=== %s (scale=%s) ===\n", name, scale)
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("--- %s done in %s ---\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	var labeling *experiments.LabelingResult
+	ensureLabeling := func() error {
+		if labeling != nil {
+			return nil
+		}
+		var err error
+		labeling, err = experiments.RunLabeling(experiments.DefaultLabelingConfig(scale))
+		return err
+	}
+
+	switch *experiment {
+	case "fig3":
+		run("Figure 3", func() error { return runFig3(scale, *csvDir) })
+	case "fig4":
+		run("Figure 4", func() error { return runFig4(scale, *csvDir) })
+	case "table1":
+		run("Table 1", func() error {
+			if err := ensureLabeling(); err != nil {
+				return err
+			}
+			experiments.WriteTable1(os.Stdout, labeling)
+			return nil
+		})
+	case "table2":
+		run("Table 2", func() error {
+			if err := ensureLabeling(); err != nil {
+				return err
+			}
+			experiments.WriteTable2(os.Stdout, labeling)
+			return nil
+		})
+	case "all":
+		run("Figure 3", func() error { return runFig3(scale, *csvDir) })
+		run("Figure 4", func() error { return runFig4(scale, *csvDir) })
+		run("Tables 1 & 2", func() error {
+			if err := ensureLabeling(); err != nil {
+				return err
+			}
+			experiments.WriteTable1(os.Stdout, labeling)
+			fmt.Println()
+			experiments.WriteTable2(os.Stdout, labeling)
+			return nil
+		})
+	default:
+		log.Fatalf("unknown experiment %q", *experiment)
+	}
+}
+
+func runFig3(scale experiments.Scale, csvDir string) error {
+	res, err := experiments.RunFig3(experiments.DefaultFig3Config(scale))
+	if err != nil {
+		return err
+	}
+	experiments.WriteFig3(os.Stdout, res)
+	for _, s := range res.Series {
+		fmt.Printf("# %-20s %s\n", s.Name, experiments.Sparkline(s.Runtimes))
+	}
+	if csvDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(csvDir, "fig3.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{"budget_s"}
+	for _, s := range res.Series {
+		header = append(header, s.Name)
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for bi, b := range res.Budgets {
+		row := []string{strconv.FormatFloat(b, 'f', 0, 64)}
+		for _, s := range res.Series {
+			row = append(row, strconv.FormatFloat(s.Runtimes[bi], 'f', 1, 64))
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func runFig4(scale experiments.Scale, csvDir string) error {
+	res, err := experiments.RunFig4(experiments.DefaultFig4Config(scale))
+	if err != nil {
+		return err
+	}
+	experiments.WriteFig4(os.Stdout, res)
+	if csvDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(csvDir, "fig4.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"query_id", "template", "no_index_s", "with_index_s"}); err != nil {
+		return err
+	}
+	for i := range res.NoIndex {
+		if err := w.Write([]string{
+			strconv.Itoa(i),
+			strconv.Itoa(res.Templates[i]),
+			strconv.FormatFloat(res.NoIndex[i], 'f', 3, 64),
+			strconv.FormatFloat(res.WithIndexes[i], 'f', 3, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,163 @@
+// Command quercd runs the Querc service as an HTTP daemon — the deployable
+// form of the paper's Fig. 1 architecture.
+//
+// Endpoints:
+//
+//	POST /v1/apps/{app}/queries      {"sql": "..."} → labeled query JSON
+//	POST /v1/apps/{app}/logs         [{"sql": "...", "labels": {...}}, ...]
+//	POST /v1/apps/{app}/retrain      {"label": "user", "embedder": "name"}
+//	GET  /v1/apps                    list applications
+//	GET  /v1/models                  list registry models
+//	GET  /v1/healthz
+//
+// Applications are declared with repeated -app flags. Embedders are loaded
+// from (and trained models written to) the -models registry directory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"querc"
+)
+
+type appFlags []string
+
+func (a *appFlags) String() string     { return strings.Join(*a, ",") }
+func (a *appFlags) Set(v string) error { *a = append(*a, v); return nil }
+
+func main() {
+	log.SetPrefix("quercd: ")
+	log.SetFlags(0)
+	var (
+		addr      = flag.String("addr", ":8461", "listen address")
+		modelsDir = flag.String("models", "models", "model registry directory")
+		apps      appFlags
+	)
+	flag.Var(&apps, "app", "application stream to host (repeatable)")
+	flag.Parse()
+	if len(apps) == 0 {
+		apps = appFlags{"default"}
+	}
+
+	registry, err := querc.NewRegistry(*modelsDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := querc.NewService()
+	for _, app := range apps {
+		svc.AddApplication(app, 256, nil)
+		log.Printf("hosting application %q", app)
+	}
+
+	srv := &server{svc: svc, registry: registry}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/apps", srv.listApps)
+	mux.HandleFunc("GET /v1/models", srv.listModels)
+	mux.HandleFunc("POST /v1/apps/{app}/queries", srv.submitQuery)
+	mux.HandleFunc("POST /v1/apps/{app}/logs", srv.ingestLogs)
+	mux.HandleFunc("POST /v1/apps/{app}/retrain", srv.retrain)
+
+	log.Printf("listening on %s (models in %s)", *addr, *modelsDir)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+type server struct {
+	svc      *querc.Service
+	registry *querc.Registry
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) listApps(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"apps": s.svc.Apps()})
+}
+
+func (s *server) listModels(w http.ResponseWriter, r *http.Request) {
+	type model struct {
+		Name     string `json:"name"`
+		Versions []int  `json:"versions"`
+	}
+	var out []model
+	for _, name := range s.registry.Models() {
+		out = append(out, model{Name: name, Versions: s.registry.Versions(name)})
+	}
+	writeJSON(w, map[string]any{"models": out})
+}
+
+func (s *server) submitQuery(w http.ResponseWriter, r *http.Request) {
+	app := r.PathValue("app")
+	var req struct {
+		SQL string `json:"sql"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.SQL == "" {
+		httpError(w, http.StatusBadRequest, "body must be {\"sql\": \"...\"}")
+		return
+	}
+	q, err := s.svc.Submit(app, req.SQL)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, q)
+}
+
+func (s *server) ingestLogs(w http.ResponseWriter, r *http.Request) {
+	app := r.PathValue("app")
+	if s.svc.Worker(app) == nil {
+		httpError(w, http.StatusNotFound, "unknown application %q", app)
+		return
+	}
+	var batch []*querc.LabeledQuery
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		httpError(w, http.StatusBadRequest, "body must be a JSON array of labeled queries")
+		return
+	}
+	s.svc.Training().IngestBatch(app, batch)
+	writeJSON(w, map[string]any{"ingested": len(batch), "retained": s.svc.Training().Size(app)})
+}
+
+func (s *server) retrain(w http.ResponseWriter, r *http.Request) {
+	app := r.PathValue("app")
+	var req struct {
+		Label    string `json:"label"`
+		Embedder string `json:"embedder"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Label == "" || req.Embedder == "" {
+		httpError(w, http.StatusBadRequest, "body must be {\"label\": \"...\", \"embedder\": \"...\"}")
+		return
+	}
+	embedder, version, err := s.registry.LoadEmbedder(req.Embedder)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	clf, err := s.svc.RetrainAndDeploy(app, req.Label, embedder, querc.NewForestLabeler(querc.DefaultForestConfig()), 4)
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"deployed":        clf.String(),
+		"embedderVersion": version,
+		"trainingSet":     s.svc.Training().Size(app),
+	})
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"querc"
+	"querc/internal/core"
+	"querc/internal/doc2vec"
+)
+
+func newTestServer(t *testing.T) (*server, *http.ServeMux) {
+	t.Helper()
+	registry, err := querc.NewRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := querc.NewService()
+	svc.AddApplication("app1", 64, nil)
+	s := &server{svc: svc, registry: registry}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/apps", s.listApps)
+	mux.HandleFunc("GET /v1/models", s.listModels)
+	mux.HandleFunc("POST /v1/apps/{app}/queries", s.submitQuery)
+	mux.HandleFunc("POST /v1/apps/{app}/logs", s.ingestLogs)
+	mux.HandleFunc("POST /v1/apps/{app}/retrain", s.retrain)
+	return s, mux
+}
+
+func do(t *testing.T, mux *http.ServeMux, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	return rr
+}
+
+func TestSubmitAndLabelFlow(t *testing.T) {
+	s, mux := newTestServer(t)
+
+	// Train and register a tiny embedder.
+	corpus := [][]string{}
+	for i := 0; i < 30; i++ {
+		corpus = append(corpus, []string{"select", "a", "from", "t"})
+		corpus = append(corpus, []string{"delete", "from", "u"})
+	}
+	cfg := doc2vec.DefaultConfig()
+	cfg.Dim = 8
+	cfg.Epochs = 3
+	cfg.MinCount = 1
+	m, err := doc2vec.Train(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.registry.SaveDoc2Vec("tiny", m); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ingest labeled logs.
+	var logs []*core.LabeledQuery
+	for i := 0; i < 30; i++ {
+		q := &core.LabeledQuery{SQL: "select a from t"}
+		q.SetLabel("kind", "read")
+		logs = append(logs, q)
+		q2 := &core.LabeledQuery{SQL: "delete from u"}
+		q2.SetLabel("kind", "write")
+		logs = append(logs, q2)
+	}
+	body, _ := json.Marshal(logs)
+	rr := do(t, mux, "POST", "/v1/apps/app1/logs", string(body))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", rr.Code, rr.Body)
+	}
+
+	// Retrain a classifier against the registered embedder.
+	rr = do(t, mux, "POST", "/v1/apps/app1/retrain", `{"label":"kind","embedder":"tiny"}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("retrain: %d %s", rr.Code, rr.Body)
+	}
+
+	// Submit a query and read its predicted label.
+	rr = do(t, mux, "POST", "/v1/apps/app1/queries", `{"sql":"select a from t"}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("submit: %d %s", rr.Code, rr.Body)
+	}
+	var labeled core.LabeledQuery
+	if err := json.Unmarshal(rr.Body.Bytes(), &labeled); err != nil {
+		t.Fatal(err)
+	}
+	if labeled.Label("kind") != "read" {
+		t.Fatalf("label: %+v", labeled)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	_, mux := newTestServer(t)
+	if rr := do(t, mux, "POST", "/v1/apps/ghost/queries", `{"sql":"select 1"}`); rr.Code != http.StatusNotFound {
+		t.Fatalf("unknown app: %d", rr.Code)
+	}
+	if rr := do(t, mux, "POST", "/v1/apps/app1/queries", `{}`); rr.Code != http.StatusBadRequest {
+		t.Fatalf("missing sql: %d", rr.Code)
+	}
+	if rr := do(t, mux, "POST", "/v1/apps/app1/retrain", `{"label":"x","embedder":"missing"}`); rr.Code != http.StatusNotFound {
+		t.Fatalf("missing embedder: %d", rr.Code)
+	}
+	if rr := do(t, mux, "POST", "/v1/apps/app1/logs", `not json`); rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad logs: %d", rr.Code)
+	}
+}
+
+func TestListEndpoints(t *testing.T) {
+	_, mux := newTestServer(t)
+	rr := do(t, mux, "GET", "/v1/apps", "")
+	if rr.Code != http.StatusOK || !bytes.Contains(rr.Body.Bytes(), []byte("app1")) {
+		t.Fatalf("apps: %d %s", rr.Code, rr.Body)
+	}
+	rr = do(t, mux, "GET", "/v1/models", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("models: %d %s", rr.Code, rr.Body)
+	}
+}

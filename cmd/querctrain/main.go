@@ -1,0 +1,120 @@
+// Command querctrain trains an embedder from a workload file and stores it
+// in a model registry for quercd to deploy.
+//
+// The input is JSON Lines with at least a "sql" field per record (the format
+// cmd/workloadgen emits).
+//
+// Usage:
+//
+//	querctrain -in workload.jsonl -model prod -method lstm [-models models/]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+
+	"querc"
+	"querc/internal/core"
+	"querc/internal/doc2vec"
+	"querc/internal/lstm"
+)
+
+func main() {
+	log.SetPrefix("querctrain: ")
+	log.SetFlags(0)
+	var (
+		in        = flag.String("in", "", "JSONL workload file (default stdin)")
+		modelsDir = flag.String("models", "models", "model registry directory")
+		name      = flag.String("model", "default", "model name in the registry")
+		method    = flag.String("method", "doc2vec", "doc2vec or lstm")
+		dim       = flag.Int("dim", 0, "embedding dimensionality (0 = method default)")
+		epochs    = flag.Int("epochs", 0, "training epochs (0 = method default)")
+		seed      = flag.Int64("seed", 1, "training seed")
+	)
+	flag.Parse()
+
+	var r *os.File = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var corpus []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec struct {
+			SQL string `json:"sql"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.SQL == "" {
+			continue
+		}
+		corpus = append(corpus, rec.SQL)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(corpus) == 0 {
+		log.Fatal("no queries found in input")
+	}
+	log.Printf("training %s on %d queries", *method, len(corpus))
+
+	reg, err := querc.NewRegistry(*modelsDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	docs := make([][]string, len(corpus))
+	for i, sql := range corpus {
+		docs[i] = core.TokenizeForEmbedding(sql)
+	}
+
+	switch *method {
+	case "doc2vec":
+		cfg := doc2vec.DefaultConfig()
+		cfg.Seed = *seed
+		if *dim > 0 {
+			cfg.Dim = *dim
+		}
+		if *epochs > 0 {
+			cfg.Epochs = *epochs
+		}
+		m, err := doc2vec.Train(docs, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := reg.SaveDoc2Vec(*name, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("saved %s version %d (dim %d)", *name, v, m.Dim())
+	case "lstm":
+		cfg := lstm.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.SampledSoftmax = 16
+		if *dim > 0 {
+			cfg.HiddenDim = *dim
+		}
+		if *epochs > 0 {
+			cfg.Epochs = *epochs
+		}
+		m, err := lstm.Train(docs, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := reg.SaveLSTM(*name, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("saved %s version %d (dim %d, final loss %.3f)",
+			*name, v, m.Dim(), m.LossHistory[len(m.LossHistory)-1])
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+}

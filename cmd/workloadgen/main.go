@@ -1,0 +1,73 @@
+// Command workloadgen emits synthetic workloads as JSON Lines for external
+// tooling: either the TPC-H workload of §5.1 or the multi-tenant
+// Snowflake-like labeled workload of §5.2.
+//
+// Usage:
+//
+//	workloadgen -kind tpch  [-per-template 40] [-seed 7] [-shuffle]
+//	workloadgen -kind snow  [-scale 0.035] [-profile paper|training] [-seed 11]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+
+	"querc/internal/snowgen"
+	"querc/internal/tpch"
+)
+
+func main() {
+	log.SetPrefix("workloadgen: ")
+	log.SetFlags(0)
+	var (
+		kind        = flag.String("kind", "tpch", "tpch or snow")
+		perTemplate = flag.Int("per-template", 40, "tpch: instances per template")
+		shuffle     = flag.Bool("shuffle", false, "tpch: shuffle instead of template-major order")
+		scale       = flag.Float64("scale", 0.035, "snow: corpus scale factor")
+		profile     = flag.String("profile", "paper", "snow: paper (Table 2 shape) or training")
+		seed        = flag.Int64("seed", 7, "generator seed")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+
+	switch *kind {
+	case "tpch":
+		insts := tpch.GenerateWorkload(tpch.WorkloadOptions{
+			PerTemplate: *perTemplate, Seed: *seed, Shuffle: *shuffle,
+		})
+		type rec struct {
+			ID       int    `json:"id"`
+			Template int    `json:"template"`
+			SQL      string `json:"sql"`
+		}
+		for _, inst := range insts {
+			if err := enc.Encode(rec{ID: inst.Query.ID, Template: inst.Template, SQL: inst.SQL}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	case "snow":
+		var accounts []snowgen.AccountSpec
+		switch *profile {
+		case "paper":
+			accounts = snowgen.PaperProfile(*scale)
+		case "training":
+			accounts = snowgen.TrainingProfile(*scale)
+		default:
+			log.Fatalf("unknown profile %q", *profile)
+		}
+		qs := snowgen.Generate(snowgen.Options{Accounts: accounts, Seed: *seed})
+		for _, q := range qs {
+			if err := enc.Encode(q); err != nil {
+				log.Fatal(err)
+			}
+		}
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+}

@@ -1,0 +1,314 @@
+// Package advisor is the what-if index advisor that stands in for the
+// Database Engine Tuning Advisor of paper §5.1.
+//
+// It follows the classical architecture (Chaudhuri & Narasayya): generate
+// per-query candidate indexes, then greedily grow a configuration, using the
+// engine's what-if interface (EstimateWorkloadCost) as the objective. Like
+// the real tool, it runs under a *time budget* and returns its best
+// configuration so far when the budget expires.
+//
+// Advisor time is simulated by a deterministic clock: a fixed initialization
+// phase (statistics collection and workload compression that the real DTA
+// performs regardless of input), a per-query candidate-generation charge,
+// and a per-(query, candidate) what-if evaluation charge. Total evaluation
+// work is Θ(|workload| × |candidates| × rounds) — this super-linear growth in
+// workload size is exactly why workload summarization pays off (paper §4:
+// "the recommendation process is typically quadratic in the size of the
+// workload").
+package advisor
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"querc/internal/engine"
+)
+
+// Params control the advisor's search and its simulated-time model.
+type Params struct {
+	InitSeconds       float64 // fixed startup cost before any recommendation
+	CandGenPerQuery   float64 // candidate generation, seconds per workload query
+	EvalPerQueryCand  float64 // what-if evaluation, seconds per (query, candidate)
+	MaxIndexes        int     // configuration size cap
+	MinRelImprovement float64 // stop when the best candidate improves less than this fraction
+	MaxKeyColumns     int     // widest composite candidate generated
+}
+
+// DefaultParams returns the calibrated advisor constants (see DESIGN.md §4).
+func DefaultParams() Params {
+	return Params{
+		InitSeconds:       160,
+		CandGenPerQuery:   0.009,
+		EvalPerQueryCand:  0.0002,
+		MaxIndexes:        18,
+		MinRelImprovement: 1e-4,
+		MaxKeyColumns:     4,
+	}
+}
+
+// Recommendation is the advisor's output.
+type Recommendation struct {
+	Design        *engine.Design
+	AdvisorTime   float64 // simulated seconds consumed
+	Rounds        int     // completed greedy rounds
+	Evaluated     int     // what-if evaluations performed
+	Converged     bool    // true when search ended before the budget did
+	InitCompleted bool    // false when the budget ended during initialization
+}
+
+// Recommend runs the advisor on workload under budgetSeconds of simulated
+// advisor time and returns the recommended design (possibly empty).
+func Recommend(e *engine.Engine, workload []*engine.Query, budgetSeconds float64, p Params) *Recommendation {
+	rec := &Recommendation{Design: engine.NewDesign()}
+	clock := 0.0
+
+	// Initialization phase: below this budget the advisor emits nothing, for
+	// any workload size — reproducing Fig. 3's flat sub-3-minute region.
+	clock += p.InitSeconds
+	if clock > budgetSeconds {
+		rec.AdvisorTime = math.Min(budgetSeconds, clock)
+		return rec
+	}
+	rec.InitCompleted = true
+
+	clock += p.CandGenPerQuery * float64(len(workload))
+	if clock > budgetSeconds {
+		rec.AdvisorTime = budgetSeconds
+		return rec
+	}
+
+	cands := GenerateCandidates(e, workload, p.MaxKeyColumns)
+	if len(cands) == 0 {
+		rec.AdvisorTime = clock
+		rec.Converged = true
+		return rec
+	}
+
+	current := engine.NewDesign()
+	currentCost := e.EstimateWorkloadCost(workload, current)
+	evalCost := p.EvalPerQueryCand * float64(len(workload))
+	inDesign := map[string]bool{}
+
+	for current.Len() < p.MaxIndexes {
+		rec.Rounds++
+		bestIdx := -1
+		bestImprove := 0.0
+		bestDensity := 0.0
+		outOfTime := false
+		for ci, cand := range cands {
+			if inDesign[cand.Index.Name()] {
+				continue
+			}
+			if clock+evalCost > budgetSeconds {
+				outOfTime = true
+				break
+			}
+			clock += evalCost
+			rec.Evaluated++
+			trial := current.Clone()
+			trial.Add(cand.Index)
+			cost := e.EstimateWorkloadCost(workload, trial)
+			improve := currentCost - cost
+			if improve <= 0 {
+				continue
+			}
+			// Greedy criterion: benefit density — estimated improvement per
+			// unit of storage, with a sub-linear (square-root) storage
+			// penalty. Like the real tool's storage-bounded search, this
+			// prefers a narrow single-column index over a wide covering
+			// variant of similar benefit; the wide variants catch up in
+			// later rounds once their marginal benefit stands alone.
+			density := improve / sqrtBytes(cand.Index.SizeBytes(e.Cat))
+			if density > bestDensity {
+				bestDensity = density
+				bestImprove = improve
+				bestIdx = ci
+			}
+		}
+		if bestIdx >= 0 && bestImprove > p.MinRelImprovement*currentCost {
+			adopted := cands[bestIdx].Index
+			current.Add(adopted)
+			inDesign[adopted.Name()] = true
+			currentCost -= bestImprove
+		} else if !outOfTime {
+			rec.Converged = true
+			break
+		}
+		if outOfTime {
+			break
+		}
+	}
+
+	rec.Design = current
+	rec.AdvisorTime = math.Min(clock, budgetSeconds)
+	return rec
+}
+
+// Candidate is one index candidate with the heuristic score used to order
+// evaluation (so that budget-truncated rounds examine promising candidates
+// first, like the real tool's seed ordering).
+type Candidate struct {
+	Index engine.Index
+	Score float64 // accumulated single-query estimated benefit
+}
+
+// GenerateCandidates derives the candidate index set from the workload:
+// single-column indexes on filtered columns, multi-column composites over a
+// query's filter columns (equality columns first, then the most selective
+// range column), covering variants that append the query's remaining needed
+// columns, and — for correlated subqueries — the narrow join-key index.
+//
+// For correlated subqueries it proposes both the narrow join-key index and
+// the covering (join key, aggregate column) variant; the benefit-density
+// criterion in Recommend is what sequences the narrow one first.
+func GenerateCandidates(e *engine.Engine, workload []*engine.Query, maxKeyCols int) []Candidate {
+	if maxKeyCols < 1 {
+		maxKeyCols = 4
+	}
+	byName := map[string]*Candidate{}
+	add := func(ix engine.Index, score float64) {
+		if e.Cat.Table(ix.Table) == nil || len(ix.Columns) == 0 {
+			return
+		}
+		if c, ok := byName[ix.Name()]; ok {
+			c.Score += score
+			return
+		}
+		byName[ix.Name()] = &Candidate{Index: ix, Score: score}
+	}
+
+	for _, q := range workload {
+		w := 1.0
+		if q.Weight > 0 {
+			w = q.Weight
+		}
+		base := e.EstimatedCost(q, engine.NewDesign())
+		scoreOf := func(ix engine.Index) float64 {
+			d := engine.NewDesign(ix)
+			gain := base - e.EstimatedCost(q, d)
+			if gain < 0 {
+				gain = 0
+			}
+			return gain * w
+		}
+
+		for _, a := range q.Accesses {
+			// Join-key candidates: a narrow index on each join column (for
+			// index-nested-loop joins) plus its covering variant.
+			for _, jc := range a.JoinCols {
+				ix := engine.NewIndex(a.Table, jc)
+				add(ix, scoreOf(ix))
+				cover := appendNeeded([]string{strings.ToLower(jc)}, a.NeedCols, maxKeyCols+2)
+				if len(cover) > 1 {
+					cix := engine.NewIndex(a.Table, cover...)
+					add(cix, scoreOf(cix))
+				}
+			}
+			if len(a.Filters) == 0 {
+				continue
+			}
+			// Single-column candidates.
+			for _, f := range a.Filters {
+				ix := engine.NewIndex(a.Table, f.Column)
+				add(ix, scoreOf(ix))
+			}
+			// Composite: equality filters (most selective first), then the
+			// single most selective range filter.
+			cols := compositeColumns(a.Filters, maxKeyCols)
+			if len(cols) > 1 {
+				ix := engine.NewIndex(a.Table, cols...)
+				add(ix, scoreOf(ix))
+			}
+			// Covering variant: append remaining needed columns.
+			cover := appendNeeded(cols, a.NeedCols, maxKeyCols+2)
+			if len(cover) > len(cols) {
+				ix := engine.NewIndex(a.Table, cover...)
+				add(ix, scoreOf(ix))
+			}
+		}
+		if sq := q.Subquery; sq != nil {
+			narrow := engine.NewIndex(sq.Table, sq.JoinCol)
+			add(narrow, scoreOf(narrow))
+			covering := engine.NewIndex(sq.Table, sq.JoinCol, sq.AggCol)
+			add(covering, scoreOf(covering))
+		}
+	}
+
+	out := make([]Candidate, 0, len(byName))
+	for _, c := range byName {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Index.Name() < out[j].Index.Name()
+	})
+	return out
+}
+
+func sqrtBytes(n int64) float64 {
+	if n < 1 {
+		n = 1
+	}
+	return math.Sqrt(float64(n))
+}
+
+// compositeColumns orders filter columns for a composite key: equality
+// predicates first (ascending estimated selectivity — most selective
+// leading), then the most selective range predicate, truncated to maxCols.
+func compositeColumns(filters []engine.Pred, maxCols int) []string {
+	var eqs, ranges []engine.Pred
+	for _, f := range filters {
+		if f.Op == "=" || f.Op == "in" {
+			eqs = append(eqs, f)
+		} else {
+			ranges = append(ranges, f)
+		}
+	}
+	sort.Slice(eqs, func(i, j int) bool {
+		if eqs[i].EstSel != eqs[j].EstSel {
+			return eqs[i].EstSel < eqs[j].EstSel
+		}
+		return eqs[i].Column < eqs[j].Column
+	})
+	sort.Slice(ranges, func(i, j int) bool {
+		if ranges[i].EstSel != ranges[j].EstSel {
+			return ranges[i].EstSel < ranges[j].EstSel
+		}
+		return ranges[i].Column < ranges[j].Column
+	})
+	var cols []string
+	seen := map[string]bool{}
+	for _, f := range eqs {
+		c := strings.ToLower(f.Column)
+		if !seen[c] && len(cols) < maxCols {
+			cols = append(cols, c)
+			seen[c] = true
+		}
+	}
+	if len(ranges) > 0 && len(cols) < maxCols {
+		c := strings.ToLower(ranges[0].Column)
+		if !seen[c] {
+			cols = append(cols, c)
+		}
+	}
+	return cols
+}
+
+func appendNeeded(cols, need []string, cap_ int) []string {
+	out := append([]string(nil), cols...)
+	seen := map[string]bool{}
+	for _, c := range out {
+		seen[c] = true
+	}
+	for _, n := range need {
+		n = strings.ToLower(n)
+		if !seen[n] && len(out) < cap_ {
+			out = append(out, n)
+			seen[n] = true
+		}
+	}
+	return out
+}

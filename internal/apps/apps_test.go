@@ -1,0 +1,280 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"querc/internal/core"
+	"querc/internal/ml/forest"
+	"querc/internal/snowgen"
+	"querc/internal/tpch"
+	"querc/internal/vec"
+)
+
+// hashEmbedder is a fast deterministic stand-in for a learned embedder:
+// token-hash bag-of-words. Good enough to carry label signal in tests.
+type hashEmbedder struct{ dim int }
+
+func (h hashEmbedder) Embed(sql string) vec.Vector {
+	v := vec.New(h.dim)
+	for _, tok := range core.TokenizeForEmbedding(sql) {
+		hv := 2166136261
+		for i := 0; i < len(tok); i++ {
+			hv = (hv ^ int(tok[i])) * 16777619
+			hv &= 0x7fffffff
+		}
+		v[hv%h.dim]++
+	}
+	v.Normalize()
+	return v
+}
+func (h hashEmbedder) Dim() int     { return h.dim }
+func (h hashEmbedder) Name() string { return "hash" }
+
+func snowWorkload(t *testing.T) []snowgen.Query {
+	t.Helper()
+	return snowgen.Generate(snowgen.Options{
+		Accounts: []snowgen.AccountSpec{
+			{Name: "a1", Users: 3, Queries: 300, SharedFraction: 0, Dialect: snowgen.DialectSnow},
+			{Name: "a2", Users: 3, Queries: 300, SharedFraction: 0, Dialect: snowgen.DialectAnsi},
+		},
+		Seed: 9,
+	})
+}
+
+func TestSummarizerCoversTemplates(t *testing.T) {
+	insts := tpch.GenerateWorkload(tpch.WorkloadOptions{PerTemplate: 8, Seed: 3})
+	sqls := tpch.SQLTexts(insts)
+	s := &Summarizer{Embedder: hashEmbedder{64}, MaxK: 30, Seed: 1, Workers: 4}
+	res, err := s.Summarize(sqls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Indices) == 0 || len(res.Indices) != len(res.Weights) {
+		t.Fatalf("summary shape: %+v", res)
+	}
+	total := 0
+	for _, w := range res.Weights {
+		if w <= 0 {
+			t.Fatalf("non-positive weight: %v", res.Weights)
+		}
+		total += w
+	}
+	if total != len(sqls) {
+		t.Fatalf("weights must partition the workload: %d vs %d", total, len(sqls))
+	}
+	// Representatives should span many templates.
+	seen := map[int]bool{}
+	for _, idx := range res.Indices {
+		seen[insts[idx].Template] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("summary covers only %d templates", len(seen))
+	}
+}
+
+func TestSummarizerEmpty(t *testing.T) {
+	s := &Summarizer{Embedder: hashEmbedder{16}}
+	if _, err := s.Summarize(nil); err == nil {
+		t.Fatal("empty workload must fail")
+	}
+}
+
+func TestBaselineSummarizer(t *testing.T) {
+	insts := tpch.GenerateWorkload(tpch.WorkloadOptions{PerTemplate: 3, Seed: 4})
+	sqls := tpch.SQLTexts(insts)
+	b := &BaselineSummarizer{K: 10, Seed: 2}
+	res, err := b.Summarize(sqls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 10 || len(res.Indices) != 10 {
+		t.Fatalf("baseline summary: %+v", res)
+	}
+	total := 0
+	for _, w := range res.Weights {
+		total += w
+	}
+	if total != len(sqls) {
+		t.Fatalf("baseline weights: %d vs %d", total, len(sqls))
+	}
+}
+
+func TestSecurityAuditorFlagsImpostor(t *testing.T) {
+	qs := snowWorkload(t)
+	var sqls, users []string
+	for _, q := range qs {
+		sqls = append(sqls, q.SQL)
+		users = append(users, q.User)
+	}
+	a := NewSecurityAuditor(hashEmbedder{96}, forest.Config{NumTrees: 20, Seed: 1})
+	a.MinConfidence = 0 // mismatches only
+	if err := a.Train(sqls, users); err != nil {
+		t.Fatal(err)
+	}
+	// Clean stream: few findings expected.
+	clean, err := a.Audit(sqls[:100], users[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Impostor stream: account a2's queries claimed by an a1 user.
+	a1User := ""
+	for _, q := range qs {
+		if q.Account == "a1" {
+			a1User = q.User
+			break
+		}
+	}
+	var impostorSQL []string
+	var claimed []string
+	for _, q := range qs {
+		if q.Account == "a2" {
+			impostorSQL = append(impostorSQL, q.SQL)
+			claimed = append(claimed, a1User)
+		}
+		if len(impostorSQL) == 100 {
+			break
+		}
+	}
+	sus, err := a.Audit(impostorSQL, claimed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sus) <= len(clean) {
+		t.Fatalf("impostor stream should raise more findings: %d vs %d", len(sus), len(clean))
+	}
+	if float64(len(sus)) < 0.8*float64(len(impostorSQL)) {
+		t.Fatalf("impostor detection too weak: %d of %d", len(sus), len(impostorSQL))
+	}
+}
+
+func TestRoutingCheckerFindsMisconfig(t *testing.T) {
+	qs := snowWorkload(t)
+	var sqls, clusters []string
+	for _, q := range qs {
+		sqls = append(sqls, q.SQL)
+		clusters = append(clusters, q.Cluster)
+	}
+	r := NewRoutingChecker(hashEmbedder{96}, forest.Config{NumTrees: 20, Seed: 2})
+	if err := r.Train(sqls, clusters); err != nil {
+		t.Fatal(err)
+	}
+	// Misroute 20 queries and expect most to be flagged.
+	bad := append([]string(nil), clusters[:200]...)
+	misrouted := 0
+	for i := 0; i < 200; i += 10 {
+		bad[i] = "cluster_bogus"
+		misrouted++
+	}
+	findings, err := r.Check(sqls[:200], bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, f := range findings {
+		if f.Assigned == "cluster_bogus" {
+			hits++
+		}
+	}
+	if hits < misrouted/2 {
+		t.Fatalf("found %d of %d misroutes", hits, misrouted)
+	}
+}
+
+func TestErrorPredictorLearnsSyntaxPattern(t *testing.T) {
+	// Synthesize a workload where a syntax pattern deterministically fails.
+	var sqls, codes []string
+	for i := 0; i < 300; i++ {
+		if i%3 == 0 {
+			sqls = append(sqls, fmt.Sprintf("select big_udf(x%d) from giant_table join t2 join t3", i))
+			codes = append(codes, "OUT_OF_MEMORY")
+		} else {
+			sqls = append(sqls, fmt.Sprintf("select a from small_t where id = %d", i))
+			codes = append(codes, "")
+		}
+	}
+	p := NewErrorPredictor(hashEmbedder{64}, forest.Config{NumTrees: 20, Seed: 3})
+	if err := p.Train(sqls, codes); err != nil {
+		t.Fatal(err)
+	}
+	risky, pred := p.Risky("select big_udf(x999) from giant_table join t2 join t3", 0.5)
+	if !risky || pred != "OUT_OF_MEMORY" {
+		t.Fatalf("risky query missed: %v %q", risky, pred)
+	}
+	risky, _ = p.Risky("select a from small_t where id = 5", 0.5)
+	if risky {
+		t.Fatal("safe query flagged")
+	}
+}
+
+func TestResourceAllocatorBucketsBalanced(t *testing.T) {
+	var sqls []string
+	var runtimes []float64
+	for i := 0; i < 300; i++ {
+		switch i % 3 {
+		case 0:
+			sqls = append(sqls, fmt.Sprintf("select a from t where id = %d", i))
+			runtimes = append(runtimes, 10)
+		case 1:
+			sqls = append(sqls, fmt.Sprintf("select a, sum(b) from t join u group by a -- %d", i))
+			runtimes = append(runtimes, 100)
+		default:
+			sqls = append(sqls, fmt.Sprintf("select * from t join u join v join w order by 1 -- %d", i))
+			runtimes = append(runtimes, 1000)
+		}
+	}
+	r := NewResourceAllocator(hashEmbedder{64}, forest.Config{NumTrees: 20, Seed: 4})
+	if err := r.Train(sqls, runtimes); err != nil {
+		t.Fatal(err)
+	}
+	if r.TrueClass(5) != ClassLight || r.TrueClass(1000) != ClassHeavy {
+		t.Fatalf("cut points wrong: %v %v", r.LightMax, r.MediumMax)
+	}
+	cls, conf := r.Predict("select * from t join u join v join w order by 1 -- 999")
+	if cls != ClassHeavy || conf < 0.4 {
+		t.Fatalf("heavy query predicted %v (%.2f)", cls, conf)
+	}
+	cls, _ = r.Predict("select a from t where id = 12345")
+	if cls != ClassLight {
+		t.Fatalf("light query predicted %v", cls)
+	}
+}
+
+func TestQueryRecommenderSuggestsNext(t *testing.T) {
+	// Session pattern: users alternate A → B strictly.
+	var log []string
+	for i := 0; i < 100; i++ {
+		log = append(log, fmt.Sprintf("select a from orders where day = %d", i))
+		log = append(log, fmt.Sprintf("select b from shipments where day = %d", i))
+	}
+	r := &QueryRecommender{Embedder: hashEmbedder{64}, K: 2, Seed: 5}
+	if err := r.Train(log); err != nil {
+		t.Fatal(err)
+	}
+	recs := r.Recommend("select a from orders where day = 5", 3)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	if !strings.Contains(recs[0], "shipments") {
+		t.Fatalf("expected shipments follow-up, got %q", recs[0])
+	}
+	dist := r.NextClusterDistribution("select a from orders where day = 7")
+	var sum float64
+	for _, p := range dist {
+		sum += p
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("transition row not a distribution: %v", dist)
+	}
+}
+
+func TestQueryRecommenderErrors(t *testing.T) {
+	r := &QueryRecommender{Embedder: hashEmbedder{16}}
+	if err := r.Train([]string{"only one"}); err == nil {
+		t.Fatal("needs at least two queries")
+	}
+	if recs := r.Recommend("x", 3); recs != nil {
+		t.Fatal("untrained recommender must return nil")
+	}
+}

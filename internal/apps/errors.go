@@ -1,0 +1,61 @@
+package apps
+
+import (
+	"fmt"
+
+	"querc/internal/core"
+	"querc/internal/ml/forest"
+)
+
+// OKLabel is the error label of successful queries.
+const OKLabel = "OK"
+
+// ErrorPredictor implements §4's error-prediction application: syntax
+// patterns correlate with resource errors and engine bugs, so a labeler
+// trained on historical error codes can route risky queries to an
+// instrumented or more stable runtime before execution.
+type ErrorPredictor struct {
+	Embedder core.Embedder
+	Labeler  *core.ForestLabeler
+	Workers  int
+}
+
+// NewErrorPredictor builds a predictor with a fresh forest labeler.
+func NewErrorPredictor(embedder core.Embedder, cfg forest.Config) *ErrorPredictor {
+	return &ErrorPredictor{Embedder: embedder, Labeler: core.NewForestLabeler(cfg)}
+}
+
+// Train fits the error model from (sql, errorCode) history, where "" means
+// success (normalized to OKLabel).
+func (p *ErrorPredictor) Train(sqls, errorCodes []string) error {
+	if len(sqls) != len(errorCodes) || len(sqls) == 0 {
+		return fmt.Errorf("apps: error training set mismatch (%d, %d)", len(sqls), len(errorCodes))
+	}
+	y := make([]string, len(errorCodes))
+	for i, c := range errorCodes {
+		if c == "" {
+			y[i] = OKLabel
+		} else {
+			y[i] = c
+		}
+	}
+	X := core.EmbedAll(p.Embedder, sqls, p.Workers)
+	return p.Labeler.Fit(X, y)
+}
+
+// Predict returns the expected error code for sql (OKLabel when none).
+func (p *ErrorPredictor) Predict(sql string) (string, float64) {
+	return p.Labeler.Confidence(p.Embedder.Embed(sql))
+}
+
+// Risky reports whether the query should be diverted to the instrumented
+// runtime: any non-OK prediction at or above minConfidence.
+func (p *ErrorPredictor) Risky(sql string, minConfidence float64) (bool, string) {
+	pred, conf := p.Predict(sql)
+	return pred != OKLabel && conf >= minConfidence, pred
+}
+
+// Classifier exposes the trained pair under the "error" label key.
+func (p *ErrorPredictor) Classifier() *core.Classifier {
+	return &core.Classifier{LabelKey: "error", Embedder: p.Embedder, Labeler: p.Labeler}
+}

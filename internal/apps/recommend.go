@@ -1,0 +1,144 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"querc/internal/core"
+	"querc/internal/ml/cluster"
+	"querc/internal/vec"
+)
+
+// QueryRecommender implements §4's query-recommendation application:
+// predicting the next query a user will submit from their recent history.
+//
+// The model is intentionally simple (the paper's point is that the learned
+// representation does the heavy lifting): historical queries are clustered
+// in embedding space, a first-order Markov chain over cluster transitions is
+// estimated per workload, and the recommendation for a session is the most
+// representative historical query of the most probable next cluster.
+type QueryRecommender struct {
+	Embedder core.Embedder
+	K        int // number of query clusters (default 16)
+	Workers  int
+	Seed     int64
+
+	kmeans     *cluster.KMeansResult
+	transition [][]float64 // cluster -> cluster probabilities
+	examples   [][]int     // cluster -> historical indices, nearest-first
+	corpus     []string
+}
+
+// Train fits the recommender on an ordered query log (sequence matters: the
+// Markov chain is estimated from consecutive pairs).
+func (r *QueryRecommender) Train(sqls []string) error {
+	if len(sqls) < 2 {
+		return fmt.Errorf("apps: recommender needs >= 2 queries, got %d", len(sqls))
+	}
+	k := r.K
+	if k <= 0 {
+		k = 16
+	}
+	if k > len(sqls) {
+		k = len(sqls)
+	}
+	points := core.EmbedAll(r.Embedder, sqls, r.Workers)
+	normalize(points)
+	rng := rand.New(rand.NewSource(r.Seed))
+	r.kmeans = cluster.KMeans(rng, points, k, 100)
+	r.corpus = append([]string(nil), sqls...)
+
+	k = len(r.kmeans.Centroids)
+	r.transition = make([][]float64, k)
+	counts := make([][]float64, k)
+	for i := range counts {
+		counts[i] = make([]float64, k)
+		r.transition[i] = make([]float64, k)
+	}
+	for i := 0; i+1 < len(sqls); i++ {
+		counts[r.kmeans.Assignment[i]][r.kmeans.Assignment[i+1]]++
+	}
+	for c := range counts {
+		var total float64
+		for _, n := range counts[c] {
+			total += n
+		}
+		if total == 0 {
+			continue
+		}
+		for c2, n := range counts[c] {
+			r.transition[c][c2] = n / total
+		}
+	}
+
+	// Rank each cluster's members by proximity to the centroid.
+	r.examples = make([][]int, k)
+	type member struct {
+		idx int
+		d   float64
+	}
+	byCluster := make([][]member, k)
+	for i, p := range points {
+		c := r.kmeans.Assignment[i]
+		byCluster[c] = append(byCluster[c], member{i, vec.SquaredDistance(p, r.kmeans.Centroids[c])})
+	}
+	for c := range byCluster {
+		sort.Slice(byCluster[c], func(i, j int) bool { return byCluster[c][i].d < byCluster[c][j].d })
+		for _, m := range byCluster[c] {
+			r.examples[c] = append(r.examples[c], m.idx)
+		}
+	}
+	return nil
+}
+
+// Recommend returns up to n suggested next queries given the user's most
+// recent query.
+func (r *QueryRecommender) Recommend(lastSQL string, n int) []string {
+	if r.kmeans == nil || n <= 0 {
+		return nil
+	}
+	v := r.Embedder.Embed(lastSQL)
+	v.Normalize()
+	cur, best := 0, -1.0
+	for c, cent := range r.kmeans.Centroids {
+		if sim := vec.Cosine(v, cent); sim > best {
+			cur, best = c, sim
+		}
+	}
+	// Most probable next cluster (fall back to the current one).
+	next, bestP := cur, 0.0
+	for c2, p := range r.transition[cur] {
+		if p > bestP {
+			next, bestP = c2, p
+		}
+	}
+	var out []string
+	for _, idx := range r.examples[next] {
+		if r.corpus[idx] == lastSQL {
+			continue
+		}
+		out = append(out, r.corpus[idx])
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// NextClusterDistribution exposes the Markov row for the cluster containing
+// sql (diagnostics and tests).
+func (r *QueryRecommender) NextClusterDistribution(sql string) []float64 {
+	if r.kmeans == nil {
+		return nil
+	}
+	v := r.Embedder.Embed(sql)
+	v.Normalize()
+	cur, best := 0, -1.0
+	for c, cent := range r.kmeans.Centroids {
+		if sim := vec.Cosine(v, cent); sim > best {
+			cur, best = c, sim
+		}
+	}
+	return append([]float64(nil), r.transition[cur]...)
+}

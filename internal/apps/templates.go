@@ -1,0 +1,91 @@
+package apps
+
+import (
+	"sort"
+	"strings"
+
+	"querc/internal/sqllex"
+)
+
+// TemplateStat describes one mined query template: a normalized token stream
+// shared by one or more workload queries.
+type TemplateStat struct {
+	Normalized string // the template's normalized text
+	Count      int    // occurrences in the workload
+	FirstIndex int    // first workload position
+	Example    string // one original query text
+}
+
+// TemplateMiningResult is the outcome of MineTemplates.
+type TemplateMiningResult struct {
+	Templates []TemplateStat // sorted by Count descending
+	// CompressionRatio = len(workload) / len(Templates): how much a
+	// template-level summary shrinks the workload (the "workload
+	// compression" task of the paper's introduction).
+	CompressionRatio float64
+}
+
+// MineTemplates groups workload queries by their literal-normalized token
+// stream. Two queries that differ only in constants and parameters collapse
+// into one template. This is the offline batch job referenced in paper §2
+// ("query clustering is important for workload summarization, but does not
+// require real-time labeling") in its exact-match form; the embedding-based
+// Summarizer generalizes it to near-match.
+func MineTemplates(sqls []string) *TemplateMiningResult {
+	byKey := map[string]*TemplateStat{}
+	for i, sql := range sqls {
+		key := strings.Join(sqllex.Strings(sql, sqllex.EmbeddingOptionsNormalized()), " ")
+		if st, ok := byKey[key]; ok {
+			st.Count++
+			continue
+		}
+		byKey[key] = &TemplateStat{Normalized: key, Count: 1, FirstIndex: i, Example: sql}
+	}
+	out := &TemplateMiningResult{}
+	for _, st := range byKey {
+		out.Templates = append(out.Templates, *st)
+	}
+	sort.Slice(out.Templates, func(i, j int) bool {
+		if out.Templates[i].Count != out.Templates[j].Count {
+			return out.Templates[i].Count > out.Templates[j].Count
+		}
+		return out.Templates[i].FirstIndex < out.Templates[j].FirstIndex
+	})
+	if len(out.Templates) > 0 {
+		out.CompressionRatio = float64(len(sqls)) / float64(len(out.Templates))
+	}
+	return out
+}
+
+// DuplicationProfile reports, for an account-style grouping, what fraction
+// of queries belong to templates issued by more than one group member — the
+// statistic the paper uses to explain Table 2's hard accounts ("69% percent
+// of the 74000 queries in an account had more than one user label").
+func DuplicationProfile(sqls, users []string) (multiUserQueryFraction float64, multiUserTemplates int) {
+	type tpl struct {
+		users map[string]bool
+		count int
+	}
+	byKey := map[string]*tpl{}
+	for i, sql := range sqls {
+		key := strings.Join(sqllex.Strings(sql, sqllex.EmbeddingOptionsNormalized()), " ")
+		t, ok := byKey[key]
+		if !ok {
+			t = &tpl{users: map[string]bool{}}
+			byKey[key] = t
+		}
+		t.count++
+		t.users[users[i]] = true
+	}
+	multi := 0
+	for _, t := range byKey {
+		if len(t.users) > 1 {
+			multiUserTemplates++
+			multi += t.count
+		}
+	}
+	if len(sqls) == 0 {
+		return 0, 0
+	}
+	return float64(multi) / float64(len(sqls)), multiUserTemplates
+}

@@ -1,0 +1,82 @@
+package apps
+
+import (
+	"testing"
+
+	"querc/internal/snowgen"
+	"querc/internal/tpch"
+)
+
+func TestMineTemplatesCollapsesTPCH(t *testing.T) {
+	insts := tpch.GenerateWorkload(tpch.WorkloadOptions{PerTemplate: 20, Seed: 3})
+	res := MineTemplates(tpch.SQLTexts(insts))
+	// Literal normalization collapses instances of the same template unless
+	// they also vary structurally (IN-list lengths, projection variants), so
+	// the mined count sits between 22 and a small multiple of it.
+	if len(res.Templates) < 22 {
+		t.Fatalf("mined %d templates, expected >= 22", len(res.Templates))
+	}
+	if len(res.Templates) > 150 {
+		t.Fatalf("mined %d templates, normalization too weak", len(res.Templates))
+	}
+	if res.CompressionRatio < 2 {
+		t.Fatalf("compression ratio %.1f too low", res.CompressionRatio)
+	}
+	// Counts sum to the workload size.
+	total := 0
+	for _, tpl := range res.Templates {
+		total += tpl.Count
+	}
+	if total != len(insts) {
+		t.Fatalf("template counts sum to %d, want %d", total, len(insts))
+	}
+}
+
+func TestMineTemplatesEmpty(t *testing.T) {
+	res := MineTemplates(nil)
+	if len(res.Templates) != 0 || res.CompressionRatio != 0 {
+		t.Fatalf("empty mining: %+v", res)
+	}
+}
+
+func TestDuplicationProfileMatchesSharing(t *testing.T) {
+	qs := snowgen.Generate(snowgen.Options{
+		Accounts: []snowgen.AccountSpec{
+			{Name: "dup", Users: 8, Queries: 600, SharedFraction: 0.7, Dialect: snowgen.DialectSnow},
+		},
+		Seed: 4,
+	})
+	sqls := make([]string, len(qs))
+	users := make([]string, len(qs))
+	for i, q := range qs {
+		sqls[i] = q.SQL
+		users[i] = q.User
+	}
+	frac, tpls := DuplicationProfile(sqls, users)
+	// ~70% of traffic is shared templates; allowing for private-template
+	// collisions the multi-user fraction should land near that.
+	if frac < 0.5 || frac > 0.95 {
+		t.Fatalf("multi-user fraction %.2f outside expected band", frac)
+	}
+	if tpls == 0 {
+		t.Fatal("expected multi-user templates")
+	}
+
+	// A zero-sharing account has a much lower multi-user fraction.
+	solo := snowgen.Generate(snowgen.Options{
+		Accounts: []snowgen.AccountSpec{
+			{Name: "solo", Users: 8, Queries: 600, SharedFraction: 0, Dialect: snowgen.DialectSnow},
+		},
+		Seed: 4,
+	})
+	sqls2 := make([]string, len(solo))
+	users2 := make([]string, len(solo))
+	for i, q := range solo {
+		sqls2[i] = q.SQL
+		users2[i] = q.User
+	}
+	frac2, _ := DuplicationProfile(sqls2, users2)
+	if frac2 >= frac {
+		t.Fatalf("no-sharing fraction %.2f should be below sharing fraction %.2f", frac2, frac)
+	}
+}

@@ -1,0 +1,117 @@
+// Package core implements Querc itself — the database-agnostic workload
+// management architecture of the paper (Fig. 1).
+//
+// The design splits every workload-management application into two learned
+// components with a hard interface between them:
+//
+//   - an Embedder turns raw query text into a dense vector. Embedders are
+//     expensive to train, so they are trained centrally on very large
+//     (possibly multi-tenant) workloads and shared across applications;
+//   - a Labeler turns a vector into a label. Labelers are small, cheap,
+//     application-specific models (or rules) trained per tenant.
+//
+// A Classifier is a deployable (embedder, labeler) pair. A Qworker hosts the
+// classifiers of one application's query stream, annotating each query with
+// predicted labels before it continues to the database and forking a copy to
+// the central training module, which manages training sets, retrains models,
+// and deploys new versions back to Qworkers.
+//
+// Everything is expressed over the one shared data model of the paper: the
+// labeled query (Q, c1, c2, ...).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"querc/internal/vec"
+)
+
+// LabeledQuery is the only message type exchanged between Querc components:
+// a query text plus a set of named labels. Labels carry both metadata that
+// arrives with the query (userid, timestamp, IP) and labels predicted or
+// observed later (cluster, error code, runtime class).
+type LabeledQuery struct {
+	SQL     string            `json:"sql"`
+	App     string            `json:"app"`               // application / stream name
+	Arrival time.Time         `json:"arrival,omitempty"` // zero when unknown
+	Labels  map[string]string `json:"labels,omitempty"`
+}
+
+// Clone returns a deep copy (labels map included).
+func (q *LabeledQuery) Clone() *LabeledQuery {
+	out := *q
+	out.Labels = make(map[string]string, len(q.Labels))
+	for k, v := range q.Labels {
+		out.Labels[k] = v
+	}
+	return &out
+}
+
+// Label returns the value for key, or "".
+func (q *LabeledQuery) Label(key string) string { return q.Labels[key] }
+
+// SetLabel sets key=value, allocating the map if needed.
+func (q *LabeledQuery) SetLabel(key, value string) {
+	if q.Labels == nil {
+		q.Labels = make(map[string]string)
+	}
+	q.Labels[key] = value
+}
+
+// LabelKeys returns the sorted label keys (deterministic output for logs).
+func (q *LabeledQuery) LabelKeys() []string {
+	keys := make([]string, 0, len(q.Labels))
+	for k := range q.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Embedder maps SQL text to a learned vector representation. Implementations
+// must be safe for concurrent use (Qworkers run in parallel).
+type Embedder interface {
+	// Embed returns the vector representation of the query text.
+	Embed(sql string) vec.Vector
+	// Dim returns the dimensionality of returned vectors.
+	Dim() int
+	// Name identifies the trained model (e.g. "lstm(snowflake-500k)").
+	Name() string
+}
+
+// Labeler maps a query vector to a label value. Implementations must be safe
+// for concurrent use.
+type Labeler interface {
+	Label(v vec.Vector) string
+	Name() string
+}
+
+// TrainableLabeler is a Labeler that can be (re)fit from examples by the
+// training module.
+type TrainableLabeler interface {
+	Labeler
+	Fit(X []vec.Vector, y []string) error
+}
+
+// Classifier is the deployable unit of Fig. 1: one (embedder, labeler) pair
+// that writes its prediction under LabelKey.
+type Classifier struct {
+	LabelKey string
+	Embedder Embedder
+	Labeler  Labeler
+}
+
+// Process annotates q with this classifier's prediction and returns it.
+func (c *Classifier) Process(q *LabeledQuery) string {
+	v := c.Embedder.Embed(q.SQL)
+	label := c.Labeler.Label(v)
+	q.SetLabel(c.LabelKey, label)
+	return label
+}
+
+// String describes the pair, e.g. "route=forest(cluster)∘lstm(snowflake)".
+func (c *Classifier) String() string {
+	return fmt.Sprintf("%s=%s∘%s", c.LabelKey, c.Labeler.Name(), c.Embedder.Name())
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"querc/internal/doc2vec"
+	"querc/internal/ml/forest"
+	"querc/internal/vec"
+)
+
+// stubEmbedder hashes tokens into a small fixed vector — fast and
+// deterministic, sufficient for architecture tests.
+type stubEmbedder struct{ dim int }
+
+func (s stubEmbedder) Embed(sql string) vec.Vector {
+	v := vec.New(s.dim)
+	for i := 0; i < len(sql); i++ {
+		v[int(sql[i])%s.dim]++
+	}
+	v.Normalize()
+	return v
+}
+func (s stubEmbedder) Dim() int     { return s.dim }
+func (s stubEmbedder) Name() string { return "stub" }
+
+func TestLabeledQueryBasics(t *testing.T) {
+	q := &LabeledQuery{SQL: "select 1"}
+	q.SetLabel("user", "alice")
+	q.SetLabel("cluster", "c1")
+	if q.Label("user") != "alice" {
+		t.Fatal("label lost")
+	}
+	keys := q.LabelKeys()
+	if len(keys) != 2 || keys[0] != "cluster" || keys[1] != "user" {
+		t.Fatalf("keys not sorted: %v", keys)
+	}
+	c := q.Clone()
+	c.SetLabel("user", "bob")
+	if q.Label("user") != "alice" {
+		t.Fatal("clone aliases the original")
+	}
+}
+
+func TestClassifierProcess(t *testing.T) {
+	clf := &Classifier{
+		LabelKey: "kind",
+		Embedder: stubEmbedder{8},
+		Labeler: &RuleLabeler{RuleName: "first", Rule: func(v vec.Vector) string {
+			if v[int('s')%8] > 0 {
+				return "has-s"
+			}
+			return "no-s"
+		}},
+	}
+	q := &LabeledQuery{SQL: "select"}
+	if got := clf.Process(q); got != "has-s" {
+		t.Fatalf("classifier label: %q", got)
+	}
+	if q.Label("kind") != "has-s" {
+		t.Fatal("label not written to query")
+	}
+}
+
+func TestForestLabelerFitAndPredict(t *testing.T) {
+	fl := NewForestLabeler(forest.Config{NumTrees: 10, Seed: 1})
+	if fl.Label(vec.Vector{1, 2}) != "" {
+		t.Fatal("untrained labeler must return empty")
+	}
+	var X []vec.Vector
+	var y []string
+	for i := 0; i < 60; i++ {
+		if i%2 == 0 {
+			X = append(X, vec.Vector{1, 0})
+			y = append(y, "even")
+		} else {
+			X = append(X, vec.Vector{0, 1})
+			y = append(y, "odd")
+		}
+	}
+	if err := fl.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := fl.Label(vec.Vector{1, 0}); got != "even" {
+		t.Fatalf("predict: %q", got)
+	}
+	lbl, conf := fl.Confidence(vec.Vector{0, 1})
+	if lbl != "odd" || conf <= 0.5 {
+		t.Fatalf("confidence: %q %.2f", lbl, conf)
+	}
+	classes := fl.Classes()
+	if len(classes) != 2 || classes[0] != "even" {
+		t.Fatalf("classes: %v", classes)
+	}
+}
+
+func TestNearestCentroidLabeler(t *testing.T) {
+	n := &NearestCentroidLabeler{}
+	X := []vec.Vector{{1, 0}, {1, 0.1}, {0, 1}, {0.1, 1}}
+	y := []string{"a", "a", "b", "b"}
+	if err := n.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if n.Label(vec.Vector{0.9, 0}) != "a" || n.Label(vec.Vector{0, 0.9}) != "b" {
+		t.Fatal("centroid labeling wrong")
+	}
+	if err := n.Fit(nil, nil); err == nil {
+		t.Fatal("empty fit must fail")
+	}
+}
+
+func TestQworkerPipeline(t *testing.T) {
+	w := NewQworker("app1", 4)
+	var forwarded, sunk []*LabeledQuery
+	w.Forward = func(q *LabeledQuery) { forwarded = append(forwarded, q) }
+	w.Sink = func(q *LabeledQuery) { sunk = append(sunk, q) }
+	w.Deploy(&Classifier{
+		LabelKey: "len",
+		Embedder: stubEmbedder{4},
+		Labeler:  &RuleLabeler{RuleName: "len", Rule: func(v vec.Vector) string { return "L" }},
+	})
+	for i := 0; i < 6; i++ {
+		w.Process(&LabeledQuery{SQL: fmt.Sprintf("select %d", i)})
+	}
+	if w.Processed() != 6 {
+		t.Fatalf("processed: %d", w.Processed())
+	}
+	if len(w.Window()) != 4 {
+		t.Fatalf("window not bounded: %d", len(w.Window()))
+	}
+	if len(forwarded) != 6 || len(sunk) != 6 {
+		t.Fatalf("forward/sink: %d/%d", len(forwarded), len(sunk))
+	}
+	if forwarded[0].Label("len") != "L" {
+		t.Fatal("labels missing downstream")
+	}
+	// Sink receives clones: mutating the forwarded copy must not affect it.
+	forwarded[0].SetLabel("len", "mutated")
+	if sunk[0].Label("len") != "L" {
+		t.Fatal("sink must receive an independent clone")
+	}
+}
+
+func TestQworkerDeployReplaces(t *testing.T) {
+	w := NewQworker("app", 4)
+	mk := func(val string) *Classifier {
+		return &Classifier{LabelKey: "k", Embedder: stubEmbedder{4},
+			Labeler: &RuleLabeler{RuleName: val, Rule: func(vec.Vector) string { return val }}}
+	}
+	w.Deploy(mk("v1"))
+	w.Deploy(mk("v2")) // same LabelKey: replaces, not appends
+	if len(w.Classifiers()) != 1 {
+		t.Fatalf("classifiers: %d", len(w.Classifiers()))
+	}
+	q := w.Process(&LabeledQuery{SQL: "x"})
+	if q.Label("k") != "v2" {
+		t.Fatalf("hot swap failed: %q", q.Label("k"))
+	}
+}
+
+func TestQworkerConcurrentProcess(t *testing.T) {
+	w := NewQworker("app", 16)
+	w.Deploy(&Classifier{LabelKey: "k", Embedder: stubEmbedder{4},
+		Labeler: &RuleLabeler{RuleName: "r", Rule: func(vec.Vector) string { return "x" }}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				w.Process(&LabeledQuery{SQL: fmt.Sprintf("q %d %d", g, i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if w.Processed() != 400 {
+		t.Fatalf("processed: %d", w.Processed())
+	}
+}
+
+func TestTrainingModuleRetrainAndEvaluate(t *testing.T) {
+	tm := NewTrainingModule()
+	for i := 0; i < 120; i++ {
+		q := &LabeledQuery{App: "app", SQL: "select aaa"}
+		q.SetLabel("user", "alice")
+		if i%2 == 1 {
+			q.SQL = "insert zzz"
+			q.SetLabel("user", "bob")
+		}
+		tm.Ingest(q)
+	}
+	if tm.Size("app") != 120 {
+		t.Fatalf("size: %d", tm.Size("app"))
+	}
+	clf, err := tm.Retrain("app", "user", stubEmbedder{8}, NewForestLabeler(forest.Config{NumTrees: 10, Seed: 1}), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, n := tm.Evaluate("app", "user", clf, 0.2)
+	if n == 0 || acc < 0.9 {
+		t.Fatalf("holdout accuracy %.2f over %d", acc, n)
+	}
+}
+
+func TestTrainingModuleRetention(t *testing.T) {
+	tm := NewTrainingModule()
+	tm.SetRetention("app", 10)
+	for i := 0; i < 50; i++ {
+		tm.Ingest(&LabeledQuery{App: "app", SQL: "q"})
+	}
+	if tm.Size("app") != 10 {
+		t.Fatalf("retention failed: %d", tm.Size("app"))
+	}
+}
+
+func TestTrainingModuleNoData(t *testing.T) {
+	tm := NewTrainingModule()
+	if _, err := tm.Retrain("app", "user", stubEmbedder{4}, NewForestLabeler(forest.DefaultConfig()), 1); err == nil {
+		t.Fatal("retrain without data must fail")
+	}
+}
+
+func TestServiceTopology(t *testing.T) {
+	s := NewService()
+	var dbReceived int
+	s.AddApplication("X", 8, func(q *LabeledQuery) { dbReceived++ })
+	s.AddApplication("Y", 8, nil) // forked-only deployment
+	if _, err := s.Submit("unknown", "select 1"); err == nil {
+		t.Fatal("unknown app must fail")
+	}
+	// Shared embedder across two applications (Fig. 1's EmbedderA(X,Y)).
+	shared := stubEmbedder{8}
+	for _, app := range []string{"X", "Y"} {
+		err := s.Deploy(app, &Classifier{LabelKey: "k", Embedder: shared,
+			Labeler: &RuleLabeler{RuleName: "r", Rule: func(vec.Vector) string { return "ok" }}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := s.Submit("X", "select 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Label("k") != "ok" || q.App != "X" {
+		t.Fatalf("labeled query: %+v", q)
+	}
+	if dbReceived != 1 {
+		t.Fatalf("forward count: %d", dbReceived)
+	}
+	if _, err := s.Submit("Y", "select 2"); err != nil {
+		t.Fatal(err)
+	}
+	// Both applications fork into the shared training module.
+	if s.Training().Size("X") != 1 || s.Training().Size("Y") != 1 {
+		t.Fatalf("training sizes: %d/%d", s.Training().Size("X"), s.Training().Size("Y"))
+	}
+}
+
+func TestServiceRetrainAndDeploy(t *testing.T) {
+	s := NewService()
+	s.AddApplication("X", 8, nil)
+	for i := 0; i < 60; i++ {
+		q := &LabeledQuery{SQL: "select aaa from t"}
+		if i%2 == 1 {
+			q.SQL = "delete from u zzz"
+		}
+		lbl := "reader"
+		if i%2 == 1 {
+			lbl = "writer"
+		}
+		q.SetLabel("role", lbl)
+		q.App = "X"
+		s.Training().Ingest(q)
+	}
+	clf, err := s.RetrainAndDeploy("X", "role", stubEmbedder{8}, NewForestLabeler(forest.Config{NumTrees: 10, Seed: 2}), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clf == nil {
+		t.Fatal("no classifier returned")
+	}
+	q, err := s.Submit("X", "select aaa from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Label("role") != "reader" {
+		t.Fatalf("deployed classifier mislabels: %q", q.Label("role"))
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := [][]string{{"select", "a"}, {"insert", "b"}, {"select", "c"}}
+	cfg := doc2vec.DefaultConfig()
+	cfg.Dim = 8
+	cfg.Epochs = 2
+	cfg.MinCount = 1
+	m, err := doc2vec.Train(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := reg.SaveDoc2Vec("m1", m)
+	if err != nil || v1 != 1 {
+		t.Fatalf("v1=%d err=%v", v1, err)
+	}
+	v2, err := reg.SaveDoc2Vec("m1", m)
+	if err != nil || v2 != 2 {
+		t.Fatalf("v2=%d err=%v", v2, err)
+	}
+	emb, ver, err := reg.LoadEmbedder("m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 2 {
+		t.Fatalf("latest version: %d", ver)
+	}
+	if got := emb.Embed("select a"); len(got) != 8 {
+		t.Fatalf("embed dim: %d", len(got))
+	}
+	if vs := reg.Versions("m1"); len(vs) != 2 {
+		t.Fatalf("versions: %v", vs)
+	}
+	if models := reg.Models(); len(models) != 1 || models[0] != "m1" {
+		t.Fatalf("models: %v", models)
+	}
+	if _, _, err := reg.LoadEmbedder("missing"); err == nil {
+		t.Fatal("missing model must fail")
+	}
+}
+
+func TestEmbedAllMatchesSequential(t *testing.T) {
+	e := stubEmbedder{8}
+	sqls := make([]string, 200)
+	for i := range sqls {
+		sqls[i] = fmt.Sprintf("select %d from t%d", i, i%7)
+	}
+	par := EmbedAll(e, sqls, 8)
+	for i, sql := range sqls {
+		want := e.Embed(sql)
+		for j := range want {
+			if par[i][j] != want[j] {
+				t.Fatalf("parallel embed differs at %d", i)
+			}
+		}
+	}
+}
+
+func TestTokenizeForEmbedding(t *testing.T) {
+	toks := TokenizeForEmbedding("SELECT A FROM T WHERE x = 42")
+	if toks[0] != "select" || toks[1] != "a" {
+		t.Fatalf("fold case: %v", toks)
+	}
+	// Literals preserved.
+	found := false
+	for _, tk := range toks {
+		if tk == "42" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("literals must be preserved for labeling signal")
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"querc/internal/doc2vec"
+	"querc/internal/lstm"
+	"querc/internal/sqllex"
+	"querc/internal/vec"
+)
+
+// TokenizeForEmbedding is the canonical normalization applied to query text
+// before embedding: case folding only. Literals are preserved — constants
+// carry user/application signal that the labeling experiments (§5.2) rely
+// on — while comments are dropped.
+func TokenizeForEmbedding(sql string) []string {
+	return sqllex.Strings(sql, sqllex.Options{FoldCase: true})
+}
+
+// Doc2VecEmbedder adapts a trained doc2vec model to the Embedder interface.
+type Doc2VecEmbedder struct {
+	Model     *doc2vec.Model
+	ModelName string
+}
+
+// NewDoc2VecEmbedder trains a Doc2Vec embedder on the given corpus of query
+// texts. name identifies the training corpus (e.g. "tpch", "snowflake").
+func NewDoc2VecEmbedder(name string, corpus []string, cfg doc2vec.Config) (*Doc2VecEmbedder, error) {
+	docs := make([][]string, len(corpus))
+	for i, sql := range corpus {
+		docs[i] = TokenizeForEmbedding(sql)
+	}
+	m, err := doc2vec.Train(docs, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: train doc2vec %q: %w", name, err)
+	}
+	return &Doc2VecEmbedder{Model: m, ModelName: name}, nil
+}
+
+// Embed implements Embedder.
+func (e *Doc2VecEmbedder) Embed(sql string) vec.Vector {
+	return e.Model.Infer(TokenizeForEmbedding(sql))
+}
+
+// Dim implements Embedder.
+func (e *Doc2VecEmbedder) Dim() int { return e.Model.Dim() }
+
+// Name implements Embedder.
+func (e *Doc2VecEmbedder) Name() string { return "doc2vec(" + e.ModelName + ")" }
+
+// LSTMEmbedder adapts a trained LSTM autoencoder to the Embedder interface.
+type LSTMEmbedder struct {
+	Model     *lstm.Model
+	ModelName string
+}
+
+// NewLSTMEmbedder trains an LSTM autoencoder embedder on the given corpus.
+func NewLSTMEmbedder(name string, corpus []string, cfg lstm.Config) (*LSTMEmbedder, error) {
+	docs := make([][]string, len(corpus))
+	for i, sql := range corpus {
+		docs[i] = TokenizeForEmbedding(sql)
+	}
+	m, err := lstm.Train(docs, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: train lstm %q: %w", name, err)
+	}
+	return &LSTMEmbedder{Model: m, ModelName: name}, nil
+}
+
+// Embed implements Embedder.
+func (e *LSTMEmbedder) Embed(sql string) vec.Vector {
+	return e.Model.Encode(TokenizeForEmbedding(sql))
+}
+
+// Dim implements Embedder.
+func (e *LSTMEmbedder) Dim() int { return e.Model.Dim() }
+
+// Name implements Embedder.
+func (e *LSTMEmbedder) Name() string { return "lstm(" + e.ModelName + ")" }
+
+// EmbedAll embeds a batch of query texts, fanning out across workers
+// goroutines (embedding is read-only on the model). workers <= 0 uses 4.
+func EmbedAll(e Embedder, sqls []string, workers int) []vec.Vector {
+	if workers <= 0 {
+		workers = 4
+	}
+	out := make([]vec.Vector, len(sqls))
+	type job struct{ lo, hi int }
+	jobs := make(chan job, workers)
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range jobs {
+				for i := j.lo; i < j.hi; i++ {
+					out[i] = e.Embed(sqls[i])
+				}
+			}
+			done <- struct{}{}
+		}()
+	}
+	const chunk = 64
+	for lo := 0; lo < len(sqls); lo += chunk {
+		hi := lo + chunk
+		if hi > len(sqls) {
+			hi = len(sqls)
+		}
+		jobs <- job{lo, hi}
+	}
+	close(jobs)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"querc/internal/ml/forest"
+	"querc/internal/vec"
+)
+
+// ForestLabeler is the default trainable labeler: an extremely-randomized
+// tree ensemble over string labels (the paper's "randomized decision trees",
+// §5.2). It maintains the bidirectional mapping between label strings and
+// dense class IDs.
+type ForestLabeler struct {
+	Cfg forest.Config
+
+	mu      sync.RWMutex
+	model   *forest.Forest
+	classes []string       // class ID -> label
+	ids     map[string]int // label -> class ID
+}
+
+// NewForestLabeler returns an untrained labeler with the given forest
+// configuration.
+func NewForestLabeler(cfg forest.Config) *ForestLabeler {
+	return &ForestLabeler{Cfg: cfg, ids: make(map[string]int)}
+}
+
+// Fit trains the ensemble on (vector, label) pairs, implementing
+// TrainableLabeler.
+func (f *ForestLabeler) Fit(X []vec.Vector, y []string) error {
+	if len(X) != len(y) {
+		return fmt.Errorf("core: %d vectors but %d labels", len(X), len(y))
+	}
+	// Deterministic class IDs: sorted unique labels.
+	uniq := map[string]bool{}
+	for _, lbl := range y {
+		uniq[lbl] = true
+	}
+	classes := make([]string, 0, len(uniq))
+	for lbl := range uniq {
+		classes = append(classes, lbl)
+	}
+	sort.Strings(classes)
+	ids := make(map[string]int, len(classes))
+	for i, lbl := range classes {
+		ids[lbl] = i
+	}
+	yi := make([]int, len(y))
+	for i, lbl := range y {
+		yi[i] = ids[lbl]
+	}
+	model, err := forest.Train(X, yi, len(classes), f.Cfg)
+	if err != nil {
+		return fmt.Errorf("core: fit forest: %w", err)
+	}
+	f.mu.Lock()
+	f.model, f.classes, f.ids = model, classes, ids
+	f.mu.Unlock()
+	return nil
+}
+
+// Label implements Labeler. An untrained labeler returns "".
+func (f *ForestLabeler) Label(v vec.Vector) string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.model == nil {
+		return ""
+	}
+	return f.classes[f.model.Predict(v)]
+}
+
+// Confidence returns the predicted label and its vote fraction.
+func (f *ForestLabeler) Confidence(v vec.Vector) (string, float64) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.model == nil {
+		return "", 0
+	}
+	probs := f.model.PredictProba(v)
+	best := 0
+	for c, p := range probs {
+		if p > probs[best] {
+			best = c
+		}
+	}
+	return f.classes[best], probs[best]
+}
+
+// Classes returns the known label values (sorted).
+func (f *ForestLabeler) Classes() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return append([]string(nil), f.classes...)
+}
+
+// Name implements Labeler.
+func (f *ForestLabeler) Name() string { return "forest" }
+
+// NearestCentroidLabeler is a lighter-weight labeler: it keeps one centroid
+// per label and predicts the nearest by cosine similarity. Useful when the
+// labeler must retrain online with minimal cost.
+type NearestCentroidLabeler struct {
+	mu        sync.RWMutex
+	centroids []vec.Vector
+	classes   []string
+}
+
+// Fit computes per-label centroids, implementing TrainableLabeler.
+func (n *NearestCentroidLabeler) Fit(X []vec.Vector, y []string) error {
+	if len(X) != len(y) || len(X) == 0 {
+		return fmt.Errorf("core: invalid centroid training set (%d, %d)", len(X), len(y))
+	}
+	sums := map[string]vec.Vector{}
+	counts := map[string]int{}
+	for i, lbl := range y {
+		if sums[lbl] == nil {
+			sums[lbl] = vec.New(len(X[i]))
+		}
+		sums[lbl].Add(X[i])
+		counts[lbl]++
+	}
+	classes := make([]string, 0, len(sums))
+	for lbl := range sums {
+		classes = append(classes, lbl)
+	}
+	sort.Strings(classes)
+	centroids := make([]vec.Vector, len(classes))
+	for i, lbl := range classes {
+		c := sums[lbl]
+		c.Scale(1 / float64(counts[lbl]))
+		centroids[i] = c
+	}
+	n.mu.Lock()
+	n.centroids, n.classes = centroids, classes
+	n.mu.Unlock()
+	return nil
+}
+
+// Label implements Labeler.
+func (n *NearestCentroidLabeler) Label(v vec.Vector) string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	best, bestSim := -1, -2.0
+	for i, c := range n.centroids {
+		if sim := vec.Cosine(v, c); sim > bestSim {
+			best, bestSim = i, sim
+		}
+	}
+	if best < 0 {
+		return ""
+	}
+	return n.classes[best]
+}
+
+// Name implements Labeler.
+func (n *NearestCentroidLabeler) Name() string { return "centroid" }
+
+// RuleLabeler wraps a fixed function — for policy-style labelers that are
+// configured rather than learned (e.g. routing by account).
+type RuleLabeler struct {
+	RuleName string
+	Rule     func(v vec.Vector) string
+}
+
+// Label implements Labeler.
+func (r *RuleLabeler) Label(v vec.Vector) string { return r.Rule(v) }
+
+// Name implements Labeler.
+func (r *RuleLabeler) Name() string { return "rule(" + r.RuleName + ")" }

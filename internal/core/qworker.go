@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sync"
+)
+
+// Qworker hosts the classifiers of one application stream (Fig. 1). Each
+// incoming query is annotated by every classifier, forwarded downstream (the
+// database), and forked to the training module's log sink. Qworkers keep only
+// a small bounded window of recent queries as state, so they can be load
+// balanced and parallelized in the usual ways (paper §2).
+type Qworker struct {
+	App string
+
+	mu          sync.RWMutex
+	classifiers []*Classifier
+	window      []*LabeledQuery
+	windowSize  int
+
+	// Forward receives annotated queries bound for the database. nil when
+	// Querc is out of the critical path (fork-only deployments, §2).
+	Forward func(*LabeledQuery)
+	// Sink receives a copy of every annotated query for the training module.
+	Sink func(*LabeledQuery)
+
+	processed int64
+}
+
+// NewQworker returns a worker for the named application with a bounded
+// window of recent queries (windowSize <= 0 means 64).
+func NewQworker(app string, windowSize int) *Qworker {
+	if windowSize <= 0 {
+		windowSize = 64
+	}
+	return &Qworker{App: app, windowSize: windowSize}
+}
+
+// Deploy installs or replaces the classifier for its label key. This is the
+// "Model Deployment" arrow of Fig. 1; it is safe to call while Process runs.
+func (w *Qworker) Deploy(c *Classifier) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, existing := range w.classifiers {
+		if existing.LabelKey == c.LabelKey {
+			w.classifiers[i] = c
+			return
+		}
+	}
+	w.classifiers = append(w.classifiers, c)
+}
+
+// Classifiers returns the currently deployed classifiers.
+func (w *Qworker) Classifiers() []*Classifier {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return append([]*Classifier(nil), w.classifiers...)
+}
+
+// Process annotates q with every deployed classifier's prediction, records
+// it in the window, and forwards/forks it. It returns the annotated query.
+func (w *Qworker) Process(q *LabeledQuery) *LabeledQuery {
+	q.App = w.App
+	for _, c := range w.Classifiers() {
+		c.Process(q)
+	}
+	w.mu.Lock()
+	w.window = append(w.window, q)
+	if len(w.window) > w.windowSize {
+		w.window = w.window[len(w.window)-w.windowSize:]
+	}
+	w.processed++
+	forward, sink := w.Forward, w.Sink
+	w.mu.Unlock()
+
+	if sink != nil {
+		sink(q.Clone())
+	}
+	if forward != nil {
+		forward(q)
+	}
+	return q
+}
+
+// Window returns a copy of the recent-query window (most recent last).
+func (w *Qworker) Window() []*LabeledQuery {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return append([]*LabeledQuery(nil), w.window...)
+}
+
+// Processed returns the number of queries handled so far.
+func (w *Qworker) Processed() int64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.processed
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Service wires the full Fig. 1 topology: per-application Qworkers fed by
+// query streams, all forking into one shared TrainingModule. It is the
+// embeddable form of the Querc service (cmd/quercd adds the HTTP surface).
+type Service struct {
+	mu       sync.RWMutex
+	workers  map[string]*Qworker
+	training *TrainingModule
+}
+
+// NewService returns a service with an empty worker set and a fresh training
+// module.
+func NewService() *Service {
+	return &Service{
+		workers:  make(map[string]*Qworker),
+		training: NewTrainingModule(),
+	}
+}
+
+// Training exposes the shared training module.
+func (s *Service) Training() *TrainingModule { return s.training }
+
+// AddApplication registers a Qworker for the named application stream and
+// wires its fork into the training module. forward may be nil when Querc is
+// out of the critical path (§2: "queries will be forked to Querc").
+func (s *Service) AddApplication(app string, windowSize int, forward func(*LabeledQuery)) *Qworker {
+	w := NewQworker(app, windowSize)
+	w.Forward = forward
+	w.Sink = s.training.Ingest
+	s.mu.Lock()
+	s.workers[app] = w
+	s.mu.Unlock()
+	return w
+}
+
+// Worker returns the Qworker for app, or nil.
+func (s *Service) Worker(app string) *Qworker {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.workers[app]
+}
+
+// Apps lists registered application names.
+func (s *Service) Apps() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.workers))
+	for app := range s.workers {
+		out = append(out, app)
+	}
+	return out
+}
+
+// Submit routes one query text through the application's Qworker and returns
+// the annotated labeled query.
+func (s *Service) Submit(app, sql string) (*LabeledQuery, error) {
+	w := s.Worker(app)
+	if w == nil {
+		return nil, fmt.Errorf("core: unknown application %q", app)
+	}
+	return w.Process(&LabeledQuery{SQL: sql}), nil
+}
+
+// Deploy installs a classifier on one application's worker. The same
+// classifier value may be deployed to several applications — that is exactly
+// the shared-embedder scenario of Fig. 1 (EmbedderA(X,Y) serving both X and
+// Y).
+func (s *Service) Deploy(app string, c *Classifier) error {
+	w := s.Worker(app)
+	if w == nil {
+		return fmt.Errorf("core: unknown application %q", app)
+	}
+	w.Deploy(c)
+	return nil
+}
+
+// RetrainAndDeploy retrains a labeler from the training module's data for
+// (app, labelKey) and hot-swaps the resulting classifier into the worker.
+func (s *Service) RetrainAndDeploy(app, labelKey string, embedder Embedder, labeler TrainableLabeler, workers int) (*Classifier, error) {
+	c, err := s.training.Retrain(app, labelKey, embedder, labeler, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Deploy(app, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

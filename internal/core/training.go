@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TrainingModule is the central "Training, Evaluation & Offline Labeling"
+// component of Fig. 1. It accumulates labeled queries (both the fork from
+// Qworkers and batch log imports from databases), manages per-application
+// training sets, retrains labelers against a shared embedder, and deploys
+// the refreshed classifiers back to Qworkers.
+//
+// Per the paper's design, training is an infrequent batch activity — the
+// architecture is deliberately not a continuous-learning system (§2), so the
+// module exposes explicit Retrain calls instead of background loops.
+type TrainingModule struct {
+	mu   sync.Mutex
+	logs map[string][]*LabeledQuery // app -> accumulated labeled queries
+	caps map[string]int             // app -> retention cap
+}
+
+// NewTrainingModule returns an empty training module.
+func NewTrainingModule() *TrainingModule {
+	return &TrainingModule{
+		logs: make(map[string][]*LabeledQuery),
+		caps: make(map[string]int),
+	}
+}
+
+// SetRetention caps the number of retained queries for an application
+// (oldest dropped first). cap <= 0 means unlimited.
+func (t *TrainingModule) SetRetention(app string, cap int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.caps[app] = cap
+	t.trim(app)
+}
+
+// Ingest records one labeled query (the Qworker fork path). It is safe for
+// concurrent use.
+func (t *TrainingModule) Ingest(q *LabeledQuery) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.logs[q.App] = append(t.logs[q.App], q)
+	t.trim(q.App)
+}
+
+// IngestBatch records a batch of log records (the database log-export path).
+func (t *TrainingModule) IngestBatch(app string, qs []*LabeledQuery) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, q := range qs {
+		q.App = app
+		t.logs[app] = append(t.logs[app], q)
+	}
+	t.trim(app)
+}
+
+func (t *TrainingModule) trim(app string) {
+	if c := t.caps[app]; c > 0 && len(t.logs[app]) > c {
+		t.logs[app] = t.logs[app][len(t.logs[app])-c:]
+	}
+}
+
+// TrainingSet returns the retained queries for app that carry the given
+// label key — the training set for that labeling task.
+func (t *TrainingModule) TrainingSet(app, labelKey string) []*LabeledQuery {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*LabeledQuery
+	for _, q := range t.logs[app] {
+		if _, ok := q.Labels[labelKey]; ok {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Size returns the number of retained queries for app.
+func (t *TrainingModule) Size(app string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.logs[app])
+}
+
+// Retrain fits labeler on app's training set for labelKey using embedder for
+// features, then returns the deployable classifier. workers parallelizes the
+// embedding pass.
+func (t *TrainingModule) Retrain(app, labelKey string, embedder Embedder, labeler TrainableLabeler, workers int) (*Classifier, error) {
+	set := t.TrainingSet(app, labelKey)
+	if len(set) == 0 {
+		return nil, fmt.Errorf("core: no training data for app %q label %q", app, labelKey)
+	}
+	sqls := make([]string, len(set))
+	y := make([]string, len(set))
+	for i, q := range set {
+		sqls[i] = q.SQL
+		y[i] = q.Labels[labelKey]
+	}
+	X := EmbedAll(embedder, sqls, workers)
+	if err := labeler.Fit(X, y); err != nil {
+		return nil, fmt.Errorf("core: retrain %s/%s: %w", app, labelKey, err)
+	}
+	return &Classifier{LabelKey: labelKey, Embedder: embedder, Labeler: labeler}, nil
+}
+
+// Evaluate measures holdout accuracy of a classifier on app's training set
+// for labelKey: the last holdoutFrac of the set is scored, the rest ignored
+// (the training module's bookkeeping for deployment decisions).
+func (t *TrainingModule) Evaluate(app, labelKey string, c *Classifier, holdoutFrac float64) (float64, int) {
+	set := t.TrainingSet(app, labelKey)
+	if len(set) == 0 {
+		return 0, 0
+	}
+	if holdoutFrac <= 0 || holdoutFrac > 1 {
+		holdoutFrac = 0.2
+	}
+	start := int(float64(len(set)) * (1 - holdoutFrac))
+	hold := set[start:]
+	if len(hold) == 0 {
+		return 0, 0
+	}
+	correct := 0
+	for _, q := range hold {
+		pred := c.Labeler.Label(c.Embedder.Embed(q.SQL))
+		if pred == q.Labels[labelKey] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(hold)), len(hold)
+}

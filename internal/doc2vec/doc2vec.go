@@ -1,0 +1,325 @@
+// Package doc2vec implements the paragraph-vector embedding models of Le &
+// Mikolov ("Distributed Representations of Sentences and Documents"), the
+// first of the two embedders evaluated in the paper (§3, "context prediction
+// models").
+//
+// Both training modes are provided:
+//
+//   - PV-DM: the document vector is averaged with a fixed context window of
+//     word vectors to predict the center word.
+//   - PV-DBOW: the document vector alone predicts each word of the document.
+//
+// Training uses negative sampling with the unigram^0.75 distribution, a
+// linearly decaying learning rate, and optional frequent-token subsampling —
+// the same hyper-parameter surface as the reference implementation. Unseen
+// queries are embedded by inference: the word matrices are frozen and a fresh
+// document vector is fitted by gradient steps.
+package doc2vec
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"querc/internal/vec"
+	"querc/internal/vocab"
+)
+
+// Mode selects the training objective.
+type Mode int
+
+// Training modes.
+const (
+	PVDM Mode = iota
+	PVDBOW
+)
+
+func (m Mode) String() string {
+	if m == PVDBOW {
+		return "pv-dbow"
+	}
+	return "pv-dm"
+}
+
+// Config holds the hyper-parameters of a Doc2Vec model.
+type Config struct {
+	Dim         int     // embedding dimensionality
+	Window      int     // context window radius (PV-DM)
+	Negative    int     // negative samples per positive
+	Epochs      int     // full passes over the corpus
+	Alpha       float64 // initial learning rate
+	MinAlpha    float64 // final learning rate
+	MinCount    int64   // vocabulary frequency cutoff
+	Subsample   float64 // frequent-token subsampling threshold (0 disables)
+	Mode        Mode
+	InferEpochs int   // gradient passes used by Infer
+	Seed        int64 // RNG seed; same seed + corpus => same model
+}
+
+// DefaultConfig returns the hyper-parameters used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Dim:         64,
+		Window:      5,
+		Negative:    5,
+		Epochs:      10,
+		Alpha:       0.05,
+		MinAlpha:    0.0001,
+		MinCount:    2,
+		Subsample:   1e-4,
+		Mode:        PVDM,
+		InferEpochs: 20,
+		Seed:        1,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.Dim <= 0 {
+		c.Dim = d.Dim
+	}
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.Negative <= 0 {
+		c.Negative = d.Negative
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = d.Epochs
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = d.Alpha
+	}
+	if c.MinAlpha <= 0 {
+		c.MinAlpha = d.MinAlpha
+	}
+	if c.MinCount <= 0 {
+		c.MinCount = d.MinCount
+	}
+	if c.InferEpochs <= 0 {
+		c.InferEpochs = d.InferEpochs
+	}
+}
+
+// Model is a trained Doc2Vec embedder.
+type Model struct {
+	Cfg     Config
+	Vocab   *vocab.Vocabulary
+	WordIn  *vec.Matrix // input word vectors, Size x Dim
+	WordOut *vec.Matrix // output word vectors, Size x Dim
+	Docs    *vec.Matrix // training document vectors, NumDocs x Dim
+}
+
+// Train fits a Doc2Vec model on corpus, a slice of token sequences.
+func Train(corpus [][]string, cfg Config) (*Model, error) {
+	cfg.fillDefaults()
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("doc2vec: empty corpus")
+	}
+	b := vocab.NewBuilder()
+	for _, doc := range corpus {
+		b.Add(doc)
+	}
+	v := b.Build(cfg.MinCount)
+	if v.Size() <= vocab.NumReserved {
+		return nil, fmt.Errorf("doc2vec: vocabulary empty after min-count %d", cfg.MinCount)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{
+		Cfg:     cfg,
+		Vocab:   v,
+		WordIn:  vec.NewRandomMatrix(rng, v.Size(), cfg.Dim, 0.5/float64(cfg.Dim)),
+		WordOut: vec.NewMatrix(v.Size(), cfg.Dim),
+		Docs:    vec.NewRandomMatrix(rng, len(corpus), cfg.Dim, 0.5/float64(cfg.Dim)),
+	}
+
+	encoded := make([][]int, len(corpus))
+	for i, doc := range corpus {
+		encoded[i] = v.Encode(doc)
+	}
+
+	totalSteps := cfg.Epochs * len(corpus)
+	step := 0
+	ctx := vec.New(cfg.Dim)
+	grad := vec.New(cfg.Dim)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for docID, ids := range encoded {
+			alpha := cfg.Alpha - (cfg.Alpha-cfg.MinAlpha)*float64(step)/float64(totalSteps)
+			step++
+			sampled := v.Subsample(rng, ids, cfg.Subsample)
+			m.trainDoc(rng, m.Docs.Row(docID), sampled, alpha, true, ctx, grad)
+		}
+	}
+	return m, nil
+}
+
+// trainDoc runs one pass of the configured objective over one document,
+// updating docVec and (when updateWords) the word matrices. ctx and grad are
+// scratch vectors of length Dim.
+func (m *Model) trainDoc(rng *rand.Rand, docVec vec.Vector, ids []int, alpha float64, updateWords bool, ctx, grad vec.Vector) {
+	if len(ids) == 0 {
+		return
+	}
+	switch m.Cfg.Mode {
+	case PVDBOW:
+		for _, target := range ids {
+			if target < vocab.NumReserved {
+				continue
+			}
+			m.negSampleStep(rng, docVec, target, alpha, updateWords, grad)
+		}
+	default: // PVDM
+		w := m.Cfg.Window
+		for pos, target := range ids {
+			if target < vocab.NumReserved {
+				continue
+			}
+			lo, hi := pos-w, pos+w
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= len(ids) {
+				hi = len(ids) - 1
+			}
+			// ctx = mean(doc vector, window word vectors)
+			copy(ctx, docVec)
+			n := 1
+			for i := lo; i <= hi; i++ {
+				if i == pos || ids[i] < vocab.NumReserved {
+					continue
+				}
+				ctx.Add(m.WordIn.Row(ids[i]))
+				n++
+			}
+			ctx.Scale(1 / float64(n))
+
+			grad.Zero()
+			m.negSampleInto(rng, ctx, target, alpha, updateWords, grad)
+
+			// Distribute the context gradient to the doc vector and the
+			// participating word vectors (standard PV-DM update).
+			docVec.Add(grad)
+			if updateWords {
+				for i := lo; i <= hi; i++ {
+					if i == pos || ids[i] < vocab.NumReserved {
+						continue
+					}
+					m.WordIn.Row(ids[i]).Add(grad)
+				}
+			}
+		}
+	}
+}
+
+// negSampleStep applies one negative-sampling update predicting target from
+// input, writing the input-side gradient straight into input.
+func (m *Model) negSampleStep(rng *rand.Rand, input vec.Vector, target int, alpha float64, updateWords bool, grad vec.Vector) {
+	grad.Zero()
+	m.negSampleInto(rng, input, target, alpha, updateWords, grad)
+	input.Add(grad)
+}
+
+// negSampleInto accumulates the input-side gradient of one positive +
+// Negative sampled updates into grad, updating WordOut rows when updateWords.
+func (m *Model) negSampleInto(rng *rand.Rand, input vec.Vector, target int, alpha float64, updateWords bool, grad vec.Vector) {
+	for k := 0; k <= m.Cfg.Negative; k++ {
+		var label float64
+		var out vec.Vector
+		if k == 0 {
+			label = 1
+			out = m.WordOut.Row(target)
+		} else {
+			neg := m.Vocab.SampleNegative(rng, target)
+			if neg == target || neg < vocab.NumReserved {
+				continue
+			}
+			label = 0
+			out = m.WordOut.Row(neg)
+		}
+		f := vec.Sigmoid(vec.Dot(input, out))
+		g := alpha * (label - f)
+		grad.AddScaled(g, out)
+		if updateWords {
+			out.AddScaled(g, input)
+		}
+	}
+}
+
+// Dim returns the embedding dimensionality.
+func (m *Model) Dim() int { return m.Cfg.Dim }
+
+// DocVector returns the trained vector of corpus document i.
+func (m *Model) DocVector(i int) vec.Vector { return m.Docs.Row(i).Clone() }
+
+// Infer embeds an unseen token sequence by fitting a fresh document vector
+// against the frozen word matrices. The rng is derived from the model seed
+// and the tokens, so inference is deterministic per input.
+func (m *Model) Infer(tokens []string) vec.Vector {
+	ids := m.Vocab.Encode(tokens)
+	var h int64 = 1469598103934665603
+	for _, id := range ids {
+		h = (h ^ int64(id)) * 1099511628211
+	}
+	rng := rand.New(rand.NewSource(m.Cfg.Seed ^ h))
+	docVec := vec.NewRandom(rng, m.Cfg.Dim, 0.5/float64(m.Cfg.Dim))
+	ctx := vec.New(m.Cfg.Dim)
+	grad := vec.New(m.Cfg.Dim)
+	alpha0 := m.Cfg.Alpha
+	for e := 0; e < m.Cfg.InferEpochs; e++ {
+		alpha := alpha0 - (alpha0-m.Cfg.MinAlpha)*float64(e)/float64(m.Cfg.InferEpochs)
+		m.trainDoc(rng, docVec, ids, alpha, false, ctx, grad)
+	}
+	return docVec
+}
+
+// modelGob is the serialized form of Model.
+type modelGob struct {
+	Cfg             Config
+	Words           []string
+	Counts          []int64
+	Total           int64
+	WordIn, WordOut []float64
+	Docs            []float64
+	NumDocs         int
+}
+
+// Save writes the model in gob format.
+func (m *Model) Save(w io.Writer) error {
+	words := make([]string, m.Vocab.Size())
+	counts := make([]int64, m.Vocab.Size())
+	for i := 0; i < m.Vocab.Size(); i++ {
+		words[i] = m.Vocab.Word(i)
+		counts[i] = m.Vocab.Count(i)
+	}
+	g := modelGob{
+		Cfg:     m.Cfg,
+		Words:   words,
+		Counts:  counts,
+		Total:   m.Vocab.TotalTokens(),
+		WordIn:  m.WordIn.Data,
+		WordOut: m.WordOut.Data,
+		Docs:    m.Docs.Data,
+		NumDocs: m.Docs.Rows,
+	}
+	return gob.NewEncoder(w).Encode(&g)
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var g modelGob
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("doc2vec: load: %w", err)
+	}
+	v := vocab.Restore(g.Words, g.Counts, g.Total)
+	size := len(g.Words)
+	m := &Model{
+		Cfg:     g.Cfg,
+		Vocab:   v,
+		WordIn:  &vec.Matrix{Rows: size, Cols: g.Cfg.Dim, Data: g.WordIn},
+		WordOut: &vec.Matrix{Rows: size, Cols: g.Cfg.Dim, Data: g.WordOut},
+		Docs:    &vec.Matrix{Rows: g.NumDocs, Cols: g.Cfg.Dim, Data: g.Docs},
+	}
+	return m, nil
+}

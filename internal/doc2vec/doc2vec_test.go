@@ -1,0 +1,163 @@
+package doc2vec
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"querc/internal/vec"
+)
+
+func corpus() [][]string {
+	var docs [][]string
+	for i := 0; i < 40; i++ {
+		docs = append(docs, []string{"select", "a", "from", "t", "where", "x", "=", "0"})
+		docs = append(docs, []string{"insert", "into", "u", "values", "y", "z"})
+	}
+	return docs
+}
+
+func cfg(mode Mode) Config {
+	c := DefaultConfig()
+	c.Dim = 16
+	c.Epochs = 6
+	c.MinCount = 1
+	c.Subsample = 0
+	c.Mode = mode
+	return c
+}
+
+func TestTrainBothModes(t *testing.T) {
+	for _, mode := range []Mode{PVDM, PVDBOW} {
+		m, err := Train(corpus(), cfg(mode))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if m.Dim() != 16 {
+			t.Fatalf("%v: dim %d", mode, m.Dim())
+		}
+		if m.Docs.Rows != len(corpus()) {
+			t.Fatalf("%v: %d doc vectors", mode, m.Docs.Rows)
+		}
+	}
+}
+
+func TestTrainEmptyCorpus(t *testing.T) {
+	if _, err := Train(nil, cfg(PVDM)); err == nil {
+		t.Fatal("empty corpus must fail")
+	}
+}
+
+func TestMinCountTooHigh(t *testing.T) {
+	c := cfg(PVDM)
+	c.MinCount = 1000
+	if _, err := Train(corpus(), c); err == nil {
+		t.Fatal("empty vocabulary must fail")
+	}
+}
+
+func TestDocVectorsSeparateTemplates(t *testing.T) {
+	m, err := Train(corpus(), cfg(PVDM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Docs alternate select/insert; compare within vs across templates.
+	simSame := vec.Cosine(m.DocVector(0), m.DocVector(2))
+	simDiff := vec.Cosine(m.DocVector(0), m.DocVector(1))
+	if !(simSame > simDiff) {
+		t.Fatalf("same-template similarity %.3f should exceed cross %.3f", simSame, simDiff)
+	}
+}
+
+func TestInferDeterministicAndDiscriminative(t *testing.T) {
+	m, err := Train(corpus(), cfg(PVDM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := []string{"select", "a", "from", "t", "where", "x", "=", "0"}
+	ins := []string{"insert", "into", "u", "values", "y", "z"}
+	v1, v2 := m.Infer(sel), m.Infer(sel)
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("inference must be deterministic per input")
+		}
+	}
+	simSame := vec.Cosine(m.Infer(sel), vec.Vector(m.Docs.Row(0)))
+	simDiff := vec.Cosine(m.Infer(ins), vec.Vector(m.Docs.Row(0)))
+	if !(simSame > simDiff) {
+		t.Fatalf("inferred select vector should sit near select docs: %.3f vs %.3f", simSame, simDiff)
+	}
+}
+
+func TestInferHandlesOOV(t *testing.T) {
+	m, err := Train(corpus(), cfg(PVDM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := m.Infer([]string{"completely", "novel", "tokens"})
+	if len(v) != m.Dim() {
+		t.Fatalf("OOV inference dim: %d", len(v))
+	}
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatal("OOV inference produced non-finite values")
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, err := Train(corpus(), cfg(PVDBOW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []string{"select", "a", "from", "t"}
+	v1, v2 := m.Infer(in), m2.Infer(in)
+	for i := range v1 {
+		if math.Abs(v1[i]-v2[i]) > 1e-12 {
+			t.Fatal("loaded model infers differently")
+		}
+	}
+	if m2.Docs.Rows != m.Docs.Rows {
+		t.Fatal("doc vectors lost in round trip")
+	}
+}
+
+func TestSameSeedSameModel(t *testing.T) {
+	m1, err := Train(corpus(), cfg(PVDM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(corpus(), cfg(PVDM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.WordIn.Data {
+		if m1.WordIn.Data[i] != m2.WordIn.Data[i] {
+			t.Fatal("same seed must reproduce identical weights")
+		}
+	}
+}
+
+func TestConfigDefaultsFilled(t *testing.T) {
+	m, err := Train(corpus(), Config{Mode: PVDM, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cfg.Dim <= 0 || m.Cfg.Epochs <= 0 || m.Cfg.Window <= 0 {
+		t.Fatalf("defaults not filled: %+v", m.Cfg)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if PVDM.String() != "pv-dm" || PVDBOW.String() != "pv-dbow" {
+		t.Fatal("mode names wrong")
+	}
+}

@@ -1,0 +1,275 @@
+// Package engine is the relational-engine simulator that stands in for the
+// paper's SQL Server 2016 instance (see DESIGN.md, substitution table).
+//
+// It models exactly the pieces the experiments depend on:
+//
+//   - a catalog with table/column statistics (row counts, distinct values);
+//   - secondary B+-tree indexes, single- or multi-column, optionally
+//     "covering" a query;
+//   - a cost-based optimizer that chooses between full scans and index paths
+//     using *estimated* selectivities, while the executor charges *true*
+//     selectivities — the wedge between the two is what reproduces the
+//     bad-plan regression of paper Fig. 4;
+//   - a workload executor that converts plan costs into simulated seconds.
+//
+// Nothing here stores data rows: all behaviour is statistical, which is
+// sufficient (and necessary — the paper's own evaluation measures only
+// runtimes, not results).
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Column describes one column's statistics.
+type Column struct {
+	Name  string
+	NDV   int64 // number of distinct values
+	Width int   // average width in bytes
+}
+
+// Table describes one table's statistics.
+type Table struct {
+	Name    string
+	Rows    int64
+	Columns []Column
+
+	byName map[string]int
+}
+
+// Column returns the named column's statistics, or nil if absent.
+func (t *Table) Column(name string) *Column {
+	if i, ok := t.byName[strings.ToLower(name)]; ok {
+		return &t.Columns[i]
+	}
+	return nil
+}
+
+// Catalog is a set of tables with statistics.
+type Catalog struct {
+	tables map[string]*Table
+	names  []string // insertion order, for deterministic iteration
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// AddTable registers a table. It returns an error on duplicates or empty
+// definitions so misconfigured experiments fail fast.
+func (c *Catalog) AddTable(t *Table) error {
+	name := strings.ToLower(t.Name)
+	if name == "" {
+		return fmt.Errorf("engine: table with empty name")
+	}
+	if _, dup := c.tables[name]; dup {
+		return fmt.Errorf("engine: duplicate table %q", t.Name)
+	}
+	if t.Rows <= 0 {
+		return fmt.Errorf("engine: table %q must have positive row count", t.Name)
+	}
+	t.Name = name
+	t.byName = make(map[string]int, len(t.Columns))
+	for i := range t.Columns {
+		cn := strings.ToLower(t.Columns[i].Name)
+		t.Columns[i].Name = cn
+		if _, dup := t.byName[cn]; dup {
+			return fmt.Errorf("engine: duplicate column %q in table %q", cn, t.Name)
+		}
+		if t.Columns[i].NDV <= 0 {
+			t.Columns[i].NDV = 1
+		}
+		if t.Columns[i].NDV > t.Rows {
+			t.Columns[i].NDV = t.Rows
+		}
+		if t.Columns[i].Width <= 0 {
+			t.Columns[i].Width = 8
+		}
+		t.byName[cn] = i
+	}
+	c.tables[name] = t
+	c.names = append(c.names, name)
+	return nil
+}
+
+// Table returns the named table, or nil if absent. Lookup is
+// case-insensitive.
+func (c *Catalog) Table(name string) *Table {
+	return c.tables[strings.ToLower(name)]
+}
+
+// Tables returns all tables in registration order.
+func (c *Catalog) Tables() []*Table {
+	out := make([]*Table, len(c.names))
+	for i, n := range c.names {
+		out[i] = c.tables[n]
+	}
+	return out
+}
+
+// Index is a secondary B+-tree index definition.
+type Index struct {
+	Table   string
+	Columns []string // key columns, significant order
+}
+
+// NewIndex normalizes names and returns the index definition.
+func NewIndex(table string, columns ...string) Index {
+	cols := make([]string, len(columns))
+	for i, c := range columns {
+		cols[i] = strings.ToLower(c)
+	}
+	return Index{Table: strings.ToLower(table), Columns: cols}
+}
+
+// Name returns the canonical index name, e.g. "ix_lineitem_l_shipdate".
+func (ix Index) Name() string {
+	return "ix_" + ix.Table + "_" + strings.Join(ix.Columns, "_")
+}
+
+// Covers reports whether every column in need is a key column of ix.
+func (ix Index) Covers(need []string) bool {
+	for _, n := range need {
+		found := false
+		for _, c := range ix.Columns {
+			if c == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// SizeBytes estimates the index size from catalog statistics: key width + an
+// 8-byte row locator per entry.
+func (ix Index) SizeBytes(cat *Catalog) int64 {
+	t := cat.Table(ix.Table)
+	if t == nil {
+		return 0
+	}
+	width := 8
+	for _, c := range ix.Columns {
+		if col := t.Column(c); col != nil {
+			width += col.Width
+		} else {
+			width += 8
+		}
+	}
+	return t.Rows * int64(width)
+}
+
+// Design is a physical design: a set of secondary indexes. The zero value is
+// the no-index design. Lookups by table are cached — the advisor's what-if
+// search calls OnTable millions of times per run.
+type Design struct {
+	indexes map[string]Index // keyed by Name()
+
+	byTable map[string][]Index // lazily built; nil after mutation
+}
+
+// NewDesign returns a design containing the given indexes.
+func NewDesign(indexes ...Index) *Design {
+	d := &Design{indexes: make(map[string]Index, len(indexes))}
+	for _, ix := range indexes {
+		d.Add(ix)
+	}
+	return d
+}
+
+// Add inserts an index (idempotent).
+func (d *Design) Add(ix Index) {
+	if d.indexes == nil {
+		d.indexes = make(map[string]Index)
+	}
+	d.indexes[ix.Name()] = ix
+	d.byTable = nil
+}
+
+// Remove deletes an index by definition.
+func (d *Design) Remove(ix Index) {
+	delete(d.indexes, ix.Name())
+	d.byTable = nil
+}
+
+// Has reports whether the design contains the exact index.
+func (d *Design) Has(ix Index) bool {
+	if d == nil || d.indexes == nil {
+		return false
+	}
+	_, ok := d.indexes[ix.Name()]
+	return ok
+}
+
+// Clone returns a deep copy of d.
+func (d *Design) Clone() *Design {
+	out := NewDesign()
+	if d == nil {
+		return out
+	}
+	for _, ix := range d.indexes {
+		out.Add(ix)
+	}
+	return out
+}
+
+// Len returns the number of indexes in the design.
+func (d *Design) Len() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.indexes)
+}
+
+// Indexes returns the design's indexes sorted by name (deterministic).
+func (d *Design) Indexes() []Index {
+	if d == nil {
+		return nil
+	}
+	out := make([]Index, 0, len(d.indexes))
+	for _, ix := range d.indexes {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// OnTable returns the design's indexes on the given table, sorted by name.
+// The per-table grouping is cached until the next mutation.
+func (d *Design) OnTable(table string) []Index {
+	if d == nil || len(d.indexes) == 0 {
+		return nil
+	}
+	if d.byTable == nil {
+		byTable := make(map[string][]Index)
+		for _, ix := range d.Indexes() {
+			byTable[ix.Table] = append(byTable[ix.Table], ix)
+		}
+		d.byTable = byTable
+	}
+	return d.byTable[strings.ToLower(table)]
+}
+
+// SizeBytes returns the total estimated size of the design's indexes.
+func (d *Design) SizeBytes(cat *Catalog) int64 {
+	var total int64
+	for _, ix := range d.Indexes() {
+		total += ix.SizeBytes(cat)
+	}
+	return total
+}
+
+// String lists index names, e.g. "{ix_lineitem_l_shipdate, ix_orders_o_orderdate}".
+func (d *Design) String() string {
+	names := make([]string, 0, d.Len())
+	for _, ix := range d.Indexes() {
+		names = append(names, ix.Name())
+	}
+	return "{" + strings.Join(names, ", ") + "}"
+}

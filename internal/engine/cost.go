@@ -1,0 +1,377 @@
+package engine
+
+import (
+	"strings"
+
+	"querc/internal/sqlparse"
+)
+
+// CostParams are the unit costs of the simulator. One "unit" is the work of
+// streaming one row through a sequential scan; SecondsPerUnit converts plan
+// cost to simulated wall-clock seconds. Defaults are calibrated so that the
+// TPC-H SF1 workload of the Fig. 3 experiment runs ~1200 s without indexes,
+// matching the paper's reported baseline.
+type CostParams struct {
+	SeqRowCost       float64 // sequential scan, per row
+	RandRowCost      float64 // random row fetch through an index locator
+	IndexOnlyRowCost float64 // per row read from a covering index
+	BTreeDescend     float64 // one cold root-to-leaf descent
+	CachedDescend    float64 // descent when probing repeatedly (upper levels cached)
+	JoinRowCost      float64 // per row flowing through a hash join
+	AggRowCost       float64 // per row aggregated
+	SortRowCost      float64 // per row sorted
+	SecondsPerUnit   float64
+}
+
+// DefaultCostParams returns the calibrated simulator constants.
+func DefaultCostParams() CostParams {
+	return CostParams{
+		SeqRowCost:       1,
+		RandRowCost:      5,
+		IndexOnlyRowCost: 0.4,
+		BTreeDescend:     25,
+		CachedDescend:    2,
+		JoinRowCost:      0.15,
+		AggRowCost:       0.1,
+		SortRowCost:      0.1,
+		SecondsPerUnit:   2.2e-7,
+	}
+}
+
+// Engine is a catalog plus a cost model.
+type Engine struct {
+	Cat *Catalog
+	P   CostParams
+}
+
+// New returns an engine over cat with default cost parameters.
+func New(cat *Catalog) *Engine {
+	return &Engine{Cat: cat, P: DefaultCostParams()}
+}
+
+// AccessPath is the chosen physical access for one table in a plan.
+type AccessPath struct {
+	Table     string
+	Index     *Index // nil means full table scan
+	IndexOnly bool   // index covers every needed column
+	EstCost   float64
+	TrueCost  float64
+	EstRows   float64 // rows flowing out after all filters (estimated)
+	TrueRows  float64
+}
+
+// Plan is a costed execution plan. EstCost is what the optimizer believed
+// when choosing the plan; TrueCost is what execution actually charges. The
+// two diverge exactly where estimated and true selectivities diverge.
+type Plan struct {
+	Query           *Query
+	Accesses        []AccessPath
+	SubqueryIndexed bool
+	SubqueryIndex   *Index
+	EstCost         float64
+	TrueCost        float64
+}
+
+// Seconds returns the simulated execution time of the plan.
+func (e *Engine) Seconds(p *Plan) float64 { return p.TrueCost * e.P.SecondsPerUnit }
+
+// Plan chooses the cheapest access path per table by *estimated* cost and
+// returns the fully costed plan under design d (nil means no indexes).
+func (e *Engine) Plan(q *Query, d *Design) *Plan {
+	p := &Plan{Query: q}
+	var estTotal, trueTotal float64
+	var estFlow, trueFlow float64 // rows flowing into joins / aggregation
+
+	// Filtered cardinalities of every access, used to size index-nested-loop
+	// drivers: when this access is probed through a join-key index, the rows
+	// driving the probes come from the rest of the join tree, approximated by
+	// the largest filtered input among the other accesses.
+	estF := make([]float64, len(q.Accesses))
+	trueF := make([]float64, len(q.Accesses))
+	for i := range q.Accesses {
+		a := &q.Accesses[i]
+		if t := e.Cat.Table(a.Table); t != nil {
+			estF[i] = float64(t.Rows) * a.estSelectivity()
+			trueF[i] = float64(t.Rows) * a.trueSelectivity()
+		} else {
+			estF[i], trueF[i] = 100, 100
+		}
+	}
+
+	for i := range q.Accesses {
+		var driverEst, driverTrue float64
+		for j := range q.Accesses {
+			if j == i {
+				continue
+			}
+			if estF[j] > driverEst {
+				driverEst = estF[j]
+			}
+			if trueF[j] > driverTrue {
+				driverTrue = trueF[j]
+			}
+		}
+		ap := e.planAccess(&q.Accesses[i], d, driverEst, driverTrue)
+		p.Accesses = append(p.Accesses, ap)
+		estTotal += ap.EstCost
+		trueTotal += ap.TrueCost
+		estFlow += ap.EstRows
+		trueFlow += ap.TrueRows
+	}
+
+	if len(q.Accesses) > 1 || q.NumJoins > 0 {
+		estTotal += estFlow * e.P.JoinRowCost
+		trueTotal += trueFlow * e.P.JoinRowCost
+	}
+	// Join output approximated by the largest filtered input (FK joins).
+	estOut, trueOut := maxRows(p.Accesses)
+	if q.GroupBy {
+		estTotal += estOut * e.P.AggRowCost
+		trueTotal += trueOut * e.P.AggRowCost
+		estOut *= 0.1
+		trueOut *= 0.1
+	}
+	if q.OrderBy {
+		estTotal += estOut * e.P.SortRowCost
+		trueTotal += trueOut * e.P.SortRowCost
+	}
+
+	if q.Subquery != nil {
+		estSub, trueSub, ix, indexed := e.costSubquery(q.Subquery, d)
+		estTotal += estSub
+		trueTotal += trueSub
+		p.SubqueryIndexed = indexed
+		p.SubqueryIndex = ix
+	}
+
+	p.EstCost = estTotal
+	p.TrueCost = trueTotal
+	return p
+}
+
+func maxRows(aps []AccessPath) (est, tru float64) {
+	for _, ap := range aps {
+		if ap.EstRows > est {
+			est = ap.EstRows
+		}
+		if ap.TrueRows > tru {
+			tru = ap.TrueRows
+		}
+	}
+	return est, tru
+}
+
+// planAccess picks scan vs. each candidate index by estimated cost.
+// driverEst/driverTrue size the outer side of index-nested-loop joins.
+func (e *Engine) planAccess(a *Access, d *Design, driverEst, driverTrue float64) AccessPath {
+	t := e.Cat.Table(a.Table)
+	if t == nil {
+		// Unknown table: charge a nominal constant so unknown queries still
+		// execute (Querc may see tables that predate the stats snapshot).
+		return AccessPath{Table: a.Table, EstCost: 1000, TrueCost: 1000, EstRows: 100, TrueRows: 100}
+	}
+	rows := float64(t.Rows)
+	estSel := a.estSelectivity()
+	trueSel := a.trueSelectivity()
+
+	best := AccessPath{
+		Table:    a.Table,
+		EstCost:  rows * e.P.SeqRowCost,
+		TrueCost: rows * e.P.SeqRowCost,
+		EstRows:  rows * estSel,
+		TrueRows: rows * trueSel,
+	}
+
+	for _, ix := range d.OnTable(a.Table) {
+		ixCopy := ix
+		if ap, usable := e.indexPath(a, t, &ixCopy); usable && ap.EstCost < best.EstCost {
+			best = ap
+		}
+		if ap, usable := e.joinProbePath(a, t, &ixCopy, driverEst, driverTrue); usable && ap.EstCost < best.EstCost {
+			best = ap
+		}
+	}
+	return best
+}
+
+// joinProbePath costs reading this table as the inner side of an
+// index-nested-loop join: one probe per driving row through an index whose
+// leading column is one of the access's join columns. Filters not covered by
+// the probe are applied to fetched rows (their cost is already in the
+// per-row fetch charge).
+func (e *Engine) joinProbePath(a *Access, t *Table, ix *Index, driverEst, driverTrue float64) (AccessPath, bool) {
+	if driverEst <= 0 || len(ix.Columns) == 0 {
+		return AccessPath{}, false
+	}
+	lead := ix.Columns[0]
+	onJoinCol := false
+	for _, jc := range a.JoinCols {
+		if strings.ToLower(jc) == lead {
+			onJoinCol = true
+			break
+		}
+	}
+	if !onJoinCol {
+		return AccessPath{}, false
+	}
+	rows := float64(t.Rows)
+	rowsPerKey := 1.0
+	if col := t.Column(lead); col != nil && col.NDV > 0 {
+		rowsPerKey = rows / float64(col.NDV)
+	}
+	perRow := e.P.RandRowCost
+	if ix.Covers(a.NeedCols) {
+		perRow = e.P.IndexOnlyRowCost
+	}
+	perProbe := e.P.CachedDescend + rowsPerKey*perRow
+	return AccessPath{
+		Table:     a.Table,
+		Index:     ix,
+		IndexOnly: perRow == e.P.IndexOnlyRowCost,
+		EstCost:   driverEst * perProbe,
+		TrueCost:  driverTrue * perProbe,
+		EstRows:   rows * a.estSelectivity(),
+		TrueRows:  rows * a.trueSelectivity(),
+	}, true
+}
+
+// indexPath costs a seek through ix for access a. The index is usable when
+// its leading column carries a filter; the matched prefix runs through
+// consecutive key columns with filters, stopping after the first range
+// predicate (standard B+-tree prefix semantics).
+func (e *Engine) indexPath(a *Access, t *Table, ix *Index) (AccessPath, bool) {
+	estPrefix, truePrefix := 1.0, 1.0
+	matched := 0
+	for _, col := range ix.Columns {
+		var p *Pred
+		for i := range a.Filters {
+			if a.Filters[i].Column == col || strings.ToLower(a.Filters[i].Column) == col {
+				p = &a.Filters[i]
+				break
+			}
+		}
+		if p == nil {
+			break
+		}
+		estPrefix *= clampSel(p.EstSel)
+		truePrefix *= clampSel(p.TrueSel)
+		matched++
+		if isRange(p.Op) {
+			break
+		}
+	}
+	if matched == 0 {
+		return AccessPath{}, false
+	}
+	rows := float64(t.Rows)
+	covering := ix.Covers(a.NeedCols)
+	perRow := e.P.RandRowCost
+	if covering {
+		perRow = e.P.IndexOnlyRowCost
+	}
+	estCost := e.P.BTreeDescend + rows*estPrefix*perRow
+	trueCost := e.P.BTreeDescend + rows*truePrefix*perRow
+	return AccessPath{
+		Table:     a.Table,
+		Index:     ix,
+		IndexOnly: covering,
+		EstCost:   estCost,
+		TrueCost:  trueCost,
+		EstRows:   rows * a.estSelectivity(),
+		TrueRows:  rows * a.trueSelectivity(),
+	}, true
+}
+
+// isRange reports whether op is a range (non-point) predicate; a B+-tree
+// prefix match cannot extend past the first range column.
+func isRange(op sqlparse.CompareOp) bool {
+	switch op {
+	case sqlparse.OpEq, sqlparse.OpIn:
+		return false
+	default:
+		return true
+	}
+}
+
+// costSubquery costs the correlated aggregation subquery. Two strategies:
+//
+//   - hash aggregation: one full pass over the inner table; estimate and
+//     truth agree (no selectivity involved);
+//   - index nested loop: probe an index on JoinCol once per driving group.
+//     The optimizer sizes this with EstGroups; execution pays TrueGroups.
+//
+// The optimizer picks by estimated cost, so a badly low EstGroups makes it
+// choose probing even when TrueGroups makes that far slower than the scan —
+// the Q18 regression of paper Fig. 4. A covering index (JoinCol, AggCol)
+// probes index-only and stays cheap even at TrueGroups scale.
+func (e *Engine) costSubquery(sq *CorrelatedSubquery, d *Design) (est, tru float64, chosen *Index, indexed bool) {
+	t := e.Cat.Table(sq.Table)
+	if t == nil {
+		return 0, 0, nil, false
+	}
+	rows := float64(t.Rows)
+	scanCost := rows*e.P.SeqRowCost + rows*e.P.AggRowCost
+	bestEst, bestTrue := scanCost, scanCost
+
+	rowsPerKey := 1.0
+	if col := t.Column(sq.JoinCol); col != nil && col.NDV > 0 {
+		rowsPerKey = rows / float64(col.NDV)
+	}
+	for _, ix := range d.OnTable(sq.Table) {
+		if len(ix.Columns) == 0 || ix.Columns[0] != strings.ToLower(sq.JoinCol) {
+			continue
+		}
+		perRow := e.P.RandRowCost
+		if ix.Covers([]string{sq.JoinCol, sq.AggCol}) {
+			perRow = e.P.IndexOnlyRowCost
+		}
+		perProbe := e.P.CachedDescend + rowsPerKey*perRow
+		estProbe := float64(sq.EstGroups) * perProbe
+		trueProbe := float64(sq.TrueGroups) * perProbe
+		if estProbe < bestEst {
+			ixCopy := ix
+			bestEst, bestTrue = estProbe, trueProbe
+			chosen, indexed = &ixCopy, true
+		}
+	}
+	return bestEst, bestTrue, chosen, indexed
+}
+
+// QuerySeconds plans and executes q under d, returning simulated seconds.
+func (e *Engine) QuerySeconds(q *Query, d *Design) float64 {
+	return e.Seconds(e.Plan(q, d))
+}
+
+// EstimatedCost returns the optimizer's estimated cost of q under d — the
+// quantity the index advisor's what-if analysis optimizes.
+func (e *Engine) EstimatedCost(q *Query, d *Design) float64 {
+	return e.Plan(q, d).EstCost
+}
+
+// WorkloadResult is the outcome of executing a workload under one design.
+type WorkloadResult struct {
+	TotalSeconds float64
+	PerQuery     []float64 // simulated seconds per query, workload order
+}
+
+// ExecuteWorkload runs every query (applying weights) and returns total and
+// per-query simulated runtimes.
+func (e *Engine) ExecuteWorkload(queries []*Query, d *Design) *WorkloadResult {
+	res := &WorkloadResult{PerQuery: make([]float64, len(queries))}
+	for i, q := range queries {
+		s := e.QuerySeconds(q, d) * q.weight()
+		res.PerQuery[i] = s
+		res.TotalSeconds += s
+	}
+	return res
+}
+
+// EstimateWorkloadCost returns the weighted estimated cost of the workload —
+// the advisor's objective function.
+func (e *Engine) EstimateWorkloadCost(queries []*Query, d *Design) float64 {
+	var total float64
+	for _, q := range queries {
+		total += e.EstimatedCost(q, d) * q.weight()
+	}
+	return total
+}

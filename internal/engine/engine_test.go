@@ -1,0 +1,284 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"querc/internal/sqlparse"
+)
+
+func testCatalog() *Catalog {
+	cat := NewCatalog()
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(cat.AddTable(&Table{Name: "big", Rows: 1_000_000, Columns: []Column{
+		{Name: "id", NDV: 1_000_000, Width: 4},
+		{Name: "fk", NDV: 100_000, Width: 4},
+		{Name: "ts", NDV: 2_000, Width: 4},
+		{Name: "val", NDV: 50, Width: 8},
+	}}))
+	must(cat.AddTable(&Table{Name: "small", Rows: 10_000, Columns: []Column{
+		{Name: "id", NDV: 10_000, Width: 4},
+		{Name: "cat", NDV: 10, Width: 4},
+	}}))
+	return cat
+}
+
+func TestCatalogValidation(t *testing.T) {
+	cat := NewCatalog()
+	if err := cat.AddTable(&Table{Name: "", Rows: 10}); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if err := cat.AddTable(&Table{Name: "t", Rows: 0}); err == nil {
+		t.Fatal("zero rows must fail")
+	}
+	if err := cat.AddTable(&Table{Name: "t", Rows: 5, Columns: []Column{{Name: "a"}, {Name: "a"}}}); err == nil {
+		t.Fatal("duplicate column must fail")
+	}
+	if err := cat.AddTable(&Table{Name: "t", Rows: 5, Columns: []Column{{Name: "a", NDV: 50}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddTable(&Table{Name: "T", Rows: 5}); err == nil {
+		t.Fatal("case-insensitive duplicate must fail")
+	}
+	// NDV clamped to row count.
+	if got := cat.Table("t").Column("a").NDV; got != 5 {
+		t.Fatalf("NDV clamp: %d", got)
+	}
+}
+
+func TestIndexNameAndCovers(t *testing.T) {
+	ix := NewIndex("Big", "TS", "Val")
+	if ix.Name() != "ix_big_ts_val" {
+		t.Fatalf("name: %q", ix.Name())
+	}
+	if !ix.Covers([]string{"ts"}) || !ix.Covers([]string{"ts", "val"}) {
+		t.Fatal("covers failed")
+	}
+	if ix.Covers([]string{"ts", "id"}) {
+		t.Fatal("covers must reject missing column")
+	}
+}
+
+func TestDesignOperations(t *testing.T) {
+	d := NewDesign()
+	ix := NewIndex("big", "ts")
+	d.Add(ix)
+	d.Add(ix) // idempotent
+	if d.Len() != 1 || !d.Has(ix) {
+		t.Fatalf("design: %v", d)
+	}
+	clone := d.Clone()
+	clone.Add(NewIndex("big", "fk"))
+	if d.Len() != 1 {
+		t.Fatal("clone must not alias")
+	}
+	d.Remove(ix)
+	if d.Len() != 0 {
+		t.Fatal("remove failed")
+	}
+}
+
+func scanQuery() *Query {
+	return &Query{
+		Label: "scan",
+		Accesses: []Access{{
+			Table:    "big",
+			Filters:  []Pred{{Column: "ts", Op: sqlparse.OpBetween, EstSel: 0.01, TrueSel: 0.01}},
+			NeedCols: []string{"ts", "val"},
+		}},
+	}
+}
+
+func TestIndexReducesCost(t *testing.T) {
+	e := New(testCatalog())
+	q := scanQuery()
+	noIdx := e.Plan(q, NewDesign())
+	withIdx := e.Plan(q, NewDesign(NewIndex("big", "ts")))
+	if !(withIdx.EstCost < noIdx.EstCost) {
+		t.Fatalf("selective index should cut est cost: %v vs %v", withIdx.EstCost, noIdx.EstCost)
+	}
+	if !(withIdx.TrueCost < noIdx.TrueCost) {
+		t.Fatalf("selective index should cut true cost: %v vs %v", withIdx.TrueCost, noIdx.TrueCost)
+	}
+	if withIdx.Accesses[0].Index == nil {
+		t.Fatal("plan should record the chosen index")
+	}
+}
+
+func TestCoveringBeatsNonCovering(t *testing.T) {
+	e := New(testCatalog())
+	q := scanQuery()
+	narrow := e.Plan(q, NewDesign(NewIndex("big", "ts")))
+	cover := e.Plan(q, NewDesign(NewIndex("big", "ts", "val")))
+	if !(cover.EstCost < narrow.EstCost) {
+		t.Fatalf("covering index should be cheaper: %v vs %v", cover.EstCost, narrow.EstCost)
+	}
+	if !cover.Accesses[0].IndexOnly {
+		t.Fatal("covering plan should be index-only")
+	}
+}
+
+func TestUselessIndexIgnored(t *testing.T) {
+	e := New(testCatalog())
+	q := scanQuery()
+	// Index on an unfiltered, non-join column is unusable; plan = scan.
+	p := e.Plan(q, NewDesign(NewIndex("big", "val")))
+	if p.Accesses[0].Index != nil {
+		t.Fatal("unusable index must not be chosen")
+	}
+}
+
+func TestMoreIndexesNeverRaiseEstimatedCost(t *testing.T) {
+	// Optimizer invariant: adding indexes can only keep or lower the
+	// *estimated* plan cost (it picks min over paths).
+	e := New(testCatalog())
+	f := func(sel100 uint8, addFK, addTS, addCover bool) bool {
+		sel := float64(sel100%100)/100 + 0.001
+		q := &Query{Accesses: []Access{{
+			Table:    "big",
+			Filters:  []Pred{{Column: "ts", Op: sqlparse.OpLt, EstSel: sel, TrueSel: sel}},
+			NeedCols: []string{"ts", "val"},
+		}}}
+		base := e.Plan(q, NewDesign()).EstCost
+		d := NewDesign()
+		if addFK {
+			d.Add(NewIndex("big", "fk"))
+		}
+		if addTS {
+			d.Add(NewIndex("big", "ts"))
+		}
+		if addCover {
+			d.Add(NewIndex("big", "ts", "val"))
+		}
+		return e.Plan(q, d).EstCost <= base+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMisestimatedSubqueryRegression(t *testing.T) {
+	// The Q18 mechanism in isolation: an optimizer that underestimates the
+	// driving group count picks index probing whose true cost exceeds the
+	// scan.
+	e := New(testCatalog())
+	q := &Query{
+		Accesses: []Access{{Table: "big", NeedCols: []string{"fk"}}},
+		Subquery: &CorrelatedSubquery{
+			Table: "big", JoinCol: "fk", AggCol: "val",
+			TrueGroups: 100_000, EstGroups: 500,
+		},
+	}
+	noIdx := e.Plan(q, NewDesign())
+	bad := e.Plan(q, NewDesign(NewIndex("big", "fk")))
+	if !bad.SubqueryIndexed {
+		t.Fatal("optimizer should pick the probe plan under the misestimate")
+	}
+	if !(bad.EstCost < noIdx.EstCost) {
+		t.Fatal("estimated cost must look better (that is the trap)")
+	}
+	if !(bad.TrueCost > noIdx.TrueCost) {
+		t.Fatalf("true cost must regress: %v vs %v", bad.TrueCost, noIdx.TrueCost)
+	}
+	// The covering variant repairs the regression.
+	fixed := e.Plan(q, NewDesign(NewIndex("big", "fk"), NewIndex("big", "fk", "val")))
+	if !(fixed.TrueCost < bad.TrueCost) {
+		t.Fatalf("covering index must repair the regression: %v vs %v", fixed.TrueCost, bad.TrueCost)
+	}
+}
+
+func TestJoinProbePath(t *testing.T) {
+	e := New(testCatalog())
+	q := &Query{
+		NumJoins: 1,
+		Accesses: []Access{
+			{Table: "small", Filters: []Pred{{Column: "cat", Op: sqlparse.OpEq, EstSel: 0.1, TrueSel: 0.1}}, JoinCols: []string{"id"}, NeedCols: []string{"id", "cat"}},
+			{Table: "big", JoinCols: []string{"fk"}, NeedCols: []string{"fk", "val"}},
+		},
+	}
+	noIdx := e.Plan(q, NewDesign())
+	probed := e.Plan(q, NewDesign(NewIndex("big", "fk", "val")))
+	if !(probed.EstCost < noIdx.EstCost) {
+		t.Fatalf("join probe should beat scan with a small driver: %v vs %v", probed.EstCost, noIdx.EstCost)
+	}
+}
+
+func TestExecuteWorkloadWeights(t *testing.T) {
+	e := New(testCatalog())
+	q := scanQuery()
+	q2 := scanQuery()
+	q2.Weight = 3
+	res := e.ExecuteWorkload([]*Query{q, q2}, NewDesign())
+	if res.PerQuery[1] != 3*res.PerQuery[0] {
+		t.Fatalf("weight not applied: %v", res.PerQuery)
+	}
+	if res.TotalSeconds != res.PerQuery[0]+res.PerQuery[1] {
+		t.Fatal("total != sum of per-query")
+	}
+}
+
+func TestParseQueryHeuristics(t *testing.T) {
+	cat := testCatalog()
+	q := ParseQuery("select val from big where ts < 100 and fk = 5", cat)
+	if len(q.Accesses) != 1 || q.Accesses[0].Table != "big" {
+		t.Fatalf("accesses: %+v", q.Accesses)
+	}
+	if len(q.Accesses[0].Filters) != 2 {
+		t.Fatalf("filters: %+v", q.Accesses[0].Filters)
+	}
+	for _, p := range q.Accesses[0].Filters {
+		if p.EstSel <= 0 || p.EstSel > 1 {
+			t.Fatalf("selectivity out of range: %+v", p)
+		}
+	}
+	// Join extraction across catalog tables.
+	q = ParseQuery("select b.val from big b, small s where b.fk = s.id and s.cat = 3", cat)
+	if len(q.Accesses) != 2 {
+		t.Fatalf("join accesses: %+v", q.Accesses)
+	}
+	if q.NumJoins != 1 {
+		t.Fatalf("NumJoins: %d", q.NumJoins)
+	}
+}
+
+func TestUnknownTableNominalCost(t *testing.T) {
+	e := New(testCatalog())
+	q := &Query{Accesses: []Access{{Table: "nope"}}}
+	p := e.Plan(q, NewDesign())
+	if p.TrueCost <= 0 {
+		t.Fatal("unknown tables should still charge nominal cost")
+	}
+}
+
+func TestCalibrationProperty(t *testing.T) {
+	// Seconds scale linearly with SecondsPerUnit.
+	e := New(testCatalog())
+	q := scanQuery()
+	s1 := e.QuerySeconds(q, NewDesign())
+	e.P.SecondsPerUnit *= 2
+	s2 := e.QuerySeconds(q, NewDesign())
+	if absf(s2-2*s1) > 1e-12 {
+		t.Fatalf("seconds not linear in SecondsPerUnit: %v vs %v", s2, 2*s1)
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestDesignStringDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	_ = rng
+	d := NewDesign(NewIndex("b", "y"), NewIndex("a", "x"))
+	if d.String() != "{ix_a_x, ix_b_y}" {
+		t.Fatalf("design string: %q", d.String())
+	}
+}

@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"strings"
+
+	"querc/internal/sqlparse"
+)
+
+// Pred is one single-table predicate with both the optimizer's assumed
+// selectivity and the true selectivity. The executor charges TrueSel; the
+// optimizer plans with EstSel. Generators that know their templates set both
+// precisely; ParseQuery falls back to textbook estimation heuristics for
+// both.
+type Pred struct {
+	Column  string
+	Op      sqlparse.CompareOp
+	EstSel  float64
+	TrueSel float64
+}
+
+// Access describes how one base table participates in a query.
+type Access struct {
+	Table    string
+	Filters  []Pred
+	JoinCols []string // columns appearing in join predicates on this table
+	NeedCols []string // all columns the query reads from this table
+}
+
+// estSelectivity returns the combined estimated selectivity of all filters
+// (independence assumption — deliberately the textbook optimizer model).
+func (a *Access) estSelectivity() float64 {
+	s := 1.0
+	for _, p := range a.Filters {
+		s *= clampSel(p.EstSel)
+	}
+	return s
+}
+
+func (a *Access) trueSelectivity() float64 {
+	s := 1.0
+	for _, p := range a.Filters {
+		s *= clampSel(p.TrueSel)
+	}
+	return s
+}
+
+func clampSel(s float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// CorrelatedSubquery models a per-group aggregation subquery (the TPC-H Q18
+// pattern: HAVING over SUM(l_quantity) GROUP BY l_orderkey). The optimizer
+// can execute it either as one full pass over the inner table (hash
+// aggregation) or, when an index on JoinCol exists, as an index-nested-loop
+// probing once per driving group. The estimate/true wedge on the number of
+// driving groups is the bad-plan mechanism of paper Fig. 4.
+type CorrelatedSubquery struct {
+	Table      string
+	JoinCol    string
+	AggCol     string
+	TrueGroups int64 // groups actually driven through the subquery
+	EstGroups  int64 // optimizer's (under-)estimate of driving groups
+}
+
+// Query is the engine's execution-ready representation of one statement.
+type Query struct {
+	ID       int
+	Label    string // template label, e.g. "Q18"
+	SQL      string
+	Accesses []Access
+	NumJoins int
+	GroupBy  bool
+	OrderBy  bool
+	Subquery *CorrelatedSubquery
+	Weight   float64 // frequency weight in workload cost (0 means 1)
+}
+
+func (q *Query) weight() float64 {
+	if q.Weight <= 0 {
+		return 1
+	}
+	return q.Weight
+}
+
+// ParseQuery builds an engine Query from SQL text against a catalog, using
+// heuristic selectivities (equality: 1/NDV; range: 1/3; LIKE: 1/10; IN: 1/20
+// per textbook defaults) for both estimated and true values. Generators with
+// template knowledge should construct Query values directly instead.
+func ParseQuery(sql string, cat *Catalog) *Query {
+	sum := sqlparse.Parse(sql)
+	q := &Query{
+		SQL:     sql,
+		GroupBy: len(sum.GroupBy) > 0,
+		OrderBy: len(sum.OrderBy) > 0,
+	}
+	accByTable := map[string]*Access{}
+	getAcc := func(table string) *Access {
+		table = strings.ToLower(table)
+		if cat.Table(table) == nil {
+			return nil
+		}
+		if a, ok := accByTable[table]; ok {
+			return a
+		}
+		a := &Access{Table: table}
+		accByTable[table] = a
+		return a
+	}
+	for _, t := range sum.Tables {
+		if t.Name != "" {
+			getAcc(t.Name)
+		}
+	}
+	for _, f := range sum.Filters {
+		table := sum.ResolveTable(f.Column.Table)
+		if table == "" {
+			table = tableOwningColumn(cat, sum, f.Column.Column)
+		}
+		a := getAcc(table)
+		if a == nil {
+			continue
+		}
+		sel := heuristicSelectivity(cat, table, f)
+		a.Filters = append(a.Filters, Pred{
+			Column: strings.ToLower(f.Column.Column), Op: f.Op,
+			EstSel: sel, TrueSel: sel,
+		})
+		a.NeedCols = appendUnique(a.NeedCols, strings.ToLower(f.Column.Column))
+	}
+	for _, j := range sum.Joins {
+		lt := sum.ResolveTable(j.Left.Table)
+		rt := sum.ResolveTable(j.Right.Table)
+		if lt == "" {
+			lt = tableOwningColumn(cat, sum, j.Left.Column)
+		}
+		if rt == "" {
+			rt = tableOwningColumn(cat, sum, j.Right.Column)
+		}
+		if la := getAcc(lt); la != nil {
+			la.JoinCols = appendUnique(la.JoinCols, strings.ToLower(j.Left.Column))
+			la.NeedCols = appendUnique(la.NeedCols, strings.ToLower(j.Left.Column))
+		}
+		if ra := getAcc(rt); ra != nil {
+			ra.JoinCols = appendUnique(ra.JoinCols, strings.ToLower(j.Right.Column))
+			ra.NeedCols = appendUnique(ra.NeedCols, strings.ToLower(j.Right.Column))
+		}
+		if lt != "" && rt != "" && lt != rt {
+			q.NumJoins++
+		}
+	}
+	for _, c := range sum.SelectCols {
+		table := sum.ResolveTable(c.Table)
+		if table == "" {
+			table = tableOwningColumn(cat, sum, c.Column)
+		}
+		if a := getAcc(table); a != nil {
+			a.NeedCols = appendUnique(a.NeedCols, strings.ToLower(c.Column))
+		}
+	}
+	for name, a := range accByTable {
+		_ = name
+		q.Accesses = append(q.Accesses, *a)
+	}
+	// Deterministic order.
+	sortAccesses(q.Accesses)
+	return q
+}
+
+func sortAccesses(a []Access) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j].Table < a[j-1].Table; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func appendUnique(xs []string, x string) []string {
+	for _, e := range xs {
+		if e == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}
+
+// tableOwningColumn finds the unique query table containing the column, or
+// "" when ambiguous/unknown.
+func tableOwningColumn(cat *Catalog, sum *sqlparse.Summary, column string) string {
+	column = strings.ToLower(column)
+	owner := ""
+	for _, t := range sum.Tables {
+		tab := cat.Table(t.Name)
+		if tab == nil {
+			continue
+		}
+		if tab.Column(column) != nil {
+			if owner != "" && owner != tab.Name {
+				return "" // ambiguous
+			}
+			owner = tab.Name
+		}
+	}
+	return owner
+}
+
+func heuristicSelectivity(cat *Catalog, table string, f sqlparse.Filter) float64 {
+	t := cat.Table(table)
+	switch f.Op {
+	case sqlparse.OpEq:
+		if t != nil {
+			if col := t.Column(f.Column.Column); col != nil && col.NDV > 0 {
+				return 1 / float64(col.NDV)
+			}
+		}
+		return 0.01
+	case sqlparse.OpLt, sqlparse.OpLe, sqlparse.OpGt, sqlparse.OpGe:
+		return 1.0 / 3
+	case sqlparse.OpBetween:
+		return 0.25
+	case sqlparse.OpLike:
+		return 0.1
+	case sqlparse.OpIn:
+		return 0.05
+	case sqlparse.OpNe:
+		return 0.9
+	case sqlparse.OpIsNull:
+		return 0.05
+	default:
+		return 0.5
+	}
+}

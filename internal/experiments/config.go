@@ -1,0 +1,82 @@
+// Package experiments contains the drivers that regenerate every table and
+// figure of the paper's evaluation (§5), plus the ablations called out in
+// DESIGN.md. Each driver is deterministic given its config and returns a
+// plain result struct; rendering to paper-style text tables lives in
+// report.go, and cmd/quercbench / the repository-root benchmarks are thin
+// wrappers over these functions.
+package experiments
+
+import (
+	"querc/internal/doc2vec"
+	"querc/internal/lstm"
+	"querc/internal/ml/forest"
+)
+
+// Scale selects experiment sizing. ScaleSmall keeps full pipelines but small
+// corpora so the whole suite runs in minutes on a laptop; ScalePaper uses
+// the paper's corpus sizes (hours of compute).
+type Scale string
+
+// Scales.
+const (
+	ScaleSmall Scale = "small"
+	ScalePaper Scale = "paper"
+)
+
+// EmbeddingConfigs bundles the two embedders' hyper-parameters at a scale.
+type EmbeddingConfigs struct {
+	Doc2Vec doc2vec.Config
+	LSTM    lstm.Config
+}
+
+// DefaultEmbeddingConfigs returns per-scale embedder settings.
+func DefaultEmbeddingConfigs(scale Scale) EmbeddingConfigs {
+	d2v := doc2vec.DefaultConfig()
+	ls := lstm.DefaultConfig()
+	ls.SampledSoftmax = 16
+	switch scale {
+	case ScalePaper:
+		d2v.Dim = 128
+		d2v.Epochs = 20
+		ls.EmbedDim = 64
+		ls.HiddenDim = 128
+		ls.Epochs = 8
+		ls.MaxSeqLen = 64
+	default:
+		d2v.Dim = 48
+		d2v.Epochs = 8
+		ls.EmbedDim = 24
+		ls.HiddenDim = 48
+		ls.Epochs = 3
+		ls.MaxSeqLen = 40
+	}
+	return EmbeddingConfigs{Doc2Vec: d2v, LSTM: ls}
+}
+
+// DefaultForestConfig returns the labeler settings used by §5.2 experiments.
+func DefaultForestConfig(scale Scale) forest.Config {
+	cfg := forest.DefaultConfig()
+	if scale == ScalePaper {
+		cfg.NumTrees = 100
+	} else {
+		cfg.NumTrees = 30
+	}
+	return cfg
+}
+
+// SnowScale returns the snowgen corpus scale factors (train corpus queries,
+// labeled corpus multiplier).
+func SnowScale(scale Scale) (trainQueries int, labeledScale float64) {
+	if scale == ScalePaper {
+		return 500_000, 1.0
+	}
+	return 2500, 0.06
+}
+
+// TPCHPerTemplate returns workload instances per TPC-H template.
+func TPCHPerTemplate(scale Scale) int {
+	if scale == ScalePaper {
+		return 40 // the paper's ~880-query workload is already laptop-sized
+	}
+	return 40
+}

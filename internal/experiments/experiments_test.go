@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"querc/internal/advisor"
+	"querc/internal/engine"
+	"querc/internal/tpch"
+)
+
+// tinyFig3Config keeps the Fig. 3 pipeline end-to-end but at test scale.
+func tinyFig3Config() Fig3Config {
+	cfg := DefaultFig3Config(ScaleSmall)
+	cfg.Budgets = []float64{120, 180, 360}
+	return cfg
+}
+
+// TestFig4ShapeHolds pins the paper's Fig. 4 claims at full experiment
+// scale (the engine is simulated, so this is fast):
+//
+//  1. the advisor's 3-minute full-workload design makes the total workload
+//     SLOWER than no indexes at all;
+//  2. the regression concentrates in the Q18 template block;
+//  3. every other template is no slower than without indexes.
+func TestFig4ShapeHolds(t *testing.T) {
+	res, err := RunFig4(DefaultFig4Config(ScaleSmall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.TotalWith > res.TotalNoIndex) {
+		t.Fatalf("3-minute design should regress: %.0f vs %.0f", res.TotalWith, res.TotalNoIndex)
+	}
+	if res.Templates[res.RegressedBlock[0]] != 18 {
+		t.Fatalf("worst regression should be Q18, got Q%d", res.Templates[res.RegressedBlock[0]])
+	}
+	for i := range res.NoIndex {
+		if res.Templates[i] == 18 {
+			continue
+		}
+		if res.WithIndexes[i] > res.NoIndex[i]+1e-9 {
+			t.Fatalf("query %d (Q%d) regressed outside the Q18 block: %.3f -> %.3f",
+				i, res.Templates[i], res.NoIndex[i], res.WithIndexes[i])
+		}
+	}
+	// Q18 block itself regresses substantially (> 2x).
+	lo, hi := res.RegressedBlock[0], res.RegressedBlock[1]
+	var no, with float64
+	for i := lo; i <= hi; i++ {
+		no += res.NoIndex[i]
+		with += res.WithIndexes[i]
+	}
+	if with < 2*no {
+		t.Fatalf("Q18 block should regress >2x: %.1f -> %.1f", no, with)
+	}
+}
+
+// TestFig4Render sanity-checks the text rendering.
+func TestFig4Render(t *testing.T) {
+	res, err := RunFig4(DefaultFig4Config(ScaleSmall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteFig4(&buf, res)
+	out := buf.String()
+	if !strings.Contains(out, "Figure 4") || !strings.Contains(out, "Q18") {
+		t.Fatalf("rendering missing key elements:\n%s", out)
+	}
+}
+
+// TestFig3BudgetSemantics pins the budget behaviour of the advisor series
+// without training real embedders (those are covered by the benchmarks and
+// cmd/quercbench): below 3 minutes nothing is recommended; at 3 minutes the
+// full workload regresses while an ideal summary reaches a good design.
+func TestFig3BudgetSemantics(t *testing.T) {
+	cfg := tinyFig3Config()
+	// Use the internal pieces directly to avoid embedder training cost.
+	res, err := runFig3AdvisorOnly(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.fullAt120 != res.noIndex {
+		t.Fatalf("at 2 minutes the runtime must equal no-index: %v vs %v", res.fullAt120, res.noIndex)
+	}
+	if !(res.fullAt180 > res.noIndex) {
+		t.Fatalf("full workload at 3 minutes must regress: %v vs %v", res.fullAt180, res.noIndex)
+	}
+	if !(res.summaryAt180 < res.noIndex*0.6) {
+		t.Fatalf("ideal summary at 3 minutes should cut runtime hard: %v vs %v", res.summaryAt180, res.noIndex)
+	}
+	if !(res.summaryAt180 < res.fullAt360) {
+		t.Fatalf("summary@3min (%v) should beat full@6min (%v)", res.summaryAt180, res.fullAt360)
+	}
+}
+
+func TestEmbeddingConfigsScale(t *testing.T) {
+	small := DefaultEmbeddingConfigs(ScaleSmall)
+	paper := DefaultEmbeddingConfigs(ScalePaper)
+	if !(paper.Doc2Vec.Dim > small.Doc2Vec.Dim) || !(paper.LSTM.HiddenDim > small.LSTM.HiddenDim) {
+		t.Fatal("paper scale should use larger models")
+	}
+	if small.LSTM.SampledSoftmax <= 0 {
+		t.Fatal("small scale must use sampled softmax")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline length: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline should be empty")
+	}
+}
+
+func TestWriteTable1AndTable2(t *testing.T) {
+	r := &LabelingResult{
+		Table1: []MethodScore{
+			{Method: "Doc2Vec", AccountAcc: 0.788, UserAcc: 0.39},
+			{Method: "LSTMAutoencoder", AccountAcc: 0.991, UserAcc: 0.554},
+		},
+		Table2: []AccountScore{
+			{Account: "a", Queries: 73881, Users: 28, Accuracy: 0.493},
+		},
+		NumQueries: 200000, NumAccounts: 13, NumUsers: 183,
+	}
+	var buf bytes.Buffer
+	WriteTable1(&buf, r)
+	if !strings.Contains(buf.String(), "99.1%") {
+		t.Fatalf("table1 rendering:\n%s", buf.String())
+	}
+	buf.Reset()
+	WriteTable2(&buf, r)
+	if !strings.Contains(buf.String(), "73881") {
+		t.Fatalf("table2 rendering:\n%s", buf.String())
+	}
+}
+
+// runFig3AdvisorOnly exercises the budget mechanics of RunFig3 with an ideal
+// (oracle) summary instead of trained embedders.
+type fig3Probe struct {
+	noIndex, fullAt120, fullAt180, fullAt360, summaryAt180 float64
+}
+
+func runFig3AdvisorOnly(cfg Fig3Config) (*fig3Probe, error) {
+	insts := tpch.GenerateWorkload(tpch.WorkloadOptions{PerTemplate: TPCHPerTemplate(cfg.Scale), Seed: cfg.Seed})
+	queries := tpch.Queries(insts)
+	eng := engine.New(tpch.Catalog())
+	tpch.CalibrateEngine(eng, queries, cfg.TargetNoIdx)
+	noIdx := eng.ExecuteWorkload(queries, engine.NewDesign())
+	p := &fig3Probe{noIndex: noIdx.TotalSeconds}
+
+	// Full workload at the probed budgets.
+	for _, probe := range []struct {
+		budget float64
+		dst    *float64
+	}{{120, &p.fullAt120}, {180, &p.fullAt180}, {360, &p.fullAt360}} {
+		rec := advisor.Recommend(eng, queries, probe.budget, cfg.AdvisorParam)
+		*probe.dst = eng.ExecuteWorkload(queries, rec.Design).TotalSeconds
+	}
+
+	// Oracle summary: one representative per template, weighted by the
+	// template's instance count.
+	per := TPCHPerTemplate(cfg.Scale)
+	var summary []*engine.Query
+	for tpl := 0; tpl < len(queries)/per; tpl++ {
+		q := *queries[tpl*per]
+		q.Weight = float64(per)
+		summary = append(summary, &q)
+	}
+	rec := advisor.Recommend(eng, summary, 180, cfg.AdvisorParam)
+	p.summaryAt180 = eng.ExecuteWorkload(queries, rec.Design).TotalSeconds
+	return p, nil
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"querc/internal/advisor"
+	"querc/internal/apps"
+	"querc/internal/core"
+	"querc/internal/engine"
+	"querc/internal/snowgen"
+	"querc/internal/tpch"
+)
+
+// Fig3Config parameterizes the workload-summarization-for-index-selection
+// experiment (paper Fig. 3).
+type Fig3Config struct {
+	Scale        Scale
+	Seed         int64
+	Budgets      []float64 // advisor time budgets in seconds
+	TargetNoIdx  float64   // calibrated no-index workload runtime (paper: 1200 s)
+	AdvisorParam advisor.Params
+}
+
+// DefaultFig3Config mirrors the paper's setup: budgets of 1–10 minutes and a
+// 1200 s no-index baseline.
+func DefaultFig3Config(scale Scale) Fig3Config {
+	var budgets []float64
+	for m := 1; m <= 10; m++ {
+		budgets = append(budgets, float64(60*m))
+	}
+	return Fig3Config{
+		Scale:        scale,
+		Seed:         7,
+		Budgets:      budgets,
+		TargetNoIdx:  1200,
+		AdvisorParam: advisor.DefaultParams(),
+	}
+}
+
+// Fig3Series is one line of Fig. 3.
+type Fig3Series struct {
+	Name     string
+	Runtimes []float64 // workload runtime (s) per budget
+	SummaryK int       // representatives used (0 for the full workload)
+}
+
+// Fig3Result holds every series of Fig. 3.
+type Fig3Result struct {
+	Budgets        []float64
+	NoIndexSeconds float64
+	Series         []Fig3Series
+}
+
+// RunFig3 regenerates Fig. 3: workload runtime under indexes recommended at
+// varying advisor budgets, for the full workload and for summaries produced
+// by four embedders (Doc2Vec/LSTM × trained-on-TPCH/trained-on-Snowflake).
+func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
+	insts := tpch.GenerateWorkload(tpch.WorkloadOptions{PerTemplate: TPCHPerTemplate(cfg.Scale), Seed: cfg.Seed})
+	queries := tpch.Queries(insts)
+	sqls := tpch.SQLTexts(insts)
+	eng := engine.New(tpch.Catalog())
+	tpch.CalibrateEngine(eng, queries, cfg.TargetNoIdx)
+	noIdx := eng.ExecuteWorkload(queries, engine.NewDesign())
+
+	embedders, err := fig3Embedders(cfg, sqls)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig3Result{Budgets: cfg.Budgets, NoIndexSeconds: noIdx.TotalSeconds}
+
+	// Full-workload series (the paper's native-tool line).
+	full := Fig3Series{Name: "full workload"}
+	for _, b := range cfg.Budgets {
+		rec := advisor.Recommend(eng, queries, b, cfg.AdvisorParam)
+		full.Runtimes = append(full.Runtimes, eng.ExecuteWorkload(queries, rec.Design).TotalSeconds)
+	}
+	res.Series = append(res.Series, full)
+
+	// Summarized series, one per embedder.
+	for _, emb := range embedders {
+		sum, err := (&apps.Summarizer{Embedder: emb.e, MaxK: 32, Frac: 0.05, Seed: cfg.Seed, Workers: 8}).Summarize(sqls)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: summarize with %s: %w", emb.name, err)
+		}
+		sub := make([]*engine.Query, 0, len(sum.Indices))
+		for i, idx := range sum.Indices {
+			q := *queries[idx]
+			q.Weight = float64(sum.Weights[i])
+			sub = append(sub, &q)
+		}
+		series := Fig3Series{Name: emb.name, SummaryK: sum.K}
+		for _, b := range cfg.Budgets {
+			rec := advisor.Recommend(eng, sub, b, cfg.AdvisorParam)
+			series.Runtimes = append(series.Runtimes, eng.ExecuteWorkload(queries, rec.Design).TotalSeconds)
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+type namedEmbedder struct {
+	name string
+	e    core.Embedder
+}
+
+// fig3Embedders trains the four embedders of Fig. 3. The "Snowflake" pair is
+// trained on the synthetic multi-tenant corpus — a workload with completely
+// different schemas and dialects — exercising the paper's transfer-learning
+// claim.
+func fig3Embedders(cfg Fig3Config, tpchSQLs []string) ([]namedEmbedder, error) {
+	emb := DefaultEmbeddingConfigs(cfg.Scale)
+	trainN, _ := SnowScale(cfg.Scale)
+	snowTrain := snowgen.Generate(snowgen.Options{
+		Accounts: snowgen.TrainingProfile(float64(trainN) / 25000.0),
+		Seed:     cfg.Seed + 1,
+	})
+	snowSQLs := make([]string, len(snowTrain))
+	for i, q := range snowTrain {
+		snowSQLs[i] = q.SQL
+	}
+
+	var out []namedEmbedder
+	d2vT, err := core.NewDoc2VecEmbedder("tpch", tpchSQLs, emb.Doc2Vec)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, namedEmbedder{"doc2vecTPCH", d2vT})
+
+	lstmT, err := core.NewLSTMEmbedder("tpch", tpchSQLs, emb.LSTM)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, namedEmbedder{"lstmTPCH", lstmT})
+
+	d2vS, err := core.NewDoc2VecEmbedder("snowflake", snowSQLs, emb.Doc2Vec)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, namedEmbedder{"doc2vecSnowflake", d2vS})
+
+	lstmS, err := core.NewLSTMEmbedder("snowflake", snowSQLs, emb.LSTM)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, namedEmbedder{"lstmSnowflake", lstmS})
+	return out, nil
+}

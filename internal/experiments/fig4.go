@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"querc/internal/advisor"
+	"querc/internal/engine"
+	"querc/internal/tpch"
+)
+
+// Fig4Config parameterizes the per-query regression experiment (paper
+// Fig. 4): per-query runtimes with no indexes vs. the indexes the advisor
+// recommends for the *full* workload under a three-minute budget.
+type Fig4Config struct {
+	Scale         Scale
+	Seed          int64
+	BudgetSeconds float64
+	TargetNoIdx   float64
+	AdvisorParam  advisor.Params
+}
+
+// DefaultFig4Config mirrors the paper's three-minute budget.
+func DefaultFig4Config(scale Scale) Fig4Config {
+	return Fig4Config{
+		Scale:         scale,
+		Seed:          7,
+		BudgetSeconds: 180,
+		TargetNoIdx:   1200,
+		AdvisorParam:  advisor.DefaultParams(),
+	}
+}
+
+// Fig4Result holds both per-query runtime series, in workload order (the
+// template-major order of Fig. 4's x-axis).
+type Fig4Result struct {
+	Templates      []int // per query: its TPC-H template number
+	NoIndex        []float64
+	WithIndexes    []float64
+	Design         string // the recommended (regression-inducing) design
+	TotalNoIndex   float64
+	TotalWith      float64
+	RegressedBlock [2]int // query-ID range of the worst-regressing template
+}
+
+// RunFig4 regenerates Fig. 4.
+func RunFig4(cfg Fig4Config) (*Fig4Result, error) {
+	insts := tpch.GenerateWorkload(tpch.WorkloadOptions{PerTemplate: TPCHPerTemplate(cfg.Scale), Seed: cfg.Seed})
+	queries := tpch.Queries(insts)
+	eng := engine.New(tpch.Catalog())
+	tpch.CalibrateEngine(eng, queries, cfg.TargetNoIdx)
+
+	rec := advisor.Recommend(eng, queries, cfg.BudgetSeconds, cfg.AdvisorParam)
+	noIdx := eng.ExecuteWorkload(queries, engine.NewDesign())
+	with := eng.ExecuteWorkload(queries, rec.Design)
+
+	res := &Fig4Result{
+		NoIndex:      noIdx.PerQuery,
+		WithIndexes:  with.PerQuery,
+		Design:       rec.Design.String(),
+		TotalNoIndex: noIdx.TotalSeconds,
+		TotalWith:    with.TotalSeconds,
+	}
+	for _, inst := range insts {
+		res.Templates = append(res.Templates, inst.Template)
+	}
+
+	// Locate the worst-regressing contiguous template block.
+	perTemplate := map[int]float64{}
+	for i := range queries {
+		perTemplate[res.Templates[i]] += with.PerQuery[i] - noIdx.PerQuery[i]
+	}
+	worst, worstDelta := 0, 0.0
+	for t, d := range perTemplate {
+		if d > worstDelta {
+			worst, worstDelta = t, d
+		}
+	}
+	for i, t := range res.Templates {
+		if t == worst {
+			if res.RegressedBlock[0] == 0 && res.RegressedBlock[1] == 0 {
+				res.RegressedBlock[0] = i
+			}
+			res.RegressedBlock[1] = i
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteFig3 renders the Fig. 3 data as a budget × method table.
+func WriteFig3(w io.Writer, r *Fig3Result) {
+	fmt.Fprintf(w, "Figure 3 — workload runtime (s) vs advisor time budget (no-index baseline %.0f s)\n", r.NoIndexSeconds)
+	fmt.Fprintf(w, "%-10s", "budget(s)")
+	for _, s := range r.Series {
+		fmt.Fprintf(w, " %18s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for bi, b := range r.Budgets {
+		fmt.Fprintf(w, "%-10.0f", b)
+		for _, s := range r.Series {
+			fmt.Fprintf(w, " %18.0f", s.Runtimes[bi])
+		}
+		fmt.Fprintln(w)
+	}
+	for _, s := range r.Series {
+		if s.SummaryK > 0 {
+			fmt.Fprintf(w, "# %s summarized to K=%d representatives\n", s.Name, s.SummaryK)
+		}
+	}
+}
+
+// WriteFig4 renders the Fig. 4 data: per-query runtimes plus the regression
+// block annotation.
+func WriteFig4(w io.Writer, r *Fig4Result) {
+	fmt.Fprintf(w, "Figure 4 — per-query runtime (s): no indexes vs %s\n", r.Design)
+	fmt.Fprintf(w, "totals: no-index %.0f s, with-indexes %.0f s; worst regression block: queries %d-%d (template Q%d)\n",
+		r.TotalNoIndex, r.TotalWith, r.RegressedBlock[0], r.RegressedBlock[1], r.Templates[r.RegressedBlock[0]])
+	fmt.Fprintf(w, "%-8s %-5s %12s %12s\n", "queryID", "tpl", "no-index", "with-index")
+	for i := range r.NoIndex {
+		// Print block boundaries and the regression region densely, sampling
+		// elsewhere to keep output readable.
+		inBlock := i >= r.RegressedBlock[0]-2 && i <= r.RegressedBlock[1]+2
+		if i%20 == 0 || inBlock {
+			fmt.Fprintf(w, "%-8d Q%-4d %12.2f %12.2f\n", i, r.Templates[i], r.NoIndex[i], r.WithIndexes[i])
+		}
+	}
+}
+
+// WriteTable1 renders Table 1 (method accuracies).
+func WriteTable1(w io.Writer, r *LabelingResult) {
+	fmt.Fprintf(w, "Table 1 — query labeling (10-fold CV) over %d queries, %d accounts, %d users\n",
+		r.NumQueries, r.NumAccounts, r.NumUsers)
+	fmt.Fprintf(w, "%-20s %16s %14s\n", "method", "account labeling", "user labeling")
+	for _, m := range r.Table1 {
+		fmt.Fprintf(w, "%-20s %15.1f%% %13.1f%%\n", m.Method, m.AccountAcc*100, m.UserAcc*100)
+	}
+	fmt.Fprintf(w, "%-20s %15.1f%% %13.1f%%\n", "(majority baseline)", r.MajorityAccount*100, r.MajorityUser*100)
+}
+
+// WriteTable2 renders Table 2 (per-account user accuracy, largest first).
+func WriteTable2(w io.Writer, r *LabelingResult) {
+	fmt.Fprintln(w, "Table 2 — top accounts with user prediction accuracy (LSTM embedder)")
+	fmt.Fprintf(w, "%10s %8s %10s\n", "#queries", "#users", "accuracy")
+	for _, a := range r.Table2 {
+		fmt.Fprintf(w, "%10d %8d %9.1f%%\n", a.Queries, a.Users, a.Accuracy*100)
+	}
+}
+
+// Sparkline renders a coarse text plot of a series (diagnostics for Fig. 3
+// shapes in logs and tests).
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(glyphs)-1))
+		}
+		b.WriteRune(glyphs[idx])
+	}
+	return b.String()
+}

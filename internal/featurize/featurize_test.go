@@ -1,0 +1,115 @@
+package featurize
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExtractBasics(t *testing.T) {
+	f := Extract("select a, sum(b) from t join u on t.id = u.tid where x = 1 and y > 2 group by a having sum(b) > 10 order by a limit 5")
+	if len(f.Tables) != 2 {
+		t.Fatalf("tables: %v", f.Tables)
+	}
+	if len(f.JoinEdges) != 1 || f.JoinEdges[0] != "t.id=u.tid" {
+		t.Fatalf("joins: %v", f.JoinEdges)
+	}
+	if f.NumFilters < 2 {
+		t.Fatalf("filters: %d", f.NumFilters)
+	}
+	if len(f.GroupCols) != 1 || f.GroupCols[0] != "a" {
+		t.Fatalf("group: %v", f.GroupCols)
+	}
+	if !f.HasHaving || !f.HasOrder || !f.HasLimit {
+		t.Fatalf("flags: %+v", f)
+	}
+	if len(f.Aggregates) == 0 {
+		t.Fatalf("aggregates: %v", f.Aggregates)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	a := Extract("select x from t where a = 1")
+	b := Extract("select x from t where a = 2")
+	c := Extract("select count(*) from u join v on u.id = v.id group by u.k")
+	if d := Distance(a, b); d != 0 {
+		// Same template with different constants should be distance ~0
+		// (constants are normalized away by the parser).
+		t.Fatalf("same-template distance: %v", d)
+	}
+	if Distance(a, c) <= 0 {
+		t.Fatal("different shapes must be distant")
+	}
+	// Symmetry and identity.
+	if Distance(a, c) != Distance(c, a) {
+		t.Fatal("distance must be symmetric")
+	}
+	if Distance(c, c) != 0 {
+		t.Fatal("self distance must be 0")
+	}
+}
+
+func TestVectorizeStableAndSized(t *testing.T) {
+	v := Vectorizer{Buckets: 16}
+	f := Extract("select a from t where b = 1")
+	x1 := v.Vectorize(f)
+	x2 := v.Vectorize(f)
+	if len(x1) != v.Dim() {
+		t.Fatalf("dim: %d want %d", len(x1), v.Dim())
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatal("vectorization must be deterministic")
+		}
+	}
+}
+
+func TestEmbedderAdapter(t *testing.T) {
+	a := &EmbedderAdapter{}
+	x := a.Embed("select a from t where b = 1 group by a")
+	if len(x) != a.Dim() {
+		t.Fatalf("adapter dim mismatch: %d vs %d", len(x), a.Dim())
+	}
+	if a.Name() == "" {
+		t.Fatal("adapter must be named")
+	}
+	// Different shapes produce different vectors.
+	y := a.Embed("insert into u (a) values (1)")
+	same := true
+	for i := range x {
+		if x[i] != y[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct statements should not collide entirely")
+	}
+}
+
+// Property: Distance is non-negative and symmetric for arbitrary SQL-ish
+// strings (Extract is total).
+func TestDistanceTotal(t *testing.T) {
+	f := func(s1, s2 string) bool {
+		a, b := Extract(s1), Extract(s2)
+		d1, d2 := Distance(a, b), Distance(b, a)
+		return d1 >= 0 && d1 == d2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaccardDistance(t *testing.T) {
+	if d := jaccardDistance([]string{"a", "b"}, []string{"a", "b"}); d != 0 {
+		t.Fatalf("identical sets: %v", d)
+	}
+	if d := jaccardDistance([]string{"a"}, []string{"b"}); d != 1 {
+		t.Fatalf("disjoint sets: %v", d)
+	}
+	if d := jaccardDistance(nil, nil); d != 0 {
+		t.Fatalf("empty sets: %v", d)
+	}
+	if d := jaccardDistance([]string{"a", "b"}, []string{"b", "c"}); d < 0.666 || d > 0.667 {
+		t.Fatalf("partial overlap: %v", d)
+	}
+}

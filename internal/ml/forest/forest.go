@@ -1,0 +1,285 @@
+// Package forest implements an extremely-randomized decision-tree ensemble
+// (ExtraTrees). The paper's labeling experiments (§5.2) train "randomized
+// decision trees" over learned query vectors to predict username and customer
+// account; this package is that labeler.
+//
+// ExtraTrees differ from classic random forests in two ways that make them a
+// good fit for dense learned embeddings: splits use random thresholds
+// (cheap, strong variance reduction) and trees train on the full sample
+// rather than bootstrap replicas.
+package forest
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"querc/internal/vec"
+)
+
+// Config holds the ensemble hyper-parameters.
+type Config struct {
+	NumTrees       int // ensemble size
+	MaxDepth       int // 0 means unlimited
+	MinSamplesLeaf int // stop splitting below this node size
+	NumFeatures    int // candidate features per split; 0 means sqrt(dim)
+	Seed           int64
+}
+
+// DefaultConfig returns the hyper-parameters used by the experiments.
+func DefaultConfig() Config {
+	return Config{NumTrees: 40, MaxDepth: 0, MinSamplesLeaf: 2, Seed: 1}
+}
+
+func (c *Config) fillDefaults(dim int) {
+	d := DefaultConfig()
+	if c.NumTrees <= 0 {
+		c.NumTrees = d.NumTrees
+	}
+	if c.MinSamplesLeaf <= 0 {
+		c.MinSamplesLeaf = d.MinSamplesLeaf
+	}
+	if c.NumFeatures <= 0 {
+		c.NumFeatures = int(math.Sqrt(float64(dim)))
+		if c.NumFeatures < 1 {
+			c.NumFeatures = 1
+		}
+	}
+}
+
+// node is one tree node in flattened form (gob-friendly).
+type node struct {
+	Feature   int     // split feature; -1 for leaves
+	Threshold float64 // go left when x[Feature] < Threshold
+	Left      int     // child indices into the tree's node slice
+	Right     int
+	Class     int // majority class (leaves)
+}
+
+// tree is a single extremely-randomized tree.
+type tree struct {
+	Nodes []node
+}
+
+// Forest is a trained ensemble classifier.
+type Forest struct {
+	Cfg        Config
+	Trees      []tree
+	NumClasses int
+	Dim        int
+}
+
+// Train fits an ExtraTrees ensemble on X (feature vectors) and y (class IDs
+// in [0, numClasses)). It returns an error on malformed input.
+func Train(X []vec.Vector, y []int, numClasses int, cfg Config) (*Forest, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("forest: empty training set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("forest: %d samples but %d labels", len(X), len(y))
+	}
+	if numClasses < 1 {
+		return nil, fmt.Errorf("forest: numClasses %d < 1", numClasses)
+	}
+	for i, c := range y {
+		if c < 0 || c >= numClasses {
+			return nil, fmt.Errorf("forest: label %d of sample %d out of range [0,%d)", c, i, numClasses)
+		}
+	}
+	dim := len(X[0])
+	cfg.fillDefaults(dim)
+
+	f := &Forest{Cfg: cfg, NumClasses: numClasses, Dim: dim}
+	f.Trees = make([]tree, cfg.NumTrees)
+	for t := range f.Trees {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
+		idx := make([]int, len(X))
+		for i := range idx {
+			idx[i] = i
+		}
+		b := &builder{X: X, y: y, numClasses: numClasses, cfg: cfg, rng: rng}
+		b.grow(idx, 0)
+		f.Trees[t] = tree{Nodes: b.nodes}
+	}
+	return f, nil
+}
+
+type builder struct {
+	X          []vec.Vector
+	y          []int
+	numClasses int
+	cfg        Config
+	rng        *rand.Rand
+	nodes      []node
+}
+
+// grow builds the subtree over samples idx and returns its node index.
+func (b *builder) grow(idx []int, depth int) int {
+	counts := make([]int, b.numClasses)
+	for _, i := range idx {
+		counts[b.y[i]]++
+	}
+	majority, pure := majorityClass(counts)
+
+	stop := pure ||
+		len(idx) < 2*b.cfg.MinSamplesLeaf ||
+		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth)
+	if !stop {
+		if feat, thr, ok := b.bestRandomSplit(idx); ok {
+			var left, right []int
+			for _, i := range idx {
+				if b.X[i][feat] < thr {
+					left = append(left, i)
+				} else {
+					right = append(right, i)
+				}
+			}
+			if len(left) >= b.cfg.MinSamplesLeaf && len(right) >= b.cfg.MinSamplesLeaf {
+				self := len(b.nodes)
+				b.nodes = append(b.nodes, node{Feature: feat, Threshold: thr})
+				l := b.grow(left, depth+1)
+				r := b.grow(right, depth+1)
+				b.nodes[self].Left = l
+				b.nodes[self].Right = r
+				return self
+			}
+		}
+	}
+	self := len(b.nodes)
+	b.nodes = append(b.nodes, node{Feature: -1, Class: majority})
+	return self
+}
+
+// bestRandomSplit draws NumFeatures random (feature, uniform threshold)
+// candidates and returns the one with the lowest weighted Gini impurity.
+func (b *builder) bestRandomSplit(idx []int) (feat int, thr float64, ok bool) {
+	dim := b.Dim()
+	bestGini := math.Inf(1)
+	for k := 0; k < b.cfg.NumFeatures; k++ {
+		f := b.rng.Intn(dim)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, i := range idx {
+			v := b.X[i][f]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi <= lo {
+			continue
+		}
+		t := lo + b.rng.Float64()*(hi-lo)
+		g := b.splitGini(idx, f, t)
+		if g < bestGini {
+			bestGini, feat, thr, ok = g, f, t, true
+		}
+	}
+	return feat, thr, ok
+}
+
+func (b *builder) Dim() int { return len(b.X[0]) }
+
+func (b *builder) splitGini(idx []int, feat int, thr float64) float64 {
+	lc := make([]int, b.numClasses)
+	rc := make([]int, b.numClasses)
+	var ln, rn int
+	for _, i := range idx {
+		if b.X[i][feat] < thr {
+			lc[b.y[i]]++
+			ln++
+		} else {
+			rc[b.y[i]]++
+			rn++
+		}
+	}
+	if ln == 0 || rn == 0 {
+		return math.Inf(1)
+	}
+	n := float64(ln + rn)
+	return float64(ln)/n*gini(lc, ln) + float64(rn)/n*gini(rc, rn)
+}
+
+func gini(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		g -= p * p
+	}
+	return g
+}
+
+func majorityClass(counts []int) (cls int, pure bool) {
+	best, total, nonzero := 0, 0, 0
+	for c, n := range counts {
+		total += n
+		if n > 0 {
+			nonzero++
+		}
+		if n > counts[best] {
+			best = c
+		}
+	}
+	return best, nonzero <= 1 && total > 0
+}
+
+// Predict returns the majority-vote class for x.
+func (f *Forest) Predict(x vec.Vector) int {
+	probs := f.PredictProba(x)
+	best := 0
+	for c, p := range probs {
+		if p > probs[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// PredictProba returns the per-class vote fractions for x.
+func (f *Forest) PredictProba(x vec.Vector) []float64 {
+	votes := make([]float64, f.NumClasses)
+	for _, t := range f.Trees {
+		votes[t.predict(x)]++
+	}
+	if len(f.Trees) > 0 {
+		for c := range votes {
+			votes[c] /= float64(len(f.Trees))
+		}
+	}
+	return votes
+}
+
+func (t *tree) predict(x vec.Vector) int {
+	i := 0
+	for {
+		n := t.Nodes[i]
+		if n.Feature < 0 {
+			return n.Class
+		}
+		if n.Feature < len(x) && x[n.Feature] < n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// Save writes the forest in gob format.
+func (f *Forest) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(f)
+}
+
+// Load reads a forest previously written by Save.
+func Load(r io.Reader) (*Forest, error) {
+	var f Forest
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("forest: load: %w", err)
+	}
+	return &f, nil
+}

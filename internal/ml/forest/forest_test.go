@@ -1,0 +1,189 @@
+package forest
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"querc/internal/vec"
+)
+
+// xorData: a dataset a single axis-aligned split cannot solve but a tree
+// ensemble can.
+func xorData(rng *rand.Rand, n int) ([]vec.Vector, []int) {
+	X := make([]vec.Vector, n)
+	y := make([]int, n)
+	for i := range X {
+		a, b := rng.Float64(), rng.Float64()
+		X[i] = vec.Vector{a, b, rng.Float64() * 0.01}
+		if (a > 0.5) != (b > 0.5) {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+func TestLearnsXor(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := xorData(rng, 400)
+	f, err := Train(X, y, 2, Config{NumTrees: 40, MinSamplesLeaf: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	testX, testY := xorData(rng, 200)
+	for i := range testX {
+		if f.Predict(testX[i]) == testY[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(testX)); acc < 0.9 {
+		t.Fatalf("xor accuracy %.2f < 0.9", acc)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := Train(nil, nil, 2, Config{}); err == nil {
+		t.Fatal("empty training set must fail")
+	}
+	if _, err := Train([]vec.Vector{{1}}, []int{0, 1}, 2, Config{}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if _, err := Train([]vec.Vector{{1}}, []int{5}, 2, Config{}); err == nil {
+		t.Fatal("out-of-range label must fail")
+	}
+	if _, err := Train([]vec.Vector{{1}}, []int{0}, 0, Config{}); err == nil {
+		t.Fatal("numClasses < 1 must fail")
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X, y := xorData(rng, 150)
+	f1, err := Train(X, y, 2, Config{NumTrees: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Train(X, y, 2, Config{NumTrees: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := vec.Vector{0.3, 0.8, 0}
+	p1, p2 := f1.PredictProba(probe), f2.PredictProba(probe)
+	for c := range p1 {
+		if p1[c] != p2[c] {
+			t.Fatal("same seed must give identical forests")
+		}
+	}
+}
+
+func TestProbaSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, y := xorData(rng, 100)
+	f, err := Train(X, y, 2, Config{NumTrees: 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quickF := func(a, b float64) bool {
+		probs := f.PredictProba(vec.Vector{a, b, 0})
+		var sum float64
+		for _, p := range probs {
+			if p < 0 {
+				return false
+			}
+			sum += p
+		}
+		return sum > 0.999 && sum < 1.001
+	}
+	if err := quick.Check(quickF, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPureLeafShortCircuit(t *testing.T) {
+	// All one class: prediction must always be that class.
+	X := []vec.Vector{{1, 2}, {3, 4}, {5, 6}}
+	y := []int{1, 1, 1}
+	f, err := Train(X, y, 3, Config{NumTrees: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Predict(vec.Vector{100, -100}) != 1 {
+		t.Fatal("pure training set must predict the single class")
+	}
+}
+
+func TestMaxDepthLimitsTreeSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	X, y := xorData(rng, 300)
+	shallow, err := Train(X, y, 2, Config{NumTrees: 5, MaxDepth: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := Train(X, y, 2, Config{NumTrees: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeOf := func(f *Forest) int {
+		n := 0
+		for _, tr := range f.Trees {
+			n += len(tr.Nodes)
+		}
+		return n
+	}
+	if sizeOf(shallow) >= sizeOf(deep) {
+		t.Fatalf("depth cap did not shrink trees: %d vs %d", sizeOf(shallow), sizeOf(deep))
+	}
+	// Depth-2 trees have at most 7 nodes.
+	for _, tr := range shallow.Trees {
+		if len(tr.Nodes) > 7 {
+			t.Fatalf("depth-2 tree has %d nodes", len(tr.Nodes))
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, y := xorData(rng, 120)
+	f, err := Train(X, y, 2, Config{NumTrees: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		p := vec.Vector{rng.Float64(), rng.Float64(), 0}
+		if f.Predict(p) != f2.Predict(p) {
+			t.Fatal("loaded forest predicts differently")
+		}
+	}
+}
+
+// Property: predictions are always valid class IDs.
+func TestPredictionRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	X := make([]vec.Vector, 60)
+	y := make([]int, 60)
+	for i := range X {
+		X[i] = vec.NewRandom(rng, 4, 1)
+		y[i] = rng.Intn(5)
+	}
+	f, err := Train(X, y, 5, Config{NumTrees: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(a, b, c, d float64) bool {
+		cls := f.Predict(vec.Vector{a, b, c, d})
+		return cls >= 0 && cls < 5
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,257 @@
+package snowgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// schema is one account's private namespace. Table and column names embed an
+// account-specific code, mirroring the paper's observation that "different
+// customers use primarily different schemas" — the signal that makes account
+// prediction from raw tokens nearly perfect.
+type schema struct {
+	account string
+	code    string // short per-account token prefix
+	tables  []tableDef
+}
+
+type tableDef struct {
+	name string
+	cols []string
+}
+
+var domainWords = []string{
+	"sales", "events", "clicks", "users", "inventory", "shipments",
+	"payments", "sessions", "logs", "metrics", "orders", "billing",
+	"devices", "campaigns", "leads", "returns", "stock", "audits",
+}
+
+var columnWords = []string{
+	"id", "created_at", "amount", "status", "region", "category",
+	"price", "qty", "score", "name", "ts", "country", "device",
+	"channel", "revenue", "cost", "segment", "tier", "flag", "total",
+}
+
+func newSchema(rng *rand.Rand, account string, tables int) *schema {
+	code := fmt.Sprintf("t%da", rng.Intn(90)+10)
+	sc := &schema{account: account, code: code}
+	perm := rng.Perm(len(domainWords))
+	for i := 0; i < tables; i++ {
+		domain := domainWords[perm[i%len(perm)]]
+		name := fmt.Sprintf("%s_%s_%d", code, domain, i+1)
+		ncols := 5 + rng.Intn(6)
+		cols := make([]string, 0, ncols)
+		cperm := rng.Perm(len(columnWords))
+		for c := 0; c < ncols; c++ {
+			base := columnWords[cperm[c%len(columnWords)]]
+			// Most columns carry the account code; a few stay generic so
+			// that cross-account vocabulary overlap is non-zero.
+			if c%4 == 3 {
+				cols = append(cols, base)
+			} else {
+				cols = append(cols, code+"_"+base)
+			}
+		}
+		sc.tables = append(sc.tables, tableDef{name: name, cols: cols})
+	}
+	return sc
+}
+
+// template is one parameterized query shape. Rendering draws literals from
+// small per-template pools, so one user's instances look alike while staying
+// distinguishable from other users' templates.
+type template struct {
+	sc       *schema
+	dialect  Dialect
+	kind     int // 0 select, 1 insert, 2 aggregate select, 3 update
+	main     int
+	join     int // -1 when absent
+	filters  []int
+	ops      []string
+	pools    [][]string
+	projCols []int
+	aggFn    string
+	aggCol   int
+	groupBy  int // column index or -1
+	orderBy  int // column index or -1
+	limit    int // 0 when absent
+}
+
+// newTemplate samples a fresh query shape. userIdx flavours the literal
+// pools (user-specific constants) and biases table choice toward the user's
+// preferred tables — real analysts work a stable slice of the schema, and
+// that slice is a large part of what makes users identifiable from syntax.
+// Pass a negative userIdx for account-shared templates.
+func newTemplate(rng *rand.Rand, sc *schema, dialect Dialect, userIdx int) template {
+	t := template{sc: sc, dialect: dialect, join: -1, groupBy: -1, orderBy: -1}
+	t.main = rng.Intn(len(sc.tables))
+	if userIdx >= 0 && len(sc.tables) > 2 {
+		// Each user works mostly within a 3-table neighbourhood anchored at
+		// a user-specific offset into the schema.
+		anchor := (userIdx * 5) % len(sc.tables)
+		t.main = (anchor + rng.Intn(3)) % len(sc.tables)
+	}
+	t.kind = [4]int{0, 0, 2, 2}[rng.Intn(4)]
+	if rng.Float64() < 0.1 {
+		t.kind = 1 + 2*rng.Intn(2) // occasionally INSERT or UPDATE
+	}
+	mt := sc.tables[t.main]
+
+	nf := 1 + rng.Intn(3)
+	for f := 0; f < nf && f < len(mt.cols); f++ {
+		ci := rng.Intn(len(mt.cols))
+		t.filters = append(t.filters, ci)
+		t.ops = append(t.ops, pickOp(rng, dialect))
+		t.pools = append(t.pools, literalPool(rng, userIdx))
+	}
+	np := 1 + rng.Intn(4)
+	seen := map[int]bool{}
+	for pi := 0; pi < np; pi++ {
+		ci := rng.Intn(len(mt.cols))
+		if !seen[ci] {
+			seen[ci] = true
+			t.projCols = append(t.projCols, ci)
+		}
+	}
+	if rng.Float64() < 0.45 && len(sc.tables) > 1 {
+		t.join = rng.Intn(len(sc.tables))
+		if t.join == t.main {
+			t.join = (t.join + 1) % len(sc.tables)
+		}
+	}
+	if t.kind == 2 {
+		t.aggFn = []string{"sum", "count", "avg", "max"}[rng.Intn(4)]
+		t.aggCol = rng.Intn(len(mt.cols))
+		t.groupBy = t.projCols[0]
+	}
+	if rng.Float64() < 0.5 {
+		t.orderBy = t.projCols[rng.Intn(len(t.projCols))]
+	}
+	if rng.Float64() < 0.4 {
+		t.limit = []int{10, 50, 100, 500, 1000}[rng.Intn(5)]
+	}
+	return t
+}
+
+func pickOp(rng *rand.Rand, dialect Dialect) string {
+	ops := []string{"=", "=", ">", "<", ">=", "<>", "like", "in"}
+	op := ops[rng.Intn(len(ops))]
+	if op == "like" && dialect == DialectSnow && rng.Float64() < 0.5 {
+		op = "ilike"
+	}
+	return op
+}
+
+// literalPool builds 2-4 literal strings. User-flavoured pools embed the
+// user's numeric range and favourite strings; shared pools use generic ones.
+func literalPool(rng *rand.Rand, userIdx int) []string {
+	n := 2 + rng.Intn(3)
+	out := make([]string, n)
+	base := 1000 * (userIdx + 1)
+	if userIdx < 0 {
+		base = 500
+	}
+	words := []string{"active", "pending", "closed", "eu-west", "us-east", "gold", "silver", "mobile", "web"}
+	for i := range out {
+		if rng.Float64() < 0.5 {
+			out[i] = fmt.Sprintf("%d", base+rng.Intn(997))
+		} else {
+			out[i] = "'" + words[rng.Intn(len(words))] + "'"
+		}
+	}
+	return out
+}
+
+// render emits one SQL instance of the template.
+func (t template) render(rng *rand.Rand) string {
+	mt := t.sc.tables[t.main]
+	var b strings.Builder
+	switch t.kind {
+	case 1: // INSERT
+		fmt.Fprintf(&b, "insert into %s (%s) values (", mt.name, strings.Join(colNames(mt, t.projCols), ", "))
+		for i := range t.projCols {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(t.pools[i%len(t.pools)][rng.Intn(len(t.pools[i%len(t.pools)]))])
+		}
+		b.WriteString(")")
+		return b.String()
+	case 3: // UPDATE
+		fmt.Fprintf(&b, "update %s set %s = %s where %s %s %s",
+			mt.name, mt.cols[t.projCols[0]], t.pools[0][rng.Intn(len(t.pools[0]))],
+			mt.cols[t.filters[0]], t.ops[0], t.renderLiteral(rng, 0))
+		return b.String()
+	}
+
+	b.WriteString("select ")
+	if t.dialect == DialectTSQL && t.limit > 0 {
+		fmt.Fprintf(&b, "top %d ", t.limit)
+	}
+	proj := colNames(mt, t.projCols)
+	if t.kind == 2 {
+		proj = append(proj, fmt.Sprintf("%s(%s)", t.aggFn, mt.cols[t.aggCol]))
+	}
+	b.WriteString(strings.Join(proj, ", "))
+	fmt.Fprintf(&b, " from %s", t.quoteTable(mt.name))
+	if t.join >= 0 {
+		jt := t.sc.tables[t.join]
+		fmt.Fprintf(&b, " join %s on %s.%s = %s.%s",
+			t.quoteTable(jt.name), mt.name, mt.cols[0], jt.name, jt.cols[0])
+	}
+	for i, fi := range t.filters {
+		if i == 0 {
+			b.WriteString(" where ")
+		} else {
+			b.WriteString(" and ")
+		}
+		fmt.Fprintf(&b, "%s %s %s", mt.cols[fi], t.ops[i], t.renderLiteral(rng, i))
+	}
+	if t.groupBy >= 0 {
+		fmt.Fprintf(&b, " group by %s", mt.cols[t.groupBy])
+	}
+	if t.orderBy >= 0 {
+		fmt.Fprintf(&b, " order by %s", mt.cols[t.orderBy])
+		if t.dialect == DialectSnow && rng.Float64() < 0.3 {
+			b.WriteString(" desc")
+		}
+	}
+	if t.limit > 0 && t.dialect != DialectTSQL {
+		fmt.Fprintf(&b, " limit %d", t.limit)
+	}
+	return b.String()
+}
+
+func (t template) renderLiteral(rng *rand.Rand, i int) string {
+	pool := t.pools[i%len(t.pools)]
+	lit := pool[rng.Intn(len(pool))]
+	op := t.ops[i%len(t.ops)]
+	switch op {
+	case "in":
+		a, b := pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))]
+		return "(" + a + ", " + b + ")"
+	case "like", "ilike":
+		trimmed := strings.Trim(lit, "'")
+		return "'%" + trimmed + "%'"
+	}
+	if t.dialect == DialectSnow && strings.HasPrefix(lit, "'") && rng.Float64() < 0.15 {
+		return lit + "::varchar"
+	}
+	return lit
+}
+
+func (t template) quoteTable(name string) string {
+	if t.dialect == DialectTSQL {
+		return "[" + name + "]"
+	}
+	return name
+}
+
+func colNames(t tableDef, idx []int) []string {
+	out := make([]string, len(idx))
+	for i, ci := range idx {
+		out[i] = t.cols[ci]
+	}
+	return out
+}

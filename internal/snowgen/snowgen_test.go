@@ -1,0 +1,207 @@
+package snowgen
+
+import (
+	"strings"
+	"testing"
+
+	"querc/internal/sqlparse"
+)
+
+func smallOptions() Options {
+	return Options{
+		Accounts: []AccountSpec{
+			{Name: "a1", Users: 4, Queries: 200, SharedFraction: 0.7, Dialect: DialectSnow},
+			{Name: "a2", Users: 3, Queries: 150, SharedFraction: 0.0, Dialect: DialectTSQL},
+			{Name: "a3", Users: 5, Queries: 100, SharedFraction: 0.1, Dialect: DialectAnsi},
+		},
+		Seed: 42,
+	}
+}
+
+func TestGenerateCountsAndLabels(t *testing.T) {
+	qs := Generate(smallOptions())
+	if len(qs) != 450 {
+		t.Fatalf("total queries: %d", len(qs))
+	}
+	perAccount := map[string]int{}
+	users := map[string]map[string]bool{}
+	for _, q := range qs {
+		perAccount[q.Account]++
+		if users[q.Account] == nil {
+			users[q.Account] = map[string]bool{}
+		}
+		users[q.Account][q.User] = true
+		if q.SQL == "" || q.User == "" || q.Cluster == "" {
+			t.Fatalf("incomplete record: %+v", q)
+		}
+		if !strings.HasPrefix(q.User, q.Account+"_user") {
+			t.Fatalf("user %q not namespaced under account %q", q.User, q.Account)
+		}
+		if q.RuntimeMS <= 0 || q.MemoryMB <= 0 {
+			t.Fatalf("non-positive resource labels: %+v", q)
+		}
+	}
+	if perAccount["a1"] != 200 || perAccount["a2"] != 150 || perAccount["a3"] != 100 {
+		t.Fatalf("per-account counts: %v", perAccount)
+	}
+	if len(users["a1"]) != 4 || len(users["a2"]) != 3 || len(users["a3"]) != 5 {
+		t.Fatalf("user counts: a1=%d a2=%d a3=%d", len(users["a1"]), len(users["a2"]), len(users["a3"]))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(smallOptions())
+	b := Generate(smallOptions())
+	for i := range a {
+		if a[i].SQL != b[i].SQL || a[i].User != b[i].User {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+}
+
+func TestTimestampsIncrease(t *testing.T) {
+	qs := Generate(smallOptions())
+	for i := 1; i < len(qs); i++ {
+		if qs[i].Timestamp < qs[i-1].Timestamp {
+			t.Fatalf("timestamps must be non-decreasing at %d", i)
+		}
+	}
+}
+
+// TestSharedFractionDrivesDuplicates verifies the Table 2 mechanism: a
+// high-sharing account has many users issuing byte-identical queries; a
+// zero-sharing account has none.
+func TestSharedFractionDrivesDuplicates(t *testing.T) {
+	qs := Generate(smallOptions())
+	dupUsers := func(account string) int {
+		users := map[string]map[string]bool{}
+		for _, q := range qs {
+			if q.Account != account {
+				continue
+			}
+			if users[q.SQL] == nil {
+				users[q.SQL] = map[string]bool{}
+			}
+			users[q.SQL][q.User] = true
+		}
+		multi := 0
+		for _, u := range users {
+			if len(u) > 1 {
+				multi++
+			}
+		}
+		return multi
+	}
+	if dupUsers("a1") == 0 {
+		t.Fatal("high-sharing account should have multi-user duplicate queries")
+	}
+	if dupUsers("a2") != 0 {
+		t.Fatal("zero-sharing account should have no multi-user duplicates")
+	}
+}
+
+// TestSchemasAreAccountDistinct verifies the Table 1 mechanism: accounts
+// reference (mostly) disjoint table names.
+func TestSchemasAreAccountDistinct(t *testing.T) {
+	qs := Generate(smallOptions())
+	tables := map[string]map[string]bool{}
+	for _, q := range qs {
+		sum := sqlparse.Parse(q.SQL)
+		for _, name := range sum.TableNames() {
+			if tables[name] == nil {
+				tables[name] = map[string]bool{}
+			}
+			tables[name][q.Account] = true
+		}
+	}
+	crossAccount := 0
+	for _, accs := range tables {
+		if len(accs) > 1 {
+			crossAccount++
+		}
+	}
+	if crossAccount > 0 {
+		t.Fatalf("%d table names shared across accounts", crossAccount)
+	}
+}
+
+func TestDialectSurface(t *testing.T) {
+	qs := Generate(smallOptions())
+	var sawTop, sawLimit bool
+	for _, q := range qs {
+		switch q.Account {
+		case "a2": // TSQL
+			if strings.Contains(q.SQL, " limit ") {
+				t.Fatalf("TSQL account emitted LIMIT: %q", q.SQL)
+			}
+			if strings.Contains(q.SQL, "top ") {
+				sawTop = true
+			}
+		case "a3": // ANSI
+			if strings.Contains(q.SQL, "top ") {
+				t.Fatalf("ANSI account emitted TOP: %q", q.SQL)
+			}
+			if strings.Contains(q.SQL, " limit ") {
+				sawLimit = true
+			}
+		}
+	}
+	if !sawTop || !sawLimit {
+		t.Fatalf("dialect markers missing: top=%v limit=%v", sawTop, sawLimit)
+	}
+}
+
+func TestGeneratedSQLParses(t *testing.T) {
+	qs := Generate(smallOptions())
+	for i, q := range qs {
+		if i > 100 {
+			break
+		}
+		sum := sqlparse.Parse(q.SQL)
+		if len(sum.TableNames()) == 0 {
+			t.Fatalf("no tables parsed from %q", q.SQL)
+		}
+	}
+}
+
+func TestPaperProfileShape(t *testing.T) {
+	specs := PaperProfile(1.0)
+	if len(specs) != 13 {
+		t.Fatalf("paper profile accounts: %d", len(specs))
+	}
+	if specs[0].Queries != 73881 || specs[0].Users != 28 {
+		t.Fatalf("top account: %+v", specs[0])
+	}
+	// The two dominant accounts carry heavy sharing; the tail does not.
+	if specs[0].SharedFraction < 0.5 || specs[1].SharedFraction < 0.5 {
+		t.Fatal("dominant accounts must be repetition-heavy")
+	}
+	if specs[3].SharedFraction > 0.1 {
+		t.Fatalf("acct04 should be low-sharing: %+v", specs[3])
+	}
+	// Scaling keeps minimums sane.
+	small := PaperProfile(0.001)
+	for _, s := range small {
+		if s.Queries < 40 {
+			t.Fatalf("scaled account too small: %+v", s)
+		}
+	}
+}
+
+func TestErrorLabelsPresent(t *testing.T) {
+	opts := smallOptions()
+	opts.Accounts[0].Queries = 3000 // enough volume for rare errors
+	qs := Generate(opts)
+	errs := 0
+	for _, q := range qs {
+		if q.ErrorCode != "" {
+			errs++
+		}
+	}
+	if errs == 0 {
+		t.Fatal("expected some error labels in a 3k query stream")
+	}
+	if float64(errs) > 0.2*float64(len(qs)) {
+		t.Fatalf("error rate implausibly high: %d/%d", errs, len(qs))
+	}
+}

@@ -1,0 +1,344 @@
+// Package sqllex is a dialect-tolerant SQL tokenizer.
+//
+// Querc's central design decision (paper §1) is that every downstream task
+// consumes the raw query text, so the lexer is deliberately permissive: it
+// must produce a sensible token stream for any ANSI-ish dialect (SQL Server,
+// Snowflake, BigQuery, Postgres...) without a grammar. Unknown characters
+// become single-rune operator tokens rather than errors; lexing never fails.
+//
+// The embedding models want a *normalized* token stream (literals collapsed
+// to placeholder tokens, case folded) so that two executions of the same
+// template embed identically; the structural parser wants the raw stream.
+// Both are served by Options.
+package sqllex
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Keyword
+	Ident       // bare identifier
+	QuotedIdent // "ident", [ident], `ident`
+	Number
+	String // 'literal'
+	Operator
+	Punct   // ( ) , ; .
+	Param   // ? or :name or $1 or @name
+	Comment // -- ... or /* ... */
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case Keyword:
+		return "Keyword"
+	case Ident:
+		return "Ident"
+	case QuotedIdent:
+		return "QuotedIdent"
+	case Number:
+		return "Number"
+	case String:
+		return "String"
+	case Operator:
+		return "Operator"
+	case Punct:
+		return "Punct"
+	case Param:
+		return "Param"
+	case Comment:
+		return "Comment"
+	}
+	return "Unknown"
+}
+
+// Token is one lexical unit of a SQL text.
+type Token struct {
+	Kind Kind
+	Text string // normalized per Options (see Tokenize)
+	Pos  int    // byte offset of the token start in the input
+}
+
+// Options control normalization performed during tokenization.
+type Options struct {
+	// KeepComments emits Comment tokens instead of discarding them.
+	KeepComments bool
+	// NormalizeLiterals replaces every Number token text with "0" and every
+	// String token text with "'str'", so queries differing only in constants
+	// produce identical streams. Params are normalized to "?".
+	NormalizeLiterals bool
+	// FoldCase lower-cases keywords and bare identifiers.
+	FoldCase bool
+}
+
+// EmbeddingOptions is the normalization profile used when feeding queries to
+// the embedding models: fold case and drop comments but keep literals —
+// constants carry user/application signal that the labeling tasks exploit.
+func EmbeddingOptions() Options {
+	return Options{FoldCase: true}
+}
+
+// EmbeddingOptionsNormalized additionally collapses literals and parameters,
+// so all instances of one query template produce an identical token stream.
+// Useful for template mining and deduplication.
+func EmbeddingOptionsNormalized() Options {
+	return Options{NormalizeLiterals: true, FoldCase: true}
+}
+
+// keywords is a union of common keywords across the dialects named in the
+// paper. Membership only affects the Kind (and therefore case folding);
+// unlisted words simply lex as Ident, which is harmless downstream.
+var keywords = map[string]bool{}
+
+func init() {
+	for _, w := range strings.Fields(`
+		select from where group by having order asc desc limit offset top
+		insert into values update set delete create table index view drop
+		alter add primary key foreign references unique not null default
+		and or in exists between like ilike is distinct all any some
+		join inner left right full outer cross on using natural
+		union intersect except minus as case when then else end
+		count sum avg min max stddev variance first last
+		cast convert coalesce nullif substring trim upper lower
+		with recursive over partition rows range preceding following current row
+		grant revoke to merge matched copy stage warehouse database schema
+		if begin commit rollback transaction use describe show explain
+		true false interval date time timestamp year month day extract
+		fetch only percent ties qualify sample tablesample lateral flatten
+		char varchar integer bigint smallint decimal numeric float double real boolean
+	`) {
+		keywords[w] = true
+	}
+}
+
+// IsKeyword reports whether the lower-cased word is in the shared keyword set.
+func IsKeyword(word string) bool { return keywords[strings.ToLower(word)] }
+
+// Tokenize lexes sql into tokens according to opts. The returned slice never
+// includes the EOF token. Lexing is total: any input produces some stream.
+func Tokenize(sql string, opts Options) []Token {
+	lx := lexer{src: sql, opts: opts}
+	var out []Token
+	for {
+		t := lx.next()
+		if t.Kind == EOF {
+			return out
+		}
+		if t.Kind == Comment && !opts.KeepComments {
+			continue
+		}
+		out = append(out, t)
+	}
+}
+
+// Strings tokenizes sql with the given options and returns just the token
+// texts, the form consumed by vocabularies and embedders.
+func Strings(sql string, opts Options) []string {
+	toks := Tokenize(sql, opts)
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	opts Options
+}
+
+func (lx *lexer) peek() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peekAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) next() Token {
+	for lx.pos < len(lx.src) && isSpace(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: EOF, Pos: lx.pos}
+	}
+	start := lx.pos
+	c := lx.src[lx.pos]
+
+	switch {
+	case c == '-' && lx.peekAt(1) == '-':
+		for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+			lx.pos++
+		}
+		return Token{Kind: Comment, Text: lx.src[start:lx.pos], Pos: start}
+	case c == '/' && lx.peekAt(1) == '*':
+		lx.pos += 2
+		for lx.pos < len(lx.src) && !(lx.src[lx.pos] == '*' && lx.peekAt(1) == '/') {
+			lx.pos++
+		}
+		if lx.pos < len(lx.src) {
+			lx.pos += 2
+		}
+		return Token{Kind: Comment, Text: lx.src[start:lx.pos], Pos: start}
+	case c == '\'':
+		return lx.lexString(start)
+	case c == '"' || c == '`':
+		return lx.lexQuotedIdent(start, c)
+	case c == '[':
+		return lx.lexBracketIdent(start)
+	case isDigit(c) || (c == '.' && isDigit(lx.peekAt(1))):
+		return lx.lexNumber(start)
+	case isIdentStart(c):
+		return lx.lexWord(start)
+	case c == '?' || c == ':' && isIdentStart(lx.peekAt(1)) || c == '$' && isDigit(lx.peekAt(1)) || c == '@' && isIdentStart(lx.peekAt(1)):
+		return lx.lexParam(start)
+	case c == '(' || c == ')' || c == ',' || c == ';' || c == '.':
+		lx.pos++
+		return Token{Kind: Punct, Text: string(c), Pos: start}
+	default:
+		return lx.lexOperator(start)
+	}
+}
+
+func (lx *lexer) lexString(start int) Token {
+	lx.pos++ // opening quote
+	for lx.pos < len(lx.src) {
+		if lx.src[lx.pos] == '\'' {
+			if lx.peekAt(1) == '\'' { // escaped '' inside literal
+				lx.pos += 2
+				continue
+			}
+			lx.pos++
+			break
+		}
+		lx.pos++
+	}
+	text := lx.src[start:lx.pos]
+	if lx.opts.NormalizeLiterals {
+		text = "'str'"
+	}
+	return Token{Kind: String, Text: text, Pos: start}
+}
+
+func (lx *lexer) lexQuotedIdent(start int, quote byte) Token {
+	lx.pos++
+	for lx.pos < len(lx.src) && lx.src[lx.pos] != quote {
+		lx.pos++
+	}
+	if lx.pos < len(lx.src) {
+		lx.pos++
+	}
+	text := lx.src[start:lx.pos]
+	if lx.opts.FoldCase {
+		text = strings.ToLower(text)
+	}
+	return Token{Kind: QuotedIdent, Text: text, Pos: start}
+}
+
+func (lx *lexer) lexBracketIdent(start int) Token {
+	lx.pos++
+	for lx.pos < len(lx.src) && lx.src[lx.pos] != ']' {
+		lx.pos++
+	}
+	if lx.pos < len(lx.src) {
+		lx.pos++
+	}
+	text := lx.src[start:lx.pos]
+	if lx.opts.FoldCase {
+		text = strings.ToLower(text)
+	}
+	return Token{Kind: QuotedIdent, Text: text, Pos: start}
+}
+
+func (lx *lexer) lexNumber(start int) Token {
+	seenDot, seenExp := false, false
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case isDigit(c):
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+		case (c == 'e' || c == 'E') && !seenExp && lx.pos > start:
+			seenExp = true
+			if n := lx.peekAt(1); n == '+' || n == '-' {
+				lx.pos++
+			}
+		default:
+			goto done
+		}
+		lx.pos++
+	}
+done:
+	text := lx.src[start:lx.pos]
+	if lx.opts.NormalizeLiterals {
+		text = "0"
+	}
+	return Token{Kind: Number, Text: text, Pos: start}
+}
+
+func (lx *lexer) lexWord(start int) Token {
+	for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	text := lx.src[start:lx.pos]
+	kind := Ident
+	if IsKeyword(text) {
+		kind = Keyword
+	}
+	if lx.opts.FoldCase {
+		text = strings.ToLower(text)
+	}
+	return Token{Kind: kind, Text: text, Pos: start}
+}
+
+func (lx *lexer) lexParam(start int) Token {
+	lx.pos++ // sigil
+	for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	text := lx.src[start:lx.pos]
+	if lx.opts.NormalizeLiterals {
+		text = "?"
+	}
+	return Token{Kind: Param, Text: text, Pos: start}
+}
+
+func (lx *lexer) lexOperator(start int) Token {
+	two := ""
+	if lx.pos+1 < len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=", "||", "::", "->":
+		lx.pos += 2
+		return Token{Kind: Operator, Text: two, Pos: start}
+	}
+	lx.pos++
+	return Token{Kind: Operator, Text: lx.src[start:lx.pos], Pos: start}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= 0x80 && unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || isDigit(c) || c == '$' || c == '#'
+}

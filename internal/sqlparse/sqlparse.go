@@ -1,0 +1,722 @@
+// Package sqlparse extracts a structural summary from SQL text.
+//
+// It is deliberately not a full grammar: the paper's point is that full
+// parsers are brittle across dialects, and Querc itself never needs one. The
+// two consumers of this package are (a) the *baseline* Chaudhuri-style
+// featurizer, which the paper compares against, and (b) the engine simulator,
+// which needs tables, predicates, joins and grouping structure to cost a
+// query. Both tolerate partial summaries, so the parser is total: it returns
+// its best-effort summary for any input and never fails.
+package sqlparse
+
+import (
+	"strings"
+
+	"querc/internal/sqllex"
+)
+
+// ColumnRef is a possibly-qualified column reference.
+type ColumnRef struct {
+	Table  string // alias or table name; empty when unqualified
+	Column string
+}
+
+func (c ColumnRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// TableRef is a table in a FROM clause.
+type TableRef struct {
+	Name  string // fully lower-cased base name (last path component)
+	Alias string // alias if present, else Name
+}
+
+// CompareOp is a predicate comparison operator.
+type CompareOp string
+
+// Predicate operators recognised by the parser.
+const (
+	OpEq      CompareOp = "="
+	OpNe      CompareOp = "<>"
+	OpLt      CompareOp = "<"
+	OpLe      CompareOp = "<="
+	OpGt      CompareOp = ">"
+	OpGe      CompareOp = ">="
+	OpLike    CompareOp = "like"
+	OpIn      CompareOp = "in"
+	OpBetween CompareOp = "between"
+	OpExists  CompareOp = "exists"
+	OpIsNull  CompareOp = "is null"
+)
+
+// Filter is a single-table predicate from WHERE or HAVING.
+type Filter struct {
+	Column   ColumnRef
+	Op       CompareOp
+	Value    string // literal text (normalized), or "" for EXISTS / subquery
+	Subquery bool   // right-hand side is a subquery
+	InHaving bool
+}
+
+// Join is an equality predicate between columns of two tables.
+type Join struct {
+	Left, Right ColumnRef
+}
+
+// Summary is the structural digest of one SQL statement.
+type Summary struct {
+	Statement  string // select, insert, update, delete, create, ...
+	Tables     []TableRef
+	Joins      []Join
+	Filters    []Filter
+	GroupBy    []ColumnRef
+	OrderBy    []ColumnRef
+	SelectCols []ColumnRef // explicit column refs in the projection
+	Aggregates []string    // aggregate function names in the projection
+	Star       bool        // SELECT *
+	Distinct   bool
+	HasHaving  bool
+	Limit      int // -1 when absent
+	Subqueries []*Summary
+}
+
+// SubqueryCount returns the number of subqueries, counted recursively.
+func (s *Summary) SubqueryCount() int {
+	n := len(s.Subqueries)
+	for _, sub := range s.Subqueries {
+		n += sub.SubqueryCount()
+	}
+	return n
+}
+
+// TableNames returns the distinct base table names, recursively including
+// subqueries, in first-appearance order.
+func (s *Summary) TableNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(*Summary)
+	walk = func(sum *Summary) {
+		for _, t := range sum.Tables {
+			if t.Name != "" && !seen[t.Name] {
+				seen[t.Name] = true
+				out = append(out, t.Name)
+			}
+		}
+		for _, sub := range sum.Subqueries {
+			walk(sub)
+		}
+	}
+	walk(s)
+	return out
+}
+
+// ResolveTable maps an alias (or bare column) to the base table name, using
+// this summary's FROM clause. Empty alias with a single table resolves to it.
+func (s *Summary) ResolveTable(alias string) string {
+	if alias == "" {
+		if len(s.Tables) == 1 {
+			return s.Tables[0].Name
+		}
+		return ""
+	}
+	for _, t := range s.Tables {
+		if t.Alias == alias || t.Name == alias {
+			return t.Name
+		}
+	}
+	return ""
+}
+
+// Parse summarizes a SQL statement. It never returns an error; unparseable
+// regions simply contribute nothing to the summary.
+func Parse(sql string) *Summary {
+	toks := sqllex.Tokenize(sql, sqllex.Options{FoldCase: true, NormalizeLiterals: true})
+	p := parser{toks: toks}
+	return p.parseStatement()
+}
+
+type parser struct {
+	toks []sqllex.Token
+	pos  int
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) cur() sqllex.Token {
+	if p.done() {
+		return sqllex.Token{Kind: sqllex.EOF}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) at(text string) bool {
+	t := p.cur()
+	return (t.Kind == sqllex.Keyword || t.Kind == sqllex.Ident || t.Kind == sqllex.Punct || t.Kind == sqllex.Operator) && t.Text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.at(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseStatement() *Summary {
+	s := &Summary{Limit: -1}
+	if p.done() {
+		s.Statement = ""
+		return s
+	}
+	s.Statement = p.cur().Text
+	switch s.Statement {
+	case "select", "with":
+		p.parseSelect(s)
+	case "insert":
+		p.parseInsert(s)
+	case "update":
+		p.parseUpdate(s)
+	case "delete":
+		p.parseDelete(s)
+	default:
+		// DDL and anything else: record referenced identifiers that follow
+		// TABLE/INDEX/VIEW keywords so workload analytics still sees names.
+		p.parseOther(s)
+	}
+	return s
+}
+
+// clause boundaries at paren depth 0
+var clauseStarts = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true,
+	"having": true, "order": true, "limit": true, "union": true,
+	"intersect": true, "except": true, "qualify": true, "fetch": true,
+	"offset": true, "window": true,
+}
+
+// collect returns tokens until the next depth-0 clause keyword or EOF,
+// advancing past them.
+func (p *parser) collect() []sqllex.Token {
+	var out []sqllex.Token
+	depth := 0
+	for !p.done() {
+		t := p.cur()
+		if depth == 0 && t.Kind == sqllex.Keyword && clauseStarts[t.Text] {
+			break
+		}
+		switch {
+		case t.Kind == sqllex.Punct && t.Text == "(":
+			depth++
+		case t.Kind == sqllex.Punct && t.Text == ")":
+			depth--
+		case t.Kind == sqllex.Punct && t.Text == ";" && depth == 0:
+			p.pos++
+			return out
+		}
+		out = append(out, t)
+		p.pos++
+	}
+	return out
+}
+
+func (p *parser) parseSelect(s *Summary) {
+	if p.accept("with") {
+		// Skip CTE definitions: name AS ( ... ) [, ...], then continue at the
+		// main SELECT. CTE bodies are parsed as subqueries.
+		for !p.done() && !p.at("select") {
+			if p.at("(") {
+				sub, ok := p.parseParenSubquery()
+				if ok {
+					s.Subqueries = append(s.Subqueries, sub)
+					continue
+				}
+			}
+			p.pos++
+		}
+	}
+	if !p.accept("select") {
+		return
+	}
+	if p.accept("distinct") {
+		s.Distinct = true
+	}
+	if p.accept("top") { // SQL Server: SELECT TOP n ...
+		if p.cur().Kind == sqllex.Number {
+			s.Limit = 0 // normalized literal; presence is what matters
+			p.pos++
+		}
+	}
+	projToks := p.collect()
+	p.parseProjection(s, projToks)
+
+	for !p.done() {
+		switch {
+		case p.accept("from"):
+			p.parseFrom(s)
+		case p.accept("where"):
+			p.parsePredicates(s, p.collect(), false)
+		case p.accept("group"):
+			p.accept("by")
+			s.GroupBy = parseColumnList(p.collect())
+		case p.accept("having"):
+			s.HasHaving = true
+			p.parsePredicates(s, p.collect(), true)
+		case p.accept("order"):
+			p.accept("by")
+			s.OrderBy = parseColumnList(p.collect())
+		case p.accept("limit"), p.accept("fetch"), p.accept("offset"):
+			s.Limit = 0
+			p.collect()
+		case p.accept("union"), p.accept("intersect"), p.accept("except"):
+			p.accept("all")
+			rest := p.parseStatement()
+			s.Subqueries = append(s.Subqueries, rest)
+			return
+		case p.accept("qualify"), p.accept("window"):
+			p.collect()
+		default:
+			p.pos++
+		}
+	}
+}
+
+func (p *parser) parseProjection(s *Summary, toks []sqllex.Token) {
+	aggs := map[string]bool{"count": true, "sum": true, "avg": true, "min": true, "max": true, "stddev": true, "variance": true}
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		switch {
+		case t.Kind == sqllex.Operator && t.Text == "*":
+			s.Star = true
+		case (t.Kind == sqllex.Keyword || t.Kind == sqllex.Ident) && aggs[t.Text] &&
+			i+1 < len(toks) && toks[i+1].Text == "(":
+			s.Aggregates = append(s.Aggregates, t.Text)
+		case t.Kind == sqllex.Ident:
+			ref, consumed := parseColumnRefAt(toks, i)
+			if consumed > 0 {
+				s.SelectCols = append(s.SelectCols, ref)
+				i += consumed - 1
+			}
+		}
+	}
+}
+
+func (p *parser) parseFrom(s *Summary) {
+	// FROM clause: table refs separated by commas and JOIN keywords, with ON
+	// conditions. Parenthesized SELECTs become subqueries.
+	for !p.done() {
+		t := p.cur()
+		if t.Kind == sqllex.Keyword && clauseStarts[t.Text] && t.Text != "select" {
+			return
+		}
+		switch {
+		case p.at("("):
+			sub, ok := p.parseParenSubquery()
+			if ok {
+				s.Subqueries = append(s.Subqueries, sub)
+				alias := p.parseOptionalAlias()
+				s.Tables = append(s.Tables, TableRef{Name: "", Alias: alias})
+			}
+		case p.accept(","):
+		case p.accept("inner"), p.accept("cross"), p.accept("natural"):
+		case p.accept("left"), p.accept("right"), p.accept("full"):
+			p.accept("outer")
+		case p.accept("join"):
+		case p.accept("on"):
+			p.parseJoinCondition(s)
+		case p.accept("using"):
+			if p.accept("(") {
+				cols := p.collectParen()
+				for _, c := range parseColumnList(cols) {
+					s.Joins = append(s.Joins, Join{Left: c, Right: c})
+				}
+			}
+		case t.Kind == sqllex.Ident || t.Kind == sqllex.QuotedIdent:
+			name := p.parseQualifiedName()
+			alias := p.parseOptionalAlias()
+			if alias == "" {
+				alias = name
+			}
+			s.Tables = append(s.Tables, TableRef{Name: name, Alias: alias})
+		default:
+			p.pos++
+		}
+	}
+}
+
+// parseQualifiedName consumes ident(.ident)* and returns the last component.
+func (p *parser) parseQualifiedName() string {
+	name := unquote(p.cur().Text)
+	p.pos++
+	for p.at(".") {
+		p.pos++
+		if t := p.cur(); t.Kind == sqllex.Ident || t.Kind == sqllex.QuotedIdent {
+			name = unquote(t.Text)
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return name
+}
+
+func (p *parser) parseOptionalAlias() string {
+	p.accept("as")
+	t := p.cur()
+	if t.Kind == sqllex.Ident && !clauseStarts[t.Text] && !sqllex.IsKeyword(t.Text) {
+		p.pos++
+		return t.Text
+	}
+	if t.Kind == sqllex.QuotedIdent {
+		p.pos++
+		return unquote(t.Text)
+	}
+	return ""
+}
+
+func (p *parser) parseJoinCondition(s *Summary) {
+	// Consume predicates until the next JOIN/clause keyword at depth 0.
+	var toks []sqllex.Token
+	depth := 0
+	for !p.done() {
+		t := p.cur()
+		if depth == 0 && t.Kind == sqllex.Keyword &&
+			(clauseStarts[t.Text] || t.Text == "join" || t.Text == "inner" ||
+				t.Text == "left" || t.Text == "right" || t.Text == "full" || t.Text == "cross") {
+			break
+		}
+		if t.Kind == sqllex.Punct {
+			switch t.Text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+			case ",":
+				if depth == 0 {
+					break
+				}
+			}
+			if t.Text == "," && depth == 0 {
+				break
+			}
+		}
+		toks = append(toks, t)
+		p.pos++
+	}
+	p.extractPredicates(s, toks, false)
+}
+
+// parseParenSubquery parses "( select ... )" starting at "(". It reports ok
+// only when the parenthesized text is a SELECT; otherwise it consumes the
+// whole group and reports false.
+func (p *parser) parseParenSubquery() (*Summary, bool) {
+	if !p.accept("(") {
+		return nil, false
+	}
+	inner := p.collectParen()
+	if len(inner) > 0 && inner[0].Kind == sqllex.Keyword && (inner[0].Text == "select" || inner[0].Text == "with") {
+		sub := parser{toks: inner}
+		return sub.parseStatement(), true
+	}
+	return nil, false
+}
+
+// collectParen consumes tokens up to and including the matching ")" for an
+// already-consumed "(" and returns the inner tokens.
+func (p *parser) collectParen() []sqllex.Token {
+	var out []sqllex.Token
+	depth := 1
+	for !p.done() {
+		t := p.cur()
+		if t.Kind == sqllex.Punct {
+			switch t.Text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+				if depth == 0 {
+					p.pos++
+					return out
+				}
+			}
+		}
+		out = append(out, t)
+		p.pos++
+	}
+	return out
+}
+
+// parsePredicates splits toks on depth-0 AND and extracts filters and joins.
+func (p *parser) parsePredicates(s *Summary, toks []sqllex.Token, inHaving bool) {
+	p.extractPredicates(s, toks, inHaving)
+}
+
+func (p *parser) extractPredicates(s *Summary, toks []sqllex.Token, inHaving bool) {
+	for _, conj := range splitConjuncts(toks) {
+		p.extractOne(s, conj, inHaving)
+	}
+}
+
+func splitConjuncts(toks []sqllex.Token) [][]sqllex.Token {
+	var out [][]sqllex.Token
+	var cur []sqllex.Token
+	depth := 0
+	for _, t := range toks {
+		if t.Kind == sqllex.Punct {
+			switch t.Text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+			}
+		}
+		if depth == 0 && t.Kind == sqllex.Keyword && (t.Text == "and" || t.Text == "or") {
+			if len(cur) > 0 {
+				out = append(out, cur)
+				cur = nil
+			}
+			continue
+		}
+		cur = append(cur, t)
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+func (p *parser) extractOne(s *Summary, toks []sqllex.Token, inHaving bool) {
+	if len(toks) == 0 {
+		return
+	}
+	// NOT EXISTS / EXISTS (subquery)
+	i := 0
+	if toks[i].Text == "not" {
+		i++
+	}
+	if i < len(toks) && toks[i].Text == "exists" {
+		if sub := subqueryIn(toks[i+1:]); sub != nil {
+			s.Subqueries = append(s.Subqueries, sub)
+		}
+		s.Filters = append(s.Filters, Filter{Op: OpExists, Subquery: true, InHaving: inHaving})
+		return
+	}
+
+	// Fully parenthesized group: recurse.
+	if toks[0].Text == "(" && toks[len(toks)-1].Text == ")" {
+		p.extractPredicates(s, toks[1:len(toks)-1], inHaving)
+		return
+	}
+
+	left, n := parseColumnRefAt(toks, 0)
+	if n == 0 {
+		// Could be an aggregate comparison in HAVING, e.g. sum(x) > 0, or an
+		// expression; look for a subquery to record, then give up.
+		if sub := subqueryIn(toks); sub != nil {
+			s.Subqueries = append(s.Subqueries, sub)
+			s.Filters = append(s.Filters, Filter{Op: OpGt, Subquery: true, InHaving: inHaving})
+		}
+		return
+	}
+	rest := toks[n:]
+	if len(rest) == 0 {
+		return
+	}
+
+	switch rest[0].Text {
+	case "=", "<", "<=", ">", ">=", "<>", "!=":
+		op := CompareOp(rest[0].Text)
+		if op == "!=" {
+			op = OpNe
+		}
+		rhs := rest[1:]
+		if sub := subqueryIn(rhs); sub != nil {
+			s.Subqueries = append(s.Subqueries, sub)
+			s.Filters = append(s.Filters, Filter{Column: left, Op: op, Subquery: true, InHaving: inHaving})
+			return
+		}
+		if right, rn := parseColumnRefAt(rhs, 0); rn > 0 && rn == len(rhs) {
+			if op == OpEq && !inHaving {
+				s.Joins = append(s.Joins, Join{Left: left, Right: right})
+				return
+			}
+			s.Filters = append(s.Filters, Filter{Column: left, Op: op, Value: right.String(), InHaving: inHaving})
+			return
+		}
+		s.Filters = append(s.Filters, Filter{Column: left, Op: op, Value: tokensText(rhs), InHaving: inHaving})
+	case "like", "ilike":
+		s.Filters = append(s.Filters, Filter{Column: left, Op: OpLike, Value: tokensText(rest[1:]), InHaving: inHaving})
+	case "in":
+		f := Filter{Column: left, Op: OpIn, InHaving: inHaving}
+		if sub := subqueryIn(rest[1:]); sub != nil {
+			s.Subqueries = append(s.Subqueries, sub)
+			f.Subquery = true
+		} else {
+			f.Value = tokensText(rest[1:])
+		}
+		s.Filters = append(s.Filters, f)
+	case "between":
+		s.Filters = append(s.Filters, Filter{Column: left, Op: OpBetween, Value: tokensText(rest[1:]), InHaving: inHaving})
+	case "is":
+		s.Filters = append(s.Filters, Filter{Column: left, Op: OpIsNull, InHaving: inHaving})
+	case "not":
+		if len(rest) > 1 {
+			switch rest[1].Text {
+			case "like", "ilike":
+				s.Filters = append(s.Filters, Filter{Column: left, Op: OpLike, Value: tokensText(rest[2:]), InHaving: inHaving})
+			case "in":
+				s.Filters = append(s.Filters, Filter{Column: left, Op: OpIn, Value: tokensText(rest[2:]), InHaving: inHaving})
+			case "between":
+				s.Filters = append(s.Filters, Filter{Column: left, Op: OpBetween, Value: tokensText(rest[2:]), InHaving: inHaving})
+			}
+		}
+	}
+}
+
+// subqueryIn scans toks for a parenthesized SELECT and parses it.
+func subqueryIn(toks []sqllex.Token) *Summary {
+	for i, t := range toks {
+		if t.Kind == sqllex.Punct && t.Text == "(" &&
+			i+1 < len(toks) && toks[i+1].Kind == sqllex.Keyword &&
+			(toks[i+1].Text == "select" || toks[i+1].Text == "with") {
+			depth := 1
+			for j := i + 1; j < len(toks); j++ {
+				if toks[j].Kind == sqllex.Punct {
+					switch toks[j].Text {
+					case "(":
+						depth++
+					case ")":
+						depth--
+					}
+					if depth == 0 {
+						sub := parser{toks: toks[i+1 : j]}
+						return sub.parseStatement()
+					}
+				}
+			}
+			sub := parser{toks: toks[i+1:]}
+			return sub.parseStatement()
+		}
+	}
+	return nil
+}
+
+// parseColumnRefAt tries to read ident(.ident)? at position i. It returns the
+// ref and tokens consumed (0 when no ref starts there). Function calls
+// (ident followed by "(") are not column refs.
+func parseColumnRefAt(toks []sqllex.Token, i int) (ColumnRef, int) {
+	if i >= len(toks) {
+		return ColumnRef{}, 0
+	}
+	t := toks[i]
+	if t.Kind != sqllex.Ident && t.Kind != sqllex.QuotedIdent {
+		return ColumnRef{}, 0
+	}
+	if i+1 < len(toks) && toks[i+1].Kind == sqllex.Punct && toks[i+1].Text == "(" {
+		return ColumnRef{}, 0 // function call
+	}
+	first := unquote(t.Text)
+	if i+2 < len(toks) && toks[i+1].Kind == sqllex.Punct && toks[i+1].Text == "." &&
+		(toks[i+2].Kind == sqllex.Ident || toks[i+2].Kind == sqllex.QuotedIdent) {
+		return ColumnRef{Table: first, Column: unquote(toks[i+2].Text)}, 3
+	}
+	return ColumnRef{Column: first}, 1
+}
+
+func parseColumnList(toks []sqllex.Token) []ColumnRef {
+	var out []ColumnRef
+	for i := 0; i < len(toks); i++ {
+		if ref, n := parseColumnRefAt(toks, i); n > 0 {
+			// Skip ASC/DESC and ordinal positions.
+			out = append(out, ref)
+			i += n - 1
+		}
+	}
+	return out
+}
+
+func tokensText(toks []sqllex.Token) string {
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = t.Text
+	}
+	return strings.Join(parts, " ")
+}
+
+func unquote(s string) string {
+	return strings.Trim(s, "\"`[]")
+}
+
+func (p *parser) parseInsert(s *Summary) {
+	p.accept("insert")
+	p.accept("into")
+	if t := p.cur(); t.Kind == sqllex.Ident || t.Kind == sqllex.QuotedIdent {
+		name := p.parseQualifiedName()
+		s.Tables = append(s.Tables, TableRef{Name: name, Alias: name})
+	}
+	// Remaining tokens: look for SELECT source.
+	for !p.done() {
+		if p.at("select") {
+			sub := p.parseStatement()
+			s.Subqueries = append(s.Subqueries, sub)
+			return
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) parseUpdate(s *Summary) {
+	p.accept("update")
+	if t := p.cur(); t.Kind == sqllex.Ident || t.Kind == sqllex.QuotedIdent {
+		name := p.parseQualifiedName()
+		s.Tables = append(s.Tables, TableRef{Name: name, Alias: name})
+	}
+	for !p.done() {
+		if p.accept("where") {
+			p.parsePredicates(s, p.collect(), false)
+			continue
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) parseDelete(s *Summary) {
+	p.accept("delete")
+	p.accept("from")
+	if t := p.cur(); t.Kind == sqllex.Ident || t.Kind == sqllex.QuotedIdent {
+		name := p.parseQualifiedName()
+		s.Tables = append(s.Tables, TableRef{Name: name, Alias: name})
+	}
+	for !p.done() {
+		if p.accept("where") {
+			p.parsePredicates(s, p.collect(), false)
+			continue
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) parseOther(s *Summary) {
+	for !p.done() {
+		t := p.cur()
+		if t.Kind == sqllex.Keyword && (t.Text == "table" || t.Text == "view" || t.Text == "index") {
+			p.pos++
+			// optional IF NOT EXISTS
+			for p.accept("if") || p.accept("not") || p.accept("exists") {
+			}
+			if u := p.cur(); u.Kind == sqllex.Ident || u.Kind == sqllex.QuotedIdent {
+				name := p.parseQualifiedName()
+				s.Tables = append(s.Tables, TableRef{Name: name, Alias: name})
+			}
+			continue
+		}
+		if t.Kind == sqllex.Keyword && t.Text == "select" {
+			sub := p.parseStatement()
+			s.Subqueries = append(s.Subqueries, sub)
+			return
+		}
+		p.pos++
+	}
+}

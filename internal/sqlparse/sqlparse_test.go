@@ -1,0 +1,207 @@
+package sqlparse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSimpleSelect(t *testing.T) {
+	s := Parse("SELECT a, b FROM t WHERE x = 10 AND y > 5 GROUP BY a ORDER BY b LIMIT 10")
+	if s.Statement != "select" {
+		t.Fatalf("statement: %q", s.Statement)
+	}
+	if len(s.Tables) != 1 || s.Tables[0].Name != "t" {
+		t.Fatalf("tables: %+v", s.Tables)
+	}
+	if len(s.Filters) != 2 {
+		t.Fatalf("filters: %+v", s.Filters)
+	}
+	if s.Filters[0].Column.Column != "x" || s.Filters[0].Op != OpEq {
+		t.Fatalf("filter 0: %+v", s.Filters[0])
+	}
+	if s.Filters[1].Op != OpGt {
+		t.Fatalf("filter 1: %+v", s.Filters[1])
+	}
+	if len(s.GroupBy) != 1 || s.GroupBy[0].Column != "a" {
+		t.Fatalf("group by: %+v", s.GroupBy)
+	}
+	if len(s.OrderBy) != 1 || s.OrderBy[0].Column != "b" {
+		t.Fatalf("order by: %+v", s.OrderBy)
+	}
+	if s.Limit != 0 {
+		t.Fatalf("limit: %d", s.Limit)
+	}
+}
+
+func TestJoins(t *testing.T) {
+	s := Parse("select * from a, b where a.id = b.aid and a.x = 5")
+	if len(s.Tables) != 2 {
+		t.Fatalf("tables: %+v", s.Tables)
+	}
+	if len(s.Joins) != 1 {
+		t.Fatalf("joins: %+v", s.Joins)
+	}
+	j := s.Joins[0]
+	if j.Left.Table != "a" || j.Left.Column != "id" || j.Right.Table != "b" || j.Right.Column != "aid" {
+		t.Fatalf("join: %+v", j)
+	}
+	if len(s.Filters) != 1 || s.Filters[0].Column.Column != "x" {
+		t.Fatalf("filters: %+v", s.Filters)
+	}
+	if !s.Star {
+		t.Fatal("expected SELECT *")
+	}
+}
+
+func TestExplicitJoinSyntax(t *testing.T) {
+	s := Parse("select a.x from a inner join b on a.id = b.id left outer join c on b.k = c.k")
+	if len(s.Tables) != 3 {
+		t.Fatalf("tables: %+v", s.Tables)
+	}
+	if len(s.Joins) != 2 {
+		t.Fatalf("joins: %+v", s.Joins)
+	}
+}
+
+func TestAliases(t *testing.T) {
+	s := Parse("select l.x from lineitem l, orders o where l.k = o.k")
+	if s.ResolveTable("l") != "lineitem" || s.ResolveTable("o") != "orders" {
+		t.Fatalf("alias resolution failed: %+v", s.Tables)
+	}
+	s = Parse("select t.x from big_table as t where t.y = 1")
+	if s.ResolveTable("t") != "big_table" {
+		t.Fatalf("AS alias: %+v", s.Tables)
+	}
+}
+
+func TestSubqueries(t *testing.T) {
+	s := Parse(`select c from t where k in (select k from u where z = 1) and exists (select 1 from v)`)
+	if s.SubqueryCount() != 2 {
+		t.Fatalf("subqueries: %d (%+v)", s.SubqueryCount(), s.Subqueries)
+	}
+	names := s.TableNames()
+	want := map[string]bool{"t": true, "u": true, "v": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing tables %v in %v", want, names)
+	}
+}
+
+func TestHaving(t *testing.T) {
+	s := Parse("select a, sum(b) from t group by a having sum(b) > 100 order by a")
+	if !s.HasHaving {
+		t.Fatal("HAVING missed")
+	}
+	if len(s.Aggregates) != 1 || s.Aggregates[0] != "sum" {
+		t.Fatalf("aggregates: %v", s.Aggregates)
+	}
+}
+
+func TestTPCH18Shape(t *testing.T) {
+	sql := `select c_name, sum(l_quantity) from customer, orders, lineitem
+		where o_orderkey in (select l_orderkey from lineitem group by l_orderkey having sum(l_quantity) > 300)
+		and c_custkey = o_custkey and o_orderkey = l_orderkey
+		group by c_name order by c_name`
+	s := Parse(sql)
+	if len(s.Tables) != 3 {
+		t.Fatalf("tables: %+v", s.Tables)
+	}
+	if s.SubqueryCount() != 1 {
+		t.Fatalf("subqueries: %d", s.SubqueryCount())
+	}
+	sub := s.Subqueries[0]
+	if !sub.HasHaving || len(sub.GroupBy) != 1 {
+		t.Fatalf("inner summary: %+v", sub)
+	}
+	if len(s.Joins) != 2 {
+		t.Fatalf("outer joins: %+v", s.Joins)
+	}
+}
+
+func TestInsertUpdateDelete(t *testing.T) {
+	s := Parse("insert into t (a, b) values (1, 2)")
+	if s.Statement != "insert" || len(s.Tables) != 1 || s.Tables[0].Name != "t" {
+		t.Fatalf("insert: %+v", s)
+	}
+	s = Parse("update t set a = 1 where b = 2")
+	if s.Statement != "update" || len(s.Filters) != 1 {
+		t.Fatalf("update: %+v", s)
+	}
+	s = Parse("delete from t where x < 5")
+	if s.Statement != "delete" || len(s.Filters) != 1 {
+		t.Fatalf("delete: %+v", s)
+	}
+}
+
+func TestDDL(t *testing.T) {
+	s := Parse("create table foo (a int, b varchar(10))")
+	if s.Statement != "create" || len(s.Tables) != 1 || s.Tables[0].Name != "foo" {
+		t.Fatalf("create: %+v", s)
+	}
+}
+
+func TestBetweenInLike(t *testing.T) {
+	s := Parse("select * from t where a between 1 and 2 and b in (1,2,3) and c like '%x%' and d is null")
+	ops := map[CompareOp]bool{}
+	for _, f := range s.Filters {
+		ops[f.Op] = true
+	}
+	for _, want := range []CompareOp{OpBetween, OpIn, OpLike, OpIsNull} {
+		if !ops[want] {
+			t.Fatalf("missing op %v in %+v", want, s.Filters)
+		}
+	}
+}
+
+func TestDialectTolerance(t *testing.T) {
+	// Bracketed identifiers, TOP, ILIKE, casts — all must parse to something.
+	for _, sql := range []string{
+		"SELECT TOP 5 [Name] FROM [Users] WHERE [Age] >= 21",
+		"select x::varchar from t where y ilike '%a%' qualify row_number() over (order by x) = 1",
+		"with r as (select a from t) select * from r limit 3",
+	} {
+		s := Parse(sql)
+		if s == nil || s.Statement == "" {
+			t.Fatalf("parse failed for %q", sql)
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	s := Parse("select a from t union all select a from u")
+	if len(s.Subqueries) != 1 {
+		t.Fatalf("union branch: %+v", s.Subqueries)
+	}
+	if s.Subqueries[0].Tables[0].Name != "u" {
+		t.Fatalf("union tables: %+v", s.Subqueries[0].Tables)
+	}
+}
+
+// Property: Parse is total — it never panics for arbitrary input.
+func TestParseTotal(t *testing.T) {
+	f := func(s string) bool {
+		sum := Parse(s)
+		return sum != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parse never panics on token soup built from SQL fragments.
+func TestParseFragmentSoup(t *testing.T) {
+	frag := []string{"select", "from", "where", "(", ")", ",", "a", "b.t", "=", "1", "'x'",
+		"group", "by", "having", "order", "join", "on", "and", "or", "in", "exists", "union"}
+	f := func(picks []uint8) bool {
+		src := ""
+		for _, p := range picks {
+			src += frag[int(p)%len(frag)] + " "
+		}
+		return Parse(src) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

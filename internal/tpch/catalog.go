@@ -1,0 +1,119 @@
+// Package tpch provides the TPC-H workload substrate for the paper's §5.1
+// experiment: the SF1 catalog statistics, text + cost-model specifications
+// for all 22 query templates, and a workload generator that instantiates
+// templates with randomized parameters (the workload summarized and tuned in
+// Fig. 3/4).
+//
+// Each template carries two synchronized artifacts: realistic SQL text (what
+// the embedders see) and an engine.Query specification with per-predicate
+// estimated/true selectivities (what the simulator costs). Selectivities
+// follow the TPC-H specification's parameter ranges; the deliberate
+// estimated≠true wedges on the Q17/Q18 correlated subqueries reproduce the
+// optimizer misestimation discussed in §5.1.
+package tpch
+
+import (
+	"fmt"
+
+	"querc/internal/engine"
+)
+
+// Row counts at scale factor 1.
+const (
+	RegionRows   = 5
+	NationRows   = 25
+	SupplierRows = 10_000
+	CustomerRows = 150_000
+	PartRows     = 200_000
+	PartSuppRows = 800_000
+	OrdersRows   = 1_500_000
+	LineitemRows = 6_001_215
+)
+
+// Catalog returns the TPC-H SF1 catalog with standard statistics.
+func Catalog() *engine.Catalog {
+	cat := engine.NewCatalog()
+	add := func(t *engine.Table) {
+		if err := cat.AddTable(t); err != nil {
+			panic(fmt.Sprintf("tpch: %v", err)) // static definitions; cannot fail
+		}
+	}
+	add(&engine.Table{Name: "region", Rows: RegionRows, Columns: []engine.Column{
+		{Name: "r_regionkey", NDV: 5, Width: 4},
+		{Name: "r_name", NDV: 5, Width: 12},
+		{Name: "r_comment", NDV: 5, Width: 80},
+	}})
+	add(&engine.Table{Name: "nation", Rows: NationRows, Columns: []engine.Column{
+		{Name: "n_nationkey", NDV: 25, Width: 4},
+		{Name: "n_name", NDV: 25, Width: 16},
+		{Name: "n_regionkey", NDV: 5, Width: 4},
+		{Name: "n_comment", NDV: 25, Width: 80},
+	}})
+	add(&engine.Table{Name: "supplier", Rows: SupplierRows, Columns: []engine.Column{
+		{Name: "s_suppkey", NDV: SupplierRows, Width: 4},
+		{Name: "s_name", NDV: SupplierRows, Width: 18},
+		{Name: "s_address", NDV: SupplierRows, Width: 30},
+		{Name: "s_nationkey", NDV: 25, Width: 4},
+		{Name: "s_phone", NDV: SupplierRows, Width: 15},
+		{Name: "s_acctbal", NDV: SupplierRows, Width: 8},
+		{Name: "s_comment", NDV: SupplierRows, Width: 60},
+	}})
+	add(&engine.Table{Name: "customer", Rows: CustomerRows, Columns: []engine.Column{
+		{Name: "c_custkey", NDV: CustomerRows, Width: 4},
+		{Name: "c_name", NDV: CustomerRows, Width: 18},
+		{Name: "c_address", NDV: CustomerRows, Width: 30},
+		{Name: "c_nationkey", NDV: 25, Width: 4},
+		{Name: "c_phone", NDV: CustomerRows, Width: 15},
+		{Name: "c_acctbal", NDV: 140_000, Width: 8},
+		{Name: "c_mktsegment", NDV: 5, Width: 10},
+		{Name: "c_comment", NDV: CustomerRows, Width: 70},
+	}})
+	add(&engine.Table{Name: "part", Rows: PartRows, Columns: []engine.Column{
+		{Name: "p_partkey", NDV: PartRows, Width: 4},
+		{Name: "p_name", NDV: 199_000, Width: 35},
+		{Name: "p_mfgr", NDV: 5, Width: 25},
+		{Name: "p_brand", NDV: 25, Width: 10},
+		{Name: "p_type", NDV: 150, Width: 25},
+		{Name: "p_size", NDV: 50, Width: 4},
+		{Name: "p_container", NDV: 40, Width: 10},
+		{Name: "p_retailprice", NDV: 20_000, Width: 8},
+		{Name: "p_comment", NDV: 130_000, Width: 15},
+	}})
+	add(&engine.Table{Name: "partsupp", Rows: PartSuppRows, Columns: []engine.Column{
+		{Name: "ps_partkey", NDV: PartRows, Width: 4},
+		{Name: "ps_suppkey", NDV: SupplierRows, Width: 4},
+		{Name: "ps_availqty", NDV: 10_000, Width: 4},
+		{Name: "ps_supplycost", NDV: 100_000, Width: 8},
+		{Name: "ps_comment", NDV: 790_000, Width: 120},
+	}})
+	add(&engine.Table{Name: "orders", Rows: OrdersRows, Columns: []engine.Column{
+		{Name: "o_orderkey", NDV: OrdersRows, Width: 4},
+		{Name: "o_custkey", NDV: 100_000, Width: 4},
+		{Name: "o_orderstatus", NDV: 3, Width: 1},
+		{Name: "o_totalprice", NDV: 1_400_000, Width: 8},
+		{Name: "o_orderdate", NDV: 2_406, Width: 4},
+		{Name: "o_orderpriority", NDV: 5, Width: 15},
+		{Name: "o_clerk", NDV: 1_000, Width: 15},
+		{Name: "o_shippriority", NDV: 1, Width: 4},
+		{Name: "o_comment", NDV: 1_480_000, Width: 50},
+	}})
+	add(&engine.Table{Name: "lineitem", Rows: LineitemRows, Columns: []engine.Column{
+		{Name: "l_orderkey", NDV: OrdersRows, Width: 4},
+		{Name: "l_partkey", NDV: PartRows, Width: 4},
+		{Name: "l_suppkey", NDV: SupplierRows, Width: 4},
+		{Name: "l_linenumber", NDV: 7, Width: 4},
+		{Name: "l_quantity", NDV: 50, Width: 8},
+		{Name: "l_extendedprice", NDV: 930_000, Width: 8},
+		{Name: "l_discount", NDV: 11, Width: 8},
+		{Name: "l_tax", NDV: 9, Width: 8},
+		{Name: "l_returnflag", NDV: 3, Width: 1},
+		{Name: "l_linestatus", NDV: 2, Width: 1},
+		{Name: "l_shipdate", NDV: 2_526, Width: 4},
+		{Name: "l_commitdate", NDV: 2_466, Width: 4},
+		{Name: "l_receiptdate", NDV: 2_555, Width: 4},
+		{Name: "l_shipinstruct", NDV: 4, Width: 25},
+		{Name: "l_shipmode", NDV: 7, Width: 10},
+		{Name: "l_comment", NDV: 4_580_000, Width: 27},
+	}})
+	return cat
+}

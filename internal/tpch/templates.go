@@ -1,0 +1,507 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"querc/internal/engine"
+	"querc/internal/sqlparse"
+)
+
+// Template couples the SQL text generator of one TPC-H query with its
+// cost-model specification.
+type Template struct {
+	Number int
+	Name   string
+	// SQL renders one instance with randomized parameters.
+	SQL func(rng *rand.Rand) string
+	// Spec returns a fresh engine.Query describing the template's structure
+	// and selectivities (instances of a template share the spec; parameter
+	// randomization moves selectivities negligibly at SF1).
+	Spec func() engine.Query
+}
+
+func p(col string, op sqlparse.CompareOp, sel float64) engine.Pred {
+	return engine.Pred{Column: col, Op: op, EstSel: sel, TrueSel: sel}
+}
+
+func acc(table string, joins, need []string, filters ...engine.Pred) engine.Access {
+	return engine.Access{Table: table, Filters: filters, JoinCols: joins, NeedCols: need}
+}
+
+// Parameter pools (drawn per instance).
+var (
+	segments   = []string{"BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"}
+	regions    = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nations    = []string{"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"}
+	shipmodes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	containers = []string{"SM CASE", "SM BOX", "SM PACK", "SM PKG", "MED BAG", "MED BOX", "MED PKG", "MED PACK", "LG CASE", "LG BOX", "LG PACK", "LG PKG"}
+	types      = []string{"ECONOMY ANODIZED STEEL", "STANDARD POLISHED TIN", "MEDIUM PLATED NICKEL", "PROMO BURNISHED COPPER", "SMALL BRUSHED BRASS", "LARGE POLISHED STEEL"}
+	typeSuffix = []string{"STEEL", "TIN", "NICKEL", "COPPER", "BRASS"}
+	nameColors = []string{"green", "blue", "red", "ivory", "azure", "salmon", "peach", "linen"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+)
+
+func pick(rng *rand.Rand, xs []string) string { return xs[rng.Intn(len(xs))] }
+
+func brand(rng *rand.Rand) string {
+	return fmt.Sprintf("Brand#%d%d", 1+rng.Intn(5), 1+rng.Intn(5))
+}
+
+func date(rng *rand.Rand, loYear, hiYear int) string {
+	y := loYear + rng.Intn(hiYear-loYear+1)
+	return fmt.Sprintf("%d-%02d-%02d", y, 1+rng.Intn(12), 1+rng.Intn(28))
+}
+
+func inList(rng *rand.Rand, pool []string, lo, hi int) string {
+	n := lo + rng.Intn(hi-lo+1)
+	perm := rng.Perm(len(pool))
+	parts := make([]string, 0, n)
+	for _, i := range perm[:n] {
+		parts = append(parts, "'"+pool[i]+"'")
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Templates returns the 22 TPC-H templates in order.
+func Templates() []Template {
+	return []Template{
+		q1(), q2(), q3(), q4(), q5(), q6(), q7(), q8(), q9(), q10(), q11(),
+		q12(), q13(), q14(), q15(), q16(), q17(), q18(), q19(), q20(), q21(), q22(),
+	}
+}
+
+func q1() Template {
+	return Template{Number: 1, Name: "Q1",
+		SQL: func(rng *rand.Rand) string {
+			return fmt.Sprintf(`select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty, sum(l_extendedprice) as sum_base_price, sum(l_extendedprice * (1 - l_discount)) as sum_disc_price, sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge, avg(l_quantity) as avg_qty, avg(l_extendedprice) as avg_price, avg(l_discount) as avg_disc, count(*) as count_order from lineitem where l_shipdate <= date '1998-12-01' - interval '%d' day group by l_returnflag, l_linestatus order by l_returnflag, l_linestatus`, 60+rng.Intn(61))
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q1", GroupBy: true, OrderBy: true,
+				Accesses: []engine.Access{
+					acc("lineitem", nil,
+						[]string{"l_shipdate", "l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice", "l_discount", "l_tax"},
+						p("l_shipdate", sqlparse.OpLe, 0.97)),
+				}}
+		},
+	}
+}
+
+func q2() Template {
+	return Template{Number: 2, Name: "Q2",
+		SQL: func(rng *rand.Rand) string {
+			return fmt.Sprintf(`select s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment from part, supplier, partsupp, nation, region where p_partkey = ps_partkey and s_suppkey = ps_suppkey and p_size = %d and p_type like '%%%s' and s_nationkey = n_nationkey and n_regionkey = r_regionkey and r_name = '%s' and ps_supplycost = (select min(ps_supplycost) from partsupp, supplier, nation, region where p_partkey = ps_partkey and s_suppkey = ps_suppkey and s_nationkey = n_nationkey and n_regionkey = r_regionkey and r_name = '%s') order by s_acctbal desc, n_name, s_name, p_partkey`, 1+rng.Intn(50), pick(rng, typeSuffix), pick(rng, regions), pick(rng, regions))
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q2", NumJoins: 4, OrderBy: true,
+				Accesses: []engine.Access{
+					acc("part", []string{"p_partkey"}, []string{"p_partkey", "p_size", "p_type", "p_mfgr"},
+						p("p_size", sqlparse.OpEq, 0.02), p("p_type", sqlparse.OpLike, 0.2)),
+					acc("partsupp", []string{"ps_partkey", "ps_suppkey"}, []string{"ps_partkey", "ps_suppkey", "ps_supplycost"}),
+					acc("partsupp", []string{"ps_partkey", "ps_suppkey"}, []string{"ps_partkey", "ps_suppkey", "ps_supplycost"}),
+					acc("supplier", []string{"s_suppkey", "s_nationkey"}, []string{"s_suppkey", "s_nationkey", "s_acctbal", "s_name"}),
+					acc("nation", []string{"n_nationkey", "n_regionkey"}, []string{"n_nationkey", "n_regionkey", "n_name"}),
+					acc("region", []string{"r_regionkey"}, []string{"r_regionkey", "r_name"},
+						p("r_name", sqlparse.OpEq, 0.2)),
+				}}
+		},
+	}
+}
+
+func q3() Template {
+	return Template{Number: 3, Name: "Q3",
+		SQL: func(rng *rand.Rand) string {
+			d := date(rng, 1995, 1995)
+			return fmt.Sprintf(`select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue, o_orderdate, o_shippriority from customer, orders, lineitem where c_mktsegment = '%s' and c_custkey = o_custkey and l_orderkey = o_orderkey and o_orderdate < date '%s' and l_shipdate > date '%s' group by l_orderkey, o_orderdate, o_shippriority order by revenue desc, o_orderdate`, pick(rng, segments), d, d)
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q3", NumJoins: 2, GroupBy: true, OrderBy: true,
+				Accesses: []engine.Access{
+					acc("customer", []string{"c_custkey"}, []string{"c_custkey", "c_mktsegment"},
+						p("c_mktsegment", sqlparse.OpEq, 0.2)),
+					acc("orders", []string{"o_custkey", "o_orderkey"}, []string{"o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"},
+						p("o_orderdate", sqlparse.OpLt, 0.48)),
+					acc("lineitem", []string{"l_orderkey"}, []string{"l_orderkey", "l_shipdate", "l_extendedprice", "l_discount"},
+						p("l_shipdate", sqlparse.OpGt, 0.51)),
+				}}
+		},
+	}
+}
+
+func q4() Template {
+	return Template{Number: 4, Name: "Q4",
+		SQL: func(rng *rand.Rand) string {
+			return fmt.Sprintf(`select o_orderpriority, count(*) as order_count from orders where o_orderdate >= date '%s' and o_orderdate < date '%s' + interval '3' month and exists (select * from lineitem where l_orderkey = o_orderkey and l_commitdate < l_receiptdate) group by o_orderpriority order by o_orderpriority`, date(rng, 1993, 1997), date(rng, 1993, 1997))
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q4", NumJoins: 1, GroupBy: true, OrderBy: true,
+				Accesses: []engine.Access{
+					acc("orders", []string{"o_orderkey"}, []string{"o_orderkey", "o_orderdate", "o_orderpriority"},
+						p("o_orderdate", sqlparse.OpBetween, 0.038)),
+					acc("lineitem", []string{"l_orderkey"}, []string{"l_orderkey", "l_commitdate", "l_receiptdate"},
+						p("l_commitdate", sqlparse.OpLt, 0.63)),
+				}}
+		},
+	}
+}
+
+func q5() Template {
+	return Template{Number: 5, Name: "Q5",
+		SQL: func(rng *rand.Rand) string {
+			return fmt.Sprintf(`select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue from customer, orders, lineitem, supplier, nation, region where c_custkey = o_custkey and l_orderkey = o_orderkey and l_suppkey = s_suppkey and c_nationkey = s_nationkey and s_nationkey = n_nationkey and n_regionkey = r_regionkey and r_name = '%s' and o_orderdate >= date '%s' and o_orderdate < date '%s' + interval '1' year group by n_name order by revenue desc`, pick(rng, regions), date(rng, 1993, 1997), date(rng, 1993, 1997))
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q5", NumJoins: 5, GroupBy: true, OrderBy: true,
+				Accesses: []engine.Access{
+					acc("customer", []string{"c_custkey", "c_nationkey"}, []string{"c_custkey", "c_nationkey"}),
+					acc("orders", []string{"o_custkey", "o_orderkey"}, []string{"o_orderkey", "o_custkey", "o_orderdate"},
+						p("o_orderdate", sqlparse.OpBetween, 0.15)),
+					acc("lineitem", []string{"l_orderkey", "l_suppkey"}, []string{"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"}),
+					acc("supplier", []string{"s_suppkey", "s_nationkey"}, []string{"s_suppkey", "s_nationkey"}),
+					acc("nation", []string{"n_nationkey", "n_regionkey"}, []string{"n_nationkey", "n_regionkey", "n_name"}),
+					acc("region", []string{"r_regionkey"}, []string{"r_regionkey", "r_name"},
+						p("r_name", sqlparse.OpEq, 0.2)),
+				}}
+		},
+	}
+}
+
+func q6() Template {
+	return Template{Number: 6, Name: "Q6",
+		SQL: func(rng *rand.Rand) string {
+			return fmt.Sprintf(`select sum(l_extendedprice * l_discount) as revenue from lineitem where l_shipdate >= date '%s' and l_shipdate < date '%s' + interval '1' year and l_discount between 0.0%d - 0.01 and 0.0%d + 0.01 and l_quantity < %d`, date(rng, 1993, 1997), date(rng, 1993, 1997), 2+rng.Intn(8), 2+rng.Intn(8), 24+rng.Intn(2))
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q6",
+				Accesses: []engine.Access{
+					acc("lineitem", nil, []string{"l_shipdate", "l_discount", "l_quantity", "l_extendedprice"},
+						p("l_shipdate", sqlparse.OpBetween, 0.2),
+						p("l_discount", sqlparse.OpBetween, 0.27),
+						p("l_quantity", sqlparse.OpLt, 0.48)),
+				}}
+		},
+	}
+}
+
+func q7() Template {
+	return Template{Number: 7, Name: "Q7",
+		SQL: func(rng *rand.Rand) string {
+			return fmt.Sprintf(`select supp_nation, cust_nation, l_year, sum(volume) as revenue from (select n1.n_name as supp_nation, n2.n_name as cust_nation, extract(year from l_shipdate) as l_year, l_extendedprice * (1 - l_discount) as volume from supplier, lineitem, orders, customer, nation n1, nation n2 where s_suppkey = l_suppkey and o_orderkey = l_orderkey and c_custkey = o_custkey and s_nationkey = n1.n_nationkey and c_nationkey = n2.n_nationkey and ((n1.n_name = '%s' and n2.n_name = '%s') or (n1.n_name = '%s' and n2.n_name = '%s')) and l_shipdate between date '1995-01-01' and date '1996-12-31') as shipping group by supp_nation, cust_nation, l_year order by supp_nation, cust_nation, l_year`, pick(rng, nations), pick(rng, nations), pick(rng, nations), pick(rng, nations))
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q7", NumJoins: 5, GroupBy: true, OrderBy: true,
+				Accesses: []engine.Access{
+					acc("supplier", []string{"s_suppkey", "s_nationkey"}, []string{"s_suppkey", "s_nationkey"}),
+					acc("lineitem", []string{"l_suppkey", "l_orderkey"}, []string{"l_suppkey", "l_orderkey", "l_shipdate", "l_extendedprice", "l_discount"},
+						p("l_shipdate", sqlparse.OpBetween, 0.3)),
+					acc("orders", []string{"o_orderkey", "o_custkey"}, []string{"o_orderkey", "o_custkey"}),
+					acc("customer", []string{"c_custkey", "c_nationkey"}, []string{"c_custkey", "c_nationkey"}),
+					acc("nation", []string{"n_nationkey"}, []string{"n_nationkey", "n_name"},
+						p("n_name", sqlparse.OpIn, 0.08)),
+				}}
+		},
+	}
+}
+
+func q8() Template {
+	return Template{Number: 8, Name: "Q8",
+		SQL: func(rng *rand.Rand) string {
+			return fmt.Sprintf(`select o_year, sum(case when nation = '%s' then volume else 0 end) / sum(volume) as mkt_share from (select extract(year from o_orderdate) as o_year, l_extendedprice * (1 - l_discount) as volume, n2.n_name as nation from part, supplier, lineitem, orders, customer, nation n1, nation n2, region where p_partkey = l_partkey and s_suppkey = l_suppkey and l_orderkey = o_orderkey and o_custkey = c_custkey and c_nationkey = n1.n_nationkey and n1.n_regionkey = r_regionkey and r_name = '%s' and s_nationkey = n2.n_nationkey and o_orderdate between date '1995-01-01' and date '1996-12-31' and p_type = '%s') as all_nations group by o_year order by o_year`, pick(rng, nations), pick(rng, regions), pick(rng, types))
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q8", NumJoins: 7, GroupBy: true, OrderBy: true,
+				Accesses: []engine.Access{
+					acc("part", []string{"p_partkey"}, []string{"p_partkey", "p_type"},
+						p("p_type", sqlparse.OpEq, 0.007)),
+					acc("supplier", []string{"s_suppkey", "s_nationkey"}, []string{"s_suppkey", "s_nationkey"}),
+					acc("lineitem", []string{"l_partkey", "l_suppkey", "l_orderkey"}, []string{"l_partkey", "l_suppkey", "l_orderkey", "l_extendedprice", "l_discount"}),
+					acc("orders", []string{"o_orderkey", "o_custkey"}, []string{"o_orderkey", "o_custkey", "o_orderdate"},
+						p("o_orderdate", sqlparse.OpBetween, 0.3)),
+					acc("customer", []string{"c_custkey", "c_nationkey"}, []string{"c_custkey", "c_nationkey"}),
+					acc("nation", []string{"n_nationkey", "n_regionkey"}, []string{"n_nationkey", "n_regionkey", "n_name"}),
+					acc("region", []string{"r_regionkey"}, []string{"r_regionkey", "r_name"},
+						p("r_name", sqlparse.OpEq, 0.2)),
+				}}
+		},
+	}
+}
+
+func q9() Template {
+	return Template{Number: 9, Name: "Q9",
+		SQL: func(rng *rand.Rand) string {
+			return fmt.Sprintf(`select nation, o_year, sum(amount) as sum_profit from (select n_name as nation, extract(year from o_orderdate) as o_year, l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity as amount from part, supplier, lineitem, partsupp, orders, nation where s_suppkey = l_suppkey and ps_suppkey = l_suppkey and ps_partkey = l_partkey and p_partkey = l_partkey and o_orderkey = l_orderkey and s_nationkey = n_nationkey and p_name like '%%%s%%') as profit group by nation, o_year order by nation, o_year desc`, pick(rng, nameColors))
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q9", NumJoins: 6, GroupBy: true, OrderBy: true,
+				Accesses: []engine.Access{
+					acc("part", []string{"p_partkey"}, []string{"p_partkey", "p_name"},
+						p("p_name", sqlparse.OpLike, 0.05)),
+					acc("supplier", []string{"s_suppkey", "s_nationkey"}, []string{"s_suppkey", "s_nationkey"}),
+					acc("lineitem", []string{"l_suppkey", "l_partkey", "l_orderkey"}, []string{"l_suppkey", "l_partkey", "l_orderkey", "l_extendedprice", "l_discount", "l_quantity"}),
+					acc("partsupp", []string{"ps_suppkey", "ps_partkey"}, []string{"ps_suppkey", "ps_partkey", "ps_supplycost"}),
+					acc("orders", []string{"o_orderkey"}, []string{"o_orderkey", "o_orderdate"}),
+					acc("nation", []string{"n_nationkey"}, []string{"n_nationkey", "n_name"}),
+				}}
+		},
+	}
+}
+
+func q10() Template {
+	return Template{Number: 10, Name: "Q10",
+		SQL: func(rng *rand.Rand) string {
+			return fmt.Sprintf(`select c_custkey, c_name, sum(l_extendedprice * (1 - l_discount)) as revenue, c_acctbal, n_name, c_address, c_phone, c_comment from customer, orders, lineitem, nation where c_custkey = o_custkey and l_orderkey = o_orderkey and o_orderdate >= date '%s' and o_orderdate < date '%s' + interval '3' month and l_returnflag = 'R' and c_nationkey = n_nationkey group by c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment order by revenue desc`, date(rng, 1993, 1994), date(rng, 1993, 1994))
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q10", NumJoins: 3, GroupBy: true, OrderBy: true,
+				Accesses: []engine.Access{
+					acc("customer", []string{"c_custkey", "c_nationkey"}, []string{"c_custkey", "c_nationkey", "c_name", "c_acctbal", "c_phone", "c_address", "c_comment"}),
+					acc("orders", []string{"o_custkey", "o_orderkey"}, []string{"o_orderkey", "o_custkey", "o_orderdate"},
+						p("o_orderdate", sqlparse.OpBetween, 0.038)),
+					acc("lineitem", []string{"l_orderkey"}, []string{"l_orderkey", "l_returnflag", "l_extendedprice", "l_discount"},
+						p("l_returnflag", sqlparse.OpEq, 0.33)),
+					acc("nation", []string{"n_nationkey"}, []string{"n_nationkey", "n_name"}),
+				}}
+		},
+	}
+}
+
+func q11() Template {
+	return Template{Number: 11, Name: "Q11",
+		SQL: func(rng *rand.Rand) string {
+			n := pick(rng, nations)
+			return fmt.Sprintf(`select ps_partkey, sum(ps_supplycost * ps_availqty) as value from partsupp, supplier, nation where ps_suppkey = s_suppkey and s_nationkey = n_nationkey and n_name = '%s' group by ps_partkey having sum(ps_supplycost * ps_availqty) > (select sum(ps_supplycost * ps_availqty) * 0.000%d from partsupp, supplier, nation where ps_suppkey = s_suppkey and s_nationkey = n_nationkey and n_name = '%s') order by value desc`, n, 1+rng.Intn(9), n)
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q11", NumJoins: 2, GroupBy: true, OrderBy: true,
+				Accesses: []engine.Access{
+					acc("partsupp", []string{"ps_suppkey", "ps_partkey"}, []string{"ps_suppkey", "ps_partkey", "ps_supplycost", "ps_availqty"}),
+					acc("partsupp", []string{"ps_suppkey", "ps_partkey"}, []string{"ps_suppkey", "ps_partkey", "ps_supplycost", "ps_availqty"}),
+					acc("supplier", []string{"s_suppkey", "s_nationkey"}, []string{"s_suppkey", "s_nationkey"}),
+					acc("nation", []string{"n_nationkey"}, []string{"n_nationkey", "n_name"},
+						p("n_name", sqlparse.OpEq, 0.04)),
+				}}
+		},
+	}
+}
+
+func q12() Template {
+	return Template{Number: 12, Name: "Q12",
+		SQL: func(rng *rand.Rand) string {
+			return fmt.Sprintf(`select l_shipmode, sum(case when o_orderpriority = '1-URGENT' or o_orderpriority = '2-HIGH' then 1 else 0 end) as high_line_count, sum(case when o_orderpriority <> '1-URGENT' and o_orderpriority <> '2-HIGH' then 1 else 0 end) as low_line_count from orders, lineitem where o_orderkey = l_orderkey and l_shipmode in (%s) and l_commitdate < l_receiptdate and l_shipdate < l_commitdate and l_receiptdate >= date '%s' and l_receiptdate < date '%s' + interval '1' year group by l_shipmode order by l_shipmode`, inList(rng, shipmodes, 2, 3), date(rng, 1993, 1997), date(rng, 1993, 1997))
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q12", NumJoins: 1, GroupBy: true, OrderBy: true,
+				Accesses: []engine.Access{
+					acc("orders", []string{"o_orderkey"}, []string{"o_orderkey", "o_orderpriority"}),
+					acc("lineitem", []string{"l_orderkey"}, []string{"l_orderkey", "l_shipmode", "l_receiptdate", "l_commitdate", "l_shipdate"},
+						p("l_shipmode", sqlparse.OpIn, 0.28),
+						p("l_receiptdate", sqlparse.OpBetween, 0.2)),
+				}}
+		},
+	}
+}
+
+func q13() Template {
+	return Template{Number: 13, Name: "Q13",
+		SQL: func(rng *rand.Rand) string {
+			return fmt.Sprintf(`select c_count, count(*) as custdist from (select c_custkey, count(o_orderkey) as c_count from customer left outer join orders on c_custkey = o_custkey and o_comment not like '%%%s%%requests%%' group by c_custkey) as c_orders group by c_count order by custdist desc, c_count desc`, pick(rng, []string{"special", "pending", "unusual", "express"}))
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q13", NumJoins: 1, GroupBy: true, OrderBy: true,
+				Accesses: []engine.Access{
+					acc("customer", []string{"c_custkey"}, []string{"c_custkey"}),
+					acc("orders", []string{"o_custkey"}, []string{"o_custkey", "o_orderkey", "o_comment"},
+						p("o_comment", sqlparse.OpLike, 0.98)),
+				}}
+		},
+	}
+}
+
+func q14() Template {
+	return Template{Number: 14, Name: "Q14",
+		SQL: func(rng *rand.Rand) string {
+			return fmt.Sprintf(`select 100.00 * sum(case when p_type like 'PROMO%%' then l_extendedprice * (1 - l_discount) else 0 end) / sum(l_extendedprice * (1 - l_discount)) as promo_revenue from lineitem, part where l_partkey = p_partkey and l_shipdate >= date '%s' and l_shipdate < date '%s' + interval '1' month`, date(rng, 1993, 1997), date(rng, 1993, 1997))
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q14", NumJoins: 1,
+				Accesses: []engine.Access{
+					acc("lineitem", []string{"l_partkey"}, []string{"l_partkey", "l_shipdate", "l_extendedprice", "l_discount"},
+						p("l_shipdate", sqlparse.OpBetween, 0.2)),
+					acc("part", []string{"p_partkey"}, []string{"p_partkey", "p_type"}),
+				}}
+		},
+	}
+}
+
+func q15() Template {
+	return Template{Number: 15, Name: "Q15",
+		SQL: func(rng *rand.Rand) string {
+			d := date(rng, 1993, 1997)
+			return fmt.Sprintf(`with revenue as (select l_suppkey as supplier_no, sum(l_extendedprice * (1 - l_discount)) as total_revenue from lineitem where l_shipdate >= date '%s' and l_shipdate < date '%s' + interval '3' month group by l_suppkey) select s_suppkey, s_name, s_address, s_phone, total_revenue from supplier, revenue where s_suppkey = supplier_no and total_revenue = (select max(total_revenue) from revenue) order by s_suppkey`, d, d)
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q15", NumJoins: 1, GroupBy: true, OrderBy: true,
+				Accesses: []engine.Access{
+					// The revenue CTE is materialized once even though the
+					// query references it twice.
+					acc("lineitem", []string{"l_suppkey"}, []string{"l_suppkey", "l_shipdate", "l_extendedprice", "l_discount"},
+						p("l_shipdate", sqlparse.OpBetween, 0.2)),
+					acc("supplier", []string{"s_suppkey"}, []string{"s_suppkey", "s_name", "s_address", "s_phone"}),
+				}}
+		},
+	}
+}
+
+func q16() Template {
+	return Template{Number: 16, Name: "Q16",
+		SQL: func(rng *rand.Rand) string {
+			return fmt.Sprintf(`select p_brand, p_type, p_size, count(distinct ps_suppkey) as supplier_cnt from partsupp, part where p_partkey = ps_partkey and p_brand <> '%s' and p_type not like '%s%%' and p_size in (%d, %d, %d, %d, %d, %d, %d, %d) and ps_suppkey not in (select s_suppkey from supplier where s_comment like '%%Customer%%Complaints%%') group by p_brand, p_type, p_size order by supplier_cnt desc, p_brand, p_type, p_size`, brand(rng), pick(rng, typeSuffix), 1+rng.Intn(50), 1+rng.Intn(50), 1+rng.Intn(50), 1+rng.Intn(50), 1+rng.Intn(50), 1+rng.Intn(50), 1+rng.Intn(50), 1+rng.Intn(50))
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q16", NumJoins: 1, GroupBy: true, OrderBy: true,
+				Accesses: []engine.Access{
+					acc("partsupp", []string{"ps_partkey"}, []string{"ps_partkey", "ps_suppkey"}),
+					acc("part", []string{"p_partkey"}, []string{"p_partkey", "p_brand", "p_type", "p_size"},
+						p("p_size", sqlparse.OpIn, 0.16)),
+					acc("supplier", nil, []string{"s_suppkey", "s_comment"},
+						p("s_comment", sqlparse.OpLike, 0.001)),
+				}}
+		},
+	}
+}
+
+func q17() Template {
+	return Template{Number: 17, Name: "Q17",
+		SQL: func(rng *rand.Rand) string {
+			return fmt.Sprintf(`select sum(l_extendedprice) / 7.0 as avg_yearly from lineitem, part where p_partkey = l_partkey and p_brand = '%s' and p_container = '%s' and l_quantity < (select 0.2 * avg(l_quantity) from lineitem where l_partkey = p_partkey)`, brand(rng), pick(rng, containers))
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q17", NumJoins: 1,
+				Accesses: []engine.Access{
+					acc("lineitem", []string{"l_partkey"}, []string{"l_partkey", "l_quantity", "l_extendedprice"}),
+					acc("part", []string{"p_partkey"}, []string{"p_partkey", "p_brand", "p_container"},
+						p("p_brand", sqlparse.OpEq, 0.04), p("p_container", sqlparse.OpEq, 0.025)),
+				},
+				// The correlated AVG subquery is driven by the ~200 parts
+				// surviving the brand+container filter. The optimizer cannot
+				// see the joint selectivity and *over*-estimates the driving
+				// set, so it delays choosing the probe plan — a benign
+				// misestimate (the mirror image of Q18's harmful one).
+				Subquery: &engine.CorrelatedSubquery{
+					Table: "lineitem", JoinCol: "l_partkey", AggCol: "l_quantity",
+					TrueGroups: 204, EstGroups: 40_000,
+				}}
+		},
+	}
+}
+
+func q18() Template {
+	return Template{Number: 18, Name: "Q18",
+		SQL: func(rng *rand.Rand) string {
+			return fmt.Sprintf(`select c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, sum(l_quantity) from customer, orders, lineitem where o_orderkey in (select l_orderkey from lineitem group by l_orderkey having sum(l_quantity) > %d) and c_custkey = o_custkey and o_orderkey = l_orderkey group by c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice order by o_totalprice desc, o_orderdate`, 300+rng.Intn(15))
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q18", NumJoins: 2, GroupBy: true, OrderBy: true,
+				Accesses: []engine.Access{
+					acc("customer", []string{"c_custkey"}, []string{"c_custkey", "c_name"}),
+					acc("orders", []string{"o_custkey", "o_orderkey"}, []string{"o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"}),
+					acc("lineitem", []string{"l_orderkey"}, []string{"l_orderkey", "l_quantity"}),
+				},
+				// The HAVING SUM(l_quantity) > K subquery must aggregate
+				// every order group, but the optimizer assumes the HAVING
+				// prunes the driving set to ~1% — the classic correlated-
+				// cardinality underestimate. With a narrow l_orderkey index
+				// present it therefore picks per-group probing, whose true
+				// cost dwarfs one scan: the bad plan behind paper Fig. 4.
+				Subquery: &engine.CorrelatedSubquery{
+					Table: "lineitem", JoinCol: "l_orderkey", AggCol: "l_quantity",
+					TrueGroups: OrdersRows, EstGroups: 15_000,
+				}}
+		},
+	}
+}
+
+func q19() Template {
+	return Template{Number: 19, Name: "Q19",
+		SQL: func(rng *rand.Rand) string {
+			return fmt.Sprintf(`select sum(l_extendedprice * (1 - l_discount)) as revenue from lineitem, part where p_partkey = l_partkey and p_brand = '%s' and p_container in ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG') and l_quantity >= %d and l_quantity <= %d and p_size between 1 and 5 and l_shipmode in ('AIR', 'AIR REG') and l_shipinstruct = 'DELIVER IN PERSON'`, brand(rng), 1+rng.Intn(10), 11+rng.Intn(10))
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q19", NumJoins: 1,
+				Accesses: []engine.Access{
+					acc("lineitem", []string{"l_partkey"}, []string{"l_partkey", "l_quantity", "l_shipmode", "l_shipinstruct", "l_extendedprice", "l_discount"},
+						p("l_shipinstruct", sqlparse.OpEq, 0.25), p("l_shipmode", sqlparse.OpIn, 0.28), p("l_quantity", sqlparse.OpBetween, 0.2)),
+					acc("part", []string{"p_partkey"}, []string{"p_partkey", "p_brand", "p_container", "p_size"},
+						p("p_brand", sqlparse.OpEq, 0.04), p("p_container", sqlparse.OpIn, 0.1), p("p_size", sqlparse.OpBetween, 0.1)),
+				}}
+		},
+	}
+}
+
+func q20() Template {
+	return Template{Number: 20, Name: "Q20",
+		SQL: func(rng *rand.Rand) string {
+			return fmt.Sprintf(`select s_name, s_address from supplier, nation where s_suppkey in (select ps_suppkey from partsupp where ps_partkey in (select p_partkey from part where p_name like '%s%%') and ps_availqty > (select 0.5 * sum(l_quantity) from lineitem where l_partkey = ps_partkey and l_suppkey = ps_suppkey and l_shipdate >= date '%s' and l_shipdate < date '%s' + interval '1' year)) and s_nationkey = n_nationkey and n_name = '%s' order by s_name`, pick(rng, nameColors), date(rng, 1993, 1997), date(rng, 1993, 1997), pick(rng, nations))
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q20", NumJoins: 2, OrderBy: true,
+				Accesses: []engine.Access{
+					acc("supplier", []string{"s_suppkey", "s_nationkey"}, []string{"s_suppkey", "s_nationkey", "s_name", "s_address"}),
+					acc("nation", []string{"n_nationkey"}, []string{"n_nationkey", "n_name"},
+						p("n_name", sqlparse.OpEq, 0.04)),
+					acc("partsupp", []string{"ps_suppkey", "ps_partkey"}, []string{"ps_suppkey", "ps_partkey", "ps_availqty"}),
+					acc("part", nil, []string{"p_partkey", "p_name"},
+						p("p_name", sqlparse.OpLike, 0.05)),
+					acc("lineitem", []string{"l_partkey", "l_suppkey"}, []string{"l_partkey", "l_suppkey", "l_quantity", "l_shipdate"},
+						p("l_shipdate", sqlparse.OpBetween, 0.25)),
+				}}
+		},
+	}
+}
+
+func q21() Template {
+	return Template{Number: 21, Name: "Q21",
+		SQL: func(rng *rand.Rand) string {
+			return fmt.Sprintf(`select s_name, count(*) as numwait from supplier, lineitem l1, orders, nation where s_suppkey = l1.l_suppkey and o_orderkey = l1.l_orderkey and o_orderstatus = 'F' and l1.l_receiptdate > l1.l_commitdate and exists (select * from lineitem l2 where l2.l_orderkey = l1.l_orderkey and l2.l_suppkey <> l1.l_suppkey) and not exists (select * from lineitem l3 where l3.l_orderkey = l1.l_orderkey and l3.l_suppkey <> l1.l_suppkey and l3.l_receiptdate > l3.l_commitdate) and s_nationkey = n_nationkey and n_name = '%s' group by s_name order by numwait desc, s_name`, pick(rng, nations))
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q21", NumJoins: 3, GroupBy: true, OrderBy: true,
+				Accesses: []engine.Access{
+					acc("supplier", []string{"s_suppkey", "s_nationkey"}, []string{"s_suppkey", "s_nationkey", "s_name"}),
+					acc("lineitem", []string{"l_suppkey", "l_orderkey"}, []string{"l_suppkey", "l_orderkey", "l_receiptdate", "l_commitdate"},
+						p("l_receiptdate", sqlparse.OpGt, 0.5)),
+					acc("lineitem", []string{"l_orderkey"}, []string{"l_orderkey", "l_suppkey"}),
+					acc("lineitem", []string{"l_orderkey"}, []string{"l_orderkey", "l_suppkey", "l_receiptdate", "l_commitdate"},
+						p("l_receiptdate", sqlparse.OpGt, 0.5)),
+					acc("orders", []string{"o_orderkey"}, []string{"o_orderkey", "o_orderstatus"},
+						p("o_orderstatus", sqlparse.OpEq, 0.49)),
+					acc("nation", []string{"n_nationkey"}, []string{"n_nationkey", "n_name"},
+						p("n_name", sqlparse.OpEq, 0.04)),
+				}}
+		},
+	}
+}
+
+func q22() Template {
+	return Template{Number: 22, Name: "Q22",
+		SQL: func(rng *rand.Rand) string {
+			codes := make([]string, 0, 7)
+			perm := rng.Perm(25)
+			for _, c := range perm[:7] {
+				codes = append(codes, fmt.Sprintf("'%d'", 10+c))
+			}
+			return fmt.Sprintf(`select cntrycode, count(*) as numcust, sum(c_acctbal) as totacctbal from (select substring(c_phone from 1 for 2) as cntrycode, c_acctbal from customer where substring(c_phone from 1 for 2) in (%s) and c_acctbal > (select avg(c_acctbal) from customer where c_acctbal > 0.00 and substring(c_phone from 1 for 2) in (%s)) and not exists (select * from orders where o_custkey = c_custkey)) as custsale group by cntrycode order by cntrycode`, strings.Join(codes, ", "), strings.Join(codes, ", "))
+		},
+		Spec: func() engine.Query {
+			return engine.Query{Label: "Q22", NumJoins: 1, GroupBy: true, OrderBy: true,
+				Accesses: []engine.Access{
+					acc("customer", nil, []string{"c_phone", "c_acctbal", "c_custkey"},
+						p("c_phone", sqlparse.OpIn, 0.28), p("c_acctbal", sqlparse.OpGt, 0.45)),
+					acc("customer", nil, []string{"c_phone", "c_acctbal"},
+						p("c_acctbal", sqlparse.OpGt, 0.9)),
+					acc("orders", []string{"o_custkey"}, []string{"o_custkey"}),
+				}}
+		},
+	}
+}

@@ -1,0 +1,185 @@
+package tpch
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"querc/internal/engine"
+	"querc/internal/sqlparse"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	wantRows := map[string]int64{
+		"region": RegionRows, "nation": NationRows, "supplier": SupplierRows,
+		"customer": CustomerRows, "part": PartRows, "partsupp": PartSuppRows,
+		"orders": OrdersRows, "lineitem": LineitemRows,
+	}
+	for name, rows := range wantRows {
+		tab := cat.Table(name)
+		if tab == nil {
+			t.Fatalf("missing table %s", name)
+		}
+		if tab.Rows != rows {
+			t.Fatalf("%s rows: %d want %d", name, tab.Rows, rows)
+		}
+		if len(tab.Columns) == 0 {
+			t.Fatalf("%s has no columns", name)
+		}
+	}
+}
+
+func TestTemplatesCompleteAndConsistent(t *testing.T) {
+	tpls := Templates()
+	if len(tpls) != 22 {
+		t.Fatalf("expected 22 templates, got %d", len(tpls))
+	}
+	cat := Catalog()
+	rng := rand.New(rand.NewSource(1))
+	for i, tpl := range tpls {
+		if tpl.Number != i+1 {
+			t.Fatalf("template %d numbered %d", i, tpl.Number)
+		}
+		sql := tpl.SQL(rng)
+		if !strings.Contains(strings.ToLower(sql), "select") {
+			t.Fatalf("%s SQL has no select: %q", tpl.Name, sql)
+		}
+		spec := tpl.Spec()
+		if len(spec.Accesses) == 0 {
+			t.Fatalf("%s has no accesses", tpl.Name)
+		}
+		for _, a := range spec.Accesses {
+			tab := cat.Table(a.Table)
+			if tab == nil {
+				t.Fatalf("%s references unknown table %q", tpl.Name, a.Table)
+			}
+			for _, f := range a.Filters {
+				if tab.Column(f.Column) == nil {
+					t.Fatalf("%s filters unknown column %s.%s", tpl.Name, a.Table, f.Column)
+				}
+				if f.EstSel <= 0 || f.EstSel > 1 || f.TrueSel <= 0 || f.TrueSel > 1 {
+					t.Fatalf("%s selectivity out of range: %+v", tpl.Name, f)
+				}
+			}
+			for _, c := range a.NeedCols {
+				if tab.Column(c) == nil {
+					t.Fatalf("%s needs unknown column %s.%s", tpl.Name, a.Table, c)
+				}
+			}
+			for _, c := range a.JoinCols {
+				if tab.Column(c) == nil {
+					t.Fatalf("%s joins unknown column %s.%s", tpl.Name, a.Table, c)
+				}
+			}
+		}
+		if sq := spec.Subquery; sq != nil {
+			tab := cat.Table(sq.Table)
+			if tab == nil || tab.Column(sq.JoinCol) == nil || tab.Column(sq.AggCol) == nil {
+				t.Fatalf("%s subquery references unknown schema: %+v", tpl.Name, sq)
+			}
+		}
+	}
+}
+
+func TestTemplateSQLParses(t *testing.T) {
+	// The generated SQL must be digestible by our own structural parser —
+	// the Querc pipeline consumes these texts.
+	rng := rand.New(rand.NewSource(2))
+	for _, tpl := range Templates() {
+		sql := tpl.SQL(rng)
+		sum := sqlparse.Parse(sql)
+		if sum.Statement != "select" && sum.Statement != "with" {
+			t.Fatalf("%s parsed as %q", tpl.Name, sum.Statement)
+		}
+		if len(sum.TableNames()) == 0 {
+			t.Fatalf("%s: no tables extracted from %q", tpl.Name, sql)
+		}
+	}
+}
+
+func TestWorkloadGeneration(t *testing.T) {
+	insts := GenerateWorkload(WorkloadOptions{PerTemplate: 5, Seed: 3})
+	if len(insts) != 110 {
+		t.Fatalf("workload size: %d", len(insts))
+	}
+	// Template-major ordering.
+	for i, inst := range insts {
+		if inst.Template != i/5+1 {
+			t.Fatalf("instance %d has template %d", i, inst.Template)
+		}
+		if inst.Query.ID != i {
+			t.Fatalf("instance %d has ID %d", i, inst.Query.ID)
+		}
+		if inst.Query.SQL != inst.SQL {
+			t.Fatal("query SQL not linked")
+		}
+	}
+	// Same seed → identical workload.
+	again := GenerateWorkload(WorkloadOptions{PerTemplate: 5, Seed: 3})
+	for i := range insts {
+		if insts[i].SQL != again[i].SQL {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+	// Different instances of a template vary in parameters.
+	if insts[0].SQL == insts[1].SQL && insts[1].SQL == insts[2].SQL {
+		t.Fatal("expected parameter variation between instances")
+	}
+}
+
+func TestWorkloadShuffle(t *testing.T) {
+	insts := GenerateWorkload(WorkloadOptions{PerTemplate: 5, Seed: 3, Shuffle: true})
+	sameOrder := true
+	for i, inst := range insts {
+		if inst.Template != i/5+1 {
+			sameOrder = false
+			break
+		}
+	}
+	if sameOrder {
+		t.Fatal("shuffle did not change order")
+	}
+}
+
+func TestCalibration(t *testing.T) {
+	insts := GenerateWorkload(WorkloadOptions{PerTemplate: 10, Seed: 4})
+	queries := Queries(insts)
+	e := engine.New(Catalog())
+	CalibrateEngine(e, queries, 600)
+	got := e.ExecuteWorkload(queries, engine.NewDesign()).TotalSeconds
+	if math.Abs(got-600) > 1e-6*600 {
+		t.Fatalf("calibrated runtime %v want 600", got)
+	}
+}
+
+func TestQ18SpecCarriesMisestimate(t *testing.T) {
+	var q18 Template
+	for _, tpl := range Templates() {
+		if tpl.Name == "Q18" {
+			q18 = tpl
+		}
+	}
+	spec := q18.Spec()
+	if spec.Subquery == nil {
+		t.Fatal("Q18 must carry a correlated subquery")
+	}
+	if spec.Subquery.EstGroups >= spec.Subquery.TrueGroups {
+		t.Fatal("Q18's optimizer estimate must underestimate the true group count")
+	}
+}
+
+func TestSQLTextsAndQueriesProjections(t *testing.T) {
+	insts := GenerateWorkload(WorkloadOptions{PerTemplate: 2, Seed: 5})
+	sqls := SQLTexts(insts)
+	queries := Queries(insts)
+	if len(sqls) != len(insts) || len(queries) != len(insts) {
+		t.Fatal("projection lengths differ")
+	}
+	for i := range insts {
+		if sqls[i] != insts[i].SQL || queries[i] != insts[i].Query {
+			t.Fatalf("projection mismatch at %d", i)
+		}
+	}
+}

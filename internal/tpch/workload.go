@@ -1,0 +1,84 @@
+package tpch
+
+import (
+	"math/rand"
+
+	"querc/internal/engine"
+)
+
+// Instance is one generated workload query: SQL text plus its engine spec.
+type Instance struct {
+	SQL      string
+	Template int // 1-based TPC-H query number
+	Query    *engine.Query
+}
+
+// WorkloadOptions configure GenerateWorkload.
+type WorkloadOptions struct {
+	PerTemplate int // instances per template (default 40 → 880 queries)
+	Seed        int64
+	Shuffle     bool // false keeps template-major order (the Fig. 4 x-axis)
+}
+
+// GenerateWorkload instantiates every template PerTemplate times with
+// randomized parameters. In unshuffled order, instances of template k occupy
+// positions [(k-1)*PerTemplate, k*PerTemplate) — Q18's block sits around
+// query IDs 680–720 at the default size, mirroring the 640–680 block that
+// Fig. 4 highlights.
+func GenerateWorkload(opt WorkloadOptions) []*Instance {
+	if opt.PerTemplate <= 0 {
+		opt.PerTemplate = 40
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var out []*Instance
+	for _, tpl := range Templates() {
+		for i := 0; i < opt.PerTemplate; i++ {
+			spec := tpl.Spec()
+			inst := &Instance{
+				SQL:      tpl.SQL(rng),
+				Template: tpl.Number,
+				Query:    &spec,
+			}
+			inst.Query.SQL = inst.SQL
+			out = append(out, inst)
+		}
+	}
+	if opt.Shuffle {
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	}
+	for i, inst := range out {
+		inst.Query.ID = i
+	}
+	return out
+}
+
+// Queries projects the engine query specs out of instances.
+func Queries(insts []*Instance) []*engine.Query {
+	out := make([]*engine.Query, len(insts))
+	for i, inst := range insts {
+		out[i] = inst.Query
+	}
+	return out
+}
+
+// SQLTexts projects the SQL strings out of instances.
+func SQLTexts(insts []*Instance) []string {
+	out := make([]string, len(insts))
+	for i, inst := range insts {
+		out[i] = inst.SQL
+	}
+	return out
+}
+
+// CalibrateEngine rescales the engine's SecondsPerUnit so that executing the
+// given workload with no indexes takes targetSeconds. This pins the
+// simulator to the paper's reported ~1200 s no-index baseline (the absolute
+// scale of the authors' m4.large server, which we cannot reproduce; the
+// *relative* behaviour is what the cost model provides).
+func CalibrateEngine(e *engine.Engine, queries []*engine.Query, targetSeconds float64) {
+	res := e.ExecuteWorkload(queries, engine.NewDesign())
+	if res.TotalSeconds <= 0 || targetSeconds <= 0 {
+		return
+	}
+	e.P.SecondsPerUnit *= targetSeconds / res.TotalSeconds
+}

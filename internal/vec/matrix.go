@@ -1,0 +1,119 @@
+package vec
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("vec: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewRandomMatrix returns a matrix with entries uniform in [-scale, scale).
+func NewRandomMatrix(rng *rand.Rand, rows, cols int, scale float64) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return m
+}
+
+// Row returns row i as a Vector sharing the matrix's backing storage.
+func (m *Matrix) Row(i int) Vector {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("vec: row %d out of range [0,%d)", i, m.Rows))
+	}
+	return Vector(m.Data[i*m.Cols : (i+1)*m.Cols])
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every entry to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MulVec computes dst = m · x where x has length Cols and dst has length
+// Rows. dst must not alias x.
+func (m *Matrix) MulVec(dst, x Vector) {
+	mustSameLen(len(x), m.Cols)
+	mustSameLen(len(dst), m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, w := range row {
+			s += w * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecT computes dst = mᵀ · x where x has length Rows and dst has length
+// Cols. dst must not alias x.
+func (m *Matrix) MulVecT(dst, x Vector) {
+	mustSameLen(len(x), m.Rows)
+	mustSameLen(len(dst), m.Cols)
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, w := range row {
+			dst[j] += w * xi
+		}
+	}
+}
+
+// AddOuterScaled adds alpha * a·bᵀ into m, where a has length Rows and b has
+// length Cols. This is the rank-1 update used by gradient steps.
+func (m *Matrix) AddOuterScaled(alpha float64, a, b Vector) {
+	mustSameLen(len(a), m.Rows)
+	mustSameLen(len(b), m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		ai := alpha * a[i]
+		if ai == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := range row {
+			row[j] += ai * b[j]
+		}
+	}
+}
+
+// AddScaled adds alpha*other into m element-wise.
+func (m *Matrix) AddScaled(alpha float64, other *Matrix) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("vec: matrix shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += alpha * other.Data[i]
+	}
+}

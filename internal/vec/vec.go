@@ -1,0 +1,195 @@
+// Package vec provides the small dense linear-algebra kernel used by the
+// embedding models and classifiers in this repository.
+//
+// Everything is float64 and row-major. The package favours explicit, simple
+// loops over cleverness: the models built on top (doc2vec, lstm) are small
+// enough that clarity wins, and keeping the kernel dependency-free is a
+// design goal of the reproduction (see DESIGN.md).
+package vec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vector is a dense float64 vector.
+type Vector []float64
+
+// New returns a zero vector of length n.
+func New(n int) Vector { return make(Vector, n) }
+
+// NewRandom returns a vector of length n with entries drawn uniformly from
+// [-scale, scale) using rng.
+func NewRandom(rng *rand.Rand, n int, scale float64) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return v
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Zero sets every entry of v to 0.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Add adds other into v element-wise. It panics if lengths differ.
+func (v Vector) Add(other Vector) {
+	mustSameLen(len(v), len(other))
+	for i := range v {
+		v[i] += other[i]
+	}
+}
+
+// AddScaled adds alpha*other into v element-wise.
+func (v Vector) AddScaled(alpha float64, other Vector) {
+	mustSameLen(len(v), len(other))
+	for i := range v {
+		v[i] += alpha * other[i]
+	}
+}
+
+// Sub subtracts other from v element-wise.
+func (v Vector) Sub(other Vector) {
+	mustSameLen(len(v), len(other))
+	for i := range v {
+		v[i] -= other[i]
+	}
+}
+
+// Scale multiplies every entry of v by alpha.
+func (v Vector) Scale(alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Dot returns the inner product of v and other.
+func Dot(a, b Vector) float64 {
+	mustSameLen(len(a), len(b))
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v Vector) float64 { return math.Sqrt(Dot(v, v)) }
+
+// Normalize scales v to unit length in place. A zero vector is left
+// unchanged.
+func (v Vector) Normalize() {
+	n := Norm(v)
+	if n == 0 {
+		return
+	}
+	v.Scale(1 / n)
+}
+
+// Cosine returns the cosine similarity between a and b, or 0 if either is the
+// zero vector.
+func Cosine(a, b Vector) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// SquaredDistance returns the squared Euclidean distance between a and b.
+func SquaredDistance(a, b Vector) float64 {
+	mustSameLen(len(a), len(b))
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Distance returns the Euclidean distance between a and b.
+func Distance(a, b Vector) float64 { return math.Sqrt(SquaredDistance(a, b)) }
+
+// Mean returns the element-wise mean of vs. It panics if vs is empty.
+func Mean(vs []Vector) Vector {
+	if len(vs) == 0 {
+		panic("vec: Mean of empty slice")
+	}
+	out := New(len(vs[0]))
+	for _, v := range vs {
+		out.Add(v)
+	}
+	out.Scale(1 / float64(len(vs)))
+	return out
+}
+
+// Sigmoid returns 1/(1+exp(-x)), numerically clamped so that extreme inputs
+// saturate instead of overflowing.
+func Sigmoid(x float64) float64 {
+	switch {
+	case x > 30:
+		return 1
+	case x < -30:
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// Tanh is math.Tanh, re-exported for symmetry with Sigmoid.
+func Tanh(x float64) float64 { return math.Tanh(x) }
+
+// Softmax writes the softmax of src into dst (which may alias src) and
+// returns dst. It subtracts the maximum for numerical stability.
+func Softmax(dst, src Vector) Vector {
+	mustSameLen(len(dst), len(src))
+	maxv := math.Inf(-1)
+	for _, x := range src {
+		if x > maxv {
+			maxv = x
+		}
+	}
+	var sum float64
+	for i, x := range src {
+		e := math.Exp(x - maxv)
+		dst[i] = e
+		sum += e
+	}
+	if sum > 0 {
+		for i := range dst {
+			dst[i] /= sum
+		}
+	}
+	return dst
+}
+
+// ArgMax returns the index of the largest entry, or -1 for an empty vector.
+// Ties resolve to the lowest index.
+func ArgMax(v Vector) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best, bestV := 0, v[0]
+	for i := 1; i < len(v); i++ {
+		if v[i] > bestV {
+			best, bestV = i, v[i]
+		}
+	}
+	return best
+}
+
+func mustSameLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("vec: length mismatch %d != %d", a, b))
+	}
+}

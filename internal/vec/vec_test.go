@@ -1,0 +1,231 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAddSubScale(t *testing.T) {
+	v := Vector{1, 2, 3}
+	v.Add(Vector{1, 1, 1})
+	if v[0] != 2 || v[1] != 3 || v[2] != 4 {
+		t.Fatalf("Add: got %v", v)
+	}
+	v.Sub(Vector{2, 2, 2})
+	if v[0] != 0 || v[1] != 1 || v[2] != 2 {
+		t.Fatalf("Sub: got %v", v)
+	}
+	v.Scale(3)
+	if v[0] != 0 || v[1] != 3 || v[2] != 6 {
+		t.Fatalf("Scale: got %v", v)
+	}
+	v.AddScaled(2, Vector{1, 1, 1})
+	if v[0] != 2 || v[1] != 5 || v[2] != 8 {
+		t.Fatalf("AddScaled: got %v", v)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Vector{1}.Add(Vector{1, 2})
+}
+
+func TestDotNormCosine(t *testing.T) {
+	a := Vector{3, 4}
+	if !almostEqual(Norm(a), 5) {
+		t.Fatalf("Norm: got %v", Norm(a))
+	}
+	if !almostEqual(Dot(a, Vector{1, 0}), 3) {
+		t.Fatalf("Dot: got %v", Dot(a, Vector{1, 0}))
+	}
+	if !almostEqual(Cosine(Vector{1, 0}, Vector{0, 1}), 0) {
+		t.Fatal("orthogonal cosine should be 0")
+	}
+	if !almostEqual(Cosine(a, a), 1) {
+		t.Fatal("self cosine should be 1")
+	}
+	if Cosine(Vector{0, 0}, a) != 0 {
+		t.Fatal("zero-vector cosine should be 0")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vector{3, 4}
+	v.Normalize()
+	if !almostEqual(Norm(v), 1) {
+		t.Fatalf("normalized norm: got %v", Norm(v))
+	}
+	z := Vector{0, 0}
+	z.Normalize() // must not NaN
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero vector must stay zero")
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([]Vector{{1, 2}, {3, 4}})
+	if !almostEqual(m[0], 2) || !almostEqual(m[1], 3) {
+		t.Fatalf("Mean: got %v", m)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	dst := New(3)
+	Softmax(dst, Vector{1, 2, 3})
+	var sum float64
+	for _, p := range dst {
+		if p <= 0 {
+			t.Fatalf("softmax produced non-positive %v", dst)
+		}
+		sum += p
+	}
+	if !almostEqual(sum, 1) {
+		t.Fatalf("softmax sum: got %v", sum)
+	}
+	if !(dst[2] > dst[1] && dst[1] > dst[0]) {
+		t.Fatalf("softmax ordering lost: %v", dst)
+	}
+	// Extreme values must not overflow.
+	Softmax(dst, Vector{1000, 1000, -1000})
+	if math.IsNaN(dst[0]) || math.IsInf(dst[0], 0) {
+		t.Fatalf("softmax unstable: %v", dst)
+	}
+}
+
+func TestSigmoidClamps(t *testing.T) {
+	if Sigmoid(100) != 1 || Sigmoid(-100) != 0 {
+		t.Fatal("sigmoid should saturate at extremes")
+	}
+	if !almostEqual(Sigmoid(0), 0.5) {
+		t.Fatalf("sigmoid(0): got %v", Sigmoid(0))
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax(Vector{1, 5, 3}) != 1 {
+		t.Fatal("wrong argmax")
+	}
+	if ArgMax(Vector{}) != -1 {
+		t.Fatal("empty argmax should be -1")
+	}
+	if ArgMax(Vector{2, 2}) != 0 {
+		t.Fatal("tie should resolve to lowest index")
+	}
+}
+
+// tame maps arbitrary quick-generated floats into a numerically sane range
+// so the algebraic properties are tested away from overflow.
+func tame(xs []float64) Vector {
+	out := make(Vector, len(xs))
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			x = 0
+		}
+		out[i] = math.Mod(x, 1000)
+	}
+	return out
+}
+
+// Property: cosine similarity is symmetric and bounded in [-1, 1].
+func TestCosineProperties(t *testing.T) {
+	f := func(xs, ys [8]float64) bool {
+		a, b := tame(xs[:]), tame(ys[:])
+		c1, c2 := Cosine(a, b), Cosine(b, a)
+		return almostEqual(c1, c2) && c1 <= 1+1e-9 && c1 >= -1-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: squared distance is non-negative, zero iff identical, symmetric.
+func TestDistanceProperties(t *testing.T) {
+	f := func(xs, ys [6]float64) bool {
+		a, b := tame(xs[:]), tame(ys[:])
+		d := SquaredDistance(a, b)
+		if d < 0 {
+			return false
+		}
+		if !almostEqual(d, SquaredDistance(b, a)) {
+			return false
+		}
+		return almostEqual(SquaredDistance(a, a), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dot product is bilinear in its first argument.
+func TestDotLinearity(t *testing.T) {
+	f := func(xs, ys, zs [5]float64, alphaRaw int8) bool {
+		alpha := float64(alphaRaw) / 16
+		a, b, c := tame(xs[:]), tame(ys[:]), tame(zs[:])
+		left := a.Clone()
+		left.AddScaled(alpha, b)
+		want := Dot(a, c) + alpha*Dot(b, c)
+		return math.Abs(Dot(left, c)-want) < 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	dst := New(2)
+	m.MulVec(dst, Vector{1, 1, 1})
+	if !almostEqual(dst[0], 6) || !almostEqual(dst[1], 15) {
+		t.Fatalf("MulVec: got %v", dst)
+	}
+	dstT := New(3)
+	m.MulVecT(dstT, Vector{1, 1})
+	if !almostEqual(dstT[0], 5) || !almostEqual(dstT[1], 7) || !almostEqual(dstT[2], 9) {
+		t.Fatalf("MulVecT: got %v", dstT)
+	}
+}
+
+// Property: MulVecT is the adjoint of MulVec: y·(Mx) == (Mᵀy)·x.
+func TestMatrixAdjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		m := NewRandomMatrix(rng, 4, 6, 1)
+		x := NewRandom(rng, 6, 1)
+		y := NewRandom(rng, 4, 1)
+		mx := New(4)
+		m.MulVec(mx, x)
+		mty := New(6)
+		m.MulVecT(mty, y)
+		if math.Abs(Dot(y, mx)-Dot(mty, x)) > 1e-9 {
+			t.Fatalf("adjoint identity violated at trial %d", trial)
+		}
+	}
+}
+
+func TestAddOuterScaled(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.AddOuterScaled(2, Vector{1, 2}, Vector{3, 4})
+	want := []float64{6, 8, 12, 16}
+	for i, w := range want {
+		if !almostEqual(m.Data[i], w) {
+			t.Fatalf("AddOuterScaled: got %v want %v", m.Data, want)
+		}
+	}
+}
+
+func TestMatrixRowSharesStorage(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Row(1)[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row must alias matrix storage")
+	}
+}

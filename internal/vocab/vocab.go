@@ -1,0 +1,232 @@
+// Package vocab builds token vocabularies for the embedding models.
+//
+// Both embedders (doc2vec, lstm) operate on integer token IDs. The
+// vocabulary assigns IDs by descending corpus frequency, supports a minimum
+// count cutoff with an UNK bucket, word-frequency subsampling (Mikolov et
+// al.), and the unigram^(3/4) table used for negative sampling.
+package vocab
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Reserved token IDs.
+const (
+	UNK = 0 // out-of-vocabulary bucket
+	BOS = 1 // begin-of-sequence marker (used by the LSTM decoder)
+	EOS = 2 // end-of-sequence marker
+)
+
+// NumReserved is the count of reserved IDs preceding real tokens.
+const NumReserved = 3
+
+// Vocabulary maps token strings to dense integer IDs.
+type Vocabulary struct {
+	ids    map[string]int
+	words  []string // index = id
+	counts []int64  // index = id; reserved IDs have count 0
+	total  int64    // total corpus tokens (including those mapped to UNK)
+
+	sampleTable []int // negative-sampling table, built lazily by Build
+}
+
+// Builder accumulates token counts before freezing a Vocabulary.
+type Builder struct {
+	counts map[string]int64
+	total  int64
+}
+
+// NewBuilder returns an empty vocabulary builder.
+func NewBuilder() *Builder {
+	return &Builder{counts: make(map[string]int64)}
+}
+
+// Add counts every token of one document.
+func (b *Builder) Add(tokens []string) {
+	for _, t := range tokens {
+		b.counts[t]++
+	}
+	b.total += int64(len(tokens))
+}
+
+// Build freezes the vocabulary, keeping tokens with count >= minCount.
+// IDs are assigned in descending count order (ties broken lexically) after
+// the reserved IDs.
+func (b *Builder) Build(minCount int64) *Vocabulary {
+	if minCount < 1 {
+		minCount = 1
+	}
+	type wc struct {
+		w string
+		c int64
+	}
+	kept := make([]wc, 0, len(b.counts))
+	for w, c := range b.counts {
+		if c >= minCount {
+			kept = append(kept, wc{w, c})
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].c != kept[j].c {
+			return kept[i].c > kept[j].c
+		}
+		return kept[i].w < kept[j].w
+	})
+	v := &Vocabulary{
+		ids:    make(map[string]int, len(kept)),
+		words:  make([]string, NumReserved, NumReserved+len(kept)),
+		counts: make([]int64, NumReserved, NumReserved+len(kept)),
+		total:  b.total,
+	}
+	v.words[UNK], v.words[BOS], v.words[EOS] = "<unk>", "<s>", "</s>"
+	for _, e := range kept {
+		v.ids[e.w] = len(v.words)
+		v.words = append(v.words, e.w)
+		v.counts = append(v.counts, e.c)
+	}
+	v.buildSampleTable(1 << 20)
+	return v
+}
+
+// Restore reconstructs a vocabulary from its serialized pieces: the word and
+// count slices indexed by ID (including the reserved prefix) and the original
+// total token count. It is the inverse of walking Word/Count over [0, Size).
+func Restore(words []string, counts []int64, total int64) *Vocabulary {
+	v := &Vocabulary{
+		ids:    make(map[string]int, len(words)),
+		words:  append([]string(nil), words...),
+		counts: append([]int64(nil), counts...),
+		total:  total,
+	}
+	for id := NumReserved; id < len(v.words); id++ {
+		v.ids[v.words[id]] = id
+	}
+	v.buildSampleTable(1 << 20)
+	return v
+}
+
+// Size returns the number of IDs, including reserved ones.
+func (v *Vocabulary) Size() int { return len(v.words) }
+
+// TotalTokens returns the total token count observed during building.
+func (v *Vocabulary) TotalTokens() int64 { return v.total }
+
+// ID returns the ID for word, or UNK when absent.
+func (v *Vocabulary) ID(word string) int {
+	if id, ok := v.ids[word]; ok {
+		return id
+	}
+	return UNK
+}
+
+// Word returns the string for id, or "<unk>" for out-of-range IDs.
+func (v *Vocabulary) Word(id int) string {
+	if id < 0 || id >= len(v.words) {
+		return v.words[UNK]
+	}
+	return v.words[id]
+}
+
+// Count returns the corpus frequency of id (0 for reserved/unknown IDs).
+func (v *Vocabulary) Count(id int) int64 {
+	if id < 0 || id >= len(v.counts) {
+		return 0
+	}
+	return v.counts[id]
+}
+
+// Encode maps tokens to IDs.
+func (v *Vocabulary) Encode(tokens []string) []int {
+	out := make([]int, len(tokens))
+	for i, t := range tokens {
+		out[i] = v.ID(t)
+	}
+	return out
+}
+
+// EncodeSequence maps tokens to IDs wrapped in BOS/EOS, the form consumed by
+// the LSTM autoencoder.
+func (v *Vocabulary) EncodeSequence(tokens []string) []int {
+	out := make([]int, 0, len(tokens)+2)
+	out = append(out, BOS)
+	for _, t := range tokens {
+		out = append(out, v.ID(t))
+	}
+	return append(out, EOS)
+}
+
+// KeepProbability returns the subsampling keep-probability for id at
+// threshold t (typically 1e-3..1e-5): p = sqrt(t/f) + t/f where f is the
+// token's corpus frequency. Reserved IDs are always kept.
+func (v *Vocabulary) KeepProbability(id int, t float64) float64 {
+	if id < NumReserved || t <= 0 || v.total == 0 {
+		return 1
+	}
+	f := float64(v.counts[id]) / float64(v.total)
+	if f <= 0 {
+		return 1
+	}
+	p := math.Sqrt(t/f) + t/f
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Subsample returns ids with frequent tokens randomly dropped per
+// KeepProbability. With threshold <= 0 the input is returned unchanged.
+func (v *Vocabulary) Subsample(rng *rand.Rand, ids []int, threshold float64) []int {
+	if threshold <= 0 {
+		return ids
+	}
+	out := ids[:0:0]
+	for _, id := range ids {
+		if rng.Float64() < v.KeepProbability(id, threshold) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// buildSampleTable precomputes the unigram^0.75 negative-sampling table.
+func (v *Vocabulary) buildSampleTable(size int) {
+	n := v.Size() - NumReserved
+	if n <= 0 {
+		v.sampleTable = nil
+		return
+	}
+	var z float64
+	pow := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pow[i] = math.Pow(float64(v.counts[NumReserved+i]), 0.75)
+		z += pow[i]
+	}
+	table := make([]int, size)
+	idx, cum := 0, pow[0]/z
+	for i := range table {
+		table[i] = NumReserved + idx
+		if float64(i+1)/float64(size) > cum && idx < n-1 {
+			idx++
+			cum += pow[idx] / z
+		}
+	}
+	v.sampleTable = table
+}
+
+// SampleNegative draws a random token ID proportional to unigram^0.75,
+// excluding the given positive ID. It returns UNK only if the vocabulary has
+// no real tokens.
+func (v *Vocabulary) SampleNegative(rng *rand.Rand, positive int) int {
+	if len(v.sampleTable) == 0 {
+		return UNK
+	}
+	for tries := 0; tries < 16; tries++ {
+		id := v.sampleTable[rng.Intn(len(v.sampleTable))]
+		if id != positive {
+			return id
+		}
+	}
+	return v.sampleTable[rng.Intn(len(v.sampleTable))]
+}

@@ -1,0 +1,158 @@
+package vocab
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildSample() *Vocabulary {
+	b := NewBuilder()
+	b.Add([]string{"select", "a", "from", "t"})
+	b.Add([]string{"select", "b", "from", "t"})
+	b.Add([]string{"select", "a", "from", "u"})
+	return b.Build(1)
+}
+
+func TestBuildAndLookup(t *testing.T) {
+	v := buildSample()
+	if v.Size() <= NumReserved {
+		t.Fatal("empty vocabulary")
+	}
+	// "select" and "from" are most frequent (3 each); they get the first IDs.
+	idSelect, idFrom := v.ID("select"), v.ID("from")
+	if idSelect < NumReserved || idFrom < NumReserved {
+		t.Fatalf("reserved collision: %d %d", idSelect, idFrom)
+	}
+	if got := v.Word(idSelect); got != "select" {
+		t.Fatalf("round trip: %q", got)
+	}
+	if v.ID("nonexistent") != UNK {
+		t.Fatal("unknown word should map to UNK")
+	}
+	if v.Count(idSelect) != 3 {
+		t.Fatalf("count: %d", v.Count(idSelect))
+	}
+	if v.TotalTokens() != 12 {
+		t.Fatalf("total: %d", v.TotalTokens())
+	}
+}
+
+func TestMinCount(t *testing.T) {
+	b := NewBuilder()
+	b.Add([]string{"x", "x", "x", "rare"})
+	v := b.Build(2)
+	if v.ID("rare") != UNK {
+		t.Fatal("rare word should be cut")
+	}
+	if v.ID("x") == UNK {
+		t.Fatal("frequent word should survive")
+	}
+}
+
+func TestEncodeSequence(t *testing.T) {
+	v := buildSample()
+	seq := v.EncodeSequence([]string{"select", "a"})
+	if seq[0] != BOS || seq[len(seq)-1] != EOS {
+		t.Fatalf("BOS/EOS missing: %v", seq)
+	}
+	if len(seq) != 4 {
+		t.Fatalf("length: %v", seq)
+	}
+}
+
+func TestFrequencyOrdering(t *testing.T) {
+	b := NewBuilder()
+	b.Add([]string{"hi", "hi", "hi", "mid", "mid", "lo"})
+	v := b.Build(1)
+	if !(v.ID("hi") < v.ID("mid") && v.ID("mid") < v.ID("lo")) {
+		t.Fatalf("IDs not frequency ordered: hi=%d mid=%d lo=%d", v.ID("hi"), v.ID("mid"), v.ID("lo"))
+	}
+}
+
+func TestKeepProbability(t *testing.T) {
+	v := buildSample()
+	// Reserved IDs are always kept.
+	if v.KeepProbability(UNK, 1e-5) != 1 {
+		t.Fatal("reserved must be kept")
+	}
+	// A very frequent token at a tiny threshold is kept with p < 1.
+	p := v.KeepProbability(v.ID("select"), 1e-5)
+	if p <= 0 || p >= 1 {
+		t.Fatalf("keep probability out of range: %v", p)
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	v := buildSample()
+	rng := rand.New(rand.NewSource(1))
+	ids := v.Encode([]string{"select", "select", "select", "a", "b"})
+	out := v.Subsample(rng, ids, 0)
+	if len(out) != len(ids) {
+		t.Fatal("threshold 0 must be a no-op")
+	}
+}
+
+func TestSampleNegative(t *testing.T) {
+	v := buildSample()
+	rng := rand.New(rand.NewSource(2))
+	pos := v.ID("select")
+	for i := 0; i < 100; i++ {
+		neg := v.SampleNegative(rng, pos)
+		if neg < NumReserved {
+			t.Fatalf("sampled reserved id %d", neg)
+		}
+	}
+	// Distribution sanity: over many draws every real token should appear.
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		seen[v.SampleNegative(rng, -1)] = true
+	}
+	if len(seen) < v.Size()-NumReserved-1 {
+		t.Fatalf("negative sampling misses tokens: saw %d of %d", len(seen), v.Size()-NumReserved)
+	}
+}
+
+func TestRestoreRoundTrip(t *testing.T) {
+	v := buildSample()
+	words := make([]string, v.Size())
+	counts := make([]int64, v.Size())
+	for i := 0; i < v.Size(); i++ {
+		words[i] = v.Word(i)
+		counts[i] = v.Count(i)
+	}
+	r := Restore(words, counts, v.TotalTokens())
+	if r.Size() != v.Size() || r.TotalTokens() != v.TotalTokens() {
+		t.Fatal("restore size mismatch")
+	}
+	for i := 0; i < v.Size(); i++ {
+		if r.Word(i) != v.Word(i) || r.Count(i) != v.Count(i) {
+			t.Fatalf("restore mismatch at %d", i)
+		}
+	}
+	if r.ID("select") != v.ID("select") {
+		t.Fatal("restore lookup mismatch")
+	}
+}
+
+// Property: Encode/Word round-trips for in-vocabulary tokens.
+func TestEncodeRoundTrip(t *testing.T) {
+	v := buildSample()
+	f := func(pick []uint8) bool {
+		words := []string{"select", "from", "a", "b", "t", "u"}
+		tokens := make([]string, len(pick))
+		for i, p := range pick {
+			tokens[i] = words[int(p)%len(words)]
+		}
+		ids := v.Encode(tokens)
+		for i, id := range ids {
+			if v.Word(id) != tokens[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

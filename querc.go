@@ -1,0 +1,114 @@
+// Package querc is the public facade of the Querc library — a
+// database-agnostic workload management and analytics system, reproduced
+// from "Database-Agnostic Workload Management" (Jain, Yan, Cruanes, Howe —
+// CIDR 2019).
+//
+// Querc models every workload-management task as query labeling over learned
+// vector representations of raw SQL text. The facade re-exports the stable
+// surface of the internal packages:
+//
+//   - embedders: Doc2Vec and LSTM-autoencoder models trained on query
+//     corpora (TrainDoc2Vec, TrainLSTM), plus persistent storage (Registry);
+//   - labelers: randomized-tree and nearest-centroid classifiers
+//     (NewForestLabeler, NearestCentroidLabeler);
+//   - the runtime: Service, Qworker, Classifier, LabeledQuery (Fig. 1 of the
+//     paper);
+//   - applications: workload summarization for index tuning, security
+//     auditing, routing checks, error prediction, resource allocation, and
+//     query recommendation (via querc/internal/apps, re-exported here).
+//
+// See examples/ for runnable end-to-end scenarios and DESIGN.md for the
+// architecture and experiment map.
+package querc
+
+import (
+	"querc/internal/apps"
+	"querc/internal/core"
+	"querc/internal/doc2vec"
+	"querc/internal/lstm"
+	"querc/internal/ml/forest"
+	"querc/internal/vec"
+)
+
+// Re-exported core types. A LabeledQuery is the only message exchanged by
+// Querc components; Embedder and Labeler are the two halves of every
+// deployable Classifier; Qworkers host classifiers per application stream;
+// Service wires the whole Fig. 1 topology.
+type (
+	LabeledQuery   = core.LabeledQuery
+	Embedder       = core.Embedder
+	Labeler        = core.Labeler
+	Classifier     = core.Classifier
+	Qworker        = core.Qworker
+	Service        = core.Service
+	TrainingModule = core.TrainingModule
+	Registry       = core.Registry
+	Vector         = vec.Vector
+)
+
+// Re-exported labelers.
+type (
+	ForestLabeler          = core.ForestLabeler
+	NearestCentroidLabeler = core.NearestCentroidLabeler
+	RuleLabeler            = core.RuleLabeler
+)
+
+// Re-exported applications (paper §4).
+type (
+	Summarizer         = apps.Summarizer
+	BaselineSummarizer = apps.BaselineSummarizer
+	SummaryResult      = apps.SummaryResult
+	SecurityAuditor    = apps.SecurityAuditor
+	AuditFinding       = apps.AuditFinding
+	RoutingChecker     = apps.RoutingChecker
+	RoutingFinding     = apps.RoutingFinding
+	ErrorPredictor     = apps.ErrorPredictor
+	ResourceAllocator  = apps.ResourceAllocator
+	QueryRecommender   = apps.QueryRecommender
+)
+
+// Re-exported model configurations.
+type (
+	Doc2VecConfig = doc2vec.Config
+	LSTMConfig    = lstm.Config
+	ForestConfig  = forest.Config
+)
+
+// NewService returns an empty Querc service (no applications registered).
+func NewService() *Service { return core.NewService() }
+
+// NewRegistry opens a model registry rooted at dir.
+func NewRegistry(dir string) (*Registry, error) { return core.NewRegistry(dir) }
+
+// DefaultDoc2VecConfig returns the Doc2Vec hyper-parameters used in the
+// paper reproduction experiments.
+func DefaultDoc2VecConfig() Doc2VecConfig { return doc2vec.DefaultConfig() }
+
+// DefaultLSTMConfig returns the LSTM-autoencoder hyper-parameters used in
+// the paper reproduction experiments.
+func DefaultLSTMConfig() LSTMConfig { return lstm.DefaultConfig() }
+
+// DefaultForestConfig returns the randomized-tree labeler defaults.
+func DefaultForestConfig() ForestConfig { return forest.DefaultConfig() }
+
+// TrainDoc2Vec trains a Doc2Vec embedder on a corpus of SQL texts. name
+// identifies the corpus in the embedder's Name() (e.g. "prod-2019-q1").
+func TrainDoc2Vec(name string, corpus []string, cfg Doc2VecConfig) (Embedder, error) {
+	return core.NewDoc2VecEmbedder(name, corpus, cfg)
+}
+
+// TrainLSTM trains an LSTM-autoencoder embedder on a corpus of SQL texts.
+func TrainLSTM(name string, corpus []string, cfg LSTMConfig) (Embedder, error) {
+	return core.NewLSTMEmbedder(name, corpus, cfg)
+}
+
+// NewForestLabeler returns an untrained randomized-tree labeler.
+func NewForestLabeler(cfg ForestConfig) *ForestLabeler { return core.NewForestLabeler(cfg) }
+
+// EmbedAll embeds a batch of SQL texts in parallel.
+func EmbedAll(e Embedder, sqls []string, workers int) []Vector {
+	return core.EmbedAll(e, sqls, workers)
+}
+
+// Tokenize applies the canonical embedding normalization to one SQL text.
+func Tokenize(sql string) []string { return core.TokenizeForEmbedding(sql) }
