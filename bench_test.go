@@ -10,6 +10,7 @@ package querc_test
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"querc"
@@ -166,6 +167,98 @@ func BenchmarkTable2PerAccount(b *testing.B) {
 	}
 	b.ReportMetric(dupAcc*100, "dup-account-%")
 	b.ReportMetric(sepAcc*100, "sep-account-%")
+}
+
+// ---------- Runtime: serial vs batch submission ----------
+
+// ingestBench holds the shared fixture for the Submit/SubmitBatch pair: a
+// 10k-query synthetic multi-user workload and a trained classifier, built
+// once so both benchmarks race over identical work.
+var ingestBench struct {
+	once sync.Once
+	sqls []string
+	mk   func() *querc.Service
+	err  error
+}
+
+func ingestBenchSetup(b *testing.B) ([]string, func() *querc.Service) {
+	b.Helper()
+	ingestBench.once.Do(func() {
+		gen := snowgen.Generate(snowgen.Options{
+			Accounts: []snowgen.AccountSpec{
+				{Name: "acct", Users: 16, Queries: 10000, SharedFraction: 0.3, Dialect: snowgen.DialectSnow},
+			},
+			Seed: 42,
+		})
+		sqls := make([]string, len(gen))
+		users := make([]string, len(gen))
+		for i, q := range gen {
+			sqls[i] = q.SQL
+			users[i] = q.User
+		}
+		cfg := doc2vec.DefaultConfig()
+		cfg.Dim = 16
+		cfg.Epochs = 2
+		emb, err := querc.TrainDoc2Vec("ingest-bench", sqls[:1500], cfg)
+		if err != nil {
+			ingestBench.err = err
+			return
+		}
+		lab := &querc.NearestCentroidLabeler{}
+		if err := lab.Fit(querc.EmbedAll(emb, sqls[:1500], 0), users[:1500]); err != nil {
+			ingestBench.err = err
+			return
+		}
+		ingestBench.sqls = sqls
+		ingestBench.mk = func() *querc.Service {
+			svc := querc.NewService()
+			svc.AddApplication("acct", 256, nil)
+			if err := svc.Deploy("acct", &querc.Classifier{LabelKey: "user", Embedder: emb, Labeler: lab}); err != nil {
+				panic(err)
+			}
+			return svc
+		}
+	})
+	if ingestBench.err != nil {
+		b.Fatal(ingestBench.err)
+	}
+	return ingestBench.sqls, ingestBench.mk
+}
+
+// BenchmarkSubmit measures the strictly serial Qworker path: one Submit call
+// per query over the full 10k-query workload.
+func BenchmarkSubmit(b *testing.B) {
+	sqls, mk := ingestBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := mk()
+		for _, sql := range sqls {
+			if _, err := svc.Submit("acct", sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(sqls)*b.N)/b.Elapsed().Seconds(), "q/s")
+}
+
+// BenchmarkSubmitBatch measures the concurrent batch pipeline on the same
+// workload with a 4-way worker pool (the acceptance point of the batch
+// runtime work; raise -cpu to see the multi-core fan-out on top of the
+// per-batch classification sharing).
+func BenchmarkSubmitBatch(b *testing.B) {
+	sqls, mk := ingestBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := mk()
+		out, err := svc.SubmitBatch("acct", sqls, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(sqls) {
+			b.Fatalf("batch output: %d", len(out))
+		}
+	}
+	b.ReportMetric(float64(len(sqls)*b.N)/b.Elapsed().Seconds(), "q/s")
 }
 
 // ---------- Ablations ----------

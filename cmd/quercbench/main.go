@@ -1,11 +1,14 @@
-// Command quercbench regenerates the paper's tables and figures.
+// Command quercbench regenerates the paper's tables and figures, plus
+// runtime throughput experiments over the Qworker pipeline.
 //
 // Usage:
 //
-//	quercbench -experiment fig3|fig4|table1|table2|all [-scale small|paper] [-csv dir]
+//	quercbench -experiment fig3|fig4|table1|table2|ingest|all [-scale small|paper] [-csv dir] [-workers n]
 //
 // Results print as text tables shaped like the paper's artifacts; -csv also
-// writes machine-readable series for plotting.
+// writes machine-readable series for plotting. The ingest experiment
+// measures serial Submit against the concurrent SubmitBatch pipeline on a
+// synthetic multi-user workload (-workers sets the batch fan-out).
 package main
 
 import (
@@ -18,16 +21,19 @@ import (
 	"strconv"
 	"time"
 
+	"querc"
 	"querc/internal/experiments"
+	"querc/internal/snowgen"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("quercbench: ")
 	var (
-		experiment = flag.String("experiment", "all", "fig3, fig4, table1, table2, or all")
+		experiment = flag.String("experiment", "all", "fig3, fig4, table1, table2, ingest, or all")
 		scaleFlag  = flag.String("scale", "small", "small (minutes) or paper (hours)")
 		csvDir     = flag.String("csv", "", "directory to write CSV series into (optional)")
+		workers    = flag.Int("workers", 8, "batch fan-out for the ingest experiment")
 	)
 	flag.Parse()
 	scale := experiments.Scale(*scaleFlag)
@@ -75,7 +81,10 @@ func main() {
 			experiments.WriteTable2(os.Stdout, labeling)
 			return nil
 		})
+	case "ingest":
+		run("Ingest throughput", func() error { return runIngest(scale, *workers) })
 	case "all":
+		run("Ingest throughput", func() error { return runIngest(scale, *workers) })
 		run("Figure 3", func() error { return runFig3(scale, *csvDir) })
 		run("Figure 4", func() error { return runFig4(scale, *csvDir) })
 		run("Tables 1 & 2", func() error {
@@ -90,6 +99,88 @@ func main() {
 	default:
 		log.Fatalf("unknown experiment %q", *experiment)
 	}
+}
+
+// runIngest measures end-to-end Qworker throughput: the same labeled
+// workload is pushed through the serial Submit path and through the
+// concurrent SubmitBatch pipeline, and both must leave identical state in
+// the training module. This is the runtime half of the paper's Fig. 1 —
+// Qworkers "can be load balanced and parallelized in the usual ways".
+func runIngest(scale experiments.Scale, workers int) error {
+	nQueries := 10000
+	if scale == experiments.ScalePaper {
+		nQueries = 100000
+	}
+	gen := snowgen.Generate(snowgen.Options{
+		Accounts: []snowgen.AccountSpec{
+			{Name: "acct", Users: 16, Queries: nQueries, SharedFraction: 0.3, Dialect: snowgen.DialectSnow},
+		},
+		Seed: 42,
+	})
+	sqls := make([]string, len(gen))
+	for i, q := range gen {
+		sqls[i] = q.SQL
+	}
+
+	// Train a small embedder + labeler on a subset, the deployed classifier
+	// every submitted query passes through.
+	subN := 1500
+	if subN > len(gen) {
+		subN = len(gen)
+	}
+	cfg := querc.DefaultDoc2VecConfig()
+	cfg.Dim = 16
+	cfg.Epochs = 2
+	emb, err := querc.TrainDoc2Vec("ingest", sqls[:subN], cfg)
+	if err != nil {
+		return err
+	}
+	lab := &querc.NearestCentroidLabeler{}
+	users := make([]string, subN)
+	for i := 0; i < subN; i++ {
+		users[i] = gen[i].User
+	}
+	if err := lab.Fit(querc.EmbedAll(emb, sqls[:subN], workers), users); err != nil {
+		return err
+	}
+
+	mkService := func() *querc.Service {
+		svc := querc.NewService()
+		svc.AddApplication("acct", 256, nil)
+		if err := svc.Deploy("acct", &querc.Classifier{LabelKey: "user", Embedder: emb, Labeler: lab}); err != nil {
+			panic(err)
+		}
+		return svc
+	}
+
+	serial := mkService()
+	start := time.Now()
+	for _, sql := range sqls {
+		if _, err := serial.Submit("acct", sql); err != nil {
+			return err
+		}
+	}
+	serialDur := time.Since(start)
+
+	batch := mkService()
+	start = time.Now()
+	out, err := batch.SubmitBatch("acct", sqls, workers)
+	if err != nil {
+		return err
+	}
+	batchDur := time.Since(start)
+
+	if len(out) != len(sqls) || batch.Training().Size("acct") != serial.Training().Size("acct") {
+		return fmt.Errorf("ingest: batch state diverged (out=%d training=%d/%d)",
+			len(out), batch.Training().Size("acct"), serial.Training().Size("acct"))
+	}
+	serialQPS := float64(len(sqls)) / serialDur.Seconds()
+	batchQPS := float64(len(sqls)) / batchDur.Seconds()
+	fmt.Printf("queries:             %d\n", len(sqls))
+	fmt.Printf("serial Submit:       %10s  %12.0f q/s\n", serialDur.Round(time.Millisecond), serialQPS)
+	fmt.Printf("SubmitBatch (w=%2d):  %10s  %12.0f q/s\n", workers, batchDur.Round(time.Millisecond), batchQPS)
+	fmt.Printf("speedup:             %.2fx\n", serialDur.Seconds()/batchDur.Seconds())
+	return nil
 }
 
 func runFig3(scale experiments.Scale, csvDir string) error {

@@ -3,8 +3,9 @@
 //
 // Endpoints:
 //
-//	POST /v1/apps/{app}/queries      {"sql": "..."} → labeled query JSON
-//	POST /v1/apps/{app}/logs         [{"sql": "...", "labels": {...}}, ...]
+//	POST /v1/apps/{app}/queries       {"sql": "..."} → labeled query JSON
+//	POST /v1/apps/{app}/queries:batch {"sqls": ["...", ...], "workers": 8} → labeled query array
+//	POST /v1/apps/{app}/logs          [{"sql": "...", "labels": {...}}, ...]
 //	POST /v1/apps/{app}/retrain      {"label": "user", "embedder": "name"}
 //	GET  /v1/apps                    list applications
 //	GET  /v1/models                  list registry models
@@ -62,6 +63,7 @@ func main() {
 	mux.HandleFunc("GET /v1/apps", srv.listApps)
 	mux.HandleFunc("GET /v1/models", srv.listModels)
 	mux.HandleFunc("POST /v1/apps/{app}/queries", srv.submitQuery)
+	mux.HandleFunc("POST /v1/apps/{app}/queries:batch", srv.submitBatch)
 	mux.HandleFunc("POST /v1/apps/{app}/logs", srv.ingestLogs)
 	mux.HandleFunc("POST /v1/apps/{app}/retrain", srv.retrain)
 
@@ -118,6 +120,30 @@ func (s *server) submitQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, q)
+}
+
+func (s *server) submitBatch(w http.ResponseWriter, r *http.Request) {
+	app := r.PathValue("app")
+	var req struct {
+		SQLs    []string `json:"sqls"`
+		Workers int      `json:"workers"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.SQLs) == 0 {
+		httpError(w, http.StatusBadRequest, "body must be {\"sqls\": [\"...\"], \"workers\": n}")
+		return
+	}
+	for i, sql := range req.SQLs {
+		if sql == "" {
+			httpError(w, http.StatusBadRequest, "sqls[%d] is empty", i)
+			return
+		}
+	}
+	qs, err := s.svc.SubmitBatch(app, req.SQLs, req.Workers)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"queries": qs, "count": len(qs)})
 }
 
 func (s *server) ingestLogs(w http.ResponseWriter, r *http.Request) {

@@ -26,6 +26,7 @@ func newTestServer(t *testing.T) (*server, *http.ServeMux) {
 	mux.HandleFunc("GET /v1/apps", s.listApps)
 	mux.HandleFunc("GET /v1/models", s.listModels)
 	mux.HandleFunc("POST /v1/apps/{app}/queries", s.submitQuery)
+	mux.HandleFunc("POST /v1/apps/{app}/queries:batch", s.submitBatch)
 	mux.HandleFunc("POST /v1/apps/{app}/logs", s.ingestLogs)
 	mux.HandleFunc("POST /v1/apps/{app}/retrain", s.retrain)
 	return s, mux
@@ -95,6 +96,57 @@ func TestSubmitAndLabelFlow(t *testing.T) {
 		t.Fatalf("label: %+v", labeled)
 	}
 }
+
+func TestSubmitBatchEndpoint(t *testing.T) {
+	s, mux := newTestServer(t)
+	s.svc.Deploy("app1", &core.Classifier{
+		LabelKey: "kind",
+		Embedder: constEmbedder{},
+		Labeler:  &core.RuleLabeler{RuleName: "r", Rule: func(v querc.Vector) string { return "read" }},
+	})
+	body := `{"sqls": ["select 1", "select 2", "select 3"], "workers": 2}`
+	rr := do(t, mux, "POST", "/v1/apps/app1/queries:batch", body)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("batch: %d %s", rr.Code, rr.Body)
+	}
+	var resp struct {
+		Queries []*core.LabeledQuery `json:"queries"`
+		Count   int                  `json:"count"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 3 || len(resp.Queries) != 3 {
+		t.Fatalf("count: %d/%d", resp.Count, len(resp.Queries))
+	}
+	for i, q := range resp.Queries {
+		if q.SQL != []string{"select 1", "select 2", "select 3"}[i] {
+			t.Fatalf("order broken at %d: %q", i, q.SQL)
+		}
+		if q.Label("kind") != "read" {
+			t.Fatalf("annotation missing: %+v", q)
+		}
+	}
+	// Batched queries fork into the training module like serial ones.
+	if got := s.svc.Training().Size("app1"); got != 3 {
+		t.Fatalf("training size: %d", got)
+	}
+	if rr := do(t, mux, "POST", "/v1/apps/app1/queries:batch", `{"sqls": []}`); rr.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d", rr.Code)
+	}
+	if rr := do(t, mux, "POST", "/v1/apps/app1/queries:batch", `{"sqls": ["select 1", ""]}`); rr.Code != http.StatusBadRequest {
+		t.Fatalf("empty sql in batch: %d", rr.Code)
+	}
+	if rr := do(t, mux, "POST", "/v1/apps/ghost/queries:batch", `{"sqls": ["x"]}`); rr.Code != http.StatusNotFound {
+		t.Fatalf("unknown app: %d", rr.Code)
+	}
+}
+
+type constEmbedder struct{}
+
+func (constEmbedder) Embed(sql string) querc.Vector { return querc.Vector{1} }
+func (constEmbedder) Dim() int                      { return 1 }
+func (constEmbedder) Name() string                  { return "const" }
 
 func TestErrorPaths(t *testing.T) {
 	_, mux := newTestServer(t)

@@ -1,0 +1,3 @@
+module querc
+
+go 1.24

@@ -179,6 +179,189 @@ func TestQworkerConcurrentProcess(t *testing.T) {
 	}
 }
 
+func TestQworkerWindowOrder(t *testing.T) {
+	w := NewQworker("app", 4)
+	for i := 0; i < 7; i++ {
+		w.Process(&LabeledQuery{SQL: fmt.Sprintf("q%d", i)})
+	}
+	win := w.Window()
+	if len(win) != 4 {
+		t.Fatalf("window size: %d", len(win))
+	}
+	// Ring buffer must preserve arrival order, most recent last.
+	for i, q := range win {
+		if want := fmt.Sprintf("q%d", i+3); q.SQL != want {
+			t.Fatalf("window[%d] = %q, want %q", i, q.SQL, want)
+		}
+	}
+	// A short window before wrap-around keeps partial contents in order.
+	w2 := NewQworker("app", 8)
+	w2.Process(&LabeledQuery{SQL: "only"})
+	if win := w2.Window(); len(win) != 1 || win[0].SQL != "only" {
+		t.Fatalf("partial window: %+v", win)
+	}
+}
+
+func TestQworkerProcessBatch(t *testing.T) {
+	w := NewQworker("app", 32)
+	var sunk int64
+	var mu sync.Mutex
+	w.Sink = func(q *LabeledQuery) { mu.Lock(); sunk++; mu.Unlock() }
+	w.Deploy(&Classifier{LabelKey: "k", Embedder: stubEmbedder{4},
+		Labeler: &RuleLabeler{RuleName: "r", Rule: func(vec.Vector) string { return "x" }}})
+	qs := make([]*LabeledQuery, 500)
+	for i := range qs {
+		qs[i] = &LabeledQuery{SQL: fmt.Sprintf("select %d", i)}
+	}
+	out := w.ProcessBatch(qs, 8)
+	if len(out) != 500 {
+		t.Fatalf("batch output: %d", len(out))
+	}
+	for i, q := range out {
+		if q.SQL != fmt.Sprintf("select %d", i) {
+			t.Fatalf("batch order broken at %d: %q", i, q.SQL)
+		}
+		if q.Label("k") != "x" || q.App != "app" {
+			t.Fatalf("annotation missing at %d: %+v", i, q)
+		}
+	}
+	if w.Processed() != 500 || sunk != 500 {
+		t.Fatalf("processed/sunk: %d/%d", w.Processed(), sunk)
+	}
+	if len(w.Window()) != 32 {
+		t.Fatalf("window: %d", len(w.Window()))
+	}
+}
+
+// TestQworkerDeployDuringBatch hot-swaps classifiers while Process and
+// ProcessBatch are in flight; run with -race to check the deployment path.
+func TestQworkerDeployDuringBatch(t *testing.T) {
+	w := NewQworker("app", 16)
+	mk := func(val string) *Classifier {
+		return &Classifier{LabelKey: "k", Embedder: stubEmbedder{4},
+			Labeler: &RuleLabeler{RuleName: val, Rule: func(vec.Vector) string { return val }}}
+	}
+	w.Deploy(mk("v0"))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			w.Deploy(mk(fmt.Sprintf("v%d", i)))
+		}
+	}()
+	qs := make([]*LabeledQuery, 2000)
+	for i := range qs {
+		qs[i] = &LabeledQuery{SQL: fmt.Sprintf("q%d", i)}
+	}
+	w.ProcessBatch(qs, 4)
+	for i := 0; i < 100; i++ {
+		w.Process(&LabeledQuery{SQL: "single"})
+	}
+	<-done
+	if w.Processed() != 2100 {
+		t.Fatalf("processed: %d", w.Processed())
+	}
+	// Every query saw exactly one (coherent) classifier version.
+	for _, q := range qs {
+		if q.Label("k") == "" {
+			t.Fatal("query missed annotation during hot swap")
+		}
+	}
+}
+
+func TestServiceSubmitBatch(t *testing.T) {
+	s := NewService()
+	s.AddApplication("X", 8, nil)
+	if _, err := s.SubmitBatch("ghost", []string{"select 1"}, 4); err == nil {
+		t.Fatal("unknown app must fail")
+	}
+	s.Deploy("X", &Classifier{LabelKey: "k", Embedder: stubEmbedder{8},
+		Labeler: &RuleLabeler{RuleName: "r", Rule: func(vec.Vector) string { return "ok" }}})
+	sqls := make([]string, 300)
+	for i := range sqls {
+		sqls[i] = fmt.Sprintf("select %d from t", i)
+	}
+	out, err := s.SubmitBatch("X", sqls, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 300 {
+		t.Fatalf("batch size: %d", len(out))
+	}
+	for i, q := range out {
+		if q.SQL != sqls[i] {
+			t.Fatalf("order broken at %d", i)
+		}
+		if q.Label("k") != "ok" || q.App != "X" {
+			t.Fatalf("annotations lost at %d: %+v", i, q)
+		}
+	}
+	// Every batched query forked into the training module.
+	if got := s.Training().Size("X"); got != 300 {
+		t.Fatalf("training size: %d", got)
+	}
+	// Deploy during a second concurrent batch (exercised under -race).
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.SubmitBatch("X", sqls, 4); err != nil {
+			t.Error(err)
+		}
+	}()
+	s.Deploy("X", &Classifier{LabelKey: "k", Embedder: stubEmbedder{8},
+		Labeler: &RuleLabeler{RuleName: "r2", Rule: func(vec.Vector) string { return "ok2" }}})
+	wg.Wait()
+	if got := s.Training().Size("X"); got != 600 {
+		t.Fatalf("training size after second batch: %d", got)
+	}
+}
+
+func TestTrainingModuleConcurrentShards(t *testing.T) {
+	tm := NewTrainingModule()
+	tm.SetRetention("a0", 100)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			app := fmt.Sprintf("a%d", g%4)
+			for i := 0; i < 500; i++ {
+				tm.Ingest(&LabeledQuery{App: app, SQL: "q"})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tm.Size("a0"); got != 100 {
+		t.Fatalf("capped shard: %d", got)
+	}
+	for _, app := range []string{"a1", "a2", "a3"} {
+		if got := tm.Size(app); got != 1000 {
+			t.Fatalf("shard %s: %d", app, got)
+		}
+	}
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	tm := NewTrainingModule()
+	clf := &Classifier{LabelKey: "k", Embedder: stubEmbedder{4},
+		Labeler: &RuleLabeler{RuleName: "r", Rule: func(vec.Vector) string { return "x" }}}
+	if acc, n := tm.Evaluate("empty", "k", clf, 0.2); acc != 0 || n != 0 {
+		t.Fatalf("empty set: %v %v", acc, n)
+	}
+	q := &LabeledQuery{App: "app", SQL: "s"}
+	q.SetLabel("k", "x")
+	tm.Ingest(q)
+	// A single example with every extreme holdout fraction must not panic
+	// and must score the holdout when one exists.
+	for _, frac := range []float64{-1, 0, 1e-9, 0.5, 1, 2} {
+		acc, n := tm.Evaluate("app", "k", clf, frac)
+		if n > 0 && acc != 1 {
+			t.Fatalf("frac %v: acc %v over %d", frac, acc, n)
+		}
+	}
+}
+
 func TestTrainingModuleRetrainAndEvaluate(t *testing.T) {
 	tm := NewTrainingModule()
 	for i := 0; i < 120; i++ {

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Qworker hosts the classifiers of one application stream (Fig. 1). Each
@@ -9,19 +11,29 @@ import (
 // database), and forked to the training module's log sink. Qworkers keep only
 // a small bounded window of recent queries as state, so they can be load
 // balanced and parallelized in the usual ways (paper §2).
+//
+// The window is a fixed-size ring buffer: recording a query is one store and
+// two index updates under the lock, and dropping the oldest entry never pins
+// a retired backing array the way reslice-on-append did.
 type Qworker struct {
 	App string
 
 	mu          sync.RWMutex
 	classifiers []*Classifier
-	window      []*LabeledQuery
-	windowSize  int
+	ring        []*LabeledQuery // fixed-size ring buffer of recent queries
+	ringStart   int             // index of the oldest retained query
+	ringLen     int             // number of valid entries (<= len(ring))
 
 	// Forward receives annotated queries bound for the database. nil when
-	// Querc is out of the critical path (fork-only deployments, §2).
+	// Querc is out of the critical path (fork-only deployments, §2). It must
+	// be safe for concurrent use when ProcessBatch runs with >1 worker.
 	Forward func(*LabeledQuery)
 	// Sink receives a copy of every annotated query for the training module.
 	Sink func(*LabeledQuery)
+	// BatchSink, when non-nil, receives training-module forks a chunk at a
+	// time on the ProcessBatch path, amortizing per-query sink overhead.
+	// When nil, ProcessBatch falls back to calling Sink per query.
+	BatchSink func([]*LabeledQuery)
 
 	processed int64
 }
@@ -32,11 +44,12 @@ func NewQworker(app string, windowSize int) *Qworker {
 	if windowSize <= 0 {
 		windowSize = 64
 	}
-	return &Qworker{App: app, windowSize: windowSize}
+	return &Qworker{App: app, ring: make([]*LabeledQuery, windowSize)}
 }
 
 // Deploy installs or replaces the classifier for its label key. This is the
-// "Model Deployment" arrow of Fig. 1; it is safe to call while Process runs.
+// "Model Deployment" arrow of Fig. 1; it is safe to call while Process or
+// ProcessBatch runs.
 func (w *Qworker) Deploy(c *Classifier) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -58,16 +71,15 @@ func (w *Qworker) Classifiers() []*Classifier {
 
 // Process annotates q with every deployed classifier's prediction, records
 // it in the window, and forwards/forks it. It returns the annotated query.
+// Classification runs outside the lock; only the ring-buffer store is
+// serialized, so concurrent callers overlap on the expensive embedding work.
 func (w *Qworker) Process(q *LabeledQuery) *LabeledQuery {
 	q.App = w.App
 	for _, c := range w.Classifiers() {
 		c.Process(q)
 	}
 	w.mu.Lock()
-	w.window = append(w.window, q)
-	if len(w.window) > w.windowSize {
-		w.window = w.window[len(w.window)-w.windowSize:]
-	}
+	w.recordLocked(q)
 	w.processed++
 	forward, sink := w.Forward, w.Sink
 	w.mu.Unlock()
@@ -81,11 +93,138 @@ func (w *Qworker) Process(q *LabeledQuery) *LabeledQuery {
 	return q
 }
 
+// batchChunk is the unit of work one batch worker claims at a time: big
+// enough to amortize the ring-buffer lock and training fork, small enough to
+// keep the pool balanced on skewed batches.
+const batchChunk = 64
+
+// ProcessBatch annotates every query in qs, fanning the work out across a
+// bounded pool of workers goroutines (workers <= 0 uses GOMAXPROCS). Each
+// query takes the same path as Process — classify, record in the window,
+// fork, forward — and qs keeps its input order, with qs[i] annotated in
+// place. As with concurrent Process callers, the window and training-module
+// ordering reflect completion order, not input order, when workers > 1. This
+// is the batch-ingest path of WiSeDB/LearnedWMP-style workloads, where
+// queries arrive as a batch rather than a stream.
+//
+// The batch path shares work across the batch in ways the per-query path
+// cannot: the deployed classifier set is snapshotted once for the whole
+// batch (a concurrent Deploy takes effect on the next batch), identical
+// query texts are classified once per classifier (production workloads are
+// dominated by literally repeated queries — paper §5.2 — and every built-in
+// Embedder/Labeler is a pure function of the query text), and window
+// recording plus the training fork are amortized per chunk rather than per
+// query.
+func (w *Qworker) ProcessBatch(qs []*LabeledQuery, workers int) []*LabeledQuery {
+	if len(qs) == 0 {
+		return qs
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > (len(qs)+batchChunk-1)/batchChunk {
+		workers = (len(qs) + batchChunk - 1) / batchChunk
+	}
+	clfs := w.Classifiers()
+	w.mu.RLock()
+	forward, sink, batchSink := w.Forward, w.Sink, w.BatchSink
+	w.mu.RUnlock()
+	// One label cache per classifier, shared by all batch workers. A miss
+	// computed twice concurrently is benign; the store is last-writer-wins
+	// over identical values.
+	caches := make([]sync.Map, len(clfs))
+
+	var next atomic.Int64
+	run := func() {
+		for {
+			lo := int(next.Add(batchChunk)) - batchChunk
+			if lo >= len(qs) {
+				return
+			}
+			hi := lo + batchChunk
+			if hi > len(qs) {
+				hi = len(qs)
+			}
+			chunk := qs[lo:hi]
+			for _, q := range chunk {
+				q.App = w.App
+				for ci, c := range clfs {
+					if cached, ok := caches[ci].Load(q.SQL); ok {
+						q.SetLabel(c.LabelKey, cached.(string))
+						continue
+					}
+					label := c.Process(q)
+					caches[ci].Store(q.SQL, label)
+				}
+			}
+			w.recordChunk(chunk)
+			if batchSink != nil || sink != nil {
+				clones := make([]*LabeledQuery, len(chunk))
+				for i, q := range chunk {
+					clones[i] = q.Clone()
+				}
+				if batchSink != nil {
+					batchSink(clones)
+				} else {
+					for _, q := range clones {
+						sink(q)
+					}
+				}
+			}
+			if forward != nil {
+				for _, q := range chunk {
+					forward(q)
+				}
+			}
+		}
+	}
+	if workers <= 1 {
+		run()
+		return qs
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	wg.Wait()
+	return qs
+}
+
+// recordLocked stores q in the ring buffer, evicting the oldest entry when
+// full. Callers hold w.mu.
+func (w *Qworker) recordLocked(q *LabeledQuery) {
+	w.ring[(w.ringStart+w.ringLen)%len(w.ring)] = q
+	if w.ringLen < len(w.ring) {
+		w.ringLen++
+	} else {
+		w.ringStart = (w.ringStart + 1) % len(w.ring)
+	}
+}
+
+// recordChunk appends a chunk of annotated queries to the ring buffer under
+// one lock acquisition.
+func (w *Qworker) recordChunk(chunk []*LabeledQuery) {
+	w.mu.Lock()
+	for _, q := range chunk {
+		w.recordLocked(q)
+	}
+	w.processed += int64(len(chunk))
+	w.mu.Unlock()
+}
+
 // Window returns a copy of the recent-query window (most recent last).
 func (w *Qworker) Window() []*LabeledQuery {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
-	return append([]*LabeledQuery(nil), w.window...)
+	out := make([]*LabeledQuery, w.ringLen)
+	for i := 0; i < w.ringLen; i++ {
+		out[i] = w.ring[(w.ringStart+i)%len(w.ring)]
+	}
+	return out
 }
 
 // Processed returns the number of queries handled so far.

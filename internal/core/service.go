@@ -33,6 +33,7 @@ func (s *Service) AddApplication(app string, windowSize int, forward func(*Label
 	w := NewQworker(app, windowSize)
 	w.Forward = forward
 	w.Sink = s.training.Ingest
+	w.BatchSink = func(qs []*LabeledQuery) { s.training.IngestBatch(app, qs) }
 	s.mu.Lock()
 	s.workers[app] = w
 	s.mu.Unlock()
@@ -65,6 +66,25 @@ func (s *Service) Submit(app, sql string) (*LabeledQuery, error) {
 		return nil, fmt.Errorf("core: unknown application %q", app)
 	}
 	return w.Process(&LabeledQuery{SQL: sql}), nil
+}
+
+// SubmitBatch routes a batch of query texts through the application's
+// Qworker, fanning the per-query classification out across a bounded pool of
+// workers goroutines (workers <= 0 uses GOMAXPROCS). The returned slice is
+// index-aligned with sqls; every query is recorded in the worker's window
+// and forked to the training module, though with workers > 1 those land in
+// completion order rather than input order (as with concurrent Submit
+// callers).
+func (s *Service) SubmitBatch(app string, sqls []string, workers int) ([]*LabeledQuery, error) {
+	w := s.Worker(app)
+	if w == nil {
+		return nil, fmt.Errorf("core: unknown application %q", app)
+	}
+	qs := make([]*LabeledQuery, len(sqls))
+	for i, sql := range sqls {
+		qs[i] = &LabeledQuery{SQL: sql}
+	}
+	return w.ProcessBatch(qs, workers), nil
 }
 
 // Deploy installs a classifier on one application's worker. The same

@@ -11,65 +11,147 @@ import (
 // training sets, retrains labelers against a shared embedder, and deploys
 // the refreshed classifiers back to Qworkers.
 //
+// Ingestion is sharded per application: each app owns its own mutex and an
+// append buffer that is merged into the retained log lazily, so Qworkers
+// forking queries from many parallel streams never serialize on one global
+// lock, and the retention trim copies into a fresh slice instead of
+// re-slicing (which would pin the full old backing array).
+//
 // Per the paper's design, training is an infrequent batch activity — the
 // architecture is deliberately not a continuous-learning system (§2), so the
 // module exposes explicit Retrain calls instead of background loops.
 type TrainingModule struct {
-	mu   sync.Mutex
-	logs map[string][]*LabeledQuery // app -> accumulated labeled queries
-	caps map[string]int             // app -> retention cap
+	mu     sync.RWMutex
+	shards map[string]*appShard // app -> its private log shard
+}
+
+// flushEvery bounds the append buffer: once it holds this many queries the
+// shard merges it into the retained log, amortizing the trim copy.
+const flushEvery = 256
+
+// appShard holds one application's accumulated queries behind its own lock.
+type appShard struct {
+	mu    sync.Mutex
+	buf   []*LabeledQuery // recent ingests, not yet merged into log
+	log   []*LabeledQuery // retained queries, oldest first
+	limit int             // retention cap; <= 0 means unlimited
 }
 
 // NewTrainingModule returns an empty training module.
 func NewTrainingModule() *TrainingModule {
-	return &TrainingModule{
-		logs: make(map[string][]*LabeledQuery),
-		caps: make(map[string]int),
+	return &TrainingModule{shards: make(map[string]*appShard)}
+}
+
+// shard returns app's shard, creating it on first use. The read-lock fast
+// path keeps steady-state ingestion from contending on the module lock.
+func (t *TrainingModule) shard(app string) *appShard {
+	if s := t.peek(app); s != nil {
+		return s
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.shards[app]
+	if s == nil {
+		s = &appShard{}
+		t.shards[app] = s
+	}
+	return s
+}
+
+// peek returns app's shard without creating one, so read-only paths queried
+// with arbitrary (possibly attacker-chosen) app names never grow the map.
+func (t *TrainingModule) peek(app string) *appShard {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.shards[app]
 }
 
 // SetRetention caps the number of retained queries for an application
-// (oldest dropped first). cap <= 0 means unlimited.
-func (t *TrainingModule) SetRetention(app string, cap int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.caps[app] = cap
-	t.trim(app)
+// (oldest dropped first). limit <= 0 means unlimited.
+func (t *TrainingModule) SetRetention(app string, limit int) {
+	s := t.shard(app)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limit = limit
+	s.flushLocked()
+	// Lowering the cap should release memory promptly, not at the next
+	// slack-triggered compaction.
+	if over := s.retainedLocked(); len(over) < len(s.log) {
+		fresh := make([]*LabeledQuery, len(over))
+		copy(fresh, over)
+		s.log = fresh
+	}
 }
 
 // Ingest records one labeled query (the Qworker fork path). It is safe for
-// concurrent use.
+// concurrent use; queries from different applications never contend.
 func (t *TrainingModule) Ingest(q *LabeledQuery) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.logs[q.App] = append(t.logs[q.App], q)
-	t.trim(q.App)
+	s := t.shard(q.App)
+	s.mu.Lock()
+	s.buf = append(s.buf, q)
+	if len(s.buf) >= flushEvery {
+		s.flushLocked()
+	}
+	s.mu.Unlock()
 }
 
 // IngestBatch records a batch of log records (the database log-export path).
 func (t *TrainingModule) IngestBatch(app string, qs []*LabeledQuery) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	s := t.shard(app)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, q := range qs {
 		q.App = app
-		t.logs[app] = append(t.logs[app], q)
 	}
-	t.trim(app)
+	s.buf = append(s.buf, qs...)
+	s.flushLocked()
 }
 
-func (t *TrainingModule) trim(app string) {
-	if c := t.caps[app]; c > 0 && len(t.logs[app]) > c {
-		t.logs[app] = t.logs[app][len(t.logs[app])-c:]
+// flushLocked merges the append buffer into the retained log and compacts
+// once the log reaches twice the retention cap: copying survivors into a
+// right-sized slice releases the dropped prefix's backing array (the old
+// reslice trim pinned it forever), and the 2x slack keeps the copy amortized
+// O(1) per ingested query instead of O(limit) per flush. Reads apply the cap
+// strictly via retainedLocked, so the slack is invisible to callers.
+func (s *appShard) flushLocked() {
+	if len(s.buf) > 0 {
+		s.log = append(s.log, s.buf...)
+		clear(s.buf) // don't let the reused buffer pin evicted queries
+		s.buf = s.buf[:0]
 	}
+	if s.limit > 0 && len(s.log) >= 2*s.limit {
+		fresh := make([]*LabeledQuery, s.limit)
+		copy(fresh, s.log[len(s.log)-s.limit:])
+		s.log = fresh
+	}
+}
+
+// retainedLocked returns the strict capped view of the log (no copy).
+// Callers hold s.mu and must have flushed first.
+func (s *appShard) retainedLocked() []*LabeledQuery {
+	if s.limit > 0 && len(s.log) > s.limit {
+		return s.log[len(s.log)-s.limit:]
+	}
+	return s.log
+}
+
+// snapshot returns a copy of the retained queries (buffer flushed first).
+func (s *appShard) snapshot() []*LabeledQuery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	return append([]*LabeledQuery(nil), s.retainedLocked()...)
 }
 
 // TrainingSet returns the retained queries for app that carry the given
 // label key — the training set for that labeling task.
 func (t *TrainingModule) TrainingSet(app, labelKey string) []*LabeledQuery {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	s := t.peek(app)
+	if s == nil {
+		return nil
+	}
 	var out []*LabeledQuery
-	for _, q := range t.logs[app] {
+	for _, q := range s.snapshot() {
 		if _, ok := q.Labels[labelKey]; ok {
 			out = append(out, q)
 		}
@@ -79,9 +161,14 @@ func (t *TrainingModule) TrainingSet(app, labelKey string) []*LabeledQuery {
 
 // Size returns the number of retained queries for app.
 func (t *TrainingModule) Size(app string) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.logs[app])
+	s := t.peek(app)
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	return len(s.retainedLocked())
 }
 
 // Retrain fits labeler on app's training set for labelKey using embedder for
@@ -117,6 +204,12 @@ func (t *TrainingModule) Evaluate(app, labelKey string, c *Classifier, holdoutFr
 		holdoutFrac = 0.2
 	}
 	start := int(float64(len(set)) * (1 - holdoutFrac))
+	if start < 0 {
+		start = 0
+	}
+	if start > len(set) {
+		start = len(set)
+	}
 	hold := set[start:]
 	if len(hold) == 0 {
 		return 0, 0

@@ -12,7 +12,10 @@
 //   - labelers: randomized-tree and nearest-centroid classifiers
 //     (NewForestLabeler, NearestCentroidLabeler);
 //   - the runtime: Service, Qworker, Classifier, LabeledQuery (Fig. 1 of the
-//     paper);
+//     paper). Queries enter one at a time via Service.Submit or as a
+//     concurrent batch via Service.SubmitBatch, which fans classification
+//     out across a bounded worker pool and shares work between identical
+//     query texts in the batch;
 //   - applications: workload summarization for index tuning, security
 //     auditing, routing checks, error prediction, resource allocation, and
 //     query recommendation (via querc/internal/apps, re-exported here).
