@@ -9,6 +9,7 @@
 package querc_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -171,15 +172,35 @@ func BenchmarkTable2PerAccount(b *testing.B) {
 
 // ---------- Runtime: serial vs batch submission ----------
 
-// ingestBench holds the shared fixture for the Submit/SubmitBatch pair: a
+// ingestBench holds the shared fixture for the Submit/SubmitBatch family: a
 // 10k-query synthetic multi-user workload and a trained classifier, built
-// once so both benchmarks race over identical work.
+// once so the benchmarks race over identical work. mkMulti builds the
+// shared-embedder scenario — four labeling tasks on one embedder — either on
+// the embedding plane (shared=true) or with the embedder hidden behind four
+// distinct names, which reproduces the pre-plane per-classifier embedding
+// cost (shared=false).
 var ingestBench struct {
-	once sync.Once
-	sqls []string
-	mk   func() *querc.Service
-	err  error
+	once    sync.Once
+	sqls    []string
+	mk      func() *querc.Service
+	mkMulti func(shared bool) *querc.Service
+	err     error
 }
+
+// benchLabelKeys are the four per-tenant labeling tasks of the
+// shared-embedder scenario.
+var benchLabelKeys = []string{"user", "team", "route", "risk"}
+
+// renamedEmbedder hides the identity (and BatchEmbedder fast path) of its
+// inner embedder so classifiers wrapping one cannot share vectors.
+type renamedEmbedder struct {
+	inner querc.Embedder
+	name  string
+}
+
+func (r renamedEmbedder) Embed(sql string) querc.Vector { return r.inner.Embed(sql) }
+func (r renamedEmbedder) Dim() int                      { return r.inner.Dim() }
+func (r renamedEmbedder) Name() string                  { return r.name }
 
 func ingestBenchSetup(b *testing.B) ([]string, func() *querc.Service) {
 	b.Helper()
@@ -218,6 +239,20 @@ func ingestBenchSetup(b *testing.B) ([]string, func() *querc.Service) {
 			}
 			return svc
 		}
+		ingestBench.mkMulti = func(shared bool) *querc.Service {
+			svc := querc.NewService()
+			svc.AddApplication("acct", 256, nil)
+			for i, key := range benchLabelKeys {
+				e := emb
+				if !shared {
+					e = renamedEmbedder{inner: emb, name: fmt.Sprintf("ingest-bench#%d", i)}
+				}
+				if err := svc.Deploy("acct", &querc.Classifier{LabelKey: key, Embedder: e, Labeler: lab}); err != nil {
+					panic(err)
+				}
+			}
+			return svc
+		}
 	})
 	if ingestBench.err != nil {
 		b.Fatal(ingestBench.err)
@@ -250,6 +285,47 @@ func BenchmarkSubmitBatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		svc := mk()
+		out, err := svc.SubmitBatch("acct", sqls, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(sqls) {
+			b.Fatalf("batch output: %d", len(out))
+		}
+	}
+	b.ReportMetric(float64(len(sqls)*b.N)/b.Elapsed().Seconds(), "q/s")
+}
+
+// BenchmarkSubmitBatchSharedEmbedder measures the embedding plane at the
+// acceptance point of the shared-plane refactor: four labeling tasks on ONE
+// shared embedder over the 10k-query workload. Each distinct text is
+// embedded once and its vector fanned to all four labelers; compare against
+// BenchmarkSubmitBatchPerClassifierEmbed, which reproduces the pre-plane
+// per-classifier embedding cost (target: ≥2× throughput for this benchmark).
+func BenchmarkSubmitBatchSharedEmbedder(b *testing.B) {
+	sqls, _ := ingestBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := ingestBench.mkMulti(true)
+		out, err := svc.SubmitBatch("acct", sqls, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(sqls) {
+			b.Fatalf("batch output: %d", len(out))
+		}
+	}
+	b.ReportMetric(float64(len(sqls)*b.N)/b.Elapsed().Seconds(), "q/s")
+}
+
+// BenchmarkSubmitBatchPerClassifierEmbed is the pre-embedding-plane
+// baseline: the same four labeling tasks, but the shared model hidden behind
+// four distinct embedder names so every classifier embeds for itself.
+func BenchmarkSubmitBatchPerClassifierEmbed(b *testing.B) {
+	sqls, _ := ingestBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := ingestBench.mkMulti(false)
 		out, err := svc.SubmitBatch("acct", sqls, 4)
 		if err != nil {
 			b.Fatal(err)

@@ -9,10 +9,13 @@
 //	POST /v1/apps/{app}/retrain      {"label": "user", "embedder": "name"}
 //	GET  /v1/apps                    list applications
 //	GET  /v1/models                  list registry models
+//	GET  /v1/stats                   per-app counters + vector-cache hit/miss stats
 //	GET  /v1/healthz
 //
 // Applications are declared with repeated -app flags. Embedders are loaded
-// from (and trained models written to) the -models registry directory.
+// from (and trained models written to) the -models registry directory. All
+// applications share one embedding-plane vector cache sized by
+// -vector-cache (entries; 0 disables caching).
 package main
 
 import (
@@ -37,7 +40,9 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8461", "listen address")
 		modelsDir = flag.String("models", "models", "model registry directory")
-		apps      appFlags
+		vecCache  = flag.Int("vector-cache", querc.DefaultVectorCacheEntries,
+			"shared embedding-plane vector cache capacity in entries (0 disables)")
+		apps appFlags
 	)
 	flag.Var(&apps, "app", "application stream to host (repeatable)")
 	flag.Parse()
@@ -50,6 +55,12 @@ func main() {
 		log.Fatal(err)
 	}
 	svc := querc.NewService()
+	if *vecCache <= 0 {
+		svc.SetVectorCache(nil)
+		log.Printf("vector cache disabled")
+	} else if *vecCache != querc.DefaultVectorCacheEntries {
+		svc.SetVectorCache(querc.NewVectorCache(*vecCache, 0))
+	}
 	for _, app := range apps {
 		svc.AddApplication(app, 256, nil)
 		log.Printf("hosting application %q", app)
@@ -62,6 +73,7 @@ func main() {
 	})
 	mux.HandleFunc("GET /v1/apps", srv.listApps)
 	mux.HandleFunc("GET /v1/models", srv.listModels)
+	mux.HandleFunc("GET /v1/stats", srv.stats)
 	mux.HandleFunc("POST /v1/apps/{app}/queries", srv.submitQuery)
 	mux.HandleFunc("POST /v1/apps/{app}/queries:batch", srv.submitBatch)
 	mux.HandleFunc("POST /v1/apps/{app}/logs", srv.ingestLogs)
@@ -91,6 +103,39 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 
 func (s *server) listApps(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"apps": s.svc.Apps()})
+}
+
+// stats reports per-application processed counts plus the shared
+// embedding-plane vector cache's hit/miss/eviction counters.
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	type appStat struct {
+		App       string `json:"app"`
+		Processed int64  `json:"processed"`
+		Training  int    `json:"trainingSet"`
+	}
+	apps := make([]appStat, 0)
+	for _, app := range s.svc.Apps() {
+		apps = append(apps, appStat{
+			App:       app,
+			Processed: s.svc.Worker(app).Processed(),
+			Training:  s.svc.Training().Size(app),
+		})
+	}
+	resp := map[string]any{"apps": apps}
+	if c := s.svc.VectorCache(); c != nil {
+		st := c.Stats()
+		resp["vectorCache"] = map[string]any{
+			"hits":      st.Hits,
+			"misses":    st.Misses,
+			"evictions": st.Evictions,
+			"entries":   st.Entries,
+			"capacity":  st.Capacity,
+			"hitRate":   st.HitRate(),
+		}
+	} else {
+		resp["vectorCache"] = nil
+	}
+	writeJSON(w, resp)
 }
 
 func (s *server) listModels(w http.ResponseWriter, r *http.Request) {

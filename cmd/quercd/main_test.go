@@ -25,6 +25,7 @@ func newTestServer(t *testing.T) (*server, *http.ServeMux) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/apps", s.listApps)
 	mux.HandleFunc("GET /v1/models", s.listModels)
+	mux.HandleFunc("GET /v1/stats", s.stats)
 	mux.HandleFunc("POST /v1/apps/{app}/queries", s.submitQuery)
 	mux.HandleFunc("POST /v1/apps/{app}/queries:batch", s.submitBatch)
 	mux.HandleFunc("POST /v1/apps/{app}/logs", s.ingestLogs)
@@ -161,6 +162,53 @@ func TestErrorPaths(t *testing.T) {
 	}
 	if rr := do(t, mux, "POST", "/v1/apps/app1/logs", `not json`); rr.Code != http.StatusBadRequest {
 		t.Fatalf("bad logs: %d", rr.Code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s, mux := newTestServer(t)
+	s.svc.Deploy("app1", &core.Classifier{
+		LabelKey: "kind",
+		Embedder: constEmbedder{},
+		Labeler:  &core.RuleLabeler{RuleName: "r", Rule: func(v querc.Vector) string { return "read" }},
+	})
+	// Same SQL twice: the second submit must hit the shared vector cache.
+	for i := 0; i < 2; i++ {
+		if rr := do(t, mux, "POST", "/v1/apps/app1/queries", `{"sql":"select 1"}`); rr.Code != http.StatusOK {
+			t.Fatalf("submit %d: %d %s", i, rr.Code, rr.Body)
+		}
+	}
+	rr := do(t, mux, "GET", "/v1/stats", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("stats: %d %s", rr.Code, rr.Body)
+	}
+	var resp struct {
+		Apps []struct {
+			App       string `json:"app"`
+			Processed int64  `json:"processed"`
+		} `json:"apps"`
+		VectorCache *struct {
+			Hits     int64   `json:"hits"`
+			Misses   int64   `json:"misses"`
+			Entries  int     `json:"entries"`
+			Capacity int     `json:"capacity"`
+			HitRate  float64 `json:"hitRate"`
+		} `json:"vectorCache"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Apps) != 1 || resp.Apps[0].App != "app1" || resp.Apps[0].Processed != 2 {
+		t.Fatalf("apps: %+v", resp.Apps)
+	}
+	if resp.VectorCache == nil {
+		t.Fatal("vectorCache missing")
+	}
+	if resp.VectorCache.Hits != 1 || resp.VectorCache.Misses != 1 || resp.VectorCache.Entries != 1 {
+		t.Fatalf("cache counters: %+v", *resp.VectorCache)
+	}
+	if resp.VectorCache.Capacity <= 0 || resp.VectorCache.HitRate != 0.5 {
+		t.Fatalf("cache shape: %+v", *resp.VectorCache)
 	}
 }
 

@@ -81,8 +81,21 @@ type Embedder interface {
 	Name() string
 }
 
+// BatchEmbedder is an Embedder that can embed many texts in one call. The
+// batch form lets implementations dedupe identical token sequences before
+// inference (the doc2vec and LSTM adapters do), so a batch dominated by
+// literal repeats pays for each distinct query once. EmbedBatch returns one
+// vector per input, index-aligned; duplicated inputs may share the same
+// backing vector, so callers must treat returned vectors as immutable.
+type BatchEmbedder interface {
+	Embedder
+	EmbedBatch(sqls []string) []vec.Vector
+}
+
 // Labeler maps a query vector to a label value. Implementations must be safe
-// for concurrent use.
+// for concurrent use and must not mutate the vector: on the embedding-plane
+// path one vector is fanned out to every labeler sharing the embedder, and
+// may be served again from the shared vector cache.
 type Labeler interface {
 	Label(v vec.Vector) string
 	Name() string
@@ -104,8 +117,16 @@ type Classifier struct {
 }
 
 // Process annotates q with this classifier's prediction and returns it.
+// This is the standalone embed+label path; the Qworker runtime instead embeds
+// once per distinct embedder and calls LabelVector per classifier.
 func (c *Classifier) Process(q *LabeledQuery) string {
-	v := c.Embedder.Embed(q.SQL)
+	return c.LabelVector(q, c.Embedder.Embed(q.SQL))
+}
+
+// LabelVector annotates q from a precomputed vector of q.SQL — the label
+// phase of the embedding plane. v must have been produced by c.Embedder (or
+// an embedder with the same Name) on q.SQL; it is read, never mutated.
+func (c *Classifier) LabelVector(q *LabeledQuery, v vec.Vector) string {
 	label := c.Labeler.Label(v)
 	q.SetLabel(c.LabelKey, label)
 	return label

@@ -502,6 +502,11 @@ func TestRegistryRoundTrip(t *testing.T) {
 	if ver != 2 {
 		t.Fatalf("latest version: %d", ver)
 	}
+	// The name is version-qualified: it keys the embedding plane and the
+	// vector cache, and two versions of one model must never share vectors.
+	if emb.Name() != "doc2vec(m1@v2)" {
+		t.Fatalf("embedder name not version-qualified: %q", emb.Name())
+	}
 	if got := emb.Embed("select a"); len(got) != 8 {
 		t.Fatalf("embed dim: %d", len(got))
 	}

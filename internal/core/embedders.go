@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"querc/internal/doc2vec"
 	"querc/internal/lstm"
@@ -42,6 +43,16 @@ func (e *Doc2VecEmbedder) Embed(sql string) vec.Vector {
 	return e.Model.Infer(TokenizeForEmbedding(sql))
 }
 
+// EmbedBatch implements BatchEmbedder: identical token sequences are
+// inferred once and share one vector.
+func (e *Doc2VecEmbedder) EmbedBatch(sqls []string) []vec.Vector {
+	docs := make([][]string, len(sqls))
+	for i, sql := range sqls {
+		docs[i] = TokenizeForEmbedding(sql)
+	}
+	return e.Model.InferBatch(docs)
+}
+
 // Dim implements Embedder.
 func (e *Doc2VecEmbedder) Dim() int { return e.Model.Dim() }
 
@@ -72,17 +83,43 @@ func (e *LSTMEmbedder) Embed(sql string) vec.Vector {
 	return e.Model.Encode(TokenizeForEmbedding(sql))
 }
 
+// EmbedBatch implements BatchEmbedder: identical token sequences are
+// encoded once and share one vector.
+func (e *LSTMEmbedder) EmbedBatch(sqls []string) []vec.Vector {
+	docs := make([][]string, len(sqls))
+	for i, sql := range sqls {
+		docs[i] = TokenizeForEmbedding(sql)
+	}
+	return e.Model.EncodeBatch(docs)
+}
+
 // Dim implements Embedder.
 func (e *LSTMEmbedder) Dim() int { return e.Model.Dim() }
 
 // Name implements Embedder.
 func (e *LSTMEmbedder) Name() string { return "lstm(" + e.ModelName + ")" }
 
+// EmbedTexts embeds sqls in one call on the calling goroutine, routing
+// through the EmbedBatch fast path (with its identical-input dedupe) when e
+// implements BatchEmbedder.
+func EmbedTexts(e Embedder, sqls []string) []vec.Vector {
+	if be, ok := e.(BatchEmbedder); ok {
+		return be.EmbedBatch(sqls)
+	}
+	out := make([]vec.Vector, len(sqls))
+	for i, sql := range sqls {
+		out[i] = e.Embed(sql)
+	}
+	return out
+}
+
 // EmbedAll embeds a batch of query texts, fanning out across workers
-// goroutines (embedding is read-only on the model). workers <= 0 uses 4.
+// goroutines (embedding is read-only on the model). workers <= 0 uses
+// GOMAXPROCS, matching the ProcessBatch default. Each chunk goes through the
+// BatchEmbedder fast path when available.
 func EmbedAll(e Embedder, sqls []string, workers int) []vec.Vector {
 	if workers <= 0 {
-		workers = 4
+		workers = runtime.GOMAXPROCS(0)
 	}
 	out := make([]vec.Vector, len(sqls))
 	type job struct{ lo, hi int }
@@ -91,9 +128,7 @@ func EmbedAll(e Embedder, sqls []string, workers int) []vec.Vector {
 	for w := 0; w < workers; w++ {
 		go func() {
 			for j := range jobs {
-				for i := j.lo; i < j.hi; i++ {
-					out[i] = e.Embed(sqls[i])
-				}
+				copy(out[j.lo:j.hi], EmbedTexts(e, sqls[j.lo:j.hi]))
 			}
 			done <- struct{}{}
 		}()
@@ -109,6 +144,41 @@ func EmbedAll(e Embedder, sqls []string, workers int) []vec.Vector {
 	close(jobs)
 	for w := 0; w < workers; w++ {
 		<-done
+	}
+	return out
+}
+
+// EmbedAllCached embeds sqls like EmbedAll but embeds each distinct text at
+// most once, consulting (and filling) the shared vector cache first. cache
+// may be nil, in which case only the in-call dedupe applies. This is the
+// batch-embed path of the training module: retraining several labelers on
+// one embedder embeds the training set once, with later calls served from
+// warm vectors. Duplicated inputs share one (immutable) vector.
+func EmbedAllCached(e Embedder, sqls []string, workers int, cache *VectorCache) []vec.Vector {
+	name := e.Name()
+	vecs := make(map[string]vec.Vector, len(sqls))
+	var miss []string
+	for _, sql := range sqls {
+		if _, ok := vecs[sql]; ok {
+			continue
+		}
+		if v, ok := cache.Get(name, sql); ok {
+			vecs[sql] = v
+			continue
+		}
+		vecs[sql] = nil
+		miss = append(miss, sql)
+	}
+	if len(miss) > 0 {
+		vs := EmbedAll(e, miss, workers)
+		for i, sql := range miss {
+			vecs[sql] = vs[i]
+			cache.Put(name, sql, vs[i])
+		}
+	}
+	out := make([]vec.Vector, len(sqls))
+	for i, sql := range sqls {
+		out[i] = vecs[sql]
 	}
 	return out
 }

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"querc/internal/doc2vec"
+	"querc/internal/vec"
+)
+
+// countingEmbedder counts Embed calls — the instrument for proving the
+// embed-once/label-many property.
+type countingEmbedder struct {
+	name string
+	dim  int
+	n    atomic.Int64
+}
+
+func (c *countingEmbedder) Embed(sql string) vec.Vector {
+	c.n.Add(1)
+	v := vec.New(c.dim)
+	for i := 0; i < len(sql); i++ {
+		v[int(sql[i])%c.dim]++
+	}
+	return v
+}
+func (c *countingEmbedder) Dim() int     { return c.dim }
+func (c *countingEmbedder) Name() string { return c.name }
+
+func ruleClassifier(key string, e Embedder) *Classifier {
+	return &Classifier{LabelKey: key, Embedder: e,
+		Labeler: &RuleLabeler{RuleName: key, Rule: func(v vec.Vector) string {
+			return fmt.Sprintf("%s:%.0f", key, v[0])
+		}}}
+}
+
+func TestProcessEmbedsOncePerSharedEmbedder(t *testing.T) {
+	e := &countingEmbedder{name: "shared", dim: 8}
+	w := NewQworker("app", 8)
+	for _, key := range []string{"a", "b", "c", "d"} {
+		w.Deploy(ruleClassifier(key, e))
+	}
+	q := w.Process(&LabeledQuery{SQL: "select 1"})
+	if got := e.n.Load(); got != 1 {
+		t.Fatalf("4 classifiers on one embedder must embed once, got %d", got)
+	}
+	for _, key := range []string{"a", "b", "c", "d"} {
+		if q.Label(key) == "" {
+			t.Fatalf("labeler %s missed the fanned-out vector", key)
+		}
+	}
+	// Distinct embedder identities each embed for themselves.
+	e2 := &countingEmbedder{name: "other", dim: 8}
+	w.Deploy(ruleClassifier("e", e2))
+	w.Process(&LabeledQuery{SQL: "select 2"})
+	if e.n.Load() != 2 || e2.n.Load() != 1 {
+		t.Fatalf("per-embedder counts: %d/%d", e.n.Load(), e2.n.Load())
+	}
+}
+
+func TestProcessBatchEmbedsDistinctTextsOncePerEmbedder(t *testing.T) {
+	e := &countingEmbedder{name: "shared", dim: 8}
+	w := NewQworker("app", 16) // standalone worker: no shared cache
+	w.Deploy(ruleClassifier("x", e))
+	w.Deploy(ruleClassifier("y", e))
+	qs := make([]*LabeledQuery, 400)
+	for i := range qs {
+		qs[i] = &LabeledQuery{SQL: fmt.Sprintf("select %d", i%50)} // heavy repeats
+	}
+	w.ProcessBatch(qs, 1) // single worker: the count is exact
+	if got := e.n.Load(); got != 50 {
+		t.Fatalf("distinct texts must embed once for the whole batch: %d", got)
+	}
+	for i, q := range qs {
+		if q.Label("x") == "" || q.Label("y") == "" {
+			t.Fatalf("labels missing at %d: %+v", i, q)
+		}
+	}
+}
+
+// countingLabeler counts Label calls — the instrument for the per-batch
+// label memo.
+type countingLabeler struct {
+	n atomic.Int64
+}
+
+func (c *countingLabeler) Label(v vec.Vector) string {
+	c.n.Add(1)
+	return fmt.Sprintf("%.0f", v[0])
+}
+func (c *countingLabeler) Name() string { return "counting" }
+
+func TestProcessBatchLabelsDistinctTextsOnce(t *testing.T) {
+	e := &countingEmbedder{name: "shared", dim: 8}
+	lab := &countingLabeler{}
+	w := NewQworker("app", 16)
+	w.Deploy(&Classifier{LabelKey: "k", Embedder: e, Labeler: lab})
+	qs := make([]*LabeledQuery, 400)
+	for i := range qs {
+		qs[i] = &LabeledQuery{SQL: fmt.Sprintf("select %d", i%50)}
+	}
+	w.ProcessBatch(qs, 1) // single worker: counts are exact
+	if got := lab.n.Load(); got != 50 {
+		t.Fatalf("distinct texts must be labeled once per batch: %d", got)
+	}
+	for i, q := range qs {
+		if q.Label("k") == "" {
+			t.Fatalf("label missing at %d", i)
+		}
+	}
+}
+
+func TestVectorCacheSharedAcrossApplications(t *testing.T) {
+	s := NewService()
+	s.AddApplication("tenantA", 8, nil)
+	s.AddApplication("tenantB", 8, nil)
+	e := &countingEmbedder{name: "central", dim: 8}
+	for _, app := range []string{"tenantA", "tenantB"} {
+		if err := s.Deploy(app, ruleClassifier("k", e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Submit("tenantA", "select shared"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("tenantB", "select shared"); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.n.Load(); got != 1 {
+		t.Fatalf("tenantB must hit tenantA's warm vector, embeds=%d", got)
+	}
+	st := s.VectorCache().Stats()
+	if st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("cache stats: %+v", st)
+	}
+	// Disabling the cache makes each app embed for itself again.
+	s.SetVectorCache(nil)
+	s.Submit("tenantA", "select shared")
+	s.Submit("tenantB", "select shared")
+	if got := e.n.Load(); got != 3 {
+		t.Fatalf("uncached submits must embed per app: %d", got)
+	}
+}
+
+// TestDeploySharedEmbedderDuringProcessBatch hot-deploys a second classifier
+// onto an embedder that a running batch is already sharing; run with -race.
+func TestDeploySharedEmbedderDuringProcessBatch(t *testing.T) {
+	s := NewService()
+	w := s.AddApplication("app", 16, nil)
+	e := &countingEmbedder{name: "shared", dim: 8}
+	w.Deploy(ruleClassifier("k0", e))
+	qs := make([]*LabeledQuery, 3000)
+	for i := range qs {
+		qs[i] = &LabeledQuery{SQL: fmt.Sprintf("q%d", i%97)}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= 100; i++ {
+			w.Deploy(ruleClassifier(fmt.Sprintf("k%d", i%4), e))
+		}
+	}()
+	w.ProcessBatch(qs, 4)
+	<-done
+	if w.Processed() != 3000 {
+		t.Fatalf("processed: %d", w.Processed())
+	}
+	for _, q := range qs {
+		if q.Label("k0") == "" {
+			t.Fatal("query missed the k0 annotation during hot deploy")
+		}
+	}
+}
+
+// TestCachedUncachedLabelEquivalence proves the plane changes performance,
+// not answers: the same workload labeled with the shared cache enabled
+// (twice, so the second pass is all warm vectors) and with caching disabled
+// must produce byte-identical labels.
+func TestCachedUncachedLabelEquivalence(t *testing.T) {
+	corpus := make([]string, 0, 60)
+	for i := 0; i < 30; i++ {
+		corpus = append(corpus, fmt.Sprintf("select a%d from t where id = %d", i%7, i))
+		corpus = append(corpus, fmt.Sprintf("insert into u values (%d)", i))
+	}
+	cfg := doc2vec.DefaultConfig()
+	cfg.Dim = 8
+	cfg.Epochs = 2
+	cfg.MinCount = 1
+	emb, err := NewDoc2VecEmbedder("equiv", corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := &NearestCentroidLabeler{}
+	y := make([]string, len(corpus))
+	for i := range corpus {
+		y[i] = fmt.Sprintf("c%d", i%3)
+	}
+	if err := lab.Fit(EmbedAll(emb, corpus, 2), y); err != nil {
+		t.Fatal(err)
+	}
+	workload := append(append([]string(nil), corpus...), corpus[:20]...)
+
+	mk := func(cached bool) *Service {
+		s := NewService()
+		s.AddApplication("app", 16, nil)
+		if !cached {
+			s.SetVectorCache(nil)
+		}
+		s.Deploy("app", &Classifier{LabelKey: "user", Embedder: emb, Labeler: lab})
+		s.Deploy("app", &Classifier{LabelKey: "shadow", Embedder: emb, Labeler: lab})
+		return s
+	}
+	runTwice := func(s *Service) []*LabeledQuery {
+		if _, err := s.SubmitBatch("app", workload, 4); err != nil {
+			t.Fatal(err)
+		}
+		out, err := s.SubmitBatch("app", workload, 4) // cached run: all warm
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cachedOut := runTwice(mk(true))
+	uncachedOut := runTwice(mk(false))
+	for i := range workload {
+		for _, key := range []string{"user", "shadow"} {
+			c, u := cachedOut[i].Label(key), uncachedOut[i].Label(key)
+			if c == "" || c != u {
+				t.Fatalf("label %q diverged at %d: cached=%q uncached=%q", key, i, c, u)
+			}
+		}
+	}
+}
+
+func TestServiceAppsSorted(t *testing.T) {
+	s := NewService()
+	for _, app := range []string{"zeta", "alpha", "mid", "beta"} {
+		s.AddApplication(app, 4, nil)
+	}
+	want := []string{"alpha", "beta", "mid", "zeta"}
+	for trial := 0; trial < 5; trial++ {
+		got := s.Apps()
+		if len(got) != len(want) {
+			t.Fatalf("apps: %v", got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("apps not sorted: %v", got)
+			}
+		}
+	}
+}
+
+func TestEmbedAllCached(t *testing.T) {
+	e := &countingEmbedder{name: "e", dim: 8}
+	cache := NewVectorCache(64, 2)
+	sqls := make([]string, 90)
+	for i := range sqls {
+		sqls[i] = fmt.Sprintf("select %d", i%30)
+	}
+	out := EmbedAllCached(e, sqls, 2, cache)
+	if len(out) != len(sqls) {
+		t.Fatalf("output length: %d", len(out))
+	}
+	if got := e.n.Load(); got != 30 {
+		t.Fatalf("distinct texts must embed once: %d", got)
+	}
+	// Alignment: duplicates share the vector of their text.
+	for i, sql := range sqls {
+		want, _ := cache.Get("e", sql)
+		if &out[i][0] != &want[0] {
+			t.Fatalf("output %d not aligned with cache entry", i)
+		}
+	}
+	// Second call is fully warm.
+	EmbedAllCached(e, sqls, 2, cache)
+	if got := e.n.Load(); got != 30 {
+		t.Fatalf("warm pass must not embed: %d", got)
+	}
+	// Nil cache still dedupes within the call.
+	e2 := &countingEmbedder{name: "e2", dim: 8}
+	EmbedAllCached(e2, sqls, 2, nil)
+	if got := e2.n.Load(); got != 30 {
+		t.Fatalf("nil-cache dedupe: %d", got)
+	}
+}
+
+// batchCountingEmbedder implements BatchEmbedder and records how work
+// arrives.
+type batchCountingEmbedder struct {
+	countingEmbedder
+	batches atomic.Int64
+}
+
+func (b *batchCountingEmbedder) EmbedBatch(sqls []string) []vec.Vector {
+	b.batches.Add(1)
+	out := make([]vec.Vector, len(sqls))
+	for i, sql := range sqls {
+		out[i] = b.Embed(sql)
+	}
+	return out
+}
+
+func TestEmbedTextsUsesBatchPath(t *testing.T) {
+	be := &batchCountingEmbedder{countingEmbedder: countingEmbedder{name: "b", dim: 4}}
+	out := EmbedTexts(be, []string{"a", "b", "c"})
+	if len(out) != 3 || be.batches.Load() != 1 {
+		t.Fatalf("batch path not taken: %d batches", be.batches.Load())
+	}
+	plain := &countingEmbedder{name: "p", dim: 4}
+	if got := EmbedTexts(plain, []string{"a", "b"}); len(got) != 2 || plain.n.Load() != 2 {
+		t.Fatal("plain path must loop Embed")
+	}
+}
+
+func TestGroupByEmbedder(t *testing.T) {
+	shared := &countingEmbedder{name: "s", dim: 4}
+	other := &countingEmbedder{name: "o", dim: 4}
+	groups := groupByEmbedder([]*Classifier{
+		ruleClassifier("a", shared),
+		ruleClassifier("b", other),
+		ruleClassifier("c", shared),
+	})
+	if len(groups) != 2 {
+		t.Fatalf("groups: %d", len(groups))
+	}
+	if groups[0].name != "s" || len(groups[0].clfs) != 2 {
+		t.Fatalf("shared group: %+v", groups[0])
+	}
+	if groups[1].name != "o" || len(groups[1].clfs) != 1 {
+		t.Fatalf("other group: %+v", groups[1])
+	}
+}
+
+// TestRetrainSharedEmbedderEmbedsOnce: two labelers retrained against one
+// embedder embed the training set once — the training-module half of the
+// embedding plane.
+func TestRetrainSharedEmbedderEmbedsOnce(t *testing.T) {
+	s := NewService()
+	s.AddApplication("app", 8, nil)
+	for i := 0; i < 80; i++ {
+		q := &LabeledQuery{App: "app", SQL: fmt.Sprintf("select %d", i%20)}
+		q.SetLabel("u", fmt.Sprintf("u%d", i%2))
+		q.SetLabel("r", fmt.Sprintf("r%d", i%2))
+		s.Training().Ingest(q)
+	}
+	e := &countingEmbedder{name: "central", dim: 8}
+	if _, err := s.Training().Retrain("app", "u", e, &NearestCentroidLabeler{}, 2); err != nil {
+		t.Fatal(err)
+	}
+	after := e.n.Load()
+	if after != 20 {
+		t.Fatalf("first retrain must embed each distinct text once: %d", after)
+	}
+	if _, err := s.Training().Retrain("app", "r", e, &NearestCentroidLabeler{}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if e.n.Load() != after {
+		t.Fatalf("second labeler on the same embedder must reuse warm vectors: %d", e.n.Load())
+	}
+	// Evaluate rides the same warm path.
+	clf, err := s.Training().Retrain("app", "u", e, &NearestCentroidLabeler{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc, n := s.Training().Evaluate("app", "u", clf, 0.25); n == 0 || acc < 0 {
+		t.Fatalf("evaluate: %v/%d", acc, n)
+	}
+	if e.n.Load() != after {
+		t.Fatalf("evaluate must not re-embed cached texts: %d", e.n.Load())
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"querc/internal/vec"
 )
 
 // Qworker hosts the classifiers of one application stream (Fig. 1). Each
@@ -11,6 +13,14 @@ import (
 // database), and forked to the training module's log sink. Qworkers keep only
 // a small bounded window of recent queries as state, so they can be load
 // balanced and parallelized in the usual ways (paper §2).
+//
+// Annotation runs on the embedding plane: the deployed classifiers are
+// grouped by embedder identity (Embedder.Name()), each distinct embedder's
+// vector is computed once per query text — consulting the shared vector
+// cache first — and that vector is fanned out to every labeler on the
+// embedder. Embedders are the expensive, centrally-trained, shared half of a
+// classifier; labelers are cheap and per-tenant, so embed-once/label-many is
+// where the hot path's headroom lives.
 //
 // The window is a fixed-size ring buffer: recording a query is one store and
 // two index updates under the lock, and dropping the oldest entry never pins
@@ -20,6 +30,8 @@ type Qworker struct {
 
 	mu          sync.RWMutex
 	classifiers []*Classifier
+	plan        []embedderGroup // classifiers grouped by embedder identity
+	vectors     *VectorCache    // shared embedding-plane cache; nil disables
 	ring        []*LabeledQuery // fixed-size ring buffer of recent queries
 	ringStart   int             // index of the oldest retained query
 	ringLen     int             // number of valid entries (<= len(ring))
@@ -38,8 +50,38 @@ type Qworker struct {
 	processed int64
 }
 
+// embedderGroup is one distinct embedder and the classifiers deployed on it
+// — the fan-out unit of the embedding plane.
+type embedderGroup struct {
+	name     string
+	embedder Embedder
+	clfs     []*Classifier
+}
+
+// groupByEmbedder builds the embed plan for a classifier snapshot: one group
+// per distinct Embedder.Name(), in deploy order. Name identifies the trained
+// model, so two classifiers reporting the same name are assumed to share it
+// and the first deployed instance embeds for the whole group.
+func groupByEmbedder(clfs []*Classifier) []embedderGroup {
+	groups := make([]embedderGroup, 0, len(clfs))
+	idx := make(map[string]int, len(clfs))
+	for _, c := range clfs {
+		name := c.Embedder.Name()
+		gi, ok := idx[name]
+		if !ok {
+			gi = len(groups)
+			idx[name] = gi
+			groups = append(groups, embedderGroup{name: name, embedder: c.Embedder})
+		}
+		groups[gi].clfs = append(groups[gi].clfs, c)
+	}
+	return groups
+}
+
 // NewQworker returns a worker for the named application with a bounded
-// window of recent queries (windowSize <= 0 means 64).
+// window of recent queries (windowSize <= 0 means 64). Workers created
+// through Service.AddApplication additionally share the service's vector
+// cache; standalone workers start uncached (SetVectorCache opts in).
 func NewQworker(app string, windowSize int) *Qworker {
 	if windowSize <= 0 {
 		windowSize = 64
@@ -47,19 +89,35 @@ func NewQworker(app string, windowSize int) *Qworker {
 	return &Qworker{App: app, ring: make([]*LabeledQuery, windowSize)}
 }
 
-// Deploy installs or replaces the classifier for its label key. This is the
-// "Model Deployment" arrow of Fig. 1; it is safe to call while Process or
-// ProcessBatch runs.
+// SetVectorCache attaches (or, with nil, detaches) the shared vector cache
+// consulted by the embedding plane. Safe to call while Process or
+// ProcessBatch runs; in-flight batches keep the cache they started with.
+func (w *Qworker) SetVectorCache(c *VectorCache) {
+	w.mu.Lock()
+	w.vectors = c
+	w.mu.Unlock()
+}
+
+// Deploy installs or replaces the classifier for its label key and rebuilds
+// the embed plan. This is the "Model Deployment" arrow of Fig. 1; it is safe
+// to call while Process or ProcessBatch runs.
 func (w *Qworker) Deploy(c *Classifier) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	replaced := false
 	for i, existing := range w.classifiers {
 		if existing.LabelKey == c.LabelKey {
 			w.classifiers[i] = c
-			return
+			replaced = true
+			break
 		}
 	}
-	w.classifiers = append(w.classifiers, c)
+	if !replaced {
+		w.classifiers = append(w.classifiers, c)
+	}
+	// Rebuilt from scratch so snapshots handed to in-flight batches stay
+	// immutable.
+	w.plan = groupByEmbedder(w.classifiers)
 }
 
 // Classifiers returns the currently deployed classifiers.
@@ -69,14 +127,34 @@ func (w *Qworker) Classifiers() []*Classifier {
 	return append([]*Classifier(nil), w.classifiers...)
 }
 
+// snapshot returns the current embed plan and vector cache. The plan slice
+// is replaced wholesale by Deploy, never mutated, so it is safe to read
+// without the lock after return.
+func (w *Qworker) snapshot() ([]embedderGroup, *VectorCache) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.plan, w.vectors
+}
+
 // Process annotates q with every deployed classifier's prediction, records
 // it in the window, and forwards/forks it. It returns the annotated query.
 // Classification runs outside the lock; only the ring-buffer store is
 // serialized, so concurrent callers overlap on the expensive embedding work.
+// Each distinct embedder runs once per query — cache hit or one Embed — and
+// its vector is fanned to all labelers in the group.
 func (w *Qworker) Process(q *LabeledQuery) *LabeledQuery {
 	q.App = w.App
-	for _, c := range w.Classifiers() {
-		c.Process(q)
+	plan, cache := w.snapshot()
+	for gi := range plan {
+		g := &plan[gi]
+		v, ok := cache.Get(g.name, q.SQL)
+		if !ok {
+			v = g.embedder.Embed(q.SQL)
+			cache.Put(g.name, q.SQL, v)
+		}
+		for _, c := range g.clfs {
+			c.LabelVector(q, v)
+		}
 	}
 	w.mu.Lock()
 	w.recordLocked(q)
@@ -109,10 +187,13 @@ const batchChunk = 64
 //
 // The batch path shares work across the batch in ways the per-query path
 // cannot: the deployed classifier set is snapshotted once for the whole
-// batch (a concurrent Deploy takes effect on the next batch), identical
-// query texts are classified once per classifier (production workloads are
-// dominated by literally repeated queries — paper §5.2 — and every built-in
-// Embedder/Labeler is a pure function of the query text), and window
+// batch (a concurrent Deploy takes effect on the next batch), and each
+// distinct query text is embedded at most once per distinct embedder for the
+// whole batch — first via the cross-application vector cache, then via a
+// per-batch memo, with misses embedded chunk-at-a-time through the
+// BatchEmbedder fast path. The vector is the cached, cross-batch shared
+// artifact; labels are additionally memoized per (classifier, text) within
+// the batch so expensive labelers also run once per distinct text. Window
 // recording plus the training fork are amortized per chunk rather than per
 // query.
 func (w *Qworker) ProcessBatch(qs []*LabeledQuery, workers int) []*LabeledQuery {
@@ -125,17 +206,28 @@ func (w *Qworker) ProcessBatch(qs []*LabeledQuery, workers int) []*LabeledQuery 
 	if workers > (len(qs)+batchChunk-1)/batchChunk {
 		workers = (len(qs) + batchChunk - 1) / batchChunk
 	}
-	clfs := w.Classifiers()
+	plan, cache := w.snapshot()
 	w.mu.RLock()
 	forward, sink, batchSink := w.Forward, w.Sink, w.BatchSink
 	w.mu.RUnlock()
-	// One label cache per classifier, shared by all batch workers. A miss
-	// computed twice concurrently is benign; the store is last-writer-wins
-	// over identical values.
-	caches := make([]sync.Map, len(clfs))
+	// One vector memo per embedder group, shared by all batch workers, so
+	// repeats spanning chunks stay deduped even when the shared cache is
+	// disabled. A vector computed twice concurrently is benign: embedders
+	// are pure functions of the text, so the store is last-writer-wins over
+	// identical values.
+	memos := make([]sync.Map, len(plan))
+	// Labelers are pure functions of the vector too, so labels are also
+	// memoized per (classifier, text) for the batch — expensive labelers
+	// (forests) run once per distinct text, not once per occurrence.
+	labelMemos := make([][]sync.Map, len(plan))
+	for gi := range plan {
+		labelMemos[gi] = make([]sync.Map, len(plan[gi].clfs))
+	}
 
 	var next atomic.Int64
 	run := func() {
+		local := make(map[string]vec.Vector, batchChunk)
+		miss := make([]string, 0, batchChunk)
 		for {
 			lo := int(next.Add(batchChunk)) - batchChunk
 			if lo >= len(qs) {
@@ -148,13 +240,48 @@ func (w *Qworker) ProcessBatch(qs []*LabeledQuery, workers int) []*LabeledQuery 
 			chunk := qs[lo:hi]
 			for _, q := range chunk {
 				q.App = w.App
-				for ci, c := range clfs {
-					if cached, ok := caches[ci].Load(q.SQL); ok {
-						q.SetLabel(c.LabelKey, cached.(string))
+			}
+			for gi := range plan {
+				g := &plan[gi]
+				// Embed phase: resolve one vector per distinct text in the
+				// chunk — batch memo, then shared cache, then inference.
+				clear(local)
+				miss = miss[:0]
+				for _, q := range chunk {
+					if _, ok := local[q.SQL]; ok {
 						continue
 					}
-					label := c.Process(q)
-					caches[ci].Store(q.SQL, label)
+					if v, ok := memos[gi].Load(q.SQL); ok {
+						local[q.SQL] = v.(vec.Vector)
+						continue
+					}
+					if v, ok := cache.Get(g.name, q.SQL); ok {
+						local[q.SQL] = v
+						memos[gi].Store(q.SQL, v)
+						continue
+					}
+					local[q.SQL] = nil
+					miss = append(miss, q.SQL)
+				}
+				if len(miss) > 0 {
+					vs := EmbedTexts(g.embedder, miss)
+					for i, sql := range miss {
+						local[sql] = vs[i]
+						memos[gi].Store(sql, vs[i])
+						cache.Put(g.name, sql, vs[i])
+					}
+				}
+				// Label phase: fan each vector to every labeler on the
+				// embedder, computing each (classifier, text) label once.
+				for _, q := range chunk {
+					v := local[q.SQL]
+					for ci, c := range g.clfs {
+						if cached, ok := labelMemos[gi][ci].Load(q.SQL); ok {
+							q.SetLabel(c.LabelKey, cached.(string))
+							continue
+						}
+						labelMemos[gi][ci].Store(q.SQL, c.LabelVector(q, v))
+					}
 				}
 			}
 			w.recordChunk(chunk)

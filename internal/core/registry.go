@@ -66,7 +66,12 @@ func (r *Registry) save(name, kind string, write func(*os.File) error) (int, err
 }
 
 // LoadEmbedder loads the latest version of the named model and wraps it as
-// an Embedder.
+// an Embedder. The wrapped embedder's Name() is version-qualified (e.g.
+// "doc2vec(prod@v2)"): Embedder.Name() keys both the embedding-plane
+// grouping and the shared vector cache, so two versions of one model —
+// different weights, different vector spaces — must never share an identity,
+// or stale cached vectors from the old version would silently feed labelers
+// fitted against the new one.
 func (r *Registry) LoadEmbedder(name string) (Embedder, int, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -74,6 +79,7 @@ func (r *Registry) LoadEmbedder(name string) (Embedder, int, error) {
 	if v == 0 {
 		return nil, 0, fmt.Errorf("core: registry: no versions of model %q", name)
 	}
+	versioned := fmt.Sprintf("%s@v%d", name, v)
 	for _, kind := range []string{kindDoc2vec, kindLSTM} {
 		path := r.path(name, kind, v)
 		f, err := os.Open(path)
@@ -87,13 +93,13 @@ func (r *Registry) LoadEmbedder(name string) (Embedder, int, error) {
 			if err != nil {
 				return nil, 0, err
 			}
-			return &Doc2VecEmbedder{Model: m, ModelName: name}, v, nil
+			return &Doc2VecEmbedder{Model: m, ModelName: versioned}, v, nil
 		case kindLSTM:
 			m, err := lstm.Load(f)
 			if err != nil {
 				return nil, 0, err
 			}
-			return &LSTMEmbedder{Model: m, ModelName: name}, v, nil
+			return &LSTMEmbedder{Model: m, ModelName: versioned}, v, nil
 		}
 	}
 	return nil, 0, fmt.Errorf("core: registry: version %d of %q unreadable", v, name)

@@ -2,39 +2,77 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
 // Service wires the full Fig. 1 topology: per-application Qworkers fed by
-// query streams, all forking into one shared TrainingModule. It is the
+// query streams, all forking into one shared TrainingModule, all sharing one
+// embedding-plane VectorCache. Because embedders are trained centrally and
+// shared across applications, the cache is keyed by (embedder name, SQL) and
+// owned here rather than per worker: a literal repeat of a query text hits a
+// warm vector regardless of which application saw it first. It is the
 // embeddable form of the Querc service (cmd/quercd adds the HTTP surface).
 type Service struct {
 	mu       sync.RWMutex
 	workers  map[string]*Qworker
 	training *TrainingModule
+	vectors  *VectorCache
 }
 
-// NewService returns a service with an empty worker set and a fresh training
-// module.
+// NewService returns a service with an empty worker set, a fresh training
+// module, and a shared vector cache of DefaultVectorCacheEntries capacity
+// (SetVectorCache resizes or disables it).
 func NewService() *Service {
-	return &Service{
+	s := &Service{
 		workers:  make(map[string]*Qworker),
 		training: NewTrainingModule(),
+		vectors:  NewVectorCache(DefaultVectorCacheEntries, 0),
 	}
+	s.training.SetVectorCache(s.vectors)
+	return s
 }
 
 // Training exposes the shared training module.
 func (s *Service) Training() *TrainingModule { return s.training }
 
+// VectorCache returns the shared embedding-plane cache, or nil when caching
+// is disabled.
+func (s *Service) VectorCache() *VectorCache {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.vectors
+}
+
+// SetVectorCache replaces the shared cache on the service, on every
+// registered Qworker, and on the training module. Pass nil to disable
+// caching (every embed recomputes). In-flight batches keep the cache they
+// started with.
+func (s *Service) SetVectorCache(c *VectorCache) {
+	s.mu.Lock()
+	s.vectors = c
+	workers := make([]*Qworker, 0, len(s.workers))
+	for _, w := range s.workers {
+		workers = append(workers, w)
+	}
+	s.mu.Unlock()
+	for _, w := range workers {
+		w.SetVectorCache(c)
+	}
+	s.training.SetVectorCache(c)
+}
+
 // AddApplication registers a Qworker for the named application stream and
-// wires its fork into the training module. forward may be nil when Querc is
-// out of the critical path (§2: "queries will be forked to Querc").
+// wires its fork into the training module and its embedding plane into the
+// shared vector cache. forward may be nil when Querc is out of the critical
+// path (§2: "queries will be forked to Querc").
 func (s *Service) AddApplication(app string, windowSize int, forward func(*LabeledQuery)) *Qworker {
 	w := NewQworker(app, windowSize)
 	w.Forward = forward
 	w.Sink = s.training.Ingest
 	w.BatchSink = func(qs []*LabeledQuery) { s.training.IngestBatch(app, qs) }
 	s.mu.Lock()
+	w.SetVectorCache(s.vectors)
 	s.workers[app] = w
 	s.mu.Unlock()
 	return w
@@ -47,14 +85,16 @@ func (s *Service) Worker(app string) *Qworker {
 	return s.workers[app]
 }
 
-// Apps lists registered application names.
+// Apps lists registered application names in sorted order, so listings are
+// deterministic across runs.
 func (s *Service) Apps() []string {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.workers))
 	for app := range s.workers {
 		out = append(out, app)
 	}
+	s.mu.RUnlock()
+	sort.Strings(out)
 	return out
 }
 
@@ -90,7 +130,8 @@ func (s *Service) SubmitBatch(app string, sqls []string, workers int) ([]*Labele
 // Deploy installs a classifier on one application's worker. The same
 // classifier value may be deployed to several applications — that is exactly
 // the shared-embedder scenario of Fig. 1 (EmbedderA(X,Y) serving both X and
-// Y).
+// Y), and the shared vector cache makes the sharing pay: either app's
+// queries warm vectors for both.
 func (s *Service) Deploy(app string, c *Classifier) error {
 	w := s.Worker(app)
 	if w == nil {

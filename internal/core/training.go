@@ -21,8 +21,9 @@ import (
 // architecture is deliberately not a continuous-learning system (§2), so the
 // module exposes explicit Retrain calls instead of background loops.
 type TrainingModule struct {
-	mu     sync.RWMutex
-	shards map[string]*appShard // app -> its private log shard
+	mu      sync.RWMutex
+	shards  map[string]*appShard // app -> its private log shard
+	vectors *VectorCache         // shared embedding-plane cache; nil disables
 }
 
 // flushEvery bounds the append buffer: once it holds this many queries the
@@ -40,6 +41,22 @@ type appShard struct {
 // NewTrainingModule returns an empty training module.
 func NewTrainingModule() *TrainingModule {
 	return &TrainingModule{shards: make(map[string]*appShard)}
+}
+
+// SetVectorCache attaches the shared vector cache consulted (and filled) by
+// Retrain and Evaluate, so retraining several labelers on one embedder
+// embeds the training set once. nil disables caching.
+func (t *TrainingModule) SetVectorCache(c *VectorCache) {
+	t.mu.Lock()
+	t.vectors = c
+	t.mu.Unlock()
+}
+
+// vectorCache returns the attached cache (possibly nil).
+func (t *TrainingModule) vectorCache() *VectorCache {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.vectors
 }
 
 // shard returns app's shard, creating it on first use. The read-lock fast
@@ -173,7 +190,10 @@ func (t *TrainingModule) Size(app string) int {
 
 // Retrain fits labeler on app's training set for labelKey using embedder for
 // features, then returns the deployable classifier. workers parallelizes the
-// embedding pass.
+// embedding pass, which runs on the shared embedding plane: each distinct
+// text is embedded once, warm vectors come from the shared cache, so
+// retraining several labelers against one embedder pays the embedding cost
+// of the training set only the first time.
 func (t *TrainingModule) Retrain(app, labelKey string, embedder Embedder, labeler TrainableLabeler, workers int) (*Classifier, error) {
 	set := t.TrainingSet(app, labelKey)
 	if len(set) == 0 {
@@ -185,7 +205,7 @@ func (t *TrainingModule) Retrain(app, labelKey string, embedder Embedder, labele
 		sqls[i] = q.SQL
 		y[i] = q.Labels[labelKey]
 	}
-	X := EmbedAll(embedder, sqls, workers)
+	X := EmbedAllCached(embedder, sqls, workers, t.vectorCache())
 	if err := labeler.Fit(X, y); err != nil {
 		return nil, fmt.Errorf("core: retrain %s/%s: %w", app, labelKey, err)
 	}
@@ -214,10 +234,17 @@ func (t *TrainingModule) Evaluate(app, labelKey string, c *Classifier, holdoutFr
 	if len(hold) == 0 {
 		return 0, 0
 	}
+	// Embed the holdout on the same batch path as Retrain: parallel across
+	// GOMAXPROCS, each distinct text once, warm vectors from the shared
+	// cache (an Evaluate right after Retrain re-embeds nothing).
+	sqls := make([]string, len(hold))
+	for i, q := range hold {
+		sqls[i] = q.SQL
+	}
+	X := EmbedAllCached(c.Embedder, sqls, 0, t.vectorCache())
 	correct := 0
-	for _, q := range hold {
-		pred := c.Labeler.Label(c.Embedder.Embed(q.SQL))
-		if pred == q.Labels[labelKey] {
+	for i, q := range hold {
+		if c.Labeler.Label(X[i]) == q.Labels[labelKey] {
 			correct++
 		}
 	}

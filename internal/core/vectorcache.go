@@ -1,0 +1,233 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"querc/internal/vec"
+)
+
+// VectorCache is the shared store of the embedding plane: a bounded, sharded
+// LRU cache of query vectors keyed by (embedder name, SQL text). One cache is
+// owned by the Service and shared across every application's Qworker and the
+// training module, so a literal repeat of a query text hits a warm vector
+// regardless of which application stream saw it first (§5.2: production
+// workloads are dominated by literally repeated queries, and embedders are
+// trained centrally and shared across applications).
+//
+// Cached vectors are shared read-only values: every consumer (labelers, the
+// training module) must treat them as immutable. All built-in embedders are
+// pure functions of the query text, so a vector computed twice concurrently
+// is identical and the last-writer-wins store is benign.
+//
+// A nil *VectorCache is valid and disables caching: Get always misses and
+// Put is a no-op.
+type VectorCache struct {
+	shards []vcShard
+	// capacity is the enforced total bound (perShard * len(shards)); it is
+	// never exceeded, whatever the churn.
+	capacity  int
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// vcShard is one lock's worth of the cache: a map for lookup plus an
+// intrusive doubly-linked LRU list (head = most recently used).
+type vcShard struct {
+	mu      sync.Mutex
+	limit   int
+	entries map[string]*vcEntry
+	head    *vcEntry
+	tail    *vcEntry
+}
+
+type vcEntry struct {
+	key        string
+	v          vec.Vector
+	prev, next *vcEntry
+}
+
+// DefaultVectorCacheEntries is the capacity NewService provisions for the
+// shared embedding-plane cache. At typical embedding dimensionalities
+// (32–96 float64s) the default costs a few megabytes.
+const DefaultVectorCacheEntries = 8192
+
+// NewVectorCache returns a cache bounded to about capacity entries spread
+// over the given number of shards. capacity <= 0 uses
+// DefaultVectorCacheEntries; shards <= 0 uses 16. The enforced bound is
+// ceil(capacity/shards) per shard, so Stats().Capacity may round capacity up
+// slightly.
+func NewVectorCache(capacity, shards int) *VectorCache {
+	if capacity <= 0 {
+		capacity = DefaultVectorCacheEntries
+	}
+	if shards <= 0 {
+		shards = 16
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	perShard := (capacity + shards - 1) / shards
+	c := &VectorCache{
+		shards:   make([]vcShard, shards),
+		capacity: perShard * shards,
+	}
+	for i := range c.shards {
+		c.shards[i].limit = perShard
+		c.shards[i].entries = make(map[string]*vcEntry)
+	}
+	return c
+}
+
+// vcKey joins the two halves of a cache key. Embedder names never contain
+// NUL, so the separator cannot collide.
+func vcKey(embedder, sql string) string { return embedder + "\x00" + sql }
+
+// shardFor picks the shard for a key (FNV-1a).
+func (c *VectorCache) shardFor(key string) *vcShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	return &c.shards[h%uint64(len(c.shards))]
+}
+
+// Get returns the cached vector for (embedder, sql) and whether it was
+// present, promoting the entry to most-recently-used on a hit.
+func (c *VectorCache) Get(embedder, sql string) (vec.Vector, bool) {
+	if c == nil {
+		return nil, false
+	}
+	key := vcKey(embedder, sql)
+	s := c.shardFor(key)
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	var v vec.Vector
+	if ok {
+		// Snapshot the slice header under the lock: a concurrent Put over
+		// the same key rewrites e.v in place.
+		v = e.v
+		s.moveToFront(e)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put stores v under (embedder, sql), evicting the least-recently-used entry
+// of the target shard when it is full. Storing over an existing key replaces
+// the vector and promotes the entry.
+func (c *VectorCache) Put(embedder, sql string, v vec.Vector) {
+	if c == nil {
+		return
+	}
+	key := vcKey(embedder, sql)
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		e.v = v
+		s.moveToFront(e)
+		s.mu.Unlock()
+		return
+	}
+	if len(s.entries) >= s.limit {
+		evict := s.tail
+		s.unlink(evict)
+		delete(s.entries, evict.key)
+		c.evictions.Add(1)
+	}
+	e := &vcEntry{key: key, v: v}
+	s.entries[key] = e
+	s.pushFront(e)
+	s.mu.Unlock()
+}
+
+// Len returns the current number of cached vectors.
+func (c *VectorCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// VectorCacheStats is a point-in-time snapshot of cache effectiveness,
+// exposed by quercd's stats endpoint.
+type VectorCacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (st VectorCacheStats) HitRate() float64 {
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the cache counters. Valid on a nil cache
+// (all zeros).
+func (c *VectorCache) Stats() VectorCacheStats {
+	if c == nil {
+		return VectorCacheStats{}
+	}
+	return VectorCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+		Capacity:  c.capacity,
+	}
+}
+
+// ---- intrusive LRU list (callers hold s.mu) ----
+
+func (s *vcShard) pushFront(e *vcEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *vcShard) unlink(e *vcEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *vcShard) moveToFront(e *vcEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"querc/internal/vec"
+)
+
+func TestVectorCacheHitMiss(t *testing.T) {
+	c := NewVectorCache(64, 4)
+	if _, ok := c.Get("e", "select 1"); ok {
+		t.Fatal("empty cache must miss")
+	}
+	v := vec.Vector{1, 2, 3}
+	c.Put("e", "select 1", v)
+	got, ok := c.Get("e", "select 1")
+	if !ok || &got[0] != &v[0] {
+		t.Fatalf("hit must return the stored vector: ok=%v", ok)
+	}
+	// The key is (embedder, sql): same SQL under another embedder misses.
+	if _, ok := c.Get("other", "select 1"); ok {
+		t.Fatal("embedder name must partition the key space")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.HitRate() <= 0.33 || st.HitRate() >= 0.34 {
+		t.Fatalf("hit rate: %v", st.HitRate())
+	}
+}
+
+func TestVectorCacheLRUBoundUnderChurn(t *testing.T) {
+	c := NewVectorCache(32, 4)
+	capEnforced := c.Stats().Capacity
+	if capEnforced < 32 {
+		t.Fatalf("capacity %d below requested", capEnforced)
+	}
+	for i := 0; i < 5000; i++ {
+		c.Put("e", fmt.Sprintf("select %d", i), vec.Vector{float64(i)})
+		if n := c.Len(); n > capEnforced {
+			t.Fatalf("bound broken at insert %d: %d > %d", i, n, capEnforced)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != capEnforced {
+		t.Fatalf("steady state should be full: %d/%d", st.Entries, capEnforced)
+	}
+	if st.Evictions != int64(5000-capEnforced) {
+		t.Fatalf("evictions: %d", st.Evictions)
+	}
+}
+
+func TestVectorCacheLRUOrder(t *testing.T) {
+	// One shard makes the recency order deterministic.
+	c := NewVectorCache(3, 1)
+	c.Put("e", "a", vec.Vector{1})
+	c.Put("e", "b", vec.Vector{2})
+	c.Put("e", "c", vec.Vector{3})
+	// Touch "a" so "b" is now the least recently used.
+	if _, ok := c.Get("e", "a"); !ok {
+		t.Fatal("a must be present")
+	}
+	c.Put("e", "d", vec.Vector{4}) // evicts b
+	if _, ok := c.Get("e", "b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get("e", k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	// Re-Put of an existing key replaces in place, no eviction.
+	ev := c.Stats().Evictions
+	c.Put("e", "a", vec.Vector{9})
+	if got, _ := c.Get("e", "a"); got[0] != 9 {
+		t.Fatal("re-put must replace the vector")
+	}
+	if c.Stats().Evictions != ev {
+		t.Fatal("re-put of existing key must not evict")
+	}
+}
+
+func TestVectorCacheNilSafe(t *testing.T) {
+	var c *VectorCache
+	c.Put("e", "q", vec.Vector{1})
+	if _, ok := c.Get("e", "q"); ok {
+		t.Fatal("nil cache must always miss")
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache length")
+	}
+	if st := c.Stats(); st != (VectorCacheStats{}) {
+		t.Fatalf("nil cache stats: %+v", st)
+	}
+}
+
+// TestVectorCacheConcurrentOverwrite hammers one key with Puts and Gets;
+// run with -race to check the in-place overwrite against the Get snapshot.
+func TestVectorCacheConcurrentOverwrite(t *testing.T) {
+	c := NewVectorCache(16, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				c.Put("e", "hot", vec.Vector{float64(g), float64(i)})
+				if v, ok := c.Get("e", "hot"); ok && len(v) != 2 {
+					t.Errorf("torn vector: %v", v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestVectorCacheConcurrent(t *testing.T) {
+	c := NewVectorCache(128, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("select %d", i%200)
+				if _, ok := c.Get("e", key); !ok {
+					c.Put("e", key, vec.Vector{float64(i)})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n, capEnforced := c.Len(), c.Stats().Capacity; n > capEnforced {
+		t.Fatalf("bound broken under concurrency: %d > %d", n, capEnforced)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strings"
 
 	"querc/internal/vec"
 	"querc/internal/vocab"
@@ -272,6 +273,26 @@ func (m *Model) Infer(tokens []string) vec.Vector {
 		m.trainDoc(rng, docVec, ids, alpha, false, ctx, grad)
 	}
 	return docVec
+}
+
+// InferBatch embeds a batch of token sequences, running inference once per
+// distinct sequence: Infer is deterministic per input, so duplicates — which
+// dominate production workloads — share the first occurrence's vector. The
+// returned slice is index-aligned with docs; aliased vectors must be treated
+// as immutable by callers.
+func (m *Model) InferBatch(docs [][]string) []vec.Vector {
+	out := make([]vec.Vector, len(docs))
+	seen := make(map[string]int, len(docs))
+	for i, doc := range docs {
+		key := strings.Join(doc, "\x00")
+		if j, ok := seen[key]; ok {
+			out[i] = out[j]
+			continue
+		}
+		seen[key] = i
+		out[i] = m.Infer(doc)
+	}
+	return out
 }
 
 // modelGob is the serialized form of Model.

@@ -161,3 +161,35 @@ func TestModeString(t *testing.T) {
 		t.Fatal("mode names wrong")
 	}
 }
+
+func TestInferBatchMatchesInferAndDedupes(t *testing.T) {
+	m, err := Train(corpus(), cfg(PVDM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := [][]string{
+		{"select", "a", "from", "t"},
+		{"insert", "into", "u"},
+		{"select", "a", "from", "t"}, // duplicate of docs[0]
+		{"select", "b"},
+	}
+	batch := m.InferBatch(docs)
+	if len(batch) != len(docs) {
+		t.Fatalf("batch length: %d", len(batch))
+	}
+	for i, doc := range docs {
+		want := m.Infer(doc)
+		for j := range want {
+			if batch[i][j] != want[j] {
+				t.Fatalf("batch[%d] differs from Infer at dim %d", i, j)
+			}
+		}
+	}
+	// Duplicated inputs share one inference (and its backing vector).
+	if &batch[0][0] != &batch[2][0] {
+		t.Fatal("duplicate sequences must share the first occurrence's vector")
+	}
+	if got := m.InferBatch(nil); len(got) != 0 {
+		t.Fatalf("empty batch: %d", len(got))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"strings"
 
 	"querc/internal/vec"
 	"querc/internal/vocab"
@@ -148,6 +149,25 @@ func (m *Model) Encode(tokens []string) vec.Vector {
 		h, c = st.h, st.c
 	}
 	return h
+}
+
+// EncodeBatch encodes a batch of token sequences, running the encoder once
+// per distinct sequence: Encode is deterministic, so duplicates share the
+// first occurrence's hidden-state vector. The returned slice is
+// index-aligned with docs; aliased vectors must be treated as immutable.
+func (m *Model) EncodeBatch(docs [][]string) []vec.Vector {
+	out := make([]vec.Vector, len(docs))
+	seen := make(map[string]int, len(docs))
+	for i, doc := range docs {
+		key := strings.Join(doc, "\x00")
+		if j, ok := seen[key]; ok {
+			out[i] = out[j]
+			continue
+		}
+		seen[key] = i
+		out[i] = m.Encode(doc)
+	}
+	return out
 }
 
 // trainer bundles gradient buffers and the optimizer for one Train call.

@@ -232,3 +232,30 @@ func TestGradClipBoundsNorm(t *testing.T) {
 		t.Fatalf("clipping wrong: %v", a.m[0])
 	}
 }
+
+func TestEncodeBatchMatchesEncodeAndDedupes(t *testing.T) {
+	m, err := Train(tinyCorpus(), tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := [][]string{
+		{"select", "a", "from", "t"},
+		{"insert", "into", "u"},
+		{"select", "a", "from", "t"}, // duplicate of docs[0]
+	}
+	batch := m.EncodeBatch(docs)
+	if len(batch) != len(docs) {
+		t.Fatalf("batch length: %d", len(batch))
+	}
+	for i, doc := range docs {
+		want := m.Encode(doc)
+		for j := range want {
+			if batch[i][j] != want[j] {
+				t.Fatalf("batch[%d] differs from Encode at dim %d", i, j)
+			}
+		}
+	}
+	if &batch[0][0] != &batch[2][0] {
+		t.Fatal("duplicate sequences must share the first occurrence's vector")
+	}
+}

@@ -14,8 +14,11 @@
 //   - the runtime: Service, Qworker, Classifier, LabeledQuery (Fig. 1 of the
 //     paper). Queries enter one at a time via Service.Submit or as a
 //     concurrent batch via Service.SubmitBatch, which fans classification
-//     out across a bounded worker pool and shares work between identical
-//     query texts in the batch;
+//     out across a bounded worker pool. Annotation runs on an embedding
+//     plane: classifiers are grouped by embedder identity, each distinct
+//     embedder's vector is computed once per query text and fanned to all
+//     labelers on it, and a bounded sharded LRU VectorCache keyed by
+//     (embedder name, SQL) is shared across every application;
 //   - applications: workload summarization for index tuning, security
 //     auditing, routing checks, error prediction, resource allocation, and
 //     query recommendation (via querc/internal/apps, re-exported here).
@@ -38,16 +41,23 @@ import (
 // deployable Classifier; Qworkers host classifiers per application stream;
 // Service wires the whole Fig. 1 topology.
 type (
-	LabeledQuery   = core.LabeledQuery
-	Embedder       = core.Embedder
-	Labeler        = core.Labeler
-	Classifier     = core.Classifier
-	Qworker        = core.Qworker
-	Service        = core.Service
-	TrainingModule = core.TrainingModule
-	Registry       = core.Registry
-	Vector         = vec.Vector
+	LabeledQuery     = core.LabeledQuery
+	Embedder         = core.Embedder
+	BatchEmbedder    = core.BatchEmbedder
+	Labeler          = core.Labeler
+	Classifier       = core.Classifier
+	Qworker          = core.Qworker
+	Service          = core.Service
+	TrainingModule   = core.TrainingModule
+	Registry         = core.Registry
+	VectorCache      = core.VectorCache
+	VectorCacheStats = core.VectorCacheStats
+	Vector           = vec.Vector
 )
+
+// DefaultVectorCacheEntries is the capacity of the shared embedding-plane
+// vector cache a new Service provisions.
+const DefaultVectorCacheEntries = core.DefaultVectorCacheEntries
 
 // Re-exported labelers.
 type (
@@ -108,9 +118,23 @@ func TrainLSTM(name string, corpus []string, cfg LSTMConfig) (Embedder, error) {
 // NewForestLabeler returns an untrained randomized-tree labeler.
 func NewForestLabeler(cfg ForestConfig) *ForestLabeler { return core.NewForestLabeler(cfg) }
 
+// NewVectorCache returns a bounded, sharded LRU cache of query vectors keyed
+// by (embedder name, SQL) — the shared store of the embedding plane.
+// capacity <= 0 uses DefaultVectorCacheEntries; shards <= 0 picks a default.
+func NewVectorCache(capacity, shards int) *VectorCache {
+	return core.NewVectorCache(capacity, shards)
+}
+
 // EmbedAll embeds a batch of SQL texts in parallel.
 func EmbedAll(e Embedder, sqls []string, workers int) []Vector {
 	return core.EmbedAll(e, sqls, workers)
+}
+
+// EmbedAllCached embeds a batch of SQL texts in parallel, embedding each
+// distinct text at most once and consulting (and filling) the vector cache
+// first. cache may be nil.
+func EmbedAllCached(e Embedder, sqls []string, workers int, cache *VectorCache) []Vector {
+	return core.EmbedAllCached(e, sqls, workers, cache)
 }
 
 // Tokenize applies the canonical embedding normalization to one SQL text.
