@@ -296,6 +296,37 @@ func BenchmarkSubmitBatch(b *testing.B) {
 	b.ReportMetric(float64(len(sqls)*b.N)/b.Elapsed().Seconds(), "q/s")
 }
 
+// BenchmarkSubmitBatchDriftSampling measures the drift plane's hot-path
+// overhead: the same 10k-query workload and pipeline as
+// BenchmarkSubmitBatch, but with drift sampling enabled on the worker and
+// the stream split across two controller ticks so both detector paths run —
+// the first tick establishes the baseline, the second drains a sample and
+// scores it. The threshold is set unreachably high so the (deliberately
+// expensive) retrain path stays out of the measurement. Acceptance for the
+// drift-plane work: within 5% of BenchmarkSubmitBatch throughput.
+func BenchmarkSubmitBatchDriftSampling(b *testing.B) {
+	sqls, mk := ingestBenchSetup(b)
+	half := len(sqls) / 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := mk()
+		ctl := svc.EnableDriftControl(querc.ControllerConfig{Threshold: 2})
+		n := 0
+		for _, part := range [][]string{sqls[:half], sqls[half:]} {
+			out, err := svc.SubmitBatch("acct", part, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n += len(out)
+			ctl.Tick()
+		}
+		if n != len(sqls) {
+			b.Fatalf("batch output: %d", n)
+		}
+	}
+	b.ReportMetric(float64(len(sqls)*b.N)/b.Elapsed().Seconds(), "q/s")
+}
+
 // BenchmarkSubmitBatchSharedEmbedder measures the embedding plane at the
 // acceptance point of the shared-plane refactor: four labeling tasks on ONE
 // shared embedder over the 10k-query workload. Each distinct text is

@@ -1,14 +1,18 @@
 // Command quercbench regenerates the paper's tables and figures, plus
-// runtime throughput experiments over the Qworker pipeline.
+// runtime experiments over the Qworker pipeline.
 //
 // Usage:
 //
-//	quercbench -experiment fig3|fig4|table1|table2|ingest|all [-scale small|paper] [-csv dir] [-workers n]
+//	quercbench -experiment fig3|fig4|table1|table2|ingest|drift|all [-scale small|paper] [-csv dir] [-workers n]
 //
 // Results print as text tables shaped like the paper's artifacts; -csv also
 // writes machine-readable series for plotting. The ingest experiment
 // measures serial Submit against the concurrent SubmitBatch pipeline on a
-// synthetic multi-user workload (-workers sets the batch fan-out).
+// synthetic multi-user workload (-workers sets the batch fan-out). The
+// drift experiment replays a workload with a mid-stream tenant-mix shift
+// and reports classifier accuracy over time with the drift control loop on
+// vs off, including how much of the accuracy lost to the shift the loop
+// recovers.
 package main
 
 import (
@@ -30,7 +34,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("quercbench: ")
 	var (
-		experiment = flag.String("experiment", "all", "fig3, fig4, table1, table2, ingest, or all")
+		experiment = flag.String("experiment", "all", "fig3, fig4, table1, table2, ingest, drift, or all")
 		scaleFlag  = flag.String("scale", "small", "small (minutes) or paper (hours)")
 		csvDir     = flag.String("csv", "", "directory to write CSV series into (optional)")
 		workers    = flag.Int("workers", 8, "batch fan-out for the ingest experiment")
@@ -83,8 +87,11 @@ func main() {
 		})
 	case "ingest":
 		run("Ingest throughput", func() error { return runIngest(scale, *workers) })
+	case "drift":
+		run("Drift recovery", func() error { return runDrift(scale, *workers, *csvDir) })
 	case "all":
 		run("Ingest throughput", func() error { return runIngest(scale, *workers) })
+		run("Drift recovery", func() error { return runDrift(scale, *workers, *csvDir) })
 		run("Figure 3", func() error { return runFig3(scale, *csvDir) })
 		run("Figure 4", func() error { return runFig4(scale, *csvDir) })
 		run("Tables 1 & 2", func() error {

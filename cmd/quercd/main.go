@@ -10,12 +10,19 @@
 //	GET  /v1/apps                    list applications
 //	GET  /v1/models                  list registry models
 //	GET  /v1/stats                   per-app counters + vector-cache hit/miss stats
+//	GET  /v1/drift                   per-app drift scores, retrain times, gate decisions
 //	GET  /v1/healthz
 //
 // Applications are declared with repeated -app flags. Embedders are loaded
 // from (and trained models written to) the -models registry directory. All
 // applications share one embedding-plane vector cache sized by
 // -vector-cache (entries; 0 disables caching).
+//
+// The drift plane is enabled with -drift-interval (0 disables it): every
+// interval the controller drains each application's recent-query statistics,
+// scores workload drift per deployed classifier, and retrains/redeploys any
+// classifier whose score crosses -drift-threshold — gated so a model that
+// loses to the incumbent on recent holdout traffic is never swapped in.
 package main
 
 import (
@@ -42,6 +49,10 @@ func main() {
 		modelsDir = flag.String("models", "models", "model registry directory")
 		vecCache  = flag.Int("vector-cache", querc.DefaultVectorCacheEntries,
 			"shared embedding-plane vector cache capacity in entries (0 disables)")
+		driftInterval = flag.Duration("drift-interval", 0,
+			"drift control-loop tick period (0 disables the drift plane)")
+		driftThreshold = flag.Float64("drift-threshold", 0.25,
+			"drift score that triggers a gated retrain/redeploy (<= 0 retrains on every scored tick)")
 		apps appFlags
 	)
 	flag.Var(&apps, "app", "application stream to host (repeatable)")
@@ -65,6 +76,22 @@ func main() {
 		svc.AddApplication(app, 256, nil)
 		log.Printf("hosting application %q", app)
 	}
+	if *driftInterval > 0 {
+		threshold := *driftThreshold
+		if threshold <= 0 {
+			// ControllerConfig treats 0 as "use the default"; the flag's
+			// contract is that <= 0 means retrain on every scored tick,
+			// which the config expresses as a negative threshold.
+			threshold = -1
+		}
+		ctl := svc.EnableDriftControl(querc.ControllerConfig{
+			Interval:  *driftInterval,
+			Threshold: threshold,
+		})
+		ctl.Start()
+		defer ctl.Stop()
+		log.Printf("drift plane enabled (interval %s, threshold %.2f)", *driftInterval, *driftThreshold)
+	}
 
 	srv := &server{svc: svc, registry: registry}
 	mux := http.NewServeMux()
@@ -74,6 +101,7 @@ func main() {
 	mux.HandleFunc("GET /v1/apps", srv.listApps)
 	mux.HandleFunc("GET /v1/models", srv.listModels)
 	mux.HandleFunc("GET /v1/stats", srv.stats)
+	mux.HandleFunc("GET /v1/drift", srv.driftStatus)
 	mux.HandleFunc("POST /v1/apps/{app}/queries", srv.submitQuery)
 	mux.HandleFunc("POST /v1/apps/{app}/queries:batch", srv.submitBatch)
 	mux.HandleFunc("POST /v1/apps/{app}/logs", srv.ingestLogs)
@@ -105,23 +133,32 @@ func (s *server) listApps(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"apps": s.svc.Apps()})
 }
 
-// stats reports per-application processed counts plus the shared
-// embedding-plane vector cache's hit/miss/eviction counters.
+// stats reports per-application processed counts, drift-plane retrain
+// counters, plus the shared embedding-plane vector cache's
+// hit/miss/eviction counters.
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	type appStat struct {
-		App       string `json:"app"`
-		Processed int64  `json:"processed"`
-		Training  int    `json:"trainingSet"`
+		App             string `json:"app"`
+		Processed       int64  `json:"processed"`
+		Training        int    `json:"trainingSet"`
+		DriftRetrains   int64  `json:"driftRetrains"`
+		DriftPromotions int64  `json:"driftPromotions"`
+		DriftRejections int64  `json:"driftRejections"`
 	}
+	ctl := s.svc.Controller()
 	apps := make([]appStat, 0)
 	for _, app := range s.svc.Apps() {
-		apps = append(apps, appStat{
+		st := appStat{
 			App:       app,
 			Processed: s.svc.Worker(app).Processed(),
 			Training:  s.svc.Training().Size(app),
-		})
+		}
+		if ctl != nil {
+			st.DriftRetrains, st.DriftPromotions, st.DriftRejections = ctl.Counters(app)
+		}
+		apps = append(apps, st)
 	}
-	resp := map[string]any{"apps": apps}
+	resp := map[string]any{"apps": apps, "driftPlane": ctl != nil}
 	if c := s.svc.VectorCache(); c != nil {
 		st := c.Stats()
 		resp["vectorCache"] = map[string]any{
@@ -136,6 +173,24 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		resp["vectorCache"] = nil
 	}
 	writeJSON(w, resp)
+}
+
+// driftStatus reports the drift plane's per-app, per-label-key state: last
+// scores with their signal components, last retrain timestamps, and gate
+// decisions. 404 when the drift plane is disabled.
+func (s *server) driftStatus(w http.ResponseWriter, r *http.Request) {
+	ctl := s.svc.Controller()
+	if ctl == nil {
+		httpError(w, http.StatusNotFound, "drift plane disabled (start quercd with -drift-interval > 0)")
+		return
+	}
+	cfg := ctl.Config()
+	writeJSON(w, map[string]any{
+		"interval":  cfg.Interval.String(),
+		"threshold": cfg.Threshold,
+		"ticks":     ctl.Ticks(),
+		"apps":      ctl.Status(),
+	})
 }
 
 func (s *server) listModels(w http.ResponseWriter, r *http.Request) {

@@ -26,6 +26,7 @@ func newTestServer(t *testing.T) (*server, *http.ServeMux) {
 	mux.HandleFunc("GET /v1/apps", s.listApps)
 	mux.HandleFunc("GET /v1/models", s.listModels)
 	mux.HandleFunc("GET /v1/stats", s.stats)
+	mux.HandleFunc("GET /v1/drift", s.driftStatus)
 	mux.HandleFunc("POST /v1/apps/{app}/queries", s.submitQuery)
 	mux.HandleFunc("POST /v1/apps/{app}/queries:batch", s.submitBatch)
 	mux.HandleFunc("POST /v1/apps/{app}/logs", s.ingestLogs)
@@ -209,6 +210,81 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if resp.VectorCache.Capacity <= 0 || resp.VectorCache.HitRate != 0.5 {
 		t.Fatalf("cache shape: %+v", *resp.VectorCache)
+	}
+}
+
+// TestDriftEndpoint covers both sides of the drift plane's HTTP surface:
+// 404 while disabled, and scores/counters once enabled and ticked across a
+// workload shift.
+func TestDriftEndpoint(t *testing.T) {
+	s, mux := newTestServer(t)
+	if rr := do(t, mux, "GET", "/v1/drift", ""); rr.Code != http.StatusNotFound {
+		t.Fatalf("drift while disabled: %d", rr.Code)
+	}
+
+	s.svc.Deploy("app1", &core.Classifier{
+		LabelKey: "kind",
+		Embedder: constEmbedder{},
+		Labeler:  &core.RuleLabeler{RuleName: "r", Rule: func(v querc.Vector) string { return "read" }},
+	})
+	ctl := s.svc.EnableDriftControl(querc.ControllerConfig{
+		Threshold: 0.25,
+		Detector:  querc.DriftDetectorConfig{MinQueries: 2},
+	})
+	for i := 0; i < 4; i++ {
+		do(t, mux, "POST", "/v1/apps/app1/queries", `{"sql":"select 1"}`)
+	}
+	ctl.Tick() // baseline
+	for i := 0; i < 4; i++ {
+		do(t, mux, "POST", "/v1/apps/app1/queries", `{"sql":"select 1"}`)
+	}
+	ctl.Tick() // stationary score
+
+	rr := do(t, mux, "GET", "/v1/drift", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("drift: %d %s", rr.Code, rr.Body)
+	}
+	var resp struct {
+		Threshold float64 `json:"threshold"`
+		Ticks     int64   `json:"ticks"`
+		Apps      []struct {
+			App  string `json:"app"`
+			Keys []struct {
+				LabelKey string `json:"labelKey"`
+				Score    struct {
+					Total float64 `json:"total"`
+				} `json:"score"`
+				Retrains int64 `json:"retrains"`
+			} `json:"keys"`
+		} `json:"apps"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Threshold != 0.25 || resp.Ticks != 2 {
+		t.Fatalf("drift shape: %+v", resp)
+	}
+	if len(resp.Apps) != 1 || resp.Apps[0].App != "app1" || len(resp.Apps[0].Keys) != 1 {
+		t.Fatalf("drift apps: %+v", resp.Apps)
+	}
+	k := resp.Apps[0].Keys[0]
+	if k.LabelKey != "kind" || k.Score.Total >= 0.25 || k.Retrains != 0 {
+		t.Fatalf("stationary drift key: %+v", k)
+	}
+
+	// Drift counters also roll up into /v1/stats once the plane is on.
+	rr = do(t, mux, "GET", "/v1/stats", "")
+	var stats struct {
+		DriftPlane bool `json:"driftPlane"`
+		Apps       []struct {
+			DriftRetrains int64 `json:"driftRetrains"`
+		} `json:"apps"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.DriftPlane || len(stats.Apps) != 1 || stats.Apps[0].DriftRetrains != 0 {
+		t.Fatalf("stats drift rollup: %+v", stats)
 	}
 }
 

@@ -12,7 +12,10 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -22,52 +25,64 @@ import (
 	"querc/internal/lstm"
 )
 
+// errUsage signals that the FlagSet already reported a parse problem; main
+// exits nonzero without printing it again.
+var errUsage = errors.New("usage")
+
 func main() {
 	log.SetPrefix("querctrain: ")
 	log.SetFlags(0)
-	var (
-		in        = flag.String("in", "", "JSONL workload file (default stdin)")
-		modelsDir = flag.String("models", "models", "model registry directory")
-		name      = flag.String("model", "default", "model name in the registry")
-		method    = flag.String("method", "doc2vec", "doc2vec or lstm")
-		dim       = flag.Int("dim", 0, "embedding dimensionality (0 = method default)")
-		epochs    = flag.Int("epochs", 0, "training epochs (0 = method default)")
-		seed      = flag.Int64("seed", 1, "training seed")
-	)
-	flag.Parse()
+	switch err := run(os.Args[1:], os.Stdin); {
+	case err == nil:
+	case errors.Is(err, errUsage):
+		os.Exit(2)
+	default:
+		log.Fatal(err)
+	}
+}
 
-	var r *os.File = os.Stdin
+// run parses args, reads the workload (from -in or stdin), trains the
+// selected embedder, and saves it into the registry. Split from main so the
+// smoke tests can drive the full pipeline against a temp registry.
+func run(args []string, stdin io.Reader) error {
+	fs := flag.NewFlagSet("querctrain", flag.ContinueOnError)
+	var (
+		in        = fs.String("in", "", "JSONL workload file (default stdin)")
+		modelsDir = fs.String("models", "models", "model registry directory")
+		name      = fs.String("model", "default", "model name in the registry")
+		method    = fs.String("method", "doc2vec", "doc2vec or lstm")
+		dim       = fs.Int("dim", 0, "embedding dimensionality (0 = method default)")
+		epochs    = fs.Int("epochs", 0, "training epochs (0 = method default)")
+		seed      = fs.Int64("seed", 1, "training seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, clean exit
+		}
+		return errUsage // parse error already printed by the FlagSet
+	}
+
+	r := stdin
 	if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		r = f
 	}
-	var corpus []string
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		var rec struct {
-			SQL string `json:"sql"`
-		}
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.SQL == "" {
-			continue
-		}
-		corpus = append(corpus, rec.SQL)
-	}
-	if err := sc.Err(); err != nil {
-		log.Fatal(err)
+	corpus, err := readCorpus(r)
+	if err != nil {
+		return err
 	}
 	if len(corpus) == 0 {
-		log.Fatal("no queries found in input")
+		return fmt.Errorf("no queries found in input")
 	}
 	log.Printf("training %s on %d queries", *method, len(corpus))
 
 	reg, err := querc.NewRegistry(*modelsDir)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	docs := make([][]string, len(corpus))
@@ -87,11 +102,11 @@ func main() {
 		}
 		m, err := doc2vec.Train(docs, cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		v, err := reg.SaveDoc2Vec(*name, m)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("saved %s version %d (dim %d)", *name, v, m.Dim())
 	case "lstm":
@@ -106,15 +121,34 @@ func main() {
 		}
 		m, err := lstm.Train(docs, cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		v, err := reg.SaveLSTM(*name, m)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("saved %s version %d (dim %d, final loss %.3f)",
 			*name, v, m.Dim(), m.LossHistory[len(m.LossHistory)-1])
 	default:
-		log.Fatalf("unknown method %q", *method)
+		return fmt.Errorf("unknown method %q", *method)
 	}
+	return nil
+}
+
+// readCorpus extracts the sql field of each JSONL record, skipping records
+// without one.
+func readCorpus(r io.Reader) ([]string, error) {
+	var corpus []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec struct {
+			SQL string `json:"sql"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.SQL == "" {
+			continue
+		}
+		corpus = append(corpus, rec.SQL)
+	}
+	return corpus, sc.Err()
 }

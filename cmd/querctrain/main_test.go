@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"querc"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// workloadJSONL renders a tiny JSONL workload with enough token repetition
+// for doc2vec's vocabulary cutoff.
+func workloadJSONL(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `{"sql": "select col_%d from facts where region = 'r%d'", "user": "u%d"}`+"\n",
+			i%4, i%3, i%5)
+	}
+	b.WriteString("not json — skipped\n")
+	b.WriteString(`{"other": "no sql field, skipped"}` + "\n")
+	return b.String()
+}
+
+// TestTrainDoc2VecIntoRegistry drives the full command pipeline from stdin:
+// parse JSONL, train a tiny doc2vec embedder, store it in a temp registry,
+// then load it back through the registry and embed a query.
+func TestTrainDoc2VecIntoRegistry(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-models", dir, "-model", "tiny", "-method", "doc2vec", "-dim", "8", "-epochs", "2"}
+	if err := run(args, strings.NewReader(workloadJSONL(40))); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := querc.NewRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, version, err := reg.LoadEmbedder("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 {
+		t.Fatalf("version = %d, want 1", version)
+	}
+	if emb.Dim() != 8 {
+		t.Fatalf("dim = %d, want 8", emb.Dim())
+	}
+	v := emb.Embed("select col_1 from facts")
+	if len(v) != 8 {
+		t.Fatalf("embedded vector has %d dims", len(v))
+	}
+	// Training again bumps the version.
+	if err := run(args, strings.NewReader(workloadJSONL(40))); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Versions("tiny"); len(got) != 2 {
+		t.Fatalf("versions = %v, want 2 entries", got)
+	}
+}
+
+// TestTrainFromFileAndErrors covers the -in path and the failure modes: an
+// empty workload, an unknown method, and a missing input file.
+func TestTrainFromFileAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "wl.jsonl")
+	writeFile(t, in, workloadJSONL(40))
+	if err := run([]string{"-models", dir, "-in", in, "-dim", "8", "-epochs", "1"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-models", dir}, strings.NewReader("")); err == nil {
+		t.Fatal("empty workload did not error")
+	}
+	if err := run([]string{"-models", dir, "-method", "nope"}, strings.NewReader(workloadJSONL(40))); err == nil {
+		t.Fatal("unknown method did not error")
+	}
+	if err := run([]string{"-models", dir, "-in", filepath.Join(dir, "missing.jsonl")}, nil); err == nil {
+		t.Fatal("missing input file did not error")
+	}
+}

@@ -11,7 +11,10 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -19,20 +22,43 @@ import (
 	"querc/internal/tpch"
 )
 
+// errUsage signals that the FlagSet already reported a parse problem; main
+// exits nonzero without printing it again.
+var errUsage = errors.New("usage")
+
 func main() {
 	log.SetPrefix("workloadgen: ")
 	log.SetFlags(0)
-	var (
-		kind        = flag.String("kind", "tpch", "tpch or snow")
-		perTemplate = flag.Int("per-template", 40, "tpch: instances per template")
-		shuffle     = flag.Bool("shuffle", false, "tpch: shuffle instead of template-major order")
-		scale       = flag.Float64("scale", 0.035, "snow: corpus scale factor")
-		profile     = flag.String("profile", "paper", "snow: paper (Table 2 shape) or training")
-		seed        = flag.Int64("seed", 7, "generator seed")
-	)
-	flag.Parse()
+	switch err := run(os.Args[1:], os.Stdout); {
+	case err == nil:
+	case errors.Is(err, errUsage):
+		os.Exit(2)
+	default:
+		log.Fatal(err)
+	}
+}
 
-	w := bufio.NewWriter(os.Stdout)
+// run parses args and streams the generated workload to stdout as JSONL.
+// Split from main so the smoke tests can generate into a buffer and parse
+// the records back.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("workloadgen", flag.ContinueOnError)
+	var (
+		kind        = fs.String("kind", "tpch", "tpch or snow")
+		perTemplate = fs.Int("per-template", 40, "tpch: instances per template")
+		shuffle     = fs.Bool("shuffle", false, "tpch: shuffle instead of template-major order")
+		scale       = fs.Float64("scale", 0.035, "snow: corpus scale factor")
+		profile     = fs.String("profile", "paper", "snow: paper (Table 2 shape) or training")
+		seed        = fs.Int64("seed", 7, "generator seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, clean exit
+		}
+		return errUsage // parse error already printed by the FlagSet
+	}
+
+	w := bufio.NewWriter(stdout)
 	defer w.Flush()
 	enc := json.NewEncoder(w)
 
@@ -48,7 +74,7 @@ func main() {
 		}
 		for _, inst := range insts {
 			if err := enc.Encode(rec{ID: inst.Query.ID, Template: inst.Template, SQL: inst.SQL}); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 	case "snow":
@@ -59,15 +85,16 @@ func main() {
 		case "training":
 			accounts = snowgen.TrainingProfile(*scale)
 		default:
-			log.Fatalf("unknown profile %q", *profile)
+			return fmt.Errorf("unknown profile %q", *profile)
 		}
 		qs := snowgen.Generate(snowgen.Options{Accounts: accounts, Seed: *seed})
 		for _, q := range qs {
 			if err := enc.Encode(q); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 	default:
-		log.Fatalf("unknown kind %q", *kind)
+		return fmt.Errorf("unknown kind %q", *kind)
 	}
+	return w.Flush()
 }

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sync"
+
+	"querc/internal/drift"
+	"querc/internal/vec"
+)
+
+// driftAccum accumulates the workload statistics behind the drift plane on
+// the Qworker hot path: per-embedder vector sums (for interval centroids),
+// per-label-key predicted-value counts, and embedding-plane hit/miss
+// counters. It is drained (and reset) by Qworker.TakeDriftSample each
+// controller tick, so a sample covers exactly the queries processed since
+// the previous tick — the same stream that feeds the worker's ring-buffer
+// window, without retaining per-query vectors.
+//
+// The merge granularity keeps the overhead off the critical path: the serial
+// Process path merges once per query, the batch path once per 64-query
+// chunk, and the per-query cost is one vector add per embedder group.
+type driftAccum struct {
+	mu      sync.Mutex
+	embSum  map[string]vec.Vector // embedder name -> sum of observed vectors
+	embSq   map[string]float64    // embedder name -> sum of squared norms
+	embN    map[string]int        // embedder name -> observation count
+	labels  map[string]map[string]int
+	hits    int64
+	misses  int64
+	queries int
+}
+
+func newDriftAccum() *driftAccum {
+	return &driftAccum{
+		embSum: make(map[string]vec.Vector),
+		embSq:  make(map[string]float64),
+		embN:   make(map[string]int),
+		labels: make(map[string]map[string]int),
+	}
+}
+
+// merge folds one processed chunk into the accumulator. sums[gi] and sqs[gi]
+// hold the sum of the chunk's vectors and of their squared norms for
+// plan[gi] (read-only here); hits and misses count the chunk's
+// embedding-plane lookups across all groups.
+func (a *driftAccum) merge(plan []embedderGroup, chunk []*LabeledQuery, sums []vec.Vector, sqs []float64, hits, misses int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.queries += len(chunk)
+	a.hits += hits
+	a.misses += misses
+	for gi := range plan {
+		g := &plan[gi]
+		if sums != nil && sums[gi] != nil {
+			if s := a.embSum[g.name]; s == nil {
+				a.embSum[g.name] = sums[gi].Clone()
+			} else {
+				s.Add(sums[gi])
+			}
+			a.embSq[g.name] += sqs[gi]
+			a.embN[g.name] += len(chunk)
+		}
+		for _, c := range g.clfs {
+			m := a.labels[c.LabelKey]
+			if m == nil {
+				m = make(map[string]int)
+				a.labels[c.LabelKey] = m
+			}
+			for _, q := range chunk {
+				m[q.Labels[c.LabelKey]]++
+			}
+		}
+	}
+}
+
+// take drains the accumulated interval into a drift.Sample and resets the
+// accumulator. plan supplies the label-key -> embedder mapping of the
+// currently deployed classifiers. Returns nil for an empty interval.
+func (a *driftAccum) take(app string, plan []embedderGroup) *drift.Sample {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.queries == 0 {
+		return nil
+	}
+	s := &drift.Sample{
+		App:         app,
+		Queries:     a.queries,
+		Embedders:   make(map[string]drift.EmbedderStats, len(a.embSum)),
+		Labels:      a.labels,
+		KeyEmbedder: make(map[string]string),
+		CacheHits:   a.hits,
+		CacheMisses: a.misses,
+	}
+	for name, sum := range a.embSum {
+		n := a.embN[name]
+		sum.Scale(1 / float64(n)) // ownership transfers to the sample
+		s.Embedders[name] = drift.EmbedderStats{
+			Centroid: sum,
+			SqNorm:   a.embSq[name] / float64(n),
+			Count:    n,
+		}
+	}
+	for gi := range plan {
+		for _, c := range plan[gi].clfs {
+			s.KeyEmbedder[c.LabelKey] = plan[gi].name
+		}
+	}
+	a.embSum = make(map[string]vec.Vector)
+	a.embSq = make(map[string]float64)
+	a.embN = make(map[string]int)
+	a.labels = make(map[string]map[string]int)
+	a.hits, a.misses, a.queries = 0, 0, 0
+	return s
+}

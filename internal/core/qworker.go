@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"querc/internal/drift"
 	"querc/internal/vec"
 )
 
@@ -32,6 +33,7 @@ type Qworker struct {
 	classifiers []*Classifier
 	plan        []embedderGroup // classifiers grouped by embedder identity
 	vectors     *VectorCache    // shared embedding-plane cache; nil disables
+	drift       *driftAccum     // drift-plane statistics; nil disables sampling
 	ring        []*LabeledQuery // fixed-size ring buffer of recent queries
 	ringStart   int             // index of the oldest retained query
 	ringLen     int             // number of valid entries (<= len(ring))
@@ -127,13 +129,43 @@ func (w *Qworker) Classifiers() []*Classifier {
 	return append([]*Classifier(nil), w.classifiers...)
 }
 
-// snapshot returns the current embed plan and vector cache. The plan slice
-// is replaced wholesale by Deploy, never mutated, so it is safe to read
-// without the lock after return.
-func (w *Qworker) snapshot() ([]embedderGroup, *VectorCache) {
+// snapshot returns the current embed plan, vector cache, and drift
+// accumulator. The plan slice is replaced wholesale by Deploy, never
+// mutated, so it is safe to read without the lock after return.
+func (w *Qworker) snapshot() ([]embedderGroup, *VectorCache, *driftAccum) {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
-	return w.plan, w.vectors
+	return w.plan, w.vectors, w.drift
+}
+
+// SetDriftSampling enables (or, with false, disables) drift-plane statistics
+// accumulation on this worker's hot path: per-embedder centroid sums,
+// per-label-key predicted-value counts, and embedding-plane hit/miss
+// counters. Sampling is off by default — Service.EnableDriftControl turns it
+// on for every registered worker. In-flight batches keep the setting they
+// started with.
+func (w *Qworker) SetDriftSampling(on bool) {
+	w.mu.Lock()
+	if on && w.drift == nil {
+		w.drift = newDriftAccum()
+	} else if !on {
+		w.drift = nil
+	}
+	w.mu.Unlock()
+}
+
+// TakeDriftSample drains the drift statistics accumulated since the previous
+// call (or since sampling was enabled) as one interval sample for the drift
+// detector, resetting the accumulator. It returns nil when sampling is
+// disabled or no queries were processed in the interval.
+func (w *Qworker) TakeDriftSample() *drift.Sample {
+	w.mu.RLock()
+	acc, plan := w.drift, w.plan
+	w.mu.RUnlock()
+	if acc == nil {
+		return nil
+	}
+	return acc.take(w.App, plan)
 }
 
 // Process annotates q with every deployed classifier's prediction, records
@@ -144,17 +176,34 @@ func (w *Qworker) snapshot() ([]embedderGroup, *VectorCache) {
 // its vector is fanned to all labelers in the group.
 func (w *Qworker) Process(q *LabeledQuery) *LabeledQuery {
 	q.App = w.App
-	plan, cache := w.snapshot()
+	plan, cache, acc := w.snapshot()
+	var vs []vec.Vector // per-group vectors, collected only for drift sampling
+	var sqs []float64
+	var hits, misses int64
+	if acc != nil {
+		vs = make([]vec.Vector, len(plan))
+		sqs = make([]float64, len(plan))
+	}
 	for gi := range plan {
 		g := &plan[gi]
 		v, ok := cache.Get(g.name, q.SQL)
 		if !ok {
 			v = g.embedder.Embed(q.SQL)
 			cache.Put(g.name, q.SQL, v)
+			misses++
+		} else {
+			hits++
+		}
+		if vs != nil {
+			vs[gi] = v
+			sqs[gi] = vec.Dot(v, v)
 		}
 		for _, c := range g.clfs {
 			c.LabelVector(q, v)
 		}
+	}
+	if acc != nil {
+		acc.merge(plan, []*LabeledQuery{q}, vs, sqs, hits, misses)
 	}
 	w.mu.Lock()
 	w.recordLocked(q)
@@ -206,7 +255,7 @@ func (w *Qworker) ProcessBatch(qs []*LabeledQuery, workers int) []*LabeledQuery 
 	if workers > (len(qs)+batchChunk-1)/batchChunk {
 		workers = (len(qs) + batchChunk - 1) / batchChunk
 	}
-	plan, cache := w.snapshot()
+	plan, cache, acc := w.snapshot()
 	w.mu.RLock()
 	forward, sink, batchSink := w.Forward, w.Sink, w.BatchSink
 	w.mu.RUnlock()
@@ -241,6 +290,16 @@ func (w *Qworker) ProcessBatch(qs []*LabeledQuery, workers int) []*LabeledQuery 
 			for _, q := range chunk {
 				q.App = w.App
 			}
+			// Drift sampling, when enabled, sums the chunk's vectors per
+			// embedder group and counts embed-plane hits vs misses — one
+			// vector add per query plus one accumulator merge per chunk.
+			var chunkSums []vec.Vector
+			var chunkSqs []float64
+			var chunkHits, chunkMisses int64
+			if acc != nil {
+				chunkSums = make([]vec.Vector, len(plan))
+				chunkSqs = make([]float64, len(plan))
+			}
 			for gi := range plan {
 				g := &plan[gi]
 				// Embed phase: resolve one vector per distinct text in the
@@ -249,19 +308,23 @@ func (w *Qworker) ProcessBatch(qs []*LabeledQuery, workers int) []*LabeledQuery 
 				miss = miss[:0]
 				for _, q := range chunk {
 					if _, ok := local[q.SQL]; ok {
+						chunkHits++
 						continue
 					}
 					if v, ok := memos[gi].Load(q.SQL); ok {
 						local[q.SQL] = v.(vec.Vector)
+						chunkHits++
 						continue
 					}
 					if v, ok := cache.Get(g.name, q.SQL); ok {
 						local[q.SQL] = v
 						memos[gi].Store(q.SQL, v)
+						chunkHits++
 						continue
 					}
 					local[q.SQL] = nil
 					miss = append(miss, q.SQL)
+					chunkMisses++
 				}
 				if len(miss) > 0 {
 					vs := EmbedTexts(g.embedder, miss)
@@ -283,6 +346,20 @@ func (w *Qworker) ProcessBatch(qs []*LabeledQuery, workers int) []*LabeledQuery 
 						labelMemos[gi][ci].Store(q.SQL, c.LabelVector(q, v))
 					}
 				}
+				if chunkSums != nil {
+					sum := vec.New(g.embedder.Dim())
+					var sq float64
+					for _, q := range chunk {
+						v := local[q.SQL]
+						sum.Add(v)
+						sq += vec.Dot(v, v)
+					}
+					chunkSums[gi] = sum
+					chunkSqs[gi] = sq
+				}
+			}
+			if acc != nil {
+				acc.merge(plan, chunk, chunkSums, chunkSqs, chunkHits, chunkMisses)
 			}
 			w.recordChunk(chunk)
 			if batchSink != nil || sink != nil {

@@ -14,10 +14,11 @@ import (
 // warm vector regardless of which application saw it first. It is the
 // embeddable form of the Querc service (cmd/quercd adds the HTTP surface).
 type Service struct {
-	mu       sync.RWMutex
-	workers  map[string]*Qworker
-	training *TrainingModule
-	vectors  *VectorCache
+	mu         sync.RWMutex
+	workers    map[string]*Qworker
+	training   *TrainingModule
+	vectors    *VectorCache
+	controller *Controller // drift control loop; nil until enabled
 }
 
 // NewService returns a service with an empty worker set, a fresh training
@@ -65,7 +66,9 @@ func (s *Service) SetVectorCache(c *VectorCache) {
 // AddApplication registers a Qworker for the named application stream and
 // wires its fork into the training module and its embedding plane into the
 // shared vector cache. forward may be nil when Querc is out of the critical
-// path (§2: "queries will be forked to Querc").
+// path (§2: "queries will be forked to Querc"). Workers added after
+// EnableDriftControl start with drift sampling on, so the control loop
+// covers them too.
 func (s *Service) AddApplication(app string, windowSize int, forward func(*LabeledQuery)) *Qworker {
 	w := NewQworker(app, windowSize)
 	w.Forward = forward
@@ -73,9 +76,44 @@ func (s *Service) AddApplication(app string, windowSize int, forward func(*Label
 	w.BatchSink = func(qs []*LabeledQuery) { s.training.IngestBatch(app, qs) }
 	s.mu.Lock()
 	w.SetVectorCache(s.vectors)
+	if s.controller != nil {
+		w.SetDriftSampling(true)
+	}
 	s.workers[app] = w
 	s.mu.Unlock()
 	return w
+}
+
+// EnableDriftControl attaches the drift plane's control loop to the service:
+// drift sampling is switched on for every registered (and future) Qworker,
+// and the returned Controller scores each worker's samples and runs gated
+// retrains when a classifier drifts past cfg.Threshold. The caller decides
+// how the loop advances: Controller.Start ticks on a wall-clock interval,
+// Controller.Tick replays deterministically. Calling EnableDriftControl
+// again returns the existing controller unchanged.
+func (s *Service) EnableDriftControl(cfg ControllerConfig) *Controller {
+	s.mu.Lock()
+	if s.controller == nil {
+		s.controller = newController(s, cfg)
+	}
+	ctl := s.controller
+	workers := make([]*Qworker, 0, len(s.workers))
+	for _, w := range s.workers {
+		workers = append(workers, w)
+	}
+	s.mu.Unlock()
+	for _, w := range workers {
+		w.SetDriftSampling(true)
+	}
+	return ctl
+}
+
+// Controller returns the drift control loop, or nil before
+// EnableDriftControl.
+func (s *Service) Controller() *Controller {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.controller
 }
 
 // Worker returns the Qworker for app, or nil.

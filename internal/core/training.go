@@ -212,6 +212,70 @@ func (t *TrainingModule) Retrain(app, labelKey string, embedder Embedder, labele
 	return &Classifier{LabelKey: labelKey, Embedder: embedder, Labeler: labeler}, nil
 }
 
+// RetrainGated retrains labeler for (app, labelKey) with a clean old-vs-new
+// comparison: the last holdoutFrac of the training set is held out, the
+// challenger is fitted on the rest only (unlike Retrain, which trains on the
+// full set), and both the incumbent and the challenger are scored on the
+// same holdout. The challenger rides the incumbent's embedder — embedders
+// are the expensive, centrally trained, shared half of a classifier, and the
+// drift plane retrains only the cheap per-tenant labeler. The caller — the drift controller — feeds the accuracies to
+// eval.ShouldPromote; nothing is deployed here. Because the training set is
+// kept in arrival order and retention-capped, the holdout is the most recent
+// traffic: exactly the slice a drifted workload has shifted.
+//
+// Returns the fitted challenger classifier, the incumbent's and challenger's
+// holdout accuracies, and the holdout size.
+func (t *TrainingModule) RetrainGated(app, labelKey string, old *Classifier, labeler TrainableLabeler, holdoutFrac float64, workers int) (*Classifier, float64, float64, int, error) {
+	set := t.TrainingSet(app, labelKey)
+	if len(set) == 0 {
+		return nil, 0, 0, 0, fmt.Errorf("core: no training data for app %q label %q", app, labelKey)
+	}
+	if holdoutFrac <= 0 || holdoutFrac > 0.5 {
+		holdoutFrac = 0.2
+	}
+	split := int(float64(len(set)) * (1 - holdoutFrac))
+	if split < 1 {
+		split = 1
+	}
+	if split >= len(set) {
+		split = len(set) - 1
+	}
+	train, hold := set[:split], set[split:]
+	if len(hold) == 0 {
+		return nil, 0, 0, 0, fmt.Errorf("core: training set for %s/%s too small to gate (%d)", app, labelKey, len(set))
+	}
+	embedder := old.Embedder
+	sqls := make([]string, len(train))
+	y := make([]string, len(train))
+	for i, q := range train {
+		sqls[i] = q.SQL
+		y[i] = q.Labels[labelKey]
+	}
+	X := EmbedAllCached(embedder, sqls, workers, t.vectorCache())
+	if err := labeler.Fit(X, y); err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("core: retrain %s/%s: %w", app, labelKey, err)
+	}
+	fresh := &Classifier{LabelKey: labelKey, Embedder: embedder, Labeler: labeler}
+
+	holdSQLs := make([]string, len(hold))
+	for i, q := range hold {
+		holdSQLs[i] = q.SQL
+	}
+	holdX := EmbedAllCached(embedder, holdSQLs, workers, t.vectorCache())
+	oldCorrect, newCorrect := 0, 0
+	for i, q := range hold {
+		truth := q.Labels[labelKey]
+		if old.Labeler.Label(holdX[i]) == truth {
+			oldCorrect++
+		}
+		if fresh.Labeler.Label(holdX[i]) == truth {
+			newCorrect++
+		}
+	}
+	n := len(hold)
+	return fresh, float64(oldCorrect) / float64(n), float64(newCorrect) / float64(n), n, nil
+}
+
 // Evaluate measures holdout accuracy of a classifier on app's training set
 // for labelKey: the last holdoutFrac of the set is scored, the rest ignored
 // (the training module's bookkeeping for deployment decisions).

@@ -1,0 +1,159 @@
+package drift
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"querc/internal/vec"
+)
+
+// sampleFrom synthesizes one interval sample: n queries whose vectors are
+// drawn around mean (noise controls spread), labels drawn from dist, and a
+// cache hit rate of hitRate.
+func sampleFrom(rng *rand.Rand, app string, n int, mean vec.Vector, noise float64, dist map[string]float64, hitRate float64) *Sample {
+	centroid := vec.New(len(mean))
+	var sqNorm float64
+	for i := 0; i < n; i++ {
+		v := vec.New(len(mean))
+		for j := range mean {
+			v[j] = mean[j] + (rng.Float64()*2-1)*noise
+		}
+		centroid.Add(v)
+		sqNorm += vec.Dot(v, v)
+	}
+	centroid.Scale(1 / float64(n))
+	sqNorm /= float64(n)
+	labels := map[string]int{}
+	for i := 0; i < n; i++ {
+		r := rng.Float64()
+		acc := 0.0
+		for v, p := range dist {
+			acc += p
+			if r <= acc {
+				labels[v]++
+				break
+			}
+		}
+	}
+	hits := int64(float64(n) * hitRate)
+	return &Sample{
+		App:         app,
+		Queries:     n,
+		Embedders:   map[string]EmbedderStats{"emb": {Centroid: centroid, SqNorm: sqNorm, Count: n}},
+		Labels:      map[string]map[string]int{"user": labels},
+		KeyEmbedder: map[string]string{"user": "emb"},
+		CacheHits:   hits,
+		CacheMisses: int64(n) - hits,
+	}
+}
+
+func uniformDist(k int) map[string]float64 {
+	d := make(map[string]float64, k)
+	for i := 0; i < k; i++ {
+		d[fmt.Sprintf("u%02d", i)] = 1 / float64(k)
+	}
+	return d
+}
+
+// TestStationaryWorkloadNeverTrips is the false-positive guard of the drift
+// plane: many intervals drawn from one fixed distribution must all score
+// well below any sane controller threshold.
+func TestStationaryWorkloadNeverTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	det := NewDetector(Config{})
+	mean := vec.NewRandom(rng, 24, 1)
+	dist := uniformDist(12)
+	const threshold = 0.15 // quercbench's drift experiment default
+	for interval := 0; interval < 60; interval++ {
+		s := sampleFrom(rng, "app", 400, mean, 0.4, dist, 0.3)
+		for _, sc := range det.Observe(s) {
+			if sc.Total >= threshold {
+				t.Fatalf("interval %d: stationary workload scored %.3f (components c=%.3f l=%.3f h=%.3f)",
+					interval, sc.Total, sc.CentroidShift, sc.LabelDivergence, sc.CacheCollapse)
+			}
+		}
+	}
+}
+
+// TestShiftedWorkloadTrips drives the detector across a distribution shift:
+// new centroid, skewed labels, collapsed hit rate.
+func TestShiftedWorkloadTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	det := NewDetector(Config{})
+	meanA := vec.NewRandom(rng, 24, 1)
+	meanB := vec.NewRandom(rng, 24, 1)
+	distA := uniformDist(12)
+	distB := map[string]float64{"u00": 0.7, "u01": 0.3}
+	det.Observe(sampleFrom(rng, "app", 400, meanA, 0.2, distA, 0.6)) // baseline
+	scores := det.Observe(sampleFrom(rng, "app", 400, meanB, 0.2, distB, 0.05))
+	if len(scores) != 1 {
+		t.Fatalf("got %d scores, want 1", len(scores))
+	}
+	sc := scores[0]
+	if sc.Total < 0.3 {
+		t.Fatalf("shifted workload scored only %.3f (c=%.3f l=%.3f h=%.3f)",
+			sc.Total, sc.CentroidShift, sc.LabelDivergence, sc.CacheCollapse)
+	}
+	if sc.CentroidShift <= 0 || sc.LabelDivergence <= 0 || sc.CacheCollapse <= 0 {
+		t.Fatalf("expected all three signals to fire: c=%.3f l=%.3f h=%.3f",
+			sc.CentroidShift, sc.LabelDivergence, sc.CacheCollapse)
+	}
+}
+
+// TestRebaseResetsBaseline verifies that after Rebase the shifted
+// distribution becomes the new normal and stops scoring as drift.
+func TestRebaseResetsBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	det := NewDetector(Config{})
+	meanA := vec.NewRandom(rng, 16, 1)
+	meanB := vec.NewRandom(rng, 16, 1)
+	dist := uniformDist(6)
+	det.Observe(sampleFrom(rng, "app", 200, meanA, 0.2, dist, 0.5))
+	if sc := det.Observe(sampleFrom(rng, "app", 200, meanB, 0.2, dist, 0.5)); len(sc) == 0 || sc[0].Total <= 0 {
+		t.Fatal("expected pre-rebase drift")
+	}
+	det.Rebase("app")
+	det.Observe(sampleFrom(rng, "app", 200, meanB, 0.2, dist, 0.5)) // new baseline
+	scores := det.Observe(sampleFrom(rng, "app", 200, meanB, 0.2, dist, 0.5))
+	if len(scores) != 1 {
+		t.Fatalf("got %d scores, want 1", len(scores))
+	}
+	if scores[0].Total > 0.1 {
+		t.Fatalf("post-rebase stationary workload scored %.3f", scores[0].Total)
+	}
+}
+
+// TestMinQueriesCarryOver checks that sub-MinQueries samples are merged, not
+// scored or dropped.
+func TestMinQueriesCarryOver(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	det := NewDetector(Config{MinQueries: 100})
+	mean := vec.NewRandom(rng, 8, 1)
+	dist := uniformDist(4)
+	det.Observe(sampleFrom(rng, "app", 200, mean, 0.2, dist, 0.5)) // baseline
+	for i := 0; i < 3; i++ {
+		if got := det.Observe(sampleFrom(rng, "app", 30, mean, 0.2, dist, 0.5)); got != nil {
+			t.Fatalf("sub-threshold sample %d produced scores", i)
+		}
+	}
+	scores := det.Observe(sampleFrom(rng, "app", 30, mean, 0.2, dist, 0.5))
+	if len(scores) != 1 {
+		t.Fatalf("got %d scores after carry-over, want 1", len(scores))
+	}
+	if scores[0].Queries != 120 {
+		t.Fatalf("merged sample covers %d queries, want 120", scores[0].Queries)
+	}
+}
+
+// TestJSDivergenceBounds pins the normalization: identical distributions
+// score 0, disjoint ones score 1.
+func TestJSDivergenceBounds(t *testing.T) {
+	same := map[string]int{"a": 10, "b": 30}
+	if d := jsDivergence(same, map[string]int{"a": 20, "b": 60}); d > 1e-9 {
+		t.Fatalf("identical distributions diverge by %g", d)
+	}
+	if d := jsDivergence(map[string]int{"a": 10}, map[string]int{"b": 10}); d < 0.999 || d > 1 {
+		t.Fatalf("disjoint distributions diverge by %g, want 1", d)
+	}
+}

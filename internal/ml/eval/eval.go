@@ -6,6 +6,7 @@ package eval
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"querc/internal/vec"
@@ -125,6 +126,34 @@ func ConfusionMatrix(preds, truth []int, numClasses int) [][]int {
 		}
 	}
 	return m
+}
+
+// ShouldPromote is the old-vs-new deployment gate used by the drift
+// controller: a retrained model replaces the deployed one only when its
+// holdout accuracy reaches the incumbent's plus minGain, with the
+// incumbent's score discounted by one standard error of the holdout estimate
+// (sqrt(acc*(1-acc)/n)) so a statistically equivalent challenger is not
+// rejected for sampling noise on a small holdout. n is the holdout size
+// (n <= 0 skips the discount). A challenger worse by more than that noise
+// margin is never promoted.
+func ShouldPromote(oldAcc, newAcc float64, n int, minGain float64) bool {
+	bar := oldAcc - stdErr(oldAcc, n)
+	if bar < 0 {
+		bar = 0
+	}
+	return newAcc >= bar+minGain
+}
+
+// stdErr returns the standard error of an accuracy estimate over n samples.
+func stdErr(acc float64, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	v := acc * (1 - acc) / float64(n)
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
 }
 
 // MajorityBaseline returns the accuracy achieved by always predicting the

@@ -149,3 +149,31 @@ func TestCrossValidateHoldsOut(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestShouldPromote pins the deployment gate's behavior: clear winners and
+// ties promote, clear losers never do, and the standard-error discount only
+// forgives sampling noise, not real regressions.
+func TestShouldPromote(t *testing.T) {
+	cases := []struct {
+		name           string
+		oldAcc, newAcc float64
+		n              int
+		minGain        float64
+		want           bool
+	}{
+		{"clear win", 0.60, 0.80, 200, 0, true},
+		{"tie", 0.70, 0.70, 200, 0, true},
+		{"clear loss", 0.80, 0.60, 200, 0, false},
+		{"within noise", 0.80, 0.79, 50, 0, true}, // 1 stderr at n=50 is ~0.057
+		{"beyond noise", 0.80, 0.60, 10000, 0, false},
+		{"min gain blocks tie", 0.70, 0.70, 0, 0.05, false},
+		{"min gain met", 0.70, 0.76, 0, 0.05, true},
+		{"no holdout, strict", 0.70, 0.69, 0, 0, false},
+	}
+	for _, tc := range cases {
+		if got := ShouldPromote(tc.oldAcc, tc.newAcc, tc.n, tc.minGain); got != tc.want {
+			t.Errorf("%s: ShouldPromote(%v, %v, %d, %v) = %v, want %v",
+				tc.name, tc.oldAcc, tc.newAcc, tc.n, tc.minGain, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// The docs-coverage check: every package in this module — the facade, every
+// package under internal/ and cmd/, and the runnable examples — must carry a
+// package-level doc comment. godoc is the contract each PR leaves for the
+// next one, so a missing package comment fails CI (the workflow runs this
+// test as an explicit step).
+package querc_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocComments walks the module and asserts that every package has
+// a package doc comment in at least one of its non-test files, per the
+// go/doc convention (the comment group immediately above the package
+// clause).
+func TestPackageDocComments(t *testing.T) {
+	pkgFiles := map[string][]string{} // package dir -> non-test .go files
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "models") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		pkgFiles[dir] = append(pkgFiles[dir], path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgFiles) < 20 {
+		t.Fatalf("walked only %d packages — is the check running from the module root?", len(pkgFiles))
+	}
+
+	dirs := make([]string, 0, len(pkgFiles))
+	for dir := range pkgFiles {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		documented := false
+		for _, file := range pkgFiles[dir] {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := parser.ParseFile(fset, file, src, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parse %s: %v", file, err)
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			t.Errorf("package %q has no package doc comment in any of: %s",
+				dir, strings.Join(pkgFiles[dir], ", "))
+		}
+	}
+}

@@ -19,6 +19,12 @@
 //     embedder's vector is computed once per query text and fanned to all
 //     labelers on it, and a bounded sharded LRU VectorCache keyed by
 //     (embedder name, SQL) is shared across every application;
+//   - the drift plane: Service.EnableDriftControl attaches a Controller
+//     that watches each application's recent-query statistics (embedding
+//     centroids, predicted-label distributions, vector-cache hit rates),
+//     scores workload drift per classifier, and — past a threshold — runs
+//     rate-limited gated retrains, hot-swapping a challenger in only when
+//     it beats the incumbent on recent holdout traffic;
 //   - applications: workload summarization for index tuning, security
 //     auditing, routing checks, error prediction, resource allocation, and
 //     query recommendation (via querc/internal/apps, re-exported here).
@@ -31,6 +37,7 @@ import (
 	"querc/internal/apps"
 	"querc/internal/core"
 	"querc/internal/doc2vec"
+	"querc/internal/drift"
 	"querc/internal/lstm"
 	"querc/internal/ml/forest"
 	"querc/internal/vec"
@@ -45,6 +52,7 @@ type (
 	Embedder         = core.Embedder
 	BatchEmbedder    = core.BatchEmbedder
 	Labeler          = core.Labeler
+	TrainableLabeler = core.TrainableLabeler
 	Classifier       = core.Classifier
 	Qworker          = core.Qworker
 	Service          = core.Service
@@ -53,6 +61,21 @@ type (
 	VectorCache      = core.VectorCache
 	VectorCacheStats = core.VectorCacheStats
 	Vector           = vec.Vector
+)
+
+// Re-exported drift plane: the Controller closes the loop from each
+// Qworker's recent-query statistics through drift detection to gated
+// retrain/redeploy (Service.EnableDriftControl). DriftDetectorConfig tunes
+// the detector's signals and weights; DriftScore/AppDriftStatus are the
+// observability surface (quercd's GET /v1/drift).
+type (
+	Controller          = core.Controller
+	ControllerConfig    = core.ControllerConfig
+	AppDriftStatus      = core.AppDriftStatus
+	KeyDriftStatus      = core.KeyDriftStatus
+	DriftDetectorConfig = drift.Config
+	DriftScore          = drift.Score
+	DriftSample         = drift.Sample
 )
 
 // DefaultVectorCacheEntries is the capacity of the shared embedding-plane
