@@ -431,12 +431,62 @@ func BenchmarkAblationDoc2VecModes(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainParallel sweeps the Hogwild training plane over
+// Workers=1/2/4/8 on a multi-user corpus: ns/op is the wall-clock of one
+// full doc2vec.Train, and cv-% reports the downstream user-labeling
+// cross-validation accuracy of the trained model's embeddings (computed once
+// per worker setting, outside the timed region). The acceptance bar for the
+// parallel plane is workers=8 at >= 3x the workers=1 wall-clock on an 8-core
+// box with cv-% within 1 point of serial.
+func BenchmarkTrainParallel(b *testing.B) {
+	gen := snowgen.Generate(snowgen.Options{
+		Accounts: []snowgen.AccountSpec{
+			{Name: "a", Users: 4, Queries: 1300, SharedFraction: 0, Dialect: snowgen.DialectSnow},
+			{Name: "b", Users: 4, Queries: 1200, SharedFraction: 0, Dialect: snowgen.DialectAnsi},
+		},
+		Seed: 21,
+	})
+	docs := make([][]string, len(gen))
+	users := make([]string, len(gen))
+	for i, q := range gen {
+		docs[i] = querc.Tokenize(q.SQL)
+		users[i] = q.Account + "/" + q.User
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := doc2vec.DefaultConfig()
+			cfg.Dim = 32
+			cfg.Epochs = 12
+			cfg.Workers = workers
+			var m *doc2vec.Model
+			var err error
+			for i := 0; i < b.N; i++ {
+				if m, err = doc2vec.Train(docs, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			X := make([]vec.Vector, len(docs))
+			for i := range docs {
+				X[i] = m.DocVector(i)
+			}
+			b.ReportMetric(cvAccuracy(b, X, users)*100, "cv-%")
+		})
+	}
+}
+
 // BenchmarkEmbedders measures single-query embedding latency for both
 // learned models — the per-query overhead a Qworker adds in the critical
-// path.
+// path. It measures the embedding plane's hot path (EmbedTokens on
+// pre-tokenized queries: the runtime lexes each submit once and hands tokens
+// to every embedder); BenchmarkTokenize prices the lexer separately.
 func BenchmarkEmbedders(b *testing.B) {
 	insts := tpch.GenerateWorkload(tpch.WorkloadOptions{PerTemplate: 10, Seed: 7})
 	sqls := tpch.SQLTexts(insts)
+	toks := make([][]string, len(sqls))
+	for i, sql := range sqls {
+		toks[i] = querc.Tokenize(sql)
+	}
 	d2vCfg := doc2vec.DefaultConfig()
 	d2vCfg.Dim = 32
 	d2vCfg.Epochs = 3
@@ -457,11 +507,27 @@ func BenchmarkEmbedders(b *testing.B) {
 		name string
 		e    querc.Embedder
 	}{{"doc2vec", d2v}, {"lstm", lstmE}} {
+		te, ok := tc.e.(querc.TokenizedEmbedder)
+		if !ok {
+			b.Fatalf("%s: learned embedders must implement TokenizedEmbedder", tc.name)
+		}
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				tc.e.Embed(sqls[i%len(sqls)])
+				te.EmbedTokens(toks[i%len(toks)])
 			}
 		})
+	}
+}
+
+// BenchmarkTokenize prices the canonical SQL lexing step the runtime pays
+// once per submitted query (the embedders themselves no longer re-lex).
+func BenchmarkTokenize(b *testing.B) {
+	insts := tpch.GenerateWorkload(tpch.WorkloadOptions{PerTemplate: 10, Seed: 7})
+	sqls := tpch.SQLTexts(insts)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		querc.Tokenize(sqls[i%len(sqls)])
 	}
 }
 

@@ -1,0 +1,207 @@
+// Command benchguard turns `go test -bench` output into machine-readable
+// JSON and gates CI on throughput regressions.
+//
+// Emit mode parses benchmark output on stdin and writes one JSON object per
+// run ({"benchmarks": {name: {metric: value}}}):
+//
+//	go test -bench 'Submit|Train|Embedders' -benchtime=1x -run '^$' . | \
+//	    benchguard -emit BENCH_1234.json
+//
+// Compare mode loads a committed baseline and a current run and fails
+// (exit 1) when any benchmark's q/s metric regresses by more than
+// -threshold (default 0.25):
+//
+//	benchguard -compare -baseline BENCH_baseline.json -current BENCH_1234.json
+//
+// Only throughput (q/s) gates: ns/op varies too much across runner hardware
+// to compare against a committed baseline, but a >25% q/s collapse on the
+// same benchmark family is a real regression signal even across machines.
+// A baseline benchmark missing from the current run fails the gate (renames
+// must refresh the baseline); benchmarks new in the current run are ignored
+// until the baseline picks them up. With -count > 1 runs, the best value
+// per metric is kept (max for throughput, min for cost), damping scheduler
+// noise.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// report is the serialized form of one benchmark run.
+type report struct {
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchguard: ")
+	var (
+		emit      = flag.String("emit", "", "parse `go test -bench` output from stdin and write JSON to this path")
+		compare   = flag.Bool("compare", false, "compare -current against -baseline and fail on regression")
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline JSON (compare mode)")
+		current   = flag.String("current", "", "current-run JSON (compare mode)")
+		metric    = flag.String("metric", "q/s", "higher-is-better metric gated in compare mode")
+		threshold = flag.Float64("threshold", 0.25, "maximum tolerated fractional regression")
+	)
+	flag.Parse()
+	switch {
+	case *emit != "":
+		rep, err := parse(os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(rep.Benchmarks) == 0 {
+			log.Fatal("no benchmark lines found on stdin")
+		}
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*emit, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s (%d benchmarks)", *emit, len(rep.Benchmarks))
+	case *compare:
+		if *current == "" {
+			log.Fatal("-compare needs -current")
+		}
+		base, err := load(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cur, err := load(*current)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !gate(os.Stdout, base, cur, *metric, *threshold) {
+			os.Exit(1)
+		}
+	default:
+		log.Fatal("pass -emit <path> or -compare")
+	}
+}
+
+// parse reads `go test -bench` output, keeping the best value per
+// (benchmark, metric) across -count repetitions — max for
+// higher-is-better metrics (q/s, custom), min for cost metrics (ns/op,
+// B/op, allocs/op) — damping scheduler noise in both directions. Benchmark
+// names are normalized by stripping the trailing -GOMAXPROCS suffix.
+func parse(r io.Reader) (*report, error) {
+	rep := &report{Benchmarks: map[string]map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // tee: keep the human-readable output visible in CI logs
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		// fields: name iterations value unit [value unit]...
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) == 0 {
+			continue
+		}
+		m := rep.Benchmarks[name]
+		if m == nil {
+			m = map[string]float64{}
+			rep.Benchmarks[name] = m
+		}
+		for unit, v := range metrics {
+			if old, ok := m[unit]; !ok || betterMetric(unit, v, old) {
+				m[unit] = v
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// betterMetric reports whether v beats old for the given unit: cost-like
+// metrics (time and allocation per op) are lower-is-better, everything else
+// (q/s, cv-%, custom throughput/quality metrics) higher-is-better.
+func betterMetric(unit string, v, old float64) bool {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op":
+		return v < old
+	}
+	return v > old
+}
+
+func load(path string) (*report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// gate prints a comparison table and returns false when any shared benchmark
+// regresses the gated higher-is-better metric beyond threshold.
+func gate(w io.Writer, base, cur *report, metric string, threshold float64) bool {
+	ok := true
+	checked := 0
+	for name, bm := range base.Benchmarks {
+		bv, hasBase := bm[metric]
+		if !hasBase || bv <= 0 {
+			continue
+		}
+		// A baseline benchmark absent from the current run fails the gate:
+		// silently un-gating a renamed/crashed benchmark is exactly the kind
+		// of regression this tool exists to catch. Renames must refresh the
+		// committed baseline.
+		cm, present := cur.Benchmarks[name]
+		if !present {
+			fmt.Fprintf(w, "FAIL %s: missing from current run (refresh the baseline if renamed)\n", name)
+			ok = false
+			continue
+		}
+		cv, hasCur := cm[metric]
+		if !hasCur {
+			fmt.Fprintf(w, "FAIL %s: no %s metric in current run\n", name, metric)
+			ok = false
+			continue
+		}
+		checked++
+		change := cv/bv - 1
+		status := "ok  "
+		if change < -threshold {
+			status = "FAIL"
+			ok = false
+		}
+		fmt.Fprintf(w, "%s %-50s %s %12.0f -> %12.0f  (%+.1f%%)\n",
+			status, name, metric, bv, cv, 100*change)
+	}
+	if checked == 0 {
+		fmt.Fprintf(w, "FAIL no benchmarks shared a %q metric with the baseline\n", metric)
+		return false
+	}
+	if ok {
+		fmt.Fprintf(w, "ok: %d benchmarks within %.0f%% of baseline %s\n", checked, 100*threshold, metric)
+	}
+	return ok
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: querc
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSubmit-8      	       1	 722357525 ns/op	     13844 q/s
+BenchmarkSubmit-8      	       1	 822357525 ns/op	     12044 q/s
+BenchmarkSubmitBatch-8 	       1	 767706836 ns/op	     13026 q/s
+BenchmarkEmbedders/doc2vec-8     	     475	    730941 ns/op	     264 B/op	       2 allocs/op
+BenchmarkTrainParallel/workers=4 	       1	  70382512 ns/op	        81.16 cv-%
+PASS
+ok  	querc	4.817s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("benchmarks parsed: %d (%v)", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	// -count repeats keep the best value; the -8 suffix is stripped.
+	if got := rep.Benchmarks["BenchmarkSubmit"]["q/s"]; got != 13844 {
+		t.Fatalf("BenchmarkSubmit q/s: %v", got)
+	}
+	if got := rep.Benchmarks["BenchmarkSubmit"]["ns/op"]; got != 722357525 {
+		t.Fatalf("best (lowest) ns/op kept: %v", got)
+	}
+	if got := rep.Benchmarks["BenchmarkEmbedders/doc2vec"]["allocs/op"]; got != 2 {
+		t.Fatalf("allocs/op: %v", got)
+	}
+	if got := rep.Benchmarks["BenchmarkTrainParallel/workers=4"]["cv-%"]; got != 81.16 {
+		t.Fatalf("custom metric: %v", got)
+	}
+}
+
+func mkReport(qps map[string]float64) *report {
+	rep := &report{Benchmarks: map[string]map[string]float64{}}
+	for name, v := range qps {
+		rep.Benchmarks[name] = map[string]float64{"q/s": v}
+	}
+	return rep
+}
+
+func TestGate(t *testing.T) {
+	base := mkReport(map[string]float64{"A": 1000, "B": 2000})
+	var out strings.Builder
+
+	// Within threshold (−20% at 0.25) passes.
+	if !gate(&out, base, mkReport(map[string]float64{"A": 800, "B": 2400}), "q/s", 0.25) {
+		t.Fatalf("within-threshold run must pass:\n%s", out.String())
+	}
+
+	// A −30% regression on one benchmark fails.
+	out.Reset()
+	if gate(&out, base, mkReport(map[string]float64{"A": 700, "B": 2400}), "q/s", 0.25) {
+		t.Fatal("regression must fail the gate")
+	}
+	if !strings.Contains(out.String(), "FAIL A") {
+		t.Fatalf("failure must name the benchmark:\n%s", out.String())
+	}
+
+	// Benchmarks missing from the current run fail the gate: a renamed or
+	// crashed benchmark must not silently drop out of coverage.
+	out.Reset()
+	if gate(&out, base, mkReport(map[string]float64{"A": 1000}), "q/s", 0.25) {
+		t.Fatalf("missing benchmark must fail:\n%s", out.String())
+	}
+
+	// An empty intersection is a configuration error and fails.
+	out.Reset()
+	if gate(&out, base, mkReport(nil), "q/s", 0.25) {
+		t.Fatal("empty intersection must fail")
+	}
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	quercbench -experiment fig3|fig4|table1|table2|ingest|drift|all [-scale small|paper] [-csv dir] [-workers n]
+//	quercbench -experiment fig3|fig4|table1|table2|ingest|train|drift|all [-scale small|paper] [-csv dir] [-workers n]
 //
 // Results print as text tables shaped like the paper's artifacts; -csv also
 // writes machine-readable series for plotting. The ingest experiment
@@ -12,7 +12,9 @@
 // drift experiment replays a workload with a mid-stream tenant-mix shift
 // and reports classifier accuracy over time with the drift control loop on
 // vs off, including how much of the accuracy lost to the shift the loop
-// recovers.
+// recovers. The train experiment sweeps the parallel (Hogwild) training
+// plane over worker counts, reporting wall-clock speedup and downstream
+// labeling accuracy.
 package main
 
 import (
@@ -34,7 +36,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("quercbench: ")
 	var (
-		experiment = flag.String("experiment", "all", "fig3, fig4, table1, table2, ingest, drift, or all")
+		experiment = flag.String("experiment", "all", "fig3, fig4, table1, table2, ingest, train, drift, or all")
 		scaleFlag  = flag.String("scale", "small", "small (minutes) or paper (hours)")
 		csvDir     = flag.String("csv", "", "directory to write CSV series into (optional)")
 		workers    = flag.Int("workers", 8, "batch fan-out for the ingest experiment")
@@ -87,10 +89,13 @@ func main() {
 		})
 	case "ingest":
 		run("Ingest throughput", func() error { return runIngest(scale, *workers) })
+	case "train":
+		run("Parallel training", func() error { return runTrain(scale) })
 	case "drift":
 		run("Drift recovery", func() error { return runDrift(scale, *workers, *csvDir) })
 	case "all":
 		run("Ingest throughput", func() error { return runIngest(scale, *workers) })
+		run("Parallel training", func() error { return runTrain(scale) })
 		run("Drift recovery", func() error { return runDrift(scale, *workers, *csvDir) })
 		run("Figure 3", func() error { return runFig3(scale, *csvDir) })
 		run("Figure 4", func() error { return runFig4(scale, *csvDir) })

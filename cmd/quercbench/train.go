@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"querc"
+	"querc/internal/doc2vec"
+	"querc/internal/experiments"
+	"querc/internal/snowgen"
+)
+
+// runTrain measures the parallel training plane: one doc2vec corpus trained
+// with Workers = 1, 2, 4, ... up to GOMAXPROCS (and 8, if higher), reporting
+// wall-clock, speedup over serial, and the downstream user-labeling
+// cross-validation accuracy of the trained document vectors — the check that
+// Hogwild's lock-free races cost throughput nothing and accuracy within a
+// point. This is the recovery-latency lever of the drift plane: RetrainGated
+// fits challenger models on exactly this path.
+func runTrain(scale experiments.Scale) error {
+	nQueries := 2500
+	epochs := 12
+	if scale == experiments.ScalePaper {
+		nQueries = 25000
+		epochs = 20
+	}
+	gen := snowgen.Generate(snowgen.Options{
+		Accounts: []snowgen.AccountSpec{
+			{Name: "a", Users: 4, Queries: nQueries / 2, SharedFraction: 0, Dialect: snowgen.DialectSnow},
+			{Name: "b", Users: 4, Queries: nQueries - nQueries/2, SharedFraction: 0, Dialect: snowgen.DialectAnsi},
+		},
+		Seed: 21,
+	})
+	docs := make([][]string, len(gen))
+	users := make([]string, len(gen))
+	for i, q := range gen {
+		docs[i] = querc.Tokenize(q.SQL)
+		users[i] = q.Account + "/" + q.User
+	}
+
+	sweep := []int{1, 2, 4}
+	maxW := runtime.GOMAXPROCS(0)
+	if maxW < 8 {
+		fmt.Printf("note: GOMAXPROCS=%d — workers beyond that share cores\n", maxW)
+	}
+	sweep = append(sweep, 8)
+
+	fmt.Printf("corpus: %d queries, dim 32, %d epochs\n", len(docs), epochs)
+	fmt.Printf("%-10s %12s %10s %8s\n", "workers", "wall-clock", "speedup", "cv-acc")
+	var serial time.Duration
+	for _, workers := range sweep {
+		cfg := doc2vec.DefaultConfig()
+		cfg.Dim = 32
+		cfg.Epochs = epochs
+		cfg.Workers = workers
+		start := time.Now()
+		m, err := doc2vec.Train(docs, cfg)
+		if err != nil {
+			return err
+		}
+		dur := time.Since(start)
+		if workers == 1 {
+			serial = dur
+		}
+		X := make([]querc.Vector, len(docs))
+		for i := range docs {
+			X[i] = m.DocVector(i)
+		}
+		acc, err := experiments.LabelAccuracy(X, users)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10d %12s %9.2fx %7.1f%%\n",
+			workers, dur.Round(time.Millisecond), serial.Seconds()/dur.Seconds(), acc*100)
+	}
+	return nil
+}

@@ -18,6 +18,10 @@
 // applications share one embedding-plane vector cache sized by
 // -vector-cache (entries; 0 disables caching).
 //
+// A net/http/pprof side listener is enabled with -pprof <addr> (off by
+// default; see README "Profiling" for the quickstart). Profiling endpoints
+// are served on their own socket, never on the service address.
+//
 // The drift plane is enabled with -drift-interval (0 disables it): every
 // interval the controller drains each application's recent-query statistics,
 // scores workload drift per deployed classifier, and retrains/redeploys any
@@ -27,10 +31,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the pprof side listener
 	"strings"
 
 	"querc"
@@ -53,6 +60,8 @@ func main() {
 			"drift control-loop tick period (0 disables the drift plane)")
 		driftThreshold = flag.Float64("drift-threshold", 0.25,
 			"drift score that triggers a gated retrain/redeploy (<= 0 retrains on every scored tick)")
+		pprofAddr = flag.String("pprof", "",
+			"address for a net/http/pprof side listener, e.g. localhost:6060 (off when empty)")
 		apps appFlags
 	)
 	flag.Var(&apps, "app", "application stream to host (repeatable)")
@@ -64,6 +73,11 @@ func main() {
 	registry, err := querc.NewRegistry(*modelsDir)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if ln, err := startPprof(*pprofAddr); err != nil {
+		log.Fatal(err)
+	} else if ln != nil {
+		log.Printf("pprof listening on http://%s/debug/pprof/", ln.Addr())
 	}
 	svc := querc.NewService()
 	if *vecCache <= 0 {
@@ -109,6 +123,27 @@ func main() {
 
 	log.Printf("listening on %s (models in %s)", *addr, *modelsDir)
 	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// startPprof starts the profiling side listener when addr is non-empty: the
+// DefaultServeMux (where the net/http/pprof import registered its handlers)
+// served on its own socket, so profiling endpoints never ride the service
+// listener and stay off unless asked for. It returns the listener (nil when
+// disabled) so callers — and tests — can read the bound address or close it.
+func startPprof(addr string) (net.Listener, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	go func() {
+		if err := http.Serve(ln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Printf("pprof listener: %v", err)
+		}
+	}()
+	return ln, nil
 }
 
 type server struct {

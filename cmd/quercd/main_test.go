@@ -299,3 +299,28 @@ func TestListEndpoints(t *testing.T) {
 		t.Fatalf("models: %d %s", rr.Code, rr.Body)
 	}
 }
+
+func TestStartPprof(t *testing.T) {
+	// Empty address: disabled, no listener.
+	if ln, err := startPprof(""); err != nil || ln != nil {
+		t.Fatalf("disabled pprof: %v %v", ln, err)
+	}
+	ln, err := startPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	resp, err := http.Get("http://" + ln.Addr().String() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof endpoint status: %d", resp.StatusCode)
+	}
+	// An unbindable address reports the error instead of dying in the
+	// goroutine.
+	if _, err := startPprof(ln.Addr().String()); err == nil {
+		t.Fatal("double bind must fail")
+	}
+}

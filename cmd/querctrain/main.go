@@ -54,6 +54,9 @@ func run(args []string, stdin io.Reader) error {
 		dim       = fs.Int("dim", 0, "embedding dimensionality (0 = method default)")
 		epochs    = fs.Int("epochs", 0, "training epochs (0 = method default)")
 		seed      = fs.Int64("seed", 1, "training seed")
+		workers   = fs.Int("workers", 1,
+			"doc2vec Hogwild training workers (0 = GOMAXPROCS). The default of 1 keeps "+
+				"registry artifacts reproducible: same -seed + workload = same model bytes")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -94,6 +97,7 @@ func run(args []string, stdin io.Reader) error {
 	case "doc2vec":
 		cfg := doc2vec.DefaultConfig()
 		cfg.Seed = *seed
+		cfg.Workers = *workers
 		if *dim > 0 {
 			cfg.Dim = *dim
 		}

@@ -85,3 +85,38 @@ func TestTrainFromFileAndErrors(t *testing.T) {
 		t.Fatal("missing input file did not error")
 	}
 }
+
+// TestTrainArtifactsReproducible: querctrain defaults to -workers 1, so two
+// runs with the same seed and workload produce byte-identical registry
+// artifacts — the reproducibility contract operators rely on when auditing
+// a deployed model against its training command.
+func TestTrainArtifactsReproducible(t *testing.T) {
+	read := func(dir string) []byte {
+		t.Helper()
+		matches, err := filepath.Glob(filepath.Join(dir, "*.doc2vec.*"))
+		if err != nil || len(matches) == 0 {
+			t.Fatalf("registry files: %v %v", matches, err)
+		}
+		var all []byte
+		for _, m := range matches {
+			blob, err := os.ReadFile(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, blob...)
+		}
+		return all
+	}
+	var blobs [][]byte
+	for i := 0; i < 2; i++ {
+		dir := t.TempDir()
+		args := []string{"-models", dir, "-model", "rep", "-method", "doc2vec", "-dim", "8", "-epochs", "2", "-seed", "7"}
+		if err := run(args, strings.NewReader(workloadJSONL(40))); err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, read(dir))
+	}
+	if string(blobs[0]) != string(blobs[1]) {
+		t.Fatal("same seed + workload must produce identical artifacts at -workers 1")
+	}
+}

@@ -92,6 +92,25 @@ type BatchEmbedder interface {
 	EmbedBatch(sqls []string) []vec.Vector
 }
 
+// TokenizedEmbedder is an Embedder that can consume pre-tokenized query
+// text. The Qworker runtime lexes each query once per submit
+// (TokenizeForEmbedding) and hands the token sequence to every deployed
+// embedder that supports it, so hosting several distinct embedders does not
+// re-tokenize the same SQL per embedder. Both learned adapters (doc2vec,
+// LSTM) implement it; plain Embedders keep working via the string path.
+type TokenizedEmbedder interface {
+	Embedder
+	// EmbedTokens embeds one pre-tokenized query. tokens must come from
+	// TokenizeForEmbedding on the query text; the slice is read, not
+	// retained.
+	EmbedTokens(tokens []string) vec.Vector
+	// EmbedTokensBatch embeds a batch of pre-tokenized queries, deduping
+	// identical sequences before inference. One vector per input,
+	// index-aligned; duplicated inputs may share a backing vector, so
+	// callers treat returned vectors as immutable.
+	EmbedTokensBatch(docs [][]string) []vec.Vector
+}
+
 // Labeler maps a query vector to a label value. Implementations must be safe
 // for concurrent use and must not mutate the vector: on the embedding-plane
 // path one vector is fanned out to every labeler sharing the embedder, and

@@ -53,6 +53,17 @@ func (e *Doc2VecEmbedder) EmbedBatch(sqls []string) []vec.Vector {
 	return e.Model.InferBatch(docs)
 }
 
+// EmbedTokens implements TokenizedEmbedder.
+func (e *Doc2VecEmbedder) EmbedTokens(tokens []string) vec.Vector {
+	return e.Model.Infer(tokens)
+}
+
+// EmbedTokensBatch implements TokenizedEmbedder: identical sequences are
+// inferred once, distinct ones fan out across the model's inference pool.
+func (e *Doc2VecEmbedder) EmbedTokensBatch(docs [][]string) []vec.Vector {
+	return e.Model.InferBatch(docs)
+}
+
 // Dim implements Embedder.
 func (e *Doc2VecEmbedder) Dim() int { return e.Model.Dim() }
 
@@ -93,15 +104,29 @@ func (e *LSTMEmbedder) EmbedBatch(sqls []string) []vec.Vector {
 	return e.Model.EncodeBatch(docs)
 }
 
+// EmbedTokens implements TokenizedEmbedder.
+func (e *LSTMEmbedder) EmbedTokens(tokens []string) vec.Vector {
+	return e.Model.Encode(tokens)
+}
+
+// EmbedTokensBatch implements TokenizedEmbedder: identical sequences are
+// encoded once, distinct ones fan out across the model's encoder pool.
+func (e *LSTMEmbedder) EmbedTokensBatch(docs [][]string) []vec.Vector {
+	return e.Model.EncodeBatch(docs)
+}
+
 // Dim implements Embedder.
 func (e *LSTMEmbedder) Dim() int { return e.Model.Dim() }
 
 // Name implements Embedder.
 func (e *LSTMEmbedder) Name() string { return "lstm(" + e.ModelName + ")" }
 
-// EmbedTexts embeds sqls in one call on the calling goroutine, routing
-// through the EmbedBatch fast path (with its identical-input dedupe) when e
-// implements BatchEmbedder.
+// EmbedTexts embeds sqls in one call, routing through the EmbedBatch fast
+// path (with its identical-input dedupe) when e implements BatchEmbedder.
+// Note the learned adapters' batch paths may fan distinct inputs across
+// their own bounded pool; callers that already run one worker per core
+// (ProcessBatch via embedMissing, EmbedAll's tokenized path) embed serially
+// on their own goroutines instead.
 func EmbedTexts(e Embedder, sqls []string) []vec.Vector {
 	if be, ok := e.(BatchEmbedder); ok {
 		return be.EmbedBatch(sqls)
@@ -113,21 +138,66 @@ func EmbedTexts(e Embedder, sqls []string) []vec.Vector {
 	return out
 }
 
+// embedMissing embeds the batch path's cache-missed texts. When the embedder
+// accepts pre-tokenized input, each text is lexed at most once per
+// (worker, batch) — toksMemo carries tokens across embedder groups and
+// chunks — and embedded serially on the calling goroutine: miss is already
+// deduped by the chunk's local memo, and the caller (ProcessBatch /
+// EmbedAll) has one worker per core, so the dedupe+fan-out pool inside
+// EmbedTokensBatch would only oversubscribe the scheduler here. Non-
+// tokenized embedders fall back to the string batch path.
+func embedMissing(e Embedder, miss []string, toksMemo map[string][]string) []vec.Vector {
+	te, ok := e.(TokenizedEmbedder)
+	if !ok || toksMemo == nil {
+		return EmbedTexts(e, miss)
+	}
+	out := make([]vec.Vector, len(miss))
+	for i, sql := range miss {
+		toks, ok := toksMemo[sql]
+		if !ok {
+			toks = TokenizeForEmbedding(sql)
+			toksMemo[sql] = toks
+		}
+		out[i] = te.EmbedTokens(toks)
+	}
+	return out
+}
+
 // EmbedAll embeds a batch of query texts, fanning out across workers
 // goroutines (embedding is read-only on the model). workers <= 0 uses
-// GOMAXPROCS, matching the ProcessBatch default. Each chunk goes through the
-// BatchEmbedder fast path when available.
+// GOMAXPROCS, matching the ProcessBatch default. Tokenized embedders are
+// driven serially per worker with a worker-local dedupe memo (this pool is
+// already one goroutine per core, so the adapters' internal batch fan-out
+// would only oversubscribe); other embedders go through the BatchEmbedder
+// fast path per chunk.
 func EmbedAll(e Embedder, sqls []string, workers int) []vec.Vector {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	out := make([]vec.Vector, len(sqls))
+	te, tokOK := e.(TokenizedEmbedder)
 	type job struct{ lo, hi int }
 	jobs := make(chan job, workers)
 	done := make(chan struct{}, workers)
 	for w := 0; w < workers; w++ {
 		go func() {
+			var memo map[string]vec.Vector
+			if tokOK {
+				memo = make(map[string]vec.Vector)
+			}
 			for j := range jobs {
+				if tokOK {
+					for i := j.lo; i < j.hi; i++ {
+						if v, ok := memo[sqls[i]]; ok {
+							out[i] = v
+							continue
+						}
+						v := te.EmbedTokens(TokenizeForEmbedding(sqls[i]))
+						memo[sqls[i]] = v
+						out[i] = v
+					}
+					continue
+				}
 				copy(out[j.lo:j.hi], EmbedTexts(e, sqls[j.lo:j.hi]))
 			}
 			done <- struct{}{}

@@ -371,3 +371,181 @@ func TestRetrainSharedEmbedderEmbedsOnce(t *testing.T) {
 		t.Fatalf("evaluate must not re-embed cached texts: %d", e.n.Load())
 	}
 }
+
+// tokenEmbedder implements TokenizedEmbedder with call counters, the
+// instrument for the tokenize-once plane. Counters are plain ints: the
+// tests below drive it from a single goroutine (Process, or ProcessBatch
+// with one worker).
+type tokenEmbedder struct {
+	name                                string
+	dim                                 int
+	stringCalls, tokenCalls, batchCalls int
+	batchDocs                           int        // total docs seen by EmbedTokensBatch
+	seen                                [][]string // token slices received, in call order
+}
+
+func (e *tokenEmbedder) embedTokens(tokens []string) vec.Vector {
+	v := vec.New(e.dim)
+	for _, tok := range tokens {
+		for i := 0; i < len(tok); i++ {
+			v[int(tok[i])%e.dim]++
+		}
+	}
+	return v
+}
+
+func (e *tokenEmbedder) Embed(sql string) vec.Vector {
+	e.stringCalls++
+	return e.embedTokens(TokenizeForEmbedding(sql))
+}
+
+func (e *tokenEmbedder) EmbedTokens(tokens []string) vec.Vector {
+	e.tokenCalls++
+	e.seen = append(e.seen, tokens)
+	return e.embedTokens(tokens)
+}
+
+func (e *tokenEmbedder) EmbedTokensBatch(docs [][]string) []vec.Vector {
+	e.batchCalls++
+	e.batchDocs += len(docs)
+	out := make([]vec.Vector, len(docs))
+	for i, d := range docs {
+		out[i] = e.embedTokens(d)
+	}
+	return out
+}
+
+func (e *tokenEmbedder) Dim() int     { return e.dim }
+func (e *tokenEmbedder) Name() string { return e.name }
+
+// TestProcessTokenizesOncePerSubmit: with two distinct tokenized embedders
+// deployed, a submit lexes the query text once and hands the same token
+// slice to both; the string Embed path is never taken.
+func TestProcessTokenizesOncePerSubmit(t *testing.T) {
+	e1 := &tokenEmbedder{name: "tok1", dim: 8}
+	e2 := &tokenEmbedder{name: "tok2", dim: 8}
+	w := NewQworker("app", 8) // standalone worker: no shared cache
+	w.Deploy(ruleClassifier("a", e1))
+	w.Deploy(ruleClassifier("b", e2))
+	sql := "SELECT a FROM t WHERE x = 1"
+	q := w.Process(&LabeledQuery{SQL: sql})
+	if e1.tokenCalls != 1 || e2.tokenCalls != 1 || e1.stringCalls != 0 || e2.stringCalls != 0 {
+		t.Fatalf("tokenized embedders must get the token path: %+v %+v", e1, e2)
+	}
+	if q.Label("a") == "" || q.Label("b") == "" {
+		t.Fatal("labels missing")
+	}
+	want := TokenizeForEmbedding(sql)
+	if len(e1.seen[0]) != len(want) || len(want) == 0 {
+		t.Fatalf("tokens: %v want %v", e1.seen[0], want)
+	}
+	for i := range want {
+		if e1.seen[0][i] != want[i] {
+			t.Fatalf("tokens differ from canonical normalization at %d", i)
+		}
+	}
+	// Both embedders received the same backing slice: lexed once per submit.
+	if &e1.seen[0][0] != &e2.seen[0][0] {
+		t.Fatal("query must be tokenized once per submit, not once per embedder")
+	}
+}
+
+// TestProcessBatchUsesTokenizedBatchPath: cache-missed texts are lexed and
+// embedded once per distinct text via the pre-tokenized path — serially on
+// the batch worker's goroutine, not through a nested EmbedTokensBatch pool
+// (ProcessBatch already runs one worker per core).
+func TestProcessBatchUsesTokenizedBatchPath(t *testing.T) {
+	e := &tokenEmbedder{name: "tok", dim: 8}
+	w := NewQworker("app", 16) // no shared cache
+	w.Deploy(ruleClassifier("x", e))
+	qs := make([]*LabeledQuery, 200)
+	for i := range qs {
+		qs[i] = &LabeledQuery{SQL: fmt.Sprintf("select %d from t", i%40)}
+	}
+	w.ProcessBatch(qs, 1)
+	if e.stringCalls != 0 || e.batchCalls != 0 {
+		t.Fatalf("batch path must use per-doc EmbedTokens: %+v", e)
+	}
+	if e.tokenCalls != 40 {
+		t.Fatalf("distinct texts embedded: %d want 40", e.tokenCalls)
+	}
+	for i, q := range qs {
+		if q.Label("x") == "" {
+			t.Fatalf("label missing at %d", i)
+		}
+	}
+}
+
+// TestTokenizedPathLabelEquivalence: hiding the tokenized fast path behind a
+// plain Embedder must not change a single label — the plane is a pure
+// optimization.
+func TestTokenizedPathLabelEquivalence(t *testing.T) {
+	sqls := make([]string, 60)
+	for i := range sqls {
+		sqls[i] = fmt.Sprintf("select c%d from t%d where x = %d", i%7, i%5, i%11)
+	}
+	cfg := doc2vec.DefaultConfig()
+	cfg.Dim = 8
+	cfg.Epochs = 2
+	cfg.Workers = 1
+	emb, err := NewDoc2VecEmbedder("equiv", sqls, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(e Embedder) []*LabeledQuery {
+		w := NewQworker("app", 16)
+		w.Deploy(ruleClassifier("k", e))
+		qs := make([]*LabeledQuery, len(sqls))
+		for i, sql := range sqls {
+			qs[i] = &LabeledQuery{SQL: sql}
+		}
+		return w.ProcessBatch(qs, 1)
+	}
+	tokenized := run(emb)
+	plain := run(stringOnlyEmbedder{emb})
+	for i := range sqls {
+		if tokenized[i].Label("k") != plain[i].Label("k") {
+			t.Fatalf("labels diverge at %d: %q vs %q", i, tokenized[i].Label("k"), plain[i].Label("k"))
+		}
+	}
+}
+
+// stringOnlyEmbedder hides the TokenizedEmbedder (and BatchEmbedder) fast
+// paths of its inner embedder.
+type stringOnlyEmbedder struct{ inner Embedder }
+
+func (s stringOnlyEmbedder) Embed(sql string) vec.Vector { return s.inner.Embed(sql) }
+func (s stringOnlyEmbedder) Dim() int                    { return s.inner.Dim() }
+func (s stringOnlyEmbedder) Name() string                { return s.inner.Name() }
+
+// TestSubmitAllocsWarmCache pins the runtime-layer allocation budget of the
+// per-query Submit path when the embedding plane hits the shared vector
+// cache: the labeled query, its labels map, the training fork's clone, and
+// the label formatting — but no tokenization and no embedding.
+func TestSubmitAllocsWarmCache(t *testing.T) {
+	if vec.RaceEnabled {
+		t.Skip("allocation profile differs under the race detector")
+	}
+	s := NewService()
+	s.AddApplication("app", 64, nil)
+	e := &tokenEmbedder{name: "tok", dim: 8}
+	if err := s.Deploy("app", ruleClassifier("k", e)); err != nil {
+		t.Fatal(err)
+	}
+	sql := "select a from t where x = 1"
+	if _, err := s.Submit("app", sql); err != nil {
+		t.Fatal(err) // warms the vector cache
+	}
+	tokenCallsAfterWarm := e.tokenCalls
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.Submit("app", sql); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if e.tokenCalls != tokenCallsAfterWarm {
+		t.Fatal("warm-cache submits must not re-embed")
+	}
+	if allocs > 16 {
+		t.Fatalf("warm-cache Submit allocates %.1f per query, want <= 16", allocs)
+	}
+}

@@ -184,11 +184,25 @@ func (w *Qworker) Process(q *LabeledQuery) *LabeledQuery {
 		vs = make([]vec.Vector, len(plan))
 		sqs = make([]float64, len(plan))
 	}
+	// The query text is lexed at most once per submit: the first embedder
+	// group that misses the cache pays for tokenization and every later
+	// group reuses the token sequence (TokenizedEmbedder). Cache hits skip
+	// tokenization entirely.
+	var toks []string
+	tokenized := false
 	for gi := range plan {
 		g := &plan[gi]
 		v, ok := cache.Get(g.name, q.SQL)
 		if !ok {
-			v = g.embedder.Embed(q.SQL)
+			if te, isTok := g.embedder.(TokenizedEmbedder); isTok {
+				if !tokenized {
+					toks = TokenizeForEmbedding(q.SQL)
+					tokenized = true
+				}
+				v = te.EmbedTokens(toks)
+			} else {
+				v = g.embedder.Embed(q.SQL)
+			}
 			cache.Put(g.name, q.SQL, v)
 			misses++
 		} else {
@@ -277,6 +291,10 @@ func (w *Qworker) ProcessBatch(qs []*LabeledQuery, workers int) []*LabeledQuery 
 	run := func() {
 		local := make(map[string]vec.Vector, batchChunk)
 		miss := make([]string, 0, batchChunk)
+		// Tokens for cache-missed texts, shared across embedder groups and
+		// chunks within this worker so each distinct text is lexed once per
+		// worker instead of once per (embedder, occurrence).
+		toksMemo := make(map[string][]string, batchChunk)
 		for {
 			lo := int(next.Add(batchChunk)) - batchChunk
 			if lo >= len(qs) {
@@ -327,7 +345,7 @@ func (w *Qworker) ProcessBatch(qs []*LabeledQuery, workers int) []*LabeledQuery 
 					chunkMisses++
 				}
 				if len(miss) > 0 {
-					vs := EmbedTexts(g.embedder, miss)
+					vs := embedMissing(g.embedder, miss, toksMemo)
 					for i, sql := range miss {
 						local[sql] = vs[i]
 						memos[gi].Store(sql, vs[i])

@@ -14,6 +14,15 @@
 // the same hyper-parameter surface as the reference implementation. Unseen
 // queries are embedded by inference: the word matrices are frozen and a fresh
 // document vector is fitted by gradient steps.
+//
+// Training parallelizes Hogwild-style (Recht et al.): Config.Workers
+// goroutines shard the corpus and update the shared word matrices without
+// locks, the same scheme as the reference word2vec implementation. Workers=1
+// keeps the fully deterministic serial schedule (same seed + corpus => same
+// model, bit for bit). Inference is allocation-light — per-model pooled
+// scratch, an inline xorshift RNG seeded from the document hash — and
+// InferBatch dedupes identical token sequences before fanning the distinct
+// ones across a bounded worker pool.
 package doc2vec
 
 import (
@@ -21,7 +30,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"strings"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"querc/internal/vec"
 	"querc/internal/vocab"
@@ -55,7 +66,13 @@ type Config struct {
 	Subsample   float64 // frequent-token subsampling threshold (0 disables)
 	Mode        Mode
 	InferEpochs int   // gradient passes used by Infer
-	Seed        int64 // RNG seed; same seed + corpus => same model
+	Seed        int64 // RNG seed; same seed + corpus => same model (Workers=1)
+	// Workers is the number of Hogwild training goroutines. 0 uses
+	// GOMAXPROCS. 1 runs the serial schedule, whose output is byte-identical
+	// across runs for a fixed (Seed, corpus); with Workers > 1 the lock-free
+	// updates make training a stochastic function of scheduling (the races
+	// are part of the algorithm — see DESIGN.md "Performance model").
+	Workers int
 }
 
 // DefaultConfig returns the hyper-parameters used by the experiments.
@@ -110,6 +127,17 @@ type Model struct {
 	WordIn  *vec.Matrix // input word vectors, Size x Dim
 	WordOut *vec.Matrix // output word vectors, Size x Dim
 	Docs    *vec.Matrix // training document vectors, NumDocs x Dim
+
+	// inferPool recycles per-inference scratch (token-ID buffer plus the two
+	// Dim-length gradient vectors), so concurrent Infer calls allocate only
+	// their returned document vector.
+	inferPool sync.Pool
+}
+
+// inferScratch is the pooled per-call state of Infer.
+type inferScratch struct {
+	ids       []int
+	ctx, grad vec.Vector
 }
 
 // Train fits a Doc2Vec model on corpus, a slice of token sequences.
@@ -141,25 +169,98 @@ func Train(corpus [][]string, cfg Config) (*Model, error) {
 		encoded[i] = v.Encode(doc)
 	}
 
-	totalSteps := cfg.Epochs * len(corpus)
-	step := 0
-	ctx := vec.New(cfg.Dim)
-	grad := vec.New(cfg.Dim)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		for docID, ids := range encoded {
-			alpha := cfg.Alpha - (cfg.Alpha-cfg.MinAlpha)*float64(step)/float64(totalSteps)
-			step++
-			sampled := v.Subsample(rng, ids, cfg.Subsample)
-			m.trainDoc(rng, m.Docs.Row(docID), sampled, alpha, true, ctx, grad)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(encoded) {
+		workers = len(encoded)
+	}
+	if workers <= 1 {
+		// Serial schedule: deterministic for a fixed (Seed, corpus). The
+		// Workers=1 output is pinned by TestTrainWorkers1Golden.
+		totalSteps := cfg.Epochs * len(corpus)
+		step := 0
+		ctx := vec.New(cfg.Dim)
+		grad := vec.New(cfg.Dim)
+		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+			for docID, ids := range encoded {
+				alpha := cfg.Alpha - (cfg.Alpha-cfg.MinAlpha)*float64(step)/float64(totalSteps)
+				step++
+				sampled := v.Subsample(rng, ids, cfg.Subsample)
+				m.trainDoc(rng, m.Docs.Row(docID), sampled, alpha, true, ctx, grad)
+			}
 		}
+	} else {
+		m.trainHogwild(encoded, workers)
 	}
 	return m, nil
+}
+
+// trainHogwild runs Epochs passes over the corpus across workers goroutines.
+// Each worker owns a fixed strided shard of documents (docID ≡ worker mod
+// workers) — strided rather than contiguous so every worker sweeps a
+// representative cross-section of the corpus per epoch even when the
+// scheduler runs goroutines in long slices, and document vectors are never
+// contended. Each worker has its own RNG stream seeded from (Seed, worker);
+// the shared word matrices are updated lock-free, Hogwild-style — the
+// sparse, small-stepped updates make the races part of the stochastic noise
+// rather than a correctness hazard. The learning rate decays on a shared
+// atomic step counter, matching the serial schedule's global progress. Under
+// the race detector the updates are serialized by a build-tagged mutex
+// (race.go) so -race verifies the orchestration rather than the by-design
+// races.
+func (m *Model) trainHogwild(encoded [][]int, workers int) {
+	cfg := m.Cfg
+	totalSteps := cfg.Epochs * len(encoded)
+	var step atomic.Int64
+	rngs := make([]*rand.Rand, workers)
+	ctxs := make([]vec.Vector, workers)
+	grads := make([]vec.Vector, workers)
+	for w := range rngs {
+		rngs[w] = rand.New(rand.NewSource(workerSeed(cfg.Seed, w)))
+		ctxs[w] = vec.New(cfg.Dim)
+		grads[w] = vec.New(cfg.Dim)
+	}
+	// The barrier between epochs matters: without it a worker can race ahead
+	// through several of its own epochs while another has barely started,
+	// bunching each document's updates into a narrow alpha window instead of
+	// spreading them across the whole decay schedule (visible as a several-
+	// point CV-accuracy loss whenever scheduling is coarse).
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rngs[w]
+				for docID := w; docID < len(encoded); docID += workers {
+					s := step.Add(1) - 1
+					alpha := cfg.Alpha - (cfg.Alpha-cfg.MinAlpha)*float64(s)/float64(totalSteps)
+					sampled := m.Vocab.Subsample(rng, encoded[docID], cfg.Subsample)
+					hogwildLock()
+					m.trainDoc(rng, m.Docs.Row(docID), sampled, alpha, true, ctxs[w], grads[w])
+					hogwildUnlock()
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}
+
+// workerSeed derives an independent RNG stream seed for one Hogwild worker
+// from the model seed (splitmix64 finalizer over the pair).
+func workerSeed(seed int64, worker int) int64 {
+	z := uint64(seed) + uint64(worker+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 // trainDoc runs one pass of the configured objective over one document,
 // updating docVec and (when updateWords) the word matrices. ctx and grad are
 // scratch vectors of length Dim.
-func (m *Model) trainDoc(rng *rand.Rand, docVec vec.Vector, ids []int, alpha float64, updateWords bool, ctx, grad vec.Vector) {
+func (m *Model) trainDoc(rng vocab.RNG, docVec vec.Vector, ids []int, alpha float64, updateWords bool, ctx, grad vec.Vector) {
 	if len(ids) == 0 {
 		return
 	}
@@ -216,7 +317,7 @@ func (m *Model) trainDoc(rng *rand.Rand, docVec vec.Vector, ids []int, alpha flo
 
 // negSampleStep applies one negative-sampling update predicting target from
 // input, writing the input-side gradient straight into input.
-func (m *Model) negSampleStep(rng *rand.Rand, input vec.Vector, target int, alpha float64, updateWords bool, grad vec.Vector) {
+func (m *Model) negSampleStep(rng vocab.RNG, input vec.Vector, target int, alpha float64, updateWords bool, grad vec.Vector) {
 	grad.Zero()
 	m.negSampleInto(rng, input, target, alpha, updateWords, grad)
 	input.Add(grad)
@@ -224,7 +325,9 @@ func (m *Model) negSampleStep(rng *rand.Rand, input vec.Vector, target int, alph
 
 // negSampleInto accumulates the input-side gradient of one positive +
 // Negative sampled updates into grad, updating WordOut rows when updateWords.
-func (m *Model) negSampleInto(rng *rand.Rand, input vec.Vector, target int, alpha float64, updateWords bool, grad vec.Vector) {
+// It runs on the fused vec kernels: one pass for the activation
+// (DotSigmoid), one pass for the two-sided update (AddScaledBoth).
+func (m *Model) negSampleInto(rng vocab.RNG, input vec.Vector, target int, alpha float64, updateWords bool, grad vec.Vector) {
 	for k := 0; k <= m.Cfg.Negative; k++ {
 		var label float64
 		var out vec.Vector
@@ -239,11 +342,12 @@ func (m *Model) negSampleInto(rng *rand.Rand, input vec.Vector, target int, alph
 			label = 0
 			out = m.WordOut.Row(neg)
 		}
-		f := vec.Sigmoid(vec.Dot(input, out))
+		f := vec.DotSigmoid(input, out)
 		g := alpha * (label - f)
-		grad.AddScaled(g, out)
 		if updateWords {
-			out.AddScaled(g, input)
+			vec.AddScaledBoth(grad, out, input, g)
+		} else {
+			grad.AddScaled(g, out)
 		}
 	}
 }
@@ -251,46 +355,59 @@ func (m *Model) negSampleInto(rng *rand.Rand, input vec.Vector, target int, alph
 // Dim returns the embedding dimensionality.
 func (m *Model) Dim() int { return m.Cfg.Dim }
 
-// DocVector returns the trained vector of corpus document i.
-func (m *Model) DocVector(i int) vec.Vector { return m.Docs.Row(i).Clone() }
+// DocVector returns the trained vector of corpus document i. The returned
+// vector aliases the model's storage — callers must treat it as immutable
+// (clone before mutating).
+func (m *Model) DocVector(i int) vec.Vector { return m.Docs.Row(i) }
 
 // Infer embeds an unseen token sequence by fitting a fresh document vector
-// against the frozen word matrices. The rng is derived from the model seed
-// and the tokens, so inference is deterministic per input.
+// against the frozen word matrices. The RNG is an inline xorshift generator
+// seeded from the model seed and a hash of the tokens, so inference is
+// deterministic per input, and all scratch state beyond the returned vector
+// comes from a per-model pool — one allocation per call on the steady state.
+// Infer is safe for concurrent use (the word matrices are read-only here).
 func (m *Model) Infer(tokens []string) vec.Vector {
-	ids := m.Vocab.Encode(tokens)
+	sc, _ := m.inferPool.Get().(*inferScratch)
+	if sc == nil {
+		sc = &inferScratch{ctx: vec.New(m.Cfg.Dim), grad: vec.New(m.Cfg.Dim)}
+	}
+	sc.ids = m.Vocab.EncodeInto(sc.ids[:0], tokens)
+	ids := sc.ids
 	var h int64 = 1469598103934665603
 	for _, id := range ids {
 		h = (h ^ int64(id)) * 1099511628211
 	}
-	rng := rand.New(rand.NewSource(m.Cfg.Seed ^ h))
-	docVec := vec.NewRandom(rng, m.Cfg.Dim, 0.5/float64(m.Cfg.Dim))
-	ctx := vec.New(m.Cfg.Dim)
-	grad := vec.New(m.Cfg.Dim)
+	rng := newXorshift(m.Cfg.Seed ^ h)
+	scale := 0.5 / float64(m.Cfg.Dim)
+	docVec := make(vec.Vector, m.Cfg.Dim)
+	for i := range docVec {
+		docVec[i] = (rng.Float64()*2 - 1) * scale
+	}
 	alpha0 := m.Cfg.Alpha
 	for e := 0; e < m.Cfg.InferEpochs; e++ {
 		alpha := alpha0 - (alpha0-m.Cfg.MinAlpha)*float64(e)/float64(m.Cfg.InferEpochs)
-		m.trainDoc(rng, docVec, ids, alpha, false, ctx, grad)
+		m.trainDoc(&rng, docVec, ids, alpha, false, sc.ctx, sc.grad)
 	}
+	m.inferPool.Put(sc)
 	return docVec
 }
 
 // InferBatch embeds a batch of token sequences, running inference once per
 // distinct sequence: Infer is deterministic per input, so duplicates — which
 // dominate production workloads — share the first occurrence's vector. The
-// returned slice is index-aligned with docs; aliased vectors must be treated
-// as immutable by callers.
+// distinct sequences fan out across a bounded worker pool (inference is
+// read-only on the model). The returned slice is index-aligned with docs;
+// aliased vectors must be treated as immutable by callers.
 func (m *Model) InferBatch(docs [][]string) []vec.Vector {
 	out := make([]vec.Vector, len(docs))
-	seen := make(map[string]int, len(docs))
-	for i, doc := range docs {
-		key := strings.Join(doc, "\x00")
-		if j, ok := seen[key]; ok {
-			out[i] = out[j]
-			continue
-		}
-		seen[key] = i
-		out[i] = m.Infer(doc)
+	if len(docs) == 0 {
+		return out
+	}
+	repOf := vocab.ForEachRep(docs, runtime.GOMAXPROCS(0), func(i int) {
+		out[i] = m.Infer(docs[i])
+	})
+	for i, r := range repOf {
+		out[i] = out[r]
 	}
 	return out
 }

@@ -2,11 +2,18 @@ package doc2vec
 
 import (
 	"bytes"
+	"encoding/json"
+	"flag"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"querc/internal/vec"
 )
+
+// update regenerates testdata goldens: go test ./internal/doc2vec -update
+var update = flag.Bool("update", false, "rewrite testdata golden files")
 
 func corpus() [][]string {
 	var docs [][]string
@@ -17,6 +24,9 @@ func corpus() [][]string {
 	return docs
 }
 
+// cfg pins Workers to 1: most tests assert deterministic outputs, which is
+// exactly the Workers=1 contract. Parallel training is exercised by the
+// TestTrainHogwild* tests.
 func cfg(mode Mode) Config {
 	c := DefaultConfig()
 	c.Dim = 16
@@ -24,6 +34,7 @@ func cfg(mode Mode) Config {
 	c.MinCount = 1
 	c.Subsample = 0
 	c.Mode = mode
+	c.Workers = 1
 	return c
 }
 
@@ -159,6 +170,136 @@ func TestConfigDefaultsFilled(t *testing.T) {
 func TestModeString(t *testing.T) {
 	if PVDM.String() != "pv-dm" || PVDBOW.String() != "pv-dbow" {
 		t.Fatal("mode names wrong")
+	}
+}
+
+// TestTrainWorkers1Golden pins the Workers=1 training output bit-for-bit:
+// the deterministic serial schedule is the reference the Hogwild plane is
+// measured against, and any change to the kernels or the schedule must be a
+// deliberate one (regenerate with `go test ./internal/doc2vec -update`).
+func TestTrainWorkers1Golden(t *testing.T) {
+	m, err := Train(corpus(), cfg(PVDM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string][]float64{
+		"wordIn":  m.WordIn.Data,
+		"wordOut": m.WordOut.Data,
+		"docs":    m.Docs.Data,
+	}
+	path := filepath.Join("testdata", "train_workers1_golden.json")
+	if *update {
+		blob, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	var want map[string][]float64
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range want {
+		g := got[name]
+		if len(g) != len(w) {
+			t.Fatalf("%s: length %d want %d", name, len(g), len(w))
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("%s[%d]: %v differs from golden %v — the Workers=1 schedule is no longer byte-identical", name, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestTrainHogwildParallel exercises the lock-free multi-worker schedule
+// (serialized under -race by the build-tagged mutex): the model must come out
+// finite and as discriminative as the serial one.
+func TestTrainHogwildParallel(t *testing.T) {
+	c := cfg(PVDM)
+	c.Workers = 4
+	m, err := Train(corpus(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range m.WordIn.Data {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatal("Hogwild training produced non-finite weights")
+		}
+	}
+	// Same quality bar as the serial TestDocVectorsSeparateTemplates.
+	simSame := vec.Cosine(m.DocVector(0), m.DocVector(2))
+	simDiff := vec.Cosine(m.DocVector(0), m.DocVector(1))
+	if !(simSame > simDiff) {
+		t.Fatalf("parallel model lost template separation: %.3f vs %.3f", simSame, simDiff)
+	}
+	// Inference from a Hogwild-trained model stays deterministic per input.
+	sel := []string{"select", "a", "from", "t"}
+	v1, v2 := m.Infer(sel), m.Infer(sel)
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("inference must stay deterministic after parallel training")
+		}
+	}
+}
+
+// TestTrainHogwildMoreWorkersThanDocs clamps the pool to the corpus size.
+func TestTrainHogwildMoreWorkersThanDocs(t *testing.T) {
+	c := cfg(PVDBOW)
+	c.Workers = 64
+	if _, err := Train(corpus()[:3], c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInferAllocs pins the steady-state allocation profile of Infer: the
+// returned document vector plus pool jitter, nothing per-epoch.
+func TestInferAllocs(t *testing.T) {
+	if vec.RaceEnabled {
+		t.Skip("allocation profile differs under the race detector")
+	}
+	m, err := Train(corpus(), cfg(PVDM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := []string{"select", "a", "from", "t", "where", "x", "=", "0"}
+	for i := 0; i < 4; i++ {
+		m.Infer(tokens) // warm the scratch pool
+	}
+	if allocs := testing.AllocsPerRun(200, func() { m.Infer(tokens) }); allocs > 2 {
+		t.Fatalf("Infer allocates %.1f per op, want <= 2 (doc vector + pool jitter)", allocs)
+	}
+}
+
+// TestInferBatchParallelManyDocs drives the batch fan-out with enough
+// distinct docs to engage the pool; run with -race this covers the
+// concurrent-inference path.
+func TestInferBatchParallelManyDocs(t *testing.T) {
+	m, err := Train(corpus(), cfg(PVDM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"select", "a", "from", "t", "where", "x", "insert", "into", "u", "values", "y", "z"}
+	docs := make([][]string, 300)
+	for i := range docs {
+		docs[i] = []string{words[i%len(words)], words[(i/2)%len(words)], words[(i/3)%len(words)]}
+	}
+	batch := m.InferBatch(docs)
+	for i, doc := range docs {
+		want := m.Infer(doc)
+		for j := range want {
+			if batch[i][j] != want[j] {
+				t.Fatalf("batch[%d] differs from serial Infer at dim %d", i, j)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,9 @@
+//go:build !race
+
+package doc2vec
+
+// In normal builds the Hogwild update path is lock-free; see race.go for the
+// race-detector build's serialized counterpart and the rationale.
+
+func hogwildLock()   {}
+func hogwildUnlock() {}

@@ -1,0 +1,18 @@
+//go:build race
+
+package doc2vec
+
+import "sync"
+
+// Under the race detector, Hogwild's by-design lock-free updates to the
+// shared word matrices would (correctly) be reported as data races. Those
+// races are the algorithm — sparse, small-stepped SGD updates whose
+// collisions behave as extra stochastic noise (see DESIGN.md "Performance
+// model") — so the race build serializes trainDoc behind a global mutex.
+// -race then verifies the surrounding orchestration (sharding, per-worker
+// RNG streams, the atomic step counter, goroutine lifecycle) instead of
+// flagging the documented races; normal builds pay no synchronization.
+var hogwildMu sync.Mutex
+
+func hogwildLock()   { hogwildMu.Lock() }
+func hogwildUnlock() { hogwildMu.Unlock() }

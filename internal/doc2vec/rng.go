@@ -1,0 +1,41 @@
+package doc2vec
+
+// xorshift is a tiny inline RNG (xorshift64 with a splitmix64-finalized
+// seed) used by the zero-alloc inference path: Infer previously allocated a
+// rand.Rand + source per query, which dominated its allocation profile. It
+// implements vocab.RNG. Not cryptographic; statistical quality is ample for
+// negative sampling and scratch-vector initialization.
+type xorshift struct{ s uint64 }
+
+// newXorshift returns a generator whose stream is a deterministic function
+// of seed (splitmix64 finalizer, so nearby seeds give unrelated streams).
+func newXorshift(seed int64) xorshift {
+	z := uint64(seed) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9E3779B97F4A7C15 // xorshift has a fixed point at 0
+	}
+	return xorshift{s: z}
+}
+
+func (r *xorshift) next() uint64 {
+	s := r.s
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	r.s = s
+	return s
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *xorshift) Float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). The modulo bias is below 2^-40 for
+// the table sizes used here, which is immaterial for negative sampling.
+func (r *xorshift) Intn(n int) int {
+	return int(r.next() % uint64(n))
+}

@@ -168,6 +168,16 @@ func RunLabeling(cfg LabelingConfig) (*LabelingResult, error) {
 	return res, nil
 }
 
+// LabelAccuracy scores how well the embeddings X predict labels, via 5-fold
+// cross-validated random forests — the downstream quality metric used by the
+// parallel-training experiment (quercbench -experiment train) and
+// BenchmarkTrainParallel's acceptance bar.
+func LabelAccuracy(X []vec.Vector, labels []string) (float64, error) {
+	y, classes := encodeLabels(labels)
+	acc, _, err := crossValidate(1, X, y, len(classes), 5, forest.Config{NumTrees: 20, Seed: 1})
+	return acc, err
+}
+
 func crossValidate(seed int64, X []vec.Vector, y []int, numClasses, folds int, fcfg forest.Config) (float64, []int, error) {
 	rng := rand.New(rand.NewSource(seed))
 	return eval.CrossValidate(rng, X, y, folds, func(trX []vec.Vector, trY []int) (eval.Classifier, error) {

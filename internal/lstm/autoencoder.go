@@ -6,7 +6,9 @@ import (
 	"io"
 	"math"
 	"math/rand"
-	"strings"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"querc/internal/vec"
 	"querc/internal/vocab"
@@ -27,6 +29,16 @@ type Config struct {
 	// encoder (and therefore the learned representation) is unchanged.
 	SampledSoftmax int
 	Seed           int64
+	// BatchSize is the number of sequences whose gradients are accumulated
+	// into a single Adam apply. 0/1 keeps today's per-sequence stepping (and
+	// its deterministic trajectory); larger batches are what the data-
+	// parallel plane fans across Workers.
+	BatchSize int
+	// Workers bounds the goroutines that split each minibatch. 0 uses
+	// GOMAXPROCS. Unlike doc2vec's Hogwild plane this path is race-free by
+	// construction: workers only read the parameters and write their own
+	// gradient buffers, merged before the single Adam step.
+	Workers int
 }
 
 // DefaultConfig returns the hyper-parameters used by the experiments.
@@ -63,6 +75,12 @@ func (c *Config) fillDefaults() {
 	if c.MinCount <= 0 {
 		c.MinCount = d.MinCount
 	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 }
 
 // Model is a trained LSTM autoencoder. The learned representation of a query
@@ -78,6 +96,18 @@ type Model struct {
 
 	// LossHistory records the mean per-token cross-entropy after each epoch.
 	LossHistory []float64
+
+	// encPool recycles the per-call scratch of Encode (token IDs, gate
+	// pre-activations, double-buffered hidden/cell states), so encoding a
+	// query allocates only the returned vector.
+	encPool sync.Pool
+}
+
+// encodeScratch is the pooled per-call state of Encode.
+type encodeScratch struct {
+	ids          []int
+	z            vec.Vector // 4H gate pre-activations
+	h, c, h2, c2 vec.Vector // double-buffered hidden/cell states
 }
 
 // Train fits the autoencoder on corpus (token sequences).
@@ -115,14 +145,48 @@ func Train(corpus [][]string, cfg Config) (*Model, error) {
 	}
 
 	tr := newTrainer(m)
+	workers := cfg.Workers
+	if workers > cfg.BatchSize {
+		workers = cfg.BatchSize
+	}
+	var aux []*trainer // extra per-worker gradient accumulators
+	for w := 1; w < workers; w++ {
+		aux = append(aux, newWorkerTrainer(m, cfg.Seed+int64(w)*0x5DEECE66D+0x2545F491))
+	}
 	order := rng.Perm(len(encoded))
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		var totalLoss float64
 		var totalTok int
-		for _, idx := range order {
-			loss, n := tr.trainOne(encoded[idx])
-			totalLoss += loss
-			totalTok += n
+		for lo := 0; lo < len(order); lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > len(order) {
+				hi = len(order)
+			}
+			batch := order[lo:hi]
+			var batchTok int
+			if workers <= 1 || len(batch) == 1 {
+				for _, idx := range batch {
+					loss, n := tr.accumulate(encoded[idx])
+					totalLoss += loss
+					batchTok += n
+				}
+			} else {
+				// Data-parallel gradient accumulation: every worker reads
+				// the (frozen-within-the-batch) parameters and writes only
+				// its own buffers, so this is race-free by construction.
+				loss, n := tr.accumulateParallel(aux, encoded, batch)
+				totalLoss += loss
+				batchTok += n
+			}
+			totalTok += batchTok
+			// Single Adam apply per batch — skipped when every sequence in
+			// the batch was empty: an all-zero step would still advance
+			// Adam's bias-correction clock and decay the moments, diverging
+			// from the per-sequence trajectory BatchSize<=1 promises to
+			// preserve.
+			if batchTok > 0 {
+				tr.opt.step(cfg.GradClip)
+			}
 		}
 		if totalTok > 0 {
 			m.LossHistory = append(m.LossHistory, totalLoss/float64(totalTok))
@@ -132,45 +196,103 @@ func Train(corpus [][]string, cfg Config) (*Model, error) {
 	return m, nil
 }
 
+// accumulateParallel fans the sequences of one minibatch across the main
+// trainer plus the aux worker trainers, then folds every worker's gradient
+// buffers into the main trainer's (which the caller's Adam step consumes).
+// It returns the batch's summed loss and predicted-token count.
+func (tr *trainer) accumulateParallel(aux []*trainer, encoded [][]int, batch []int) (float64, int) {
+	trainers := append([]*trainer{tr}, aux...)
+	losses := make([]float64, len(trainers))
+	tokens := make([]int, len(trainers))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := range trainers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(batch) {
+					return
+				}
+				loss, n := trainers[w].accumulate(encoded[batch[k]])
+				losses[w] += loss
+				tokens[w] += n
+			}
+		}(w)
+	}
+	wg.Wait()
+	var loss float64
+	var tok int
+	for w, t := range trainers {
+		loss += losses[w]
+		tok += tokens[w]
+		if w > 0 {
+			tr.absorb(t)
+		}
+	}
+	return loss, tok
+}
+
 // Dim returns the dimensionality of the learned query vectors.
 func (m *Model) Dim() int { return m.Cfg.HiddenDim }
 
 // Encode runs the encoder over tokens and returns the final hidden state —
-// the learned query representation.
+// the learned query representation. The inference step uses the fused
+// stepInto kernel (table sigmoid, double-buffered states, pooled scratch),
+// so the only allocation per call is the returned vector. Encode is
+// deterministic and safe for concurrent use (the parameters are read-only
+// here).
 func (m *Model) Encode(tokens []string) vec.Vector {
-	ids := m.Vocab.Encode(tokens)
+	sc, _ := m.encPool.Get().(*encodeScratch)
+	if sc == nil {
+		H := m.Cfg.HiddenDim
+		sc = &encodeScratch{
+			z: vec.New(4 * H),
+			h: vec.New(H), c: vec.New(H), h2: vec.New(H), c2: vec.New(H),
+		}
+	}
+	sc.ids = m.Vocab.EncodeInto(sc.ids[:0], tokens)
+	ids := sc.ids
 	if len(ids) > m.Cfg.MaxSeqLen {
 		ids = ids[:m.Cfg.MaxSeqLen]
 	}
-	H := m.Cfg.HiddenDim
-	h, c := vec.New(H), vec.New(H)
+	h, c, h2, c2 := sc.h, sc.c, sc.h2, sc.c2
+	h.Zero()
+	c.Zero()
 	for _, id := range ids {
-		st := m.Enc.forward(m.Embed.Row(id), h, c)
-		h, c = st.h, st.c
+		m.Enc.stepInto(m.Embed.Row(id), h, c, h2, c2, sc.z)
+		h, h2 = h2, h
+		c, c2 = c2, c
 	}
-	return h
+	out := h.Clone()
+	m.encPool.Put(sc)
+	return out
 }
 
 // EncodeBatch encodes a batch of token sequences, running the encoder once
 // per distinct sequence: Encode is deterministic, so duplicates share the
-// first occurrence's hidden-state vector. The returned slice is
-// index-aligned with docs; aliased vectors must be treated as immutable.
+// first occurrence's hidden-state vector. Distinct sequences fan out across
+// a bounded worker pool. The returned slice is index-aligned with docs;
+// aliased vectors must be treated as immutable.
 func (m *Model) EncodeBatch(docs [][]string) []vec.Vector {
 	out := make([]vec.Vector, len(docs))
-	seen := make(map[string]int, len(docs))
-	for i, doc := range docs {
-		key := strings.Join(doc, "\x00")
-		if j, ok := seen[key]; ok {
-			out[i] = out[j]
-			continue
-		}
-		seen[key] = i
-		out[i] = m.Encode(doc)
+	if len(docs) == 0 {
+		return out
+	}
+	repOf := vocab.ForEachRep(docs, runtime.GOMAXPROCS(0), func(i int) {
+		out[i] = m.Encode(docs[i])
+	})
+	for i, r := range repOf {
+		out[i] = out[r]
 	}
 	return out
 }
 
-// trainer bundles gradient buffers and the optimizer for one Train call.
+// trainer bundles gradient buffers (and, for the main trainer, the
+// optimizer) for one Train call. Worker trainers created by newWorkerTrainer
+// share the model but own their gradient buffers and RNG; their opt is nil
+// and their buffers are folded into the main trainer by absorb.
 type trainer struct {
 	m      *Model
 	encG   *cellGrads
@@ -184,8 +306,8 @@ type trainer struct {
 	rng    *rand.Rand
 }
 
-func newTrainer(m *Model) *trainer {
-	tr := &trainer{
+func newWorkerTrainer(m *Model, seed int64) *trainer {
+	return &trainer{
 		m:      m,
 		encG:   newCellGrads(m.Enc),
 		decG:   newCellGrads(m.Dec),
@@ -194,28 +316,55 @@ func newTrainer(m *Model) *trainer {
 		dOutB:  vec.New(len(m.OutB)),
 		probs:  vec.New(m.Vocab.Size()),
 		logits: vec.New(m.Vocab.Size()),
-		rng:    rand.New(rand.NewSource(m.Cfg.Seed + 0x5f3759df)),
+		rng:    rand.New(rand.NewSource(seed)),
 	}
+}
+
+func newTrainer(m *Model) *trainer {
+	tr := newWorkerTrainer(m, m.Cfg.Seed+0x5f3759df)
 	params := [][]float64{
 		m.Embed.Data,
 		m.Enc.Wx.Data, m.Enc.Wh.Data, m.Enc.B,
 		m.Dec.Wx.Data, m.Dec.Wh.Data, m.Dec.B,
 		m.OutW.Data, m.OutB,
 	}
-	grads := [][]float64{
+	tr.opt = newAdam(m.Cfg.Alpha, params, tr.gradTensors())
+	return tr
+}
+
+// gradTensors lists the gradient buffers in the canonical parameter order
+// shared by the optimizer wiring and absorb.
+func (tr *trainer) gradTensors() [][]float64 {
+	return [][]float64{
 		tr.dEmbed.Data,
 		tr.encG.dWx.Data, tr.encG.dWh.Data, tr.encG.dB,
 		tr.decG.dWx.Data, tr.decG.dWh.Data, tr.decG.dB,
 		tr.dOutW.Data, tr.dOutB,
 	}
-	tr.opt = newAdam(m.Cfg.Alpha, params, grads)
-	return tr
 }
 
-// trainOne runs forward + BPTT on one sequence and applies an Adam step.
-// It returns the summed cross-entropy loss and the number of predicted
-// tokens.
+// absorb adds a worker trainer's accumulated gradients into tr's buffers and
+// zeroes the worker's, readying it for the next batch.
+func (tr *trainer) absorb(w *trainer) {
+	dst, src := tr.gradTensors(), w.gradTensors()
+	for k := range dst {
+		vec.Vector(dst[k]).Add(src[k])
+		vec.Vector(src[k]).Zero()
+	}
+}
+
+// trainOne runs forward + BPTT on one sequence and applies an Adam step —
+// the BatchSize=1 path, and the entry point the gradient-check test drives.
 func (tr *trainer) trainOne(ids []int) (float64, int) {
+	loss, n := tr.accumulate(ids)
+	tr.opt.step(tr.m.Cfg.GradClip)
+	return loss, n
+}
+
+// accumulate runs forward + BPTT on one sequence, adding parameter gradients
+// into tr's buffers without applying an optimizer step. It returns the
+// summed cross-entropy loss and the number of predicted tokens.
+func (tr *trainer) accumulate(ids []int) (float64, int) {
 	if len(ids) == 0 {
 		return 0, 0
 	}
@@ -280,7 +429,6 @@ func (tr *trainer) trainOne(ids []int) (float64, int) {
 		dh, dc = dPrevH, dPrevC
 	}
 
-	tr.opt.step(m.Cfg.GradClip)
 	return loss, len(targets)
 }
 
@@ -296,8 +444,10 @@ func (tr *trainer) softmaxLossAndGrad(h vec.Vector, target int, dhOut vec.Vector
 	if p < 1e-12 {
 		p = 1e-12
 	}
-	dl := make(vec.Vector, len(tr.probs))
-	copy(dl, tr.probs)
+	// probs is not needed after this step, so the loss gradient dl = probs -
+	// onehot(target) is formed in place instead of copying the V-length
+	// vector per decoder step.
+	dl := tr.probs
 	dl[target] -= 1
 	tr.dOutW.AddOuterScaled(1, dl, h)
 	tr.dOutB.Add(dl)
@@ -322,7 +472,7 @@ func (tr *trainer) sampledLossAndGrad(h vec.Vector, target int, dhOut vec.Vector
 			label = 0
 		}
 		row := m.OutW.Row(id)
-		f := vec.Sigmoid(vec.Dot(row, h) + m.OutB[id])
+		f := vec.FastSigmoid(vec.Dot(row, h) + m.OutB[id])
 		g := f - label // d(loss)/d(logit)
 		if label == 1 {
 			loss += -math.Log(math.Max(f, 1e-12))

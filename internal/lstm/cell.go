@@ -55,9 +55,7 @@ func (c *cell) forward(x, prevH, prevC vec.Vector) *step {
 	H := c.hidden
 	z := vec.New(4 * H)
 	c.Wx.MulVec(z, x)
-	tmp := vec.New(4 * H)
-	c.Wh.MulVec(tmp, prevH)
-	z.Add(tmp)
+	c.Wh.MulVecAdd(z, prevH)
 	z.Add(c.B)
 
 	st := &step{
@@ -75,6 +73,29 @@ func (c *cell) forward(x, prevH, prevC vec.Vector) *step {
 		st.h[j] = st.o[j] * st.tc[j]
 	}
 	return st
+}
+
+// stepInto computes one LSTM step for inference, writing the new hidden and
+// cell states into h and c2 without retaining activations. Compared to
+// forward it allocates nothing (z is caller-owned scratch of length 4H,
+// reused across steps), fuses the two matrix-vector products through
+// MulVecAdd, and uses the table sigmoid — fine for encoding, but training
+// keeps forward's exact Sigmoid so the BPTT finite-difference gradient check
+// stays meaningful. h/c2 must not alias prevH/prevC.
+func (c *cell) stepInto(x, prevH, prevC, h, c2, z vec.Vector) {
+	H := c.hidden
+	c.Wx.MulVec(z, x)
+	c.Wh.MulVecAdd(z, prevH)
+	z.Add(c.B)
+	for j := 0; j < H; j++ {
+		i := vec.FastSigmoid(z[j])
+		f := vec.FastSigmoid(z[H+j])
+		g := math.Tanh(z[2*H+j])
+		o := vec.FastSigmoid(z[3*H+j])
+		cj := f*prevC[j] + i*g
+		c2[j] = cj
+		h[j] = o * math.Tanh(cj)
+	}
 }
 
 // cellGrads accumulates parameter gradients for a cell across a sequence.

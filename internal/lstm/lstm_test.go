@@ -233,6 +233,127 @@ func TestGradClipBoundsNorm(t *testing.T) {
 	}
 }
 
+// TestTrainMinibatchParallel exercises the data-parallel plane: gradients
+// from a batch of sequences are accumulated across workers and applied in a
+// single Adam step. The trajectory differs from per-sequence stepping, but
+// the loss must still fall and the encoder must still separate the two
+// templates. Run with -race this covers the concurrent accumulate path.
+func TestTrainMinibatchParallel(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.BatchSize = 8
+	cfg.Workers = 4
+	cfg.Epochs = 6
+	m, err := Train(tinyCorpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := m.LossHistory[0], m.LossHistory[len(m.LossHistory)-1]
+	if !(last < first) {
+		t.Fatalf("minibatch loss did not decrease: %v", m.LossHistory)
+	}
+	sel := m.Encode([]string{"select", "a", "from", "t", "where", "x"})
+	sel2 := m.Encode([]string{"select", "a", "from", "t", "where", "x"})
+	ins := m.Encode([]string{"insert", "into", "u", "values", "y"})
+	if !(vec.Cosine(sel, sel2) > vec.Cosine(sel, ins)) {
+		t.Fatal("minibatch-trained encoder lost template separation")
+	}
+}
+
+// TestTrainBatchSize1MatchesSerial: BatchSize<=1 must preserve the exact
+// per-sequence Adam stepping — same seed, same corpus, same weights.
+func TestTrainBatchSize1MatchesSerial(t *testing.T) {
+	a, err := Train(tinyCorpus(), tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	cfg.BatchSize = 1
+	cfg.Workers = 8 // workers are clamped to the batch size
+	b, err := Train(tinyCorpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Embed.Data {
+		if a.Embed.Data[i] != b.Embed.Data[i] {
+			t.Fatal("BatchSize=1 must reproduce the serial trajectory exactly")
+		}
+	}
+}
+
+// TestEmptySequencesDoNotStepAdam: empty token sequences accumulate nothing,
+// and Train must not apply an Adam step for an all-empty batch — a zero-grad
+// step would still advance the bias-correction clock and decay the moments,
+// silently diverging from the per-sequence trajectory.
+func TestEmptySequencesDoNotStepAdam(t *testing.T) {
+	corpus := tinyCorpus()
+	corpus = append(corpus, nil, []string{}, nil) // empty docs mixed in
+	m, err := Train(corpus, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range m.LossHistory {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("loss went non-finite: %v", m.LossHistory)
+		}
+	}
+	// Trainer-level invariant behind the skip: an empty sequence reports
+	// zero predicted tokens and leaves every gradient buffer untouched.
+	tr := newTrainer(m)
+	loss, n := tr.accumulate(nil)
+	if loss != 0 || n != 0 {
+		t.Fatalf("empty accumulate: loss=%v n=%d", loss, n)
+	}
+	for _, g := range tr.gradTensors() {
+		for _, x := range g {
+			if x != 0 {
+				t.Fatal("empty accumulate must not touch gradients")
+			}
+		}
+	}
+}
+
+// TestEncodeAllocs pins the steady-state allocation profile of Encode: the
+// returned hidden-state vector plus pool jitter, nothing per-token.
+func TestEncodeAllocs(t *testing.T) {
+	if vec.RaceEnabled {
+		t.Skip("allocation profile differs under the race detector")
+	}
+	m, err := Train(tinyCorpus(), tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := []string{"select", "a", "from", "t", "where", "x"}
+	for i := 0; i < 4; i++ {
+		m.Encode(tokens) // warm the scratch pool
+	}
+	if allocs := testing.AllocsPerRun(200, func() { m.Encode(tokens) }); allocs > 2 {
+		t.Fatalf("Encode allocates %.1f per op, want <= 2 (result vector + pool jitter)", allocs)
+	}
+}
+
+// TestEncodeBatchParallelManyDocs drives the batch fan-out with enough
+// distinct sequences to engage the worker pool (covered by -race).
+func TestEncodeBatchParallelManyDocs(t *testing.T) {
+	m, err := Train(tinyCorpus(), tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"select", "a", "from", "t", "where", "x", "insert", "into", "u", "values", "y"}
+	docs := make([][]string, 200)
+	for i := range docs {
+		docs[i] = []string{words[i%len(words)], words[(i/2)%len(words)], words[(i/5)%len(words)]}
+	}
+	batch := m.EncodeBatch(docs)
+	for i, doc := range docs {
+		want := m.Encode(doc)
+		for j := range want {
+			if batch[i][j] != want[j] {
+				t.Fatalf("batch[%d] differs from serial Encode at dim %d", i, j)
+			}
+		}
+	}
+}
+
 func TestEncodeBatchMatchesEncodeAndDedupes(t *testing.T) {
 	m, err := Train(tinyCorpus(), tinyConfig())
 	if err != nil {

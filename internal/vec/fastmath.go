@@ -1,0 +1,94 @@
+package vec
+
+import "math"
+
+// Approximate transcendental kernels for the gradient inner loops.
+//
+// The models spend most of their training and inference time evaluating
+// sigmoid(dot(a, b)) and applying the resulting scaled update, so those two
+// shapes get dedicated kernels: a precomputed sigmoid lookup table (the
+// EXP_TABLE idiom from the reference word2vec implementation) and fused
+// helpers that do the dot product, table lookup, and two-sided update without
+// intermediate allocations or extra passes.
+//
+// FastSigmoid is an approximation (absolute error below 1e-3, see
+// TestFastSigmoidAccuracy); it is appropriate for stochastic-gradient
+// updates, where the error is far below the sampling noise, but NOT for code
+// whose correctness is verified by finite differences — the LSTM training
+// forward pass keeps exact Sigmoid so the BPTT gradient check stays valid.
+
+const (
+	// sigmoidTableSize buckets cover sigmoidMaxExp*2 units of input; 4096
+	// buckets over [-6, 6) give a step of ~0.003 and a value error ~7e-4.
+	sigmoidTableSize = 4096
+	sigmoidMaxExp    = 6.0
+)
+
+// sigmoidTable[i] holds sigmoid of the bucket midpoint-free left edge
+// ((i/size)*2-1)*maxExp, precomputed once at init.
+var sigmoidTable [sigmoidTableSize]float64
+
+func init() {
+	for i := range sigmoidTable {
+		x := (float64(i)/sigmoidTableSize*2 - 1) * sigmoidMaxExp
+		sigmoidTable[i] = 1 / (1 + math.Exp(-x))
+	}
+}
+
+// FastSigmoid returns a table-lookup approximation of Sigmoid(x). Inputs
+// outside [-6, 6) saturate to 0 or 1 — the same treatment the exact Sigmoid
+// applies at +-30, just sooner, which is immaterial for gradient updates
+// because (label - f) is already ~0 there.
+func FastSigmoid(x float64) float64 {
+	if x >= sigmoidMaxExp {
+		return 1
+	}
+	if x <= -sigmoidMaxExp {
+		return 0
+	}
+	// The multiply can round up to exactly sigmoidTableSize for inputs one
+	// ulp below the edge, so clamp.
+	i := int((x + sigmoidMaxExp) * (sigmoidTableSize / (2 * sigmoidMaxExp)))
+	if i >= sigmoidTableSize {
+		i = sigmoidTableSize - 1
+	}
+	return sigmoidTable[i]
+}
+
+// DotSigmoid returns FastSigmoid(Dot(a, b)) — the fused activation kernel of
+// every negative-sampling step.
+func DotSigmoid(a, b Vector) float64 {
+	return FastSigmoid(Dot(a, b))
+}
+
+// AddScaledBoth applies the two-sided negative-sampling update in one pass:
+//
+//	grad += g * out   (reading out's pre-update values)
+//	out  += g * in
+//
+// grad, out, and in must be distinct, equal-length slices. Fusing the two
+// AddScaled calls halves the passes over out, which is the dominant traffic
+// of doc2vec's gradient step.
+func AddScaledBoth(grad, out, in Vector, g float64) {
+	mustSameLen(len(grad), len(out))
+	mustSameLen(len(grad), len(in))
+	out = out[:len(grad)] // bounds-check elimination hints
+	in = in[:len(grad)]
+	n := len(grad) &^ 3
+	for i := 0; i < n; i += 4 {
+		o0, o1, o2, o3 := out[i], out[i+1], out[i+2], out[i+3]
+		grad[i] += g * o0
+		grad[i+1] += g * o1
+		grad[i+2] += g * o2
+		grad[i+3] += g * o3
+		out[i] = o0 + g*in[i]
+		out[i+1] = o1 + g*in[i+1]
+		out[i+2] = o2 + g*in[i+2]
+		out[i+3] = o3 + g*in[i+3]
+	}
+	for i := n; i < len(grad); i++ {
+		o := out[i]
+		grad[i] += g * o
+		out[i] = o + g*in[i]
+	}
+}

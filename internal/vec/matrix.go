@@ -62,12 +62,18 @@ func (m *Matrix) MulVec(dst, x Vector) {
 	mustSameLen(len(x), m.Cols)
 	mustSameLen(len(dst), m.Rows)
 	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		var s float64
-		for j, w := range row {
-			s += w * x[j]
-		}
-		dst[i] = s
+		dst[i] = Dot(m.Data[i*m.Cols:(i+1)*m.Cols], x)
+	}
+}
+
+// MulVecAdd accumulates dst += m · x — the fused form of MulVec used where a
+// matrix-vector product lands on top of an existing partial sum (the LSTM
+// gate pre-activation Wx·x + Wh·h + b), avoiding a temporary per step.
+func (m *Matrix) MulVecAdd(dst, x Vector) {
+	mustSameLen(len(x), m.Cols)
+	mustSameLen(len(dst), m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		dst[i] += Dot(m.Data[i*m.Cols:(i+1)*m.Cols], x)
 	}
 }
 
@@ -76,18 +82,13 @@ func (m *Matrix) MulVec(dst, x Vector) {
 func (m *Matrix) MulVecT(dst, x Vector) {
 	mustSameLen(len(x), m.Rows)
 	mustSameLen(len(dst), m.Cols)
-	for j := range dst {
-		dst[j] = 0
-	}
+	dst.Zero()
 	for i := 0; i < m.Rows; i++ {
 		xi := x[i]
 		if xi == 0 {
 			continue
 		}
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j, w := range row {
-			dst[j] += w * xi
-		}
+		dst.AddScaled(xi, m.Data[i*m.Cols:(i+1)*m.Cols])
 	}
 }
 
@@ -101,10 +102,7 @@ func (m *Matrix) AddOuterScaled(alpha float64, a, b Vector) {
 		if ai == 0 {
 			continue
 		}
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j := range row {
-			row[j] += ai * b[j]
-		}
+		Vector(m.Data[i*m.Cols:(i+1)*m.Cols]).AddScaled(ai, b)
 	}
 }
 

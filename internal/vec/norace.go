@@ -1,0 +1,6 @@
+//go:build !race
+
+package vec
+
+// RaceEnabled reports whether this is a race-detector build. See race.go.
+const RaceEnabled = false

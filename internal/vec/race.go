@@ -1,0 +1,8 @@
+//go:build race
+
+package vec
+
+// RaceEnabled reports whether this is a race-detector build. Allocation
+// regression tests skip under -race: instrumentation changes the allocation
+// profile and sync.Pool deliberately drops entries there.
+const RaceEnabled = true

@@ -1,10 +1,14 @@
 // Package vec provides the small dense linear-algebra kernel used by the
 // embedding models and classifiers in this repository.
 //
-// Everything is float64 and row-major. The package favours explicit, simple
-// loops over cleverness: the models built on top (doc2vec, lstm) are small
-// enough that clarity wins, and keeping the kernel dependency-free is a
-// design goal of the reproduction (see DESIGN.md).
+// Everything is float64 and row-major, and the package stays dependency-free
+// by design (see DESIGN.md). The hot kernels — Dot, AddScaled,
+// SquaredDistance, the matrix-vector products — are 4-way unrolled so the
+// training and inference inner loops of the models built on top (doc2vec,
+// lstm) keep four independent multiply-add chains in flight per iteration.
+// fastmath.go adds the approximate transcendental kernels (FastSigmoid and
+// the fused DotSigmoid / AddScaledBoth helpers) used by the gradient loops;
+// see DESIGN.md "Performance model" for where exact math is still required.
 package vec
 
 import (
@@ -46,7 +50,15 @@ func (v Vector) Zero() {
 // Add adds other into v element-wise. It panics if lengths differ.
 func (v Vector) Add(other Vector) {
 	mustSameLen(len(v), len(other))
-	for i := range v {
+	other = other[:len(v)] // bounds-check elimination hint
+	n := len(v) &^ 3
+	for i := 0; i < n; i += 4 {
+		v[i] += other[i]
+		v[i+1] += other[i+1]
+		v[i+2] += other[i+2]
+		v[i+3] += other[i+3]
+	}
+	for i := n; i < len(v); i++ {
 		v[i] += other[i]
 	}
 }
@@ -54,7 +66,15 @@ func (v Vector) Add(other Vector) {
 // AddScaled adds alpha*other into v element-wise.
 func (v Vector) AddScaled(alpha float64, other Vector) {
 	mustSameLen(len(v), len(other))
-	for i := range v {
+	other = other[:len(v)] // bounds-check elimination hint
+	n := len(v) &^ 3
+	for i := 0; i < n; i += 4 {
+		v[i] += alpha * other[i]
+		v[i+1] += alpha * other[i+1]
+		v[i+2] += alpha * other[i+2]
+		v[i+3] += alpha * other[i+3]
+	}
+	for i := n; i < len(v); i++ {
 		v[i] += alpha * other[i]
 	}
 }
@@ -74,14 +94,24 @@ func (v Vector) Scale(alpha float64) {
 	}
 }
 
-// Dot returns the inner product of v and other.
+// Dot returns the inner product of v and other. The sum runs over four
+// independent accumulators, so the result can differ from a strictly serial
+// sum in the last few ulps.
 func Dot(a, b Vector) float64 {
 	mustSameLen(len(a), len(b))
-	var s float64
-	for i := range a {
-		s += a[i] * b[i]
+	b = b[:len(a)] // bounds-check elimination hint
+	var s0, s1, s2, s3 float64
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
 	}
-	return s
+	for i := n; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Norm returns the Euclidean norm of v.
@@ -110,12 +140,24 @@ func Cosine(a, b Vector) float64 {
 // SquaredDistance returns the squared Euclidean distance between a and b.
 func SquaredDistance(a, b Vector) float64 {
 	mustSameLen(len(a), len(b))
-	var s float64
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
+	b = b[:len(a)] // bounds-check elimination hint
+	var s0, s1, s2, s3 float64
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
 	}
-	return s
+	for i := n; i < len(a); i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Distance returns the Euclidean distance between a and b.

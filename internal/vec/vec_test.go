@@ -229,3 +229,110 @@ func TestMatrixRowSharesStorage(t *testing.T) {
 		t.Fatal("Row must alias matrix storage")
 	}
 }
+
+// Property: the unrolled kernels agree with a straightforward serial
+// reference at every length, including the 1..3 element remainders.
+func TestUnrolledKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n <= 19; n++ {
+		a, b := NewRandom(rng, n, 1), NewRandom(rng, n, 1)
+		var dot, sq float64
+		for i := 0; i < n; i++ {
+			dot += a[i] * b[i]
+			d := a[i] - b[i]
+			sq += d * d
+		}
+		if math.Abs(Dot(a, b)-dot) > 1e-12*(1+math.Abs(dot)) {
+			t.Fatalf("Dot len %d: %v want %v", n, Dot(a, b), dot)
+		}
+		if math.Abs(SquaredDistance(a, b)-sq) > 1e-12*(1+sq) {
+			t.Fatalf("SquaredDistance len %d: %v want %v", n, SquaredDistance(a, b), sq)
+		}
+		sum := a.Clone()
+		sum.AddScaled(0.25, b)
+		for i := 0; i < n; i++ {
+			if !almostEqual(sum[i], a[i]+0.25*b[i]) {
+				t.Fatalf("AddScaled len %d at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestFastSigmoidAccuracy(t *testing.T) {
+	for x := -5.99; x <= 5.99; x += 0.0173 {
+		got, want := FastSigmoid(x), Sigmoid(x)
+		if math.Abs(got-want) > 2e-3 {
+			t.Fatalf("FastSigmoid(%v) = %v, exact %v", x, got, want)
+		}
+	}
+	// Outside the table, saturation: within ~sigmoid(-6) ≈ 2.5e-3 of exact.
+	if FastSigmoid(100) != 1 || FastSigmoid(-100) != 0 || FastSigmoid(6) != 1 || FastSigmoid(-6) != 0 {
+		t.Fatal("FastSigmoid must saturate outside the table range")
+	}
+	if v := FastSigmoid(math.Nextafter(sigmoidMaxExp, 0)); v <= 0.99 || v > 1 {
+		t.Fatalf("FastSigmoid just below the table edge: %v", v)
+	}
+}
+
+func TestDotSigmoid(t *testing.T) {
+	a, b := Vector{1, 2, 3}, Vector{0.1, -0.2, 0.3}
+	if got, want := DotSigmoid(a, b), FastSigmoid(Dot(a, b)); got != want {
+		t.Fatalf("DotSigmoid: %v want %v", got, want)
+	}
+}
+
+func TestAddScaledBoth(t *testing.T) {
+	for _, n := range []int{1, 3, 4, 7, 8} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		grad, out, in := NewRandom(rng, n, 1), NewRandom(rng, n, 1), NewRandom(rng, n, 1)
+		wantGrad, wantOut := grad.Clone(), out.Clone()
+		const g = 0.37
+		wantGrad.AddScaled(g, wantOut) // reads out's pre-update values
+		wantOut.AddScaled(g, in)
+		AddScaledBoth(grad, out, in, g)
+		for i := 0; i < n; i++ {
+			if !almostEqual(grad[i], wantGrad[i]) || !almostEqual(out[i], wantOut[i]) {
+				t.Fatalf("AddScaledBoth len %d at %d: grad %v/%v out %v/%v",
+					n, i, grad[i], wantGrad[i], out[i], wantOut[i])
+			}
+		}
+	}
+}
+
+func TestMulVecAdd(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	dst := Vector{10, 20}
+	m.MulVecAdd(dst, Vector{1, 1, 1})
+	if !almostEqual(dst[0], 16) || !almostEqual(dst[1], 35) {
+		t.Fatalf("MulVecAdd: got %v", dst)
+	}
+}
+
+// The kernels must never allocate: they run millions of times per training
+// epoch and per inference, and the zero-alloc Infer/Encode paths are built on
+// that guarantee.
+func TestKernelsDoNotAllocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, b, c := NewRandom(rng, 64, 1), NewRandom(rng, 64, 1), NewRandom(rng, 64, 1)
+	m := NewRandomMatrix(rng, 16, 64, 1)
+	dst := New(16)
+	var sink float64
+	for name, fn := range map[string]func(){
+		"Dot":             func() { sink += Dot(a, b) },
+		"AddScaled":       func() { a.AddScaled(1e-9, b) },
+		"SquaredDistance": func() { sink += SquaredDistance(a, b) },
+		"FastSigmoid":     func() { sink += FastSigmoid(a[0]) },
+		"DotSigmoid":      func() { sink += DotSigmoid(a, b) },
+		"AddScaledBoth":   func() { AddScaledBoth(a, b, c, 1e-9) },
+		"MulVec":          func() { m.MulVec(dst, a) },
+		"MulVecAdd":       func() { m.MulVecAdd(dst, a) },
+		"MulVecT":         func() { m.MulVecT(b, dst) },
+		"AddOuterScaled":  func() { m.AddOuterScaled(1e-9, dst, a) },
+	} {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f per op, want 0", name, allocs)
+		}
+	}
+	_ = sink
+}

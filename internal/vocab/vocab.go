@@ -8,9 +8,18 @@ package vocab
 
 import (
 	"math"
-	"math/rand"
 	"sort"
 )
+
+// RNG is the randomness the sampling helpers need. *math/rand.Rand satisfies
+// it; the embedding models' zero-alloc inference paths satisfy it with a
+// small inline xorshift state instead of allocating a rand.Rand per query.
+type RNG interface {
+	// Intn returns a uniform int in [0, n). n must be > 0.
+	Intn(n int) int
+	// Float64 returns a uniform float64 in [0, 1).
+	Float64() float64
+}
 
 // Reserved token IDs.
 const (
@@ -29,7 +38,12 @@ type Vocabulary struct {
 	counts []int64  // index = id; reserved IDs have count 0
 	total  int64    // total corpus tokens (including those mapped to UNK)
 
-	sampleTable []int // negative-sampling table, built lazily by Build
+	// Walker alias tables for unigram^0.75 negative sampling (built by
+	// Build/Restore). Two O(vocab) arrays that stay cache-resident, unlike
+	// the classic word2vec EXP-style 2^20-entry table whose random probes
+	// were a guaranteed cache miss per draw.
+	aliasProb []float64
+	aliasIdx  []int32
 }
 
 // Builder accumulates token counts before freezing a Vocabulary.
@@ -86,7 +100,7 @@ func (b *Builder) Build(minCount int64) *Vocabulary {
 		v.words = append(v.words, e.w)
 		v.counts = append(v.counts, e.c)
 	}
-	v.buildSampleTable(1 << 20)
+	v.buildAliasTable()
 	return v
 }
 
@@ -103,7 +117,7 @@ func Restore(words []string, counts []int64, total int64) *Vocabulary {
 	for id := NumReserved; id < len(v.words); id++ {
 		v.ids[v.words[id]] = id
 	}
-	v.buildSampleTable(1 << 20)
+	v.buildAliasTable()
 	return v
 }
 
@@ -139,11 +153,17 @@ func (v *Vocabulary) Count(id int) int64 {
 
 // Encode maps tokens to IDs.
 func (v *Vocabulary) Encode(tokens []string) []int {
-	out := make([]int, len(tokens))
-	for i, t := range tokens {
-		out[i] = v.ID(t)
+	return v.EncodeInto(make([]int, 0, len(tokens)), tokens)
+}
+
+// EncodeInto appends the IDs of tokens to dst and returns the extended
+// slice. Passing a reused buffer (dst[:0]) makes encoding allocation-free on
+// the models' hot inference paths.
+func (v *Vocabulary) EncodeInto(dst []int, tokens []string) []int {
+	for _, t := range tokens {
+		dst = append(dst, v.ID(t))
 	}
-	return out
+	return dst
 }
 
 // EncodeSequence maps tokens to IDs wrapped in BOS/EOS, the form consumed by
@@ -177,7 +197,7 @@ func (v *Vocabulary) KeepProbability(id int, t float64) float64 {
 
 // Subsample returns ids with frequent tokens randomly dropped per
 // KeepProbability. With threshold <= 0 the input is returned unchanged.
-func (v *Vocabulary) Subsample(rng *rand.Rand, ids []int, threshold float64) []int {
+func (v *Vocabulary) Subsample(rng RNG, ids []int, threshold float64) []int {
 	if threshold <= 0 {
 		return ids
 	}
@@ -190,11 +210,14 @@ func (v *Vocabulary) Subsample(rng *rand.Rand, ids []int, threshold float64) []i
 	return out
 }
 
-// buildSampleTable precomputes the unigram^0.75 negative-sampling table.
-func (v *Vocabulary) buildSampleTable(size int) {
+// buildAliasTable precomputes Walker alias-method tables for the
+// unigram^0.75 negative-sampling distribution: one probability and one alias
+// per real token, so a draw is two array reads regardless of vocabulary
+// size, with the distribution represented exactly.
+func (v *Vocabulary) buildAliasTable() {
 	n := v.Size() - NumReserved
 	if n <= 0 {
-		v.sampleTable = nil
+		v.aliasProb, v.aliasIdx = nil, nil
 		return
 	}
 	var z float64
@@ -203,30 +226,59 @@ func (v *Vocabulary) buildSampleTable(size int) {
 		pow[i] = math.Pow(float64(v.counts[NumReserved+i]), 0.75)
 		z += pow[i]
 	}
-	table := make([]int, size)
-	idx, cum := 0, pow[0]/z
-	for i := range table {
-		table[i] = NumReserved + idx
-		if float64(i+1)/float64(size) > cum && idx < n-1 {
-			idx++
-			cum += pow[idx] / z
+	prob := make([]float64, n)
+	alias := make([]int32, n)
+	// Scaled probabilities: mean 1. Split into under-/over-full buckets and
+	// pair them (standard alias construction).
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		prob[i] = pow[i] * float64(n) / z
+		alias[i] = int32(i)
+		if prob[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
 		}
 	}
-	v.sampleTable = table
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		alias[s] = l
+		prob[l] -= 1 - prob[s]
+		if prob[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Leftovers are 1 up to rounding.
+	for _, i := range small {
+		prob[i] = 1
+	}
+	for _, i := range large {
+		prob[i] = 1
+	}
+	v.aliasProb, v.aliasIdx = prob, alias
 }
 
 // SampleNegative draws a random token ID proportional to unigram^0.75,
 // excluding the given positive ID. It returns UNK only if the vocabulary has
 // no real tokens.
-func (v *Vocabulary) SampleNegative(rng *rand.Rand, positive int) int {
-	if len(v.sampleTable) == 0 {
+func (v *Vocabulary) SampleNegative(rng RNG, positive int) int {
+	if len(v.aliasProb) == 0 {
 		return UNK
 	}
+	id := 0
 	for tries := 0; tries < 16; tries++ {
-		id := v.sampleTable[rng.Intn(len(v.sampleTable))]
+		k := rng.Intn(len(v.aliasProb))
+		if rng.Float64() >= v.aliasProb[k] {
+			k = int(v.aliasIdx[k])
+		}
+		id = NumReserved + k
 		if id != positive {
 			return id
 		}
 	}
-	return v.sampleTable[rng.Intn(len(v.sampleTable))]
+	return id
 }

@@ -113,6 +113,35 @@ func TestSampleNegative(t *testing.T) {
 	}
 }
 
+// TestSampleNegativeDistribution checks the alias tables encode the
+// unigram^0.75 distribution: empirical frequencies over many draws must be
+// proportional to count^0.75 within a loose tolerance.
+func TestSampleNegativeDistribution(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 81; i++ {
+		b.Add([]string{"hi"})
+	}
+	for i := 0; i < 16; i++ {
+		b.Add([]string{"mid"})
+	}
+	b.Add([]string{"lo"})
+	v := b.Build(1)
+	rng := rand.New(rand.NewSource(3))
+	const draws = 200000
+	got := map[int]int{}
+	for i := 0; i < draws; i++ {
+		got[v.SampleNegative(rng, -1)]++
+	}
+	// Weights: 81^.75=27, 16^.75=8, 1^.75=1 → z=36.
+	want := map[string]float64{"hi": 27.0 / 36, "mid": 8.0 / 36, "lo": 1.0 / 36}
+	for word, p := range want {
+		emp := float64(got[v.ID(word)]) / draws
+		if emp < p*0.9 || emp > p*1.1 {
+			t.Fatalf("%s: empirical %.4f want ~%.4f", word, emp, p)
+		}
+	}
+}
+
 func TestRestoreRoundTrip(t *testing.T) {
 	v := buildSample()
 	words := make([]string, v.Size())
@@ -132,6 +161,70 @@ func TestRestoreRoundTrip(t *testing.T) {
 	}
 	if r.ID("select") != v.ID("select") {
 		t.Fatal("restore lookup mismatch")
+	}
+}
+
+func TestEncodeInto(t *testing.T) {
+	v := buildSample()
+	buf := make([]int, 0, 8)
+	out := v.EncodeInto(buf, []string{"select", "a"})
+	want := v.Encode([]string{"select", "a"})
+	if len(out) != len(want) || out[0] != want[0] || out[1] != want[1] {
+		t.Fatalf("EncodeInto: %v want %v", out, want)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = v.EncodeInto(buf[:0], []string{"select", "a", "from", "t"})
+	}); allocs != 0 {
+		t.Fatalf("EncodeInto with a warm buffer allocates %.1f per op", allocs)
+	}
+}
+
+func TestAppendKeyDistinguishesBoundaries(t *testing.T) {
+	a := AppendKey(nil, []string{"ab", "c"})
+	b := AppendKey(nil, []string{"a", "bc"})
+	if string(a) == string(b) {
+		t.Fatal("token boundaries must be part of the key")
+	}
+	// Same sequence keys identically regardless of the buffer passed in.
+	c := AppendKey(make([]byte, 0, 64), []string{"ab", "c"})
+	if string(a) != string(c) {
+		t.Fatal("key must not depend on buffer reuse")
+	}
+	// Long tokens exercise the multi-byte length prefix.
+	long := string(make([]byte, 300))
+	d := AppendKey(nil, []string{long})
+	e := AppendKey(nil, []string{long[:299], ""})
+	if string(d) == string(e) {
+		t.Fatal("multi-byte length prefix must keep boundaries distinct")
+	}
+}
+
+func TestDedupeDocs(t *testing.T) {
+	docs := [][]string{
+		{"select", "a"},
+		{"insert", "b"},
+		{"select", "a"}, // dup of 0
+		{"select"},      // prefix, distinct
+		{"insert", "b"}, // dup of 1
+	}
+	reps, repOf := DedupeDocs(docs)
+	wantReps := []int{0, 1, 3}
+	if len(reps) != len(wantReps) {
+		t.Fatalf("reps: %v", reps)
+	}
+	for i, r := range wantReps {
+		if reps[i] != r {
+			t.Fatalf("reps: %v want %v", reps, wantReps)
+		}
+	}
+	wantRepOf := []int{0, 1, 0, 3, 1}
+	for i, r := range wantRepOf {
+		if repOf[i] != r {
+			t.Fatalf("repOf: %v want %v", repOf, wantRepOf)
+		}
+	}
+	if reps, repOf := DedupeDocs(nil); len(reps) != 0 || len(repOf) != 0 {
+		t.Fatal("empty input must dedupe to empty")
 	}
 }
 

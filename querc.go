@@ -48,19 +48,20 @@ import (
 // deployable Classifier; Qworkers host classifiers per application stream;
 // Service wires the whole Fig. 1 topology.
 type (
-	LabeledQuery     = core.LabeledQuery
-	Embedder         = core.Embedder
-	BatchEmbedder    = core.BatchEmbedder
-	Labeler          = core.Labeler
-	TrainableLabeler = core.TrainableLabeler
-	Classifier       = core.Classifier
-	Qworker          = core.Qworker
-	Service          = core.Service
-	TrainingModule   = core.TrainingModule
-	Registry         = core.Registry
-	VectorCache      = core.VectorCache
-	VectorCacheStats = core.VectorCacheStats
-	Vector           = vec.Vector
+	LabeledQuery      = core.LabeledQuery
+	Embedder          = core.Embedder
+	BatchEmbedder     = core.BatchEmbedder
+	TokenizedEmbedder = core.TokenizedEmbedder
+	Labeler           = core.Labeler
+	TrainableLabeler  = core.TrainableLabeler
+	Classifier        = core.Classifier
+	Qworker           = core.Qworker
+	Service           = core.Service
+	TrainingModule    = core.TrainingModule
+	Registry          = core.Registry
+	VectorCache       = core.VectorCache
+	VectorCacheStats  = core.VectorCacheStats
+	Vector            = vec.Vector
 )
 
 // Re-exported drift plane: the Controller closes the loop from each
