@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"querc"
 	"querc/internal/advisor"
@@ -366,6 +368,92 @@ func BenchmarkSubmitBatchPerClassifierEmbed(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(sqls)*b.N)/b.Elapsed().Seconds(), "q/s")
+}
+
+// ---------- Scheduling plane: dispatch overhead ----------
+
+// dispatchBench pushes the shared 10k-query workload through the Qworker
+// plane with the given downstream edge: a bare Forward callback (the
+// pre-scheduling-plane status quo) or a dispatcher built by mkSched. The
+// executor is a no-op, so the measured delta between the variants is pure
+// admission + queue + dispatch overhead. Acceptance for the scheduling
+// plane: the dispatcher variants within 5% of bare-Forward throughput.
+func dispatchBench(b *testing.B, mkSched func() *querc.Dispatcher) {
+	sqls, mk := ingestBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := mk()
+		var forwarded atomic.Int64
+		var d *querc.Dispatcher
+		if mkSched == nil {
+			svc.Worker("acct").SetForward(func(*querc.LabeledQuery) { forwarded.Add(1) })
+		} else {
+			d = mkSched()
+			svc.AttachScheduler(d)
+		}
+		out, err := svc.SubmitBatch("acct", sqls, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(sqls) {
+			b.Fatalf("batch output: %d", len(out))
+		}
+		if d != nil {
+			d.Close()
+			if err := d.Drain(time.Minute); err != nil {
+				b.Fatal(err)
+			}
+			if st := d.Stats(); st.Completed != uint64(len(sqls)) {
+				b.Fatalf("dispatched %d of %d", st.Completed, len(sqls))
+			}
+		} else if forwarded.Load() != int64(len(sqls)) {
+			b.Fatalf("forwarded %d of %d", forwarded.Load(), len(sqls))
+		}
+	}
+	b.ReportMetric(float64(len(sqls)*b.N)/b.Elapsed().Seconds(), "q/s")
+}
+
+// noopSchedCfg returns a dispatcher config with a no-op executor and a
+// backlog bound big enough that the 10k-query benchmark never backpressures.
+func noopSchedCfg(policy querc.SchedulerPolicy) querc.SchedulerConfig {
+	return querc.SchedulerConfig{
+		Policy:   policy,
+		QueueCap: 1 << 15,
+		Backends: []querc.SchedBackend{
+			{Name: "b1", Slots: 2, Exec: func(*querc.SchedTask) error { return nil }},
+		},
+	}
+}
+
+// BenchmarkDispatchBareForward is the scheduling-plane baseline: the same
+// workload and Qworker pipeline, forwarded into a counting callback.
+func BenchmarkDispatchBareForward(b *testing.B) {
+	dispatchBench(b, nil)
+}
+
+// BenchmarkDispatchFIFO measures the full plane under the FIFO policy: one
+// queue, admission + dispatch + SLA accounting per query.
+func BenchmarkDispatchFIFO(b *testing.B) {
+	dispatchBench(b, func() *querc.Dispatcher {
+		d, err := querc.NewDispatcher(noopSchedCfg(querc.FIFOPolicy{}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	})
+}
+
+// BenchmarkDispatchLabelDriven measures the label-driven policy: per-class
+// queues keyed by the predicted user label (16 classes on this workload),
+// deadline ordering, and affinity resolution per query.
+func BenchmarkDispatchLabelDriven(b *testing.B) {
+	dispatchBench(b, func() *querc.Dispatcher {
+		d, err := querc.NewDispatcher(noopSchedCfg(&querc.LabelPolicy{ClassKey: "user"}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	})
 }
 
 // ---------- Ablations ----------

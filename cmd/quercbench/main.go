@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	quercbench -experiment fig3|fig4|table1|table2|ingest|train|drift|all [-scale small|paper] [-csv dir] [-workers n]
+//	quercbench -experiment fig3|fig4|table1|table2|ingest|train|drift|sched|all [-scale small|paper] [-csv dir] [-workers n]
 //
 // Results print as text tables shaped like the paper's artifacts; -csv also
 // writes machine-readable series for plotting. The ingest experiment
@@ -14,7 +14,10 @@
 // vs off, including how much of the accuracy lost to the shift the loop
 // recovers. The train experiment sweeps the parallel (Hogwild) training
 // plane over worker counts, reporting wall-clock speedup and downstream
-// labeling accuracy.
+// labeling accuracy. The sched experiment replays a mixed multi-tenant
+// workload through the scheduling plane under the FIFO baseline vs the
+// label-driven policy and reports per-class SLA violations, latency
+// percentiles, and throughput for both.
 package main
 
 import (
@@ -36,7 +39,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("quercbench: ")
 	var (
-		experiment = flag.String("experiment", "all", "fig3, fig4, table1, table2, ingest, train, drift, or all")
+		experiment = flag.String("experiment", "all", "fig3, fig4, table1, table2, ingest, train, drift, sched, or all")
 		scaleFlag  = flag.String("scale", "small", "small (minutes) or paper (hours)")
 		csvDir     = flag.String("csv", "", "directory to write CSV series into (optional)")
 		workers    = flag.Int("workers", 8, "batch fan-out for the ingest experiment")
@@ -93,10 +96,13 @@ func main() {
 		run("Parallel training", func() error { return runTrain(scale) })
 	case "drift":
 		run("Drift recovery", func() error { return runDrift(scale, *workers, *csvDir) })
+	case "sched":
+		run("Scheduling plane", func() error { return runSched(scale, *workers, *csvDir) })
 	case "all":
 		run("Ingest throughput", func() error { return runIngest(scale, *workers) })
 		run("Parallel training", func() error { return runTrain(scale) })
 		run("Drift recovery", func() error { return runDrift(scale, *workers, *csvDir) })
+		run("Scheduling plane", func() error { return runSched(scale, *workers, *csvDir) })
 		run("Figure 3", func() error { return runFig3(scale, *csvDir) })
 		run("Figure 4", func() error { return runFig4(scale, *csvDir) })
 		run("Tables 1 & 2", func() error {

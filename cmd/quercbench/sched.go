@@ -1,0 +1,256 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"querc"
+	"querc/internal/apps"
+	"querc/internal/experiments"
+	"querc/internal/snowgen"
+)
+
+// schedTimeScale compresses workload milliseconds into wall-clock time for
+// the simulated executor: a 100ms query runs in 3ms. Targets and reported
+// latencies below are all in workload milliseconds (real time divided by
+// this scale).
+const schedTimeScale = 0.03
+
+// schedSLA are the per-class latency targets in workload milliseconds. The
+// light class is tight (interactive traffic), heavy is very loose (batch
+// work that tolerates queueing — under priority scheduling the heavy queue
+// deliberately absorbs the overload backlog): the spread is exactly what
+// FIFO cannot exploit and a label-driven scheduler can.
+var schedSLA = map[string]float64{
+	"light":  500,
+	"medium": 2000,
+	"heavy":  50000,
+}
+
+// runSched is the scheduling-plane experiment: the same annotated workload
+// is replayed through two dispatchers at the same offered load — a FIFO
+// baseline (one queue, label-blind) and the label-driven policy (predicted
+// resource class picks a priority queue, predicted cluster picks backend
+// affinity, deadlines order within a queue). Execution is simulated from
+// each query's ground-truth snowgen runtime; predictions only steer
+// scheduling, so classifier error is part of the measurement. Acceptance:
+// the label-driven policy cuts SLA violations by >= 30% at equal throughput.
+func runSched(scale experiments.Scale, workers int, csvDir string) error {
+	nQueries, trainN := 5000, 1500
+	if scale == experiments.ScalePaper {
+		nQueries = 30000
+	}
+	// Three tenants on three clusters, different dialects: the routing
+	// label is learnable and maps each tenant to a home backend.
+	gen := snowgen.Generate(snowgen.Options{
+		Accounts: []snowgen.AccountSpec{
+			{Name: "acctA", Users: 8, Queries: nQueries / 3, SharedFraction: 0.2, Dialect: snowgen.DialectSnow},
+			{Name: "acctB", Users: 8, Queries: nQueries / 3, SharedFraction: 0.2, Dialect: snowgen.DialectAnsi},
+			{Name: "acctC", Users: 8, Queries: nQueries / 3, SharedFraction: 0.2, Dialect: snowgen.DialectTSQL},
+		},
+		Seed: 77,
+	})
+	sqls := make([]string, len(gen))
+	runtimes := make([]float64, len(gen))
+	clusters := make([]string, len(gen))
+	for i, q := range gen {
+		sqls[i] = q.SQL
+		runtimes[i] = q.RuntimeMS
+		clusters[i] = q.Cluster
+	}
+
+	// One shared embedder, two labeling tasks on it (the embedding plane
+	// shares the vector): resource class and routing cluster.
+	cfg := querc.DefaultDoc2VecConfig()
+	cfg.Dim = 24
+	cfg.Epochs = 3
+	emb, err := querc.TrainDoc2Vec("sched", sqls[:trainN], cfg)
+	if err != nil {
+		return err
+	}
+	alloc := apps.NewResourceAllocator(emb, querc.DefaultForestConfig())
+	alloc.Workers = workers
+	if err := alloc.Train(sqls[:trainN], runtimes[:trainN]); err != nil {
+		return err
+	}
+	router := apps.NewRoutingChecker(emb, querc.DefaultForestConfig())
+	router.Workers = workers
+	if err := router.Train(sqls[:trainN], clusters[:trainN]); err != nil {
+		return err
+	}
+
+	// Annotate the whole stream once through the Qworker plane; both
+	// policies then schedule the identical labeled queries.
+	svc := querc.NewService()
+	svc.AddApplication("sched", 512, nil)
+	if err := svc.Deploy("sched", alloc.Classifier()); err != nil {
+		return err
+	}
+	if err := svc.Deploy("sched", router.Classifier()); err != nil {
+		return err
+	}
+	annotated, err := svc.SubmitBatch("sched", sqls, workers)
+	if err != nil {
+		return err
+	}
+	classAcc := 0
+	for i, q := range annotated {
+		// Ground-truth service time rides the query for the simulated
+		// executor; the scheduler never sees it as a prediction.
+		q.SetLabel("runtimeMS", strconv.FormatFloat(runtimes[i], 'f', 2, 64))
+		if q.Label("resource") == string(alloc.TrueClass(runtimes[i])) {
+			classAcc++
+		}
+	}
+
+	// Backend pool: one per cluster, 2 slots each; the label policy routes
+	// each predicted cluster to its home backend (identity mapping).
+	mkBackends := func() []querc.SchedBackend {
+		exec := querc.SimSchedExecutor(schedTimeScale, nil, 50)
+		seen := map[string]bool{}
+		var out []querc.SchedBackend
+		for _, c := range clusters {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, querc.SchedBackend{Name: c, Slots: 2, Exec: exec})
+			}
+		}
+		return out
+	}
+	sla := make(map[string]time.Duration, len(schedSLA))
+	for class, ms := range schedSLA {
+		sla[class] = time.Duration(ms * schedTimeScale * float64(time.Millisecond))
+	}
+
+	type policyResult struct {
+		name       string
+		makespan   time.Duration
+		qps        float64
+		violations uint64
+		stats      querc.SchedulerStats
+	}
+	replay := func(policy querc.SchedulerPolicy) (*policyResult, error) {
+		d, err := querc.NewDispatcher(querc.SchedulerConfig{
+			Policy:     policy,
+			Backends:   mkBackends(),
+			ClassOrder: []string{"light", "medium", "heavy"},
+			QueueCap:   300,
+			SLA:        sla,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for _, q := range annotated {
+			for {
+				err := d.Enqueue(q)
+				if err == nil {
+					break
+				}
+				if err != querc.ErrSchedQueueFull {
+					return nil, err
+				}
+				// Backpressure: the bounded queue throttles the offered
+				// load to the pool's service rate, identically for both
+				// policies.
+				time.Sleep(500 * time.Microsecond)
+			}
+		}
+		d.Close()
+		if err := d.Drain(5 * time.Minute); err != nil {
+			return nil, err
+		}
+		makespan := time.Since(start)
+		st := d.Stats()
+		res := &policyResult{
+			name:     policy.Name(),
+			makespan: makespan,
+			qps:      float64(len(annotated)) / makespan.Seconds(),
+			stats:    st,
+		}
+		for _, c := range st.Classes {
+			res.violations += c.Violations
+		}
+		return res, nil
+	}
+
+	fifo, err := replay(querc.FIFOPolicy{})
+	if err != nil {
+		return err
+	}
+	label, err := replay(&querc.LabelPolicy{})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%d queries, %d backends x 2 slots, time scale %.2f (latencies in workload ms)\n",
+		len(annotated), len(mkBackends()), schedTimeScale)
+	fmt.Printf("resource-class prediction accuracy: %.1f%%\n\n", 100*float64(classAcc)/float64(len(annotated)))
+	fmt.Printf("%-8s %10s %10s %12s %8s %8s\n", "policy", "makespan", "q/s", "violations", "viol-%", "stolen")
+	for _, r := range []*policyResult{fifo, label} {
+		fmt.Printf("%-8s %10s %10.0f %12d %7.1f%% %8d\n",
+			r.name, r.makespan.Round(time.Millisecond), r.qps,
+			r.violations, 100*float64(r.violations)/float64(len(annotated)), r.stats.Stolen)
+	}
+	fmt.Printf("\n%-8s %-8s %12s %12s %12s %12s\n", "policy", "class", "completed", "violations", "p50-ms", "p99-ms")
+	for _, r := range []*policyResult{fifo, label} {
+		for _, c := range r.stats.Classes {
+			fmt.Printf("%-8s %-8s %12d %12d %12.0f %12.0f\n",
+				r.name, c.Class, c.Completed, c.Violations,
+				c.P50MS/schedTimeScale, c.P99MS/schedTimeScale)
+		}
+	}
+
+	reduction := 0.0
+	if fifo.violations > 0 {
+		reduction = 1 - float64(label.violations)/float64(fifo.violations)
+	}
+	thrRatio := label.qps / fifo.qps
+	fmt.Printf("\nSLA violations:   %d -> %d\n", fifo.violations, label.violations)
+	fmt.Printf("reduction:        %.1f%%  (target >= 30%%)\n", 100*reduction)
+	fmt.Printf("throughput ratio: %.2fx (label-driven vs FIFO)\n", thrRatio)
+
+	if csvDir != "" {
+		f, err := os.Create(filepath.Join(csvDir, "sched.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := csv.NewWriter(f)
+		if err := w.Write([]string{"policy", "class", "completed", "violations", "p50_ms", "p99_ms"}); err != nil {
+			return err
+		}
+		for _, r := range []*policyResult{fifo, label} {
+			for _, c := range r.stats.Classes {
+				if err := w.Write([]string{
+					r.name, c.Class,
+					strconv.FormatUint(c.Completed, 10),
+					strconv.FormatUint(c.Violations, 10),
+					strconv.FormatFloat(c.P50MS/schedTimeScale, 'f', 0, 64),
+					strconv.FormatFloat(c.P99MS/schedTimeScale, 'f', 0, 64),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			return err
+		}
+	}
+
+	if fifo.violations == 0 {
+		return fmt.Errorf("sched: FIFO baseline saw no SLA violations — offered load too low to measure")
+	}
+	if reduction < 0.30 {
+		return fmt.Errorf("sched: label-driven policy cut violations only %.1f%% (target >= 30%%)", 100*reduction)
+	}
+	if thrRatio < 0.85 {
+		return fmt.Errorf("sched: label-driven throughput fell to %.2fx of FIFO (want >= 0.85x)", thrRatio)
+	}
+	return nil
+}

@@ -9,8 +9,9 @@
 //	POST /v1/apps/{app}/retrain      {"label": "user", "embedder": "name"}
 //	GET  /v1/apps                    list applications
 //	GET  /v1/models                  list registry models
-//	GET  /v1/stats                   per-app counters + vector-cache hit/miss stats
+//	GET  /v1/stats                   per-app counters + vector-cache + scheduler counters
 //	GET  /v1/drift                   per-app drift scores, retrain times, gate decisions
+//	GET  /v1/sched                   scheduler queue depths, per-class SLA accounting, backends
 //	GET  /v1/healthz
 //
 // Applications are declared with repeated -app flags. Embedders are loaded
@@ -27,9 +28,23 @@
 // scores workload drift per deployed classifier, and retrains/redeploys any
 // classifier whose score crosses -drift-threshold — gated so a model that
 // loses to the incumbent on recent holdout traffic is never swapped in.
+//
+// The scheduling plane is enabled with -sched fifo|label: annotated queries
+// forward into a dispatcher with bounded per-class queues, a backend pool
+// declared by -backends ("name:slots,..."), and per-class latency targets
+// declared by -sla ("class:duration,..."). The daemon ships the simulated
+// executor (a stand-in that sleeps each task's estimated cost); real
+// deployments attach an executor through the library
+// (querc.SchedulerConfig.Backends). GET /v1/sched reports queue depths,
+// per-class p50/p99 and SLA violations, sheds, and backend occupancy.
+//
+// quercd shuts down gracefully on SIGINT/SIGTERM: the listener stops
+// accepting and in-flight requests finish, the drift controller stops, and
+// the scheduler drains its queued backlog before the process exits.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -38,7 +53,12 @@ import (
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the pprof side listener
+	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"querc"
 )
@@ -62,6 +82,14 @@ func main() {
 			"drift score that triggers a gated retrain/redeploy (<= 0 retrains on every scored tick)")
 		pprofAddr = flag.String("pprof", "",
 			"address for a net/http/pprof side listener, e.g. localhost:6060 (off when empty)")
+		schedPolicy = flag.String("sched", "",
+			"scheduling plane policy: fifo or label (empty disables the plane)")
+		backendsSpec = flag.String("backends", "primary:4",
+			"scheduler backend pool as name:slots[,name:slots...]")
+		slaSpec = flag.String("sla", "",
+			"per-class latency targets as class:duration[,class:duration...], e.g. light:250ms,heavy:8s")
+		schedQueue = flag.Int("sched-queue", 1024,
+			"scheduler backlog bound in tasks (admission past it is backpressure)")
 		apps appFlags
 	)
 	flag.Var(&apps, "app", "application stream to host (repeatable)")
@@ -86,10 +114,21 @@ func main() {
 	} else if *vecCache != querc.DefaultVectorCacheEntries {
 		svc.SetVectorCache(querc.NewVectorCache(*vecCache, 0))
 	}
+	var dispatcher *querc.Dispatcher
+	if *schedPolicy != "" {
+		var err error
+		dispatcher, err = buildScheduler(*schedPolicy, *backendsSpec, *slaSpec, *schedQueue)
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc.AttachScheduler(dispatcher)
+		log.Printf("scheduling plane enabled (policy %s, backends %s)", *schedPolicy, *backendsSpec)
+	}
 	for _, app := range apps {
 		svc.AddApplication(app, 256, nil)
 		log.Printf("hosting application %q", app)
 	}
+	var ctl *querc.Controller
 	if *driftInterval > 0 {
 		threshold := *driftThreshold
 		if threshold <= 0 {
@@ -98,16 +137,15 @@ func main() {
 			// which the config expresses as a negative threshold.
 			threshold = -1
 		}
-		ctl := svc.EnableDriftControl(querc.ControllerConfig{
+		ctl = svc.EnableDriftControl(querc.ControllerConfig{
 			Interval:  *driftInterval,
 			Threshold: threshold,
 		})
 		ctl.Start()
-		defer ctl.Stop()
 		log.Printf("drift plane enabled (interval %s, threshold %.2f)", *driftInterval, *driftThreshold)
 	}
 
-	srv := &server{svc: svc, registry: registry}
+	srv := &server{svc: svc, registry: registry, sched: dispatcher}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]string{"status": "ok"})
@@ -116,13 +154,166 @@ func main() {
 	mux.HandleFunc("GET /v1/models", srv.listModels)
 	mux.HandleFunc("GET /v1/stats", srv.stats)
 	mux.HandleFunc("GET /v1/drift", srv.driftStatus)
+	mux.HandleFunc("GET /v1/sched", srv.schedStatus)
 	mux.HandleFunc("POST /v1/apps/{app}/queries", srv.submitQuery)
 	mux.HandleFunc("POST /v1/apps/{app}/queries:batch", srv.submitBatch)
 	mux.HandleFunc("POST /v1/apps/{app}/logs", srv.ingestLogs)
 	mux.HandleFunc("POST /v1/apps/{app}/retrain", srv.retrain)
 
-	log.Printf("listening on %s (models in %s)", *addr, *modelsDir)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: mux}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+	log.Printf("listening on %s (models in %s)", ln.Addr(), *modelsDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("received %s, shutting down", got)
+	if err := shutdown(httpSrv, ctl, dispatcher, 15*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shutdown complete")
+}
+
+// shutdown runs the graceful teardown sequence: stop accepting HTTP (letting
+// in-flight handlers finish), stop the drift control loop, then close the
+// scheduler's intake and drain its queued backlog. The timeout bounds the
+// whole sequence. Every stage runs even when an earlier one errors — a hung
+// client connection must not leave the control loop running or the backlog
+// silently abandoned — and the first error is reported (a scheduler that
+// cannot drain in time says how much work it abandoned).
+func shutdown(srv *http.Server, ctl *querc.Controller, dispatcher *querc.Dispatcher, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	var firstErr error
+	if err := srv.Shutdown(ctx); err != nil {
+		firstErr = fmt.Errorf("http shutdown: %w", err)
+	}
+	if ctl != nil {
+		ctl.Stop()
+	}
+	if dispatcher != nil {
+		dispatcher.Close()
+		// The budget may already be spent (Drain treats <= 0 as "wait
+		// forever"); keep a floor so an exhausted deadline reports the
+		// abandoned backlog instead of hanging.
+		remaining := time.Until(deadline)
+		if remaining < time.Second {
+			remaining = time.Second
+		}
+		if err := dispatcher.Drain(remaining); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// buildScheduler assembles the scheduling plane from the -sched, -backends,
+// and -sla flag values.
+func buildScheduler(policy, backendsSpec, slaSpec string, queueCap int) (*querc.Dispatcher, error) {
+	sla, slaOrder, err := parseSLA(slaSpec)
+	if err != nil {
+		return nil, err
+	}
+	// The daemon's executor simulates execution: each task sleeps its
+	// estimated cost (CostMS from the runtimeMS label, else 10ms). Real
+	// deployments construct the dispatcher through the library and supply a
+	// real executor per backend.
+	backends, err := parseBackends(backendsSpec, querc.SimSchedExecutor(1.0, nil, 10))
+	if err != nil {
+		return nil, err
+	}
+	// Dispatch priority: the canonical resource classes first (light work
+	// is the cheapest to protect), then any other -sla classes in the
+	// order declared on the flag.
+	classOrder := []string{"light", "medium", "heavy"}
+	for _, class := range slaOrder {
+		known := false
+		for _, c := range classOrder {
+			if c == class {
+				known = true
+				break
+			}
+		}
+		if !known {
+			classOrder = append(classOrder, class)
+		}
+	}
+	cfg := querc.SchedulerConfig{
+		Backends:   backends,
+		QueueCap:   queueCap,
+		SLA:        sla,
+		ClassOrder: classOrder,
+	}
+	switch policy {
+	case "fifo":
+		cfg.Policy = querc.FIFOPolicy{}
+	case "label":
+		cfg.Policy = &querc.LabelPolicy{}
+	default:
+		return nil, fmt.Errorf("unknown -sched policy %q (fifo or label)", policy)
+	}
+	return querc.NewDispatcher(cfg)
+}
+
+// parseBackends parses "name:slots[,name:slots...]" into a backend pool
+// sharing one executor.
+func parseBackends(spec string, exec querc.SchedExecutor) ([]querc.SchedBackend, error) {
+	var out []querc.SchedBackend
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, slotsStr, ok := strings.Cut(part, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("backend %q: want name:slots", part)
+		}
+		slots, err := strconv.Atoi(slotsStr)
+		if err != nil || slots <= 0 {
+			return nil, fmt.Errorf("backend %q: invalid slot count", part)
+		}
+		out = append(out, querc.SchedBackend{Name: name, Slots: slots, Exec: exec})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-backends %q declares no backends", spec)
+	}
+	return out, nil
+}
+
+// parseSLA parses "class:duration[,class:duration...]" into latency targets,
+// also returning the class names in declaration order (which feeds dispatch
+// priority for classes outside the canonical light/medium/heavy set).
+func parseSLA(spec string) (map[string]time.Duration, []string, error) {
+	out := make(map[string]time.Duration)
+	var order []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		class, durStr, ok := strings.Cut(part, ":")
+		if !ok || class == "" {
+			return nil, nil, fmt.Errorf("sla %q: want class:duration", part)
+		}
+		d, err := time.ParseDuration(durStr)
+		if err != nil || d <= 0 {
+			return nil, nil, fmt.Errorf("sla %q: invalid duration", part)
+		}
+		if _, dup := out[class]; !dup {
+			order = append(order, class)
+		}
+		out[class] = d
+	}
+	return out, order, nil
 }
 
 // startPprof starts the profiling side listener when addr is non-empty: the
@@ -149,6 +340,7 @@ func startPprof(addr string) (net.Listener, error) {
 type server struct {
 	svc      *querc.Service
 	registry *querc.Registry
+	sched    *querc.Dispatcher // nil when the scheduling plane is disabled
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -193,7 +385,22 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		}
 		apps = append(apps, st)
 	}
-	resp := map[string]any{"apps": apps, "driftPlane": ctl != nil}
+	resp := map[string]any{"apps": apps, "driftPlane": ctl != nil, "schedulerPlane": s.sched != nil}
+	if s.sched != nil {
+		// Counters, not Stats: the rollup needs no queue listings or
+		// latency percentiles, so don't pay for reservoir copies per poll.
+		st := s.sched.Counters()
+		resp["scheduler"] = map[string]any{
+			"policy":    st.Policy,
+			"submitted": st.Submitted,
+			"completed": st.Completed,
+			"rejected":  st.Rejected,
+			"shed":      st.Shed,
+			"evicted":   st.Evicted,
+			"backlog":   st.Backlog,
+			"inflight":  st.Inflight,
+		}
+	}
 	if c := s.svc.VectorCache(); c != nil {
 		st := c.Stats()
 		resp["vectorCache"] = map[string]any{
@@ -226,6 +433,17 @@ func (s *server) driftStatus(w http.ResponseWriter, r *http.Request) {
 		"ticks":     ctl.Ticks(),
 		"apps":      ctl.Status(),
 	})
+}
+
+// schedStatus reports the scheduling plane's full snapshot: queue depths,
+// per-class SLA accounting (violations, penalty, p50/p99), shed/steal
+// counters, and backend occupancy. 404 when the plane is disabled.
+func (s *server) schedStatus(w http.ResponseWriter, r *http.Request) {
+	if s.sched == nil {
+		httpError(w, http.StatusNotFound, "scheduling plane disabled (start quercd with -sched fifo|label)")
+		return
+	}
+	writeJSON(w, s.sched.Stats())
 }
 
 func (s *server) listModels(w http.ResponseWriter, r *http.Request) {

@@ -3,10 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"querc"
 	"querc/internal/core"
@@ -27,6 +29,7 @@ func newTestServer(t *testing.T) (*server, *http.ServeMux) {
 	mux.HandleFunc("GET /v1/models", s.listModels)
 	mux.HandleFunc("GET /v1/stats", s.stats)
 	mux.HandleFunc("GET /v1/drift", s.driftStatus)
+	mux.HandleFunc("GET /v1/sched", s.schedStatus)
 	mux.HandleFunc("POST /v1/apps/{app}/queries", s.submitQuery)
 	mux.HandleFunc("POST /v1/apps/{app}/queries:batch", s.submitBatch)
 	mux.HandleFunc("POST /v1/apps/{app}/logs", s.ingestLogs)
@@ -297,6 +300,148 @@ func TestListEndpoints(t *testing.T) {
 	rr = do(t, mux, "GET", "/v1/models", "")
 	if rr.Code != http.StatusOK {
 		t.Fatalf("models: %d %s", rr.Code, rr.Body)
+	}
+}
+
+// TestSchedEndpoint covers both sides of the scheduling plane's HTTP
+// surface: 404 while disabled, and queue/SLA/backend accounting once a
+// dispatcher is attached and queries flow through it.
+func TestSchedEndpoint(t *testing.T) {
+	s, mux := newTestServer(t)
+	if rr := do(t, mux, "GET", "/v1/sched", ""); rr.Code != http.StatusNotFound {
+		t.Fatalf("sched while disabled: %d", rr.Code)
+	}
+
+	d, err := buildScheduler("label", "bk1:2,bk2:1", "light:1ns", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.sched = d
+	s.svc.AttachScheduler(d)
+	s.svc.Deploy("app1", &core.Classifier{
+		LabelKey: "resource",
+		Embedder: constEmbedder{},
+		Labeler:  &core.RuleLabeler{RuleName: "r", Rule: func(v querc.Vector) string { return "light" }},
+	})
+	for i := 0; i < 3; i++ {
+		if rr := do(t, mux, "POST", "/v1/apps/app1/queries", `{"sql":"select 1"}`); rr.Code != http.StatusOK {
+			t.Fatalf("submit %d: %d %s", i, rr.Code, rr.Body)
+		}
+	}
+	if err := d.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	rr := do(t, mux, "GET", "/v1/sched", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("sched: %d %s", rr.Code, rr.Body)
+	}
+	var snap querc.SchedulerStats
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Policy != "label" || snap.Submitted != 3 || snap.Completed != 3 {
+		t.Fatalf("sched snapshot: %+v", snap)
+	}
+	if len(snap.Backends) != 2 || snap.Backends[0].Name != "bk1" || snap.Backends[0].Slots != 2 {
+		t.Fatalf("backends: %+v", snap.Backends)
+	}
+	var light *querc.SchedSLASnapshot
+	for i := range snap.Classes {
+		if snap.Classes[i].Class == "light" {
+			light = &snap.Classes[i]
+		}
+	}
+	if light == nil || light.Completed != 3 || light.Violations != 3 {
+		t.Fatalf("light SLA accounting: %+v", snap.Classes)
+	}
+
+	// Scheduler counters roll up into /v1/stats once the plane is on.
+	rr = do(t, mux, "GET", "/v1/stats", "")
+	var stats struct {
+		SchedulerPlane bool `json:"schedulerPlane"`
+		Scheduler      *struct {
+			Policy    string `json:"policy"`
+			Submitted uint64 `json:"submitted"`
+			Completed uint64 `json:"completed"`
+		} `json:"scheduler"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.SchedulerPlane || stats.Scheduler == nil || stats.Scheduler.Completed != 3 {
+		t.Fatalf("stats scheduler rollup: %+v", stats)
+	}
+	d.Close()
+}
+
+// TestParseBackendsAndSLA pins the -backends / -sla flag grammar.
+func TestParseBackendsAndSLA(t *testing.T) {
+	exec := func(*querc.SchedTask) error { return nil }
+	bks, err := parseBackends("a:2, b:1", exec)
+	if err != nil || len(bks) != 2 || bks[0].Name != "a" || bks[0].Slots != 2 || bks[1].Name != "b" {
+		t.Fatalf("parseBackends: %+v %v", bks, err)
+	}
+	for _, bad := range []string{"", "a", "a:0", "a:x", ":3"} {
+		if _, err := parseBackends(bad, exec); err == nil {
+			t.Fatalf("parseBackends(%q) must fail", bad)
+		}
+	}
+	sla, order, err := parseSLA("light:250ms, interactive:1s, batch:60s")
+	if err != nil || sla["light"] != 250*time.Millisecond || sla["batch"] != 60*time.Second {
+		t.Fatalf("parseSLA: %+v %v", sla, err)
+	}
+	if len(order) != 3 || order[1] != "interactive" || order[2] != "batch" {
+		t.Fatalf("parseSLA order: %v", order)
+	}
+	if got, _, err := parseSLA(""); err != nil || len(got) != 0 {
+		t.Fatalf("empty sla: %+v %v", got, err)
+	}
+	for _, bad := range []string{"light", "light:nope", ":1s", "light:-1s"} {
+		if _, _, err := parseSLA(bad); err == nil {
+			t.Fatalf("parseSLA(%q) must fail", bad)
+		}
+	}
+	if _, err := buildScheduler("nope", "a:1", "", 8); err == nil {
+		t.Fatal("unknown policy must fail")
+	}
+}
+
+// TestGracefulShutdown pins the teardown sequence: the HTTP listener stops
+// accepting, in-flight work drains from the scheduler, and shutdown returns
+// only after both.
+func TestGracefulShutdown(t *testing.T) {
+	d, err := buildScheduler("fifo", "bk:1", "", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue a couple of simulated tasks (10ms default cost each) so the
+	// drain has real work to wait for.
+	for i := 0; i < 3; i++ {
+		if err := d.Enqueue(&core.LabeledQuery{SQL: "select 1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.NewServeMux()}
+	go srv.Serve(ln)
+
+	if err := shutdown(srv, nil, d, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Completed != 3 || st.Backlog != 0 || st.Inflight != 0 {
+		t.Fatalf("scheduler not drained: %+v", st)
+	}
+	if err := d.Enqueue(&core.LabeledQuery{SQL: "late"}); err != querc.ErrSchedClosed {
+		t.Fatalf("post-shutdown enqueue: %v", err)
+	}
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), 100*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting after shutdown")
 	}
 }
 

@@ -51,14 +51,17 @@ func TestGenerateTPCH(t *testing.T) {
 }
 
 // TestGenerateSnow generates the multi-tenant workload and checks the
-// labeled-query fields (§5.2's training labels) survive the JSON round trip.
+// labeled-query fields (§5.2's training labels) survive the JSON round
+// trip, execution labels included — scheduling experiments replay dumped
+// workloads offline against the runtimeMS ground truth.
 func TestGenerateSnow(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-kind", "snow", "-profile", "training", "-scale", "0.001"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	// Determinism: the same seed reproduces the same workload. (Compared
-	// before parsing — the scanner drains the buffer.)
+	// Determinism: the same seed reproduces the same workload byte for
+	// byte, execution labels (runtimeMS, memoryMB, errorCode) included.
+	// (Compared before parsing — the scanner drains the buffer.)
 	var again bytes.Buffer
 	if err := run([]string{"-kind", "snow", "-profile", "training", "-scale", "0.001"}, &again); err != nil {
 		t.Fatal(err)
@@ -72,12 +75,23 @@ func TestGenerateSnow(t *testing.T) {
 	}
 	accounts := map[string]bool{}
 	for i, rec := range recs {
-		for _, field := range []string{"SQL", "Account", "User"} {
+		for _, field := range []string{"sql", "account", "user", "cluster"} {
 			if v, _ := rec[field].(string); v == "" {
 				t.Fatalf("record %d missing %s: %v", i, field, rec)
 			}
 		}
-		accounts[rec["Account"].(string)] = true
+		if rt, ok := rec["runtimeMS"].(float64); !ok || rt <= 0 {
+			t.Fatalf("record %d has no usable runtimeMS: %v", i, rec)
+		}
+		if mem, ok := rec["memoryMB"].(float64); !ok || mem <= 0 {
+			t.Fatalf("record %d has no usable memoryMB: %v", i, rec)
+		}
+		// errorCode is "" on success but the key always serializes, so
+		// offline consumers can distinguish "succeeded" from "not dumped".
+		if _, ok := rec["errorCode"].(string); !ok {
+			t.Fatalf("record %d missing errorCode: %v", i, rec)
+		}
+		accounts[rec["account"].(string)] = true
 	}
 	if len(accounts) < 2 {
 		t.Fatalf("expected a multi-tenant workload, got accounts %v", accounts)

@@ -1,0 +1,153 @@
+// Scheduling plane example: turn predicted labels into actions. A resource
+// allocator and a routing checker annotate a multi-tenant stream; a
+// dispatcher downstream of the Qworker admits each query into a per-class
+// priority queue (predicted resource class), prefers its predicted home
+// backend (routing cluster), and accounts per-class SLA targets. The same
+// stream replayed under a label-blind FIFO baseline shows what the labels
+// buy: light interactive queries stop waiting behind heavy batch work.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+	"time"
+
+	"querc"
+	"querc/internal/apps"
+	"querc/internal/snowgen"
+)
+
+// timeScale compresses workload milliseconds into wall clock for the
+// simulated executor: a 100ms query "runs" in 2ms. All latencies printed
+// below are converted back to workload milliseconds.
+const timeScale = 0.02
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A two-tenant workload on two clusters. Every query carries
+	// ground-truth execution labels (runtimeMS) — the simulated backends
+	// replay those, while the scheduler only ever sees predictions.
+	qs := snowgen.Generate(snowgen.Options{
+		Accounts: []snowgen.AccountSpec{
+			{Name: "acme", Users: 6, Queries: 900, SharedFraction: 0.2, Dialect: snowgen.DialectSnow},
+			{Name: "bolt", Users: 6, Queries: 900, SharedFraction: 0.2, Dialect: snowgen.DialectAnsi},
+		},
+		Seed: 17,
+	})
+	sqls := make([]string, len(qs))
+	runtimes := make([]float64, len(qs))
+	clusters := make([]string, len(qs))
+	for i, q := range qs {
+		sqls[i], runtimes[i], clusters[i] = q.SQL, q.RuntimeMS, q.Cluster
+	}
+
+	// 2. Two labeling tasks on one shared embedder: the §4 resource
+	// allocator (runtime tertiles → light/medium/heavy) and routing checker
+	// (query text → home cluster).
+	cfg := querc.DefaultDoc2VecConfig()
+	cfg.Dim = 24
+	cfg.Epochs = 3
+	trainN := 600
+	embedder, err := querc.TrainDoc2Vec("sched-example", sqls[:trainN], cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alloc := apps.NewResourceAllocator(embedder, querc.DefaultForestConfig())
+	if err := alloc.Train(sqls[:trainN], runtimes[:trainN]); err != nil {
+		log.Fatal(err)
+	}
+	router := apps.NewRoutingChecker(embedder, querc.DefaultForestConfig())
+	if err := router.Train(sqls[:trainN], clusters[:trainN]); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained tertile cut points: light <= %.0fms < medium <= %.0fms < heavy\n\n",
+		alloc.LightMax, alloc.MediumMax)
+
+	// 3. Annotate the stream through the Qworker plane (one embed per
+	// query, fanned to both labelers), and attach the ground-truth runtime
+	// for the simulated executor.
+	svc := querc.NewService()
+	svc.AddApplication("warehouse", 256, nil)
+	must(svc.Deploy("warehouse", alloc.Classifier()))
+	must(svc.Deploy("warehouse", router.Classifier()))
+	annotated, err := svc.SubmitBatch("warehouse", sqls, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, q := range annotated {
+		q.SetLabel("runtimeMS", strconv.FormatFloat(runtimes[i], 'f', 1, 64))
+	}
+
+	// 4. SLA targets per resource class, in workload milliseconds: tight
+	// for interactive light traffic, loose for batch-tolerant heavy
+	// traffic. Both policies below are accounted against these same
+	// targets.
+	slaMS := map[string]float64{"light": 500, "medium": 2000, "heavy": 50000}
+	sla := make(map[string]time.Duration, len(slaMS))
+	for class, ms := range slaMS {
+		sla[class] = time.Duration(ms * timeScale * float64(time.Millisecond))
+	}
+	replay := func(policy querc.SchedulerPolicy) querc.SchedulerStats {
+		d, err := querc.NewDispatcher(querc.SchedulerConfig{
+			Policy: policy,
+			Backends: []querc.SchedBackend{
+				// One simulated backend per cluster; the label policy
+				// routes each predicted cluster to its home backend.
+				{Name: "cluster_01", Slots: 2, Exec: querc.SimSchedExecutor(timeScale, nil, 50)},
+				{Name: "cluster_02", Slots: 2, Exec: querc.SimSchedExecutor(timeScale, nil, 50)},
+			},
+			ClassOrder: []string{"light", "medium", "heavy"},
+			QueueCap:   150,
+			SLA:        sla,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The dispatcher normally sits behind the Qworker Forward edge
+		// (svc.AttachScheduler(d)); replaying the pre-annotated stream
+		// directly keeps the two policy runs identical. The bounded queue
+		// backpressures: a full backlog throttles admission to the
+		// backends' service rate — same discipline for both policies.
+		for _, q := range annotated {
+			for {
+				err := d.Enqueue(q)
+				if err == nil {
+					break
+				}
+				if err != querc.ErrSchedQueueFull {
+					log.Fatal(err)
+				}
+				time.Sleep(300 * time.Microsecond)
+			}
+		}
+		d.Close()
+		must(d.Drain(2 * time.Minute))
+		return d.Stats()
+	}
+
+	// 5. Same stream, same backends, same targets — only the policy
+	// differs. FIFO is label-blind; the label policy acts on predictions.
+	for _, policy := range []querc.SchedulerPolicy{querc.FIFOPolicy{}, &querc.LabelPolicy{}} {
+		st := replay(policy)
+		var violations uint64
+		fmt.Printf("policy %q  (stolen from preferred backend: %d)\n", st.Policy, st.Stolen)
+		fmt.Printf("  %-8s %10s %12s %12s %12s\n", "class", "completed", "violations", "p50-ms", "p99-ms")
+		for _, c := range st.Classes {
+			violations += c.Violations
+			fmt.Printf("  %-8s %10d %12d %12.0f %12.0f\n",
+				c.Class, c.Completed, c.Violations, c.P50MS/timeScale, c.P99MS/timeScale)
+		}
+		fmt.Printf("  total SLA violations: %d of %d\n\n", violations, st.Completed)
+	}
+	fmt.Println("the label-driven policy keeps light/medium latencies inside their")
+	fmt.Println("targets by letting the loose-deadline heavy queue absorb the backlog;")
+	fmt.Println("run `go run ./cmd/quercbench -experiment sched` for the measured version.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -241,6 +241,114 @@ func TestResourceAllocatorBucketsBalanced(t *testing.T) {
 	}
 }
 
+// TestResourceAllocatorBoundaryTies pins the tertile cut-point contract:
+// boundaries are the last value of each lower bucket, so a runtime exactly
+// on a cut point classifies into the lower class (stable under ties).
+func TestResourceAllocatorBoundaryTies(t *testing.T) {
+	var sqls []string
+	var runtimes []float64
+	for i := 0; i < 9; i++ {
+		sqls = append(sqls, fmt.Sprintf("select a from t -- %d", i))
+		runtimes = append(runtimes, []float64{10, 100, 1000}[i/3])
+	}
+	r := NewResourceAllocator(hashEmbedder{32}, forest.Config{NumTrees: 5, Seed: 1})
+	if err := r.Train(sqls, runtimes); err != nil {
+		t.Fatal(err)
+	}
+	if r.LightMax != 10 || r.MediumMax != 100 {
+		t.Fatalf("cut points: light<=%v medium<=%v", r.LightMax, r.MediumMax)
+	}
+	for _, tc := range []struct {
+		runtime float64
+		want    ResourceClass
+	}{
+		{10, ClassLight},   // exactly on the light boundary → lower class
+		{10.01, ClassMedium},
+		{100, ClassMedium}, // exactly on the medium boundary → lower class
+		{100.01, ClassHeavy},
+		{0, ClassLight},
+		{1e9, ClassHeavy},
+	} {
+		if got := r.TrueClass(tc.runtime); got != tc.want {
+			t.Fatalf("TrueClass(%v) = %v, want %v", tc.runtime, got, tc.want)
+		}
+	}
+}
+
+// TestResourceAllocatorTinyTrainingSets pins the n<3 degenerate tertiles:
+// both cut points collapse onto the same value, everything at or below it is
+// light, everything above is heavy, and training still succeeds.
+func TestResourceAllocatorTinyTrainingSets(t *testing.T) {
+	r1 := NewResourceAllocator(hashEmbedder{32}, forest.Config{NumTrees: 5, Seed: 2})
+	if err := r1.Train([]string{"select a from t"}, []float64{50}); err != nil {
+		t.Fatalf("n=1: %v", err)
+	}
+	if r1.LightMax != 50 || r1.MediumMax != 50 {
+		t.Fatalf("n=1 cut points: %v %v", r1.LightMax, r1.MediumMax)
+	}
+	if r1.TrueClass(50) != ClassLight || r1.TrueClass(51) != ClassHeavy {
+		t.Fatalf("n=1 classes: %v %v", r1.TrueClass(50), r1.TrueClass(51))
+	}
+	if cls, _ := r1.Predict("select a from t"); cls != ClassLight {
+		t.Fatalf("n=1 predict: %v", cls)
+	}
+
+	r2 := NewResourceAllocator(hashEmbedder{32}, forest.Config{NumTrees: 5, Seed: 3})
+	if err := r2.Train([]string{"select a from t", "select b from u"}, []float64{30, 70}); err != nil {
+		t.Fatalf("n=2: %v", err)
+	}
+	// sorted = [30, 70]: i1 = 2/3-1 < 0 → 0, i2 = 4/3-1 = 0 → both 30.
+	if r2.LightMax != 30 || r2.MediumMax != 30 {
+		t.Fatalf("n=2 cut points: %v %v", r2.LightMax, r2.MediumMax)
+	}
+	if r2.TrueClass(30) != ClassLight || r2.TrueClass(70) != ClassHeavy {
+		t.Fatalf("n=2 classes: %v %v", r2.TrueClass(30), r2.TrueClass(70))
+	}
+
+	// Empty and mismatched sets must fail, not degenerate.
+	if err := r2.Train(nil, nil); err == nil {
+		t.Fatal("empty training set must fail")
+	}
+	if err := r2.Train([]string{"a"}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}
+
+// TestResourceAllocatorTrainingAgreement pins that on separable training
+// data, Predict agrees with TrueClass on the training rows themselves — the
+// labeler learns the buckets the cut points define, from syntax alone.
+func TestResourceAllocatorTrainingAgreement(t *testing.T) {
+	var sqls []string
+	var runtimes []float64
+	for i := 0; i < 300; i++ {
+		switch i % 3 {
+		case 0:
+			sqls = append(sqls, fmt.Sprintf("select a from t where id = %d", i))
+			runtimes = append(runtimes, 10+float64(i%7))
+		case 1:
+			sqls = append(sqls, fmt.Sprintf("select a, sum(b) from t join u group by a -- %d", i))
+			runtimes = append(runtimes, 100+float64(i%7))
+		default:
+			sqls = append(sqls, fmt.Sprintf("select * from t join u join v join w order by 1 -- %d", i))
+			runtimes = append(runtimes, 1000+float64(i%7))
+		}
+	}
+	r := NewResourceAllocator(hashEmbedder{64}, forest.Config{NumTrees: 20, Seed: 5})
+	if err := r.Train(sqls, runtimes); err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i, sql := range sqls {
+		pred, _ := r.Predict(sql)
+		if pred == r.TrueClass(runtimes[i]) {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(sqls)); frac < 0.95 {
+		t.Fatalf("training-set agreement %.2f, want >= 0.95", frac)
+	}
+}
+
 func TestQueryRecommenderSuggestsNext(t *testing.T) {
 	// Session pattern: users alternate A → B strictly.
 	var log []string

@@ -37,6 +37,7 @@ type Qworker struct {
 	ring        []*LabeledQuery // fixed-size ring buffer of recent queries
 	ringStart   int             // index of the oldest retained query
 	ringLen     int             // number of valid entries (<= len(ring))
+	fwdClaimed  bool            // Forward was claimed explicitly (SetForward / AddApplication arg)
 
 	// Forward receives annotated queries bound for the database. nil when
 	// Querc is out of the critical path (fork-only deployments, §2). It must
@@ -97,6 +98,30 @@ func NewQworker(app string, windowSize int) *Qworker {
 func (w *Qworker) SetVectorCache(c *VectorCache) {
 	w.mu.Lock()
 	w.vectors = c
+	w.mu.Unlock()
+}
+
+// SetForward replaces the worker's downstream Forward edge and claims it: a
+// later Service.AttachScheduler will not overwrite an edge installed here.
+// Passing nil clears the edge and releases the claim — the worker forwards
+// nowhere until the NEXT AttachScheduler call (or SetForward) wires it
+// again. Safe to call while Process or ProcessBatch runs; in-flight batches
+// keep the forward they started with.
+func (w *Qworker) SetForward(f func(*LabeledQuery)) {
+	w.mu.Lock()
+	w.Forward = f
+	w.fwdClaimed = f != nil
+	w.mu.Unlock()
+}
+
+// setSchedulerForward installs the scheduling plane's forward, unless the
+// edge is explicitly claimed (SetForward, or a non-nil AddApplication
+// forward) — the caller owns a claimed edge.
+func (w *Qworker) setSchedulerForward(f func(*LabeledQuery)) {
+	w.mu.Lock()
+	if !w.fwdClaimed {
+		w.Forward = f
+	}
 	w.mu.Unlock()
 }
 

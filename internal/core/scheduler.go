@@ -1,0 +1,49 @@
+package core
+
+// Scheduler is the admission interface of the scheduling plane — the
+// downstream edge annotated queries forward into once one is attached
+// (internal/sched implements it). Enqueue must not block: overload surfaces
+// as an error (backpressure or shedding), which the forwarding path drops by
+// design — the dispatcher's own counters account every rejected query, and a
+// Qworker never stalls its stream on a saturated scheduler.
+type Scheduler interface {
+	Enqueue(q *LabeledQuery) error
+}
+
+// AttachScheduler wires the scheduling plane into the service: every
+// unclaimed Forward edge is replaced with the scheduler's Enqueue (errors
+// intentionally dropped — see Scheduler), and workers added later inherit
+// it the same way. A claimed edge — a non-nil forward passed to
+// AddApplication, or one installed via Qworker.SetForward — is never
+// overwritten: the caller owns it. Attaching nil detaches: scheduler-wired
+// workers forward nowhere again; attaching a different scheduler replaces
+// the previous one on those same workers.
+func (s *Service) AttachScheduler(sched Scheduler) {
+	s.mu.Lock()
+	s.scheduler = sched
+	workers := make([]*Qworker, 0, len(s.workers))
+	for _, w := range s.workers {
+		workers = append(workers, w)
+	}
+	s.mu.Unlock()
+	f := forwardInto(sched)
+	for _, w := range workers {
+		w.setSchedulerForward(f)
+	}
+}
+
+// Scheduler returns the attached scheduling plane, or nil.
+func (s *Service) Scheduler() Scheduler {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.scheduler
+}
+
+// forwardInto adapts a Scheduler to the Qworker Forward signature (nil for a
+// nil scheduler).
+func forwardInto(sched Scheduler) func(*LabeledQuery) {
+	if sched == nil {
+		return nil
+	}
+	return func(q *LabeledQuery) { _ = sched.Enqueue(q) }
+}

@@ -19,6 +19,7 @@ type Service struct {
 	training   *TrainingModule
 	vectors    *VectorCache
 	controller *Controller // drift control loop; nil until enabled
+	scheduler  Scheduler   // scheduling plane; nil until attached
 }
 
 // NewService returns a service with an empty worker set, a fresh training
@@ -66,15 +67,21 @@ func (s *Service) SetVectorCache(c *VectorCache) {
 // AddApplication registers a Qworker for the named application stream and
 // wires its fork into the training module and its embedding plane into the
 // shared vector cache. forward may be nil when Querc is out of the critical
-// path (§2: "queries will be forked to Querc"). Workers added after
-// EnableDriftControl start with drift sampling on, so the control loop
-// covers them too.
+// path (§2: "queries will be forked to Querc"); with a scheduler attached
+// (AttachScheduler), a nil forward defaults to the scheduling plane instead.
+// Workers added after EnableDriftControl start with drift sampling on, so
+// the control loop covers them too.
 func (s *Service) AddApplication(app string, windowSize int, forward func(*LabeledQuery)) *Qworker {
 	w := NewQworker(app, windowSize)
-	w.Forward = forward
 	w.Sink = s.training.Ingest
 	w.BatchSink = func(qs []*LabeledQuery) { s.training.IngestBatch(app, qs) }
 	s.mu.Lock()
+	if forward != nil {
+		w.fwdClaimed = true // the caller owns this edge; AttachScheduler keeps off it
+	} else {
+		forward = forwardInto(s.scheduler)
+	}
+	w.Forward = forward
 	w.SetVectorCache(s.vectors)
 	if s.controller != nil {
 		w.SetDriftSampling(true)

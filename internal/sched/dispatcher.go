@@ -1,0 +1,655 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"querc/internal/core"
+)
+
+// Admission errors.
+var (
+	// ErrQueueFull is backpressure: the backlog bound is reached and
+	// shedding is off. Callers own the retry policy (block, drop, divert).
+	ErrQueueFull = errors.New("sched: queue full")
+	// ErrShed reports that the submitted task itself was shed: the backlog
+	// is full of work with equal or higher priority.
+	ErrShed = errors.New("sched: task shed")
+	// ErrClosed reports submission after Close.
+	ErrClosed = errors.New("sched: dispatcher closed")
+)
+
+// Config configures a Dispatcher.
+type Config struct {
+	// Policy admits and orders tasks. Default: FIFO.
+	Policy Policy
+	// Backends is the execution pool (at least one, unique non-empty names).
+	Backends []Backend
+	// ClassOrder lists queue classes in dispatch priority, highest first.
+	// Classes first seen at admission rank after all listed ones, in order
+	// of appearance. Within this order dispatch is strict priority — a
+	// listed class starves classes after it under sustained overload, which
+	// is the intended degradation mode (shed or slow the cheap-to-miss
+	// classes, protect the rest).
+	ClassOrder []string
+	// QueueCap bounds the total queued backlog across all classes
+	// (<= 0 means 1024). Admission past the bound is backpressure
+	// (ErrQueueFull) or, with Shed, eviction of lowest-priority work.
+	QueueCap int
+	// SLA maps an SLA class to its latency target. Completion later than
+	// Submitted+target counts a violation and accrues penalty. Classes
+	// without a target are tracked but never violate.
+	SLA map[string]time.Duration
+	// SLAKey is the label key naming a query's SLA class (default
+	// "resource"; missing label means class "default"). It is deliberately
+	// independent of Policy.Admit so FIFO and label-driven runs account
+	// violations against identical per-query targets.
+	SLAKey string
+	// CostKey is the label key carrying a service-time estimate in
+	// milliseconds for Task.CostMS (default "runtimeMS"; SimExecutor
+	// consumes it).
+	CostKey string
+	// Shed switches overload behavior from backpressure to load shedding:
+	// admission past QueueCap evicts the least-urgent task of the
+	// lowest-priority backlogged class (or drops the incoming task when
+	// nothing queued is lower priority than it).
+	Shed bool
+	// OnDone, when set, receives every executed task after SLA accounting
+	// (outside the dispatcher lock). Experiments use it to collect
+	// latencies.
+	OnDone func(*Task)
+	// OnEvict, when set, receives every admitted task later evicted by
+	// load shedding (outside the dispatcher lock, with Err = ErrShed).
+	// Callers holding per-task resources — a client waiting on the query,
+	// say — release them here; evicted tasks never reach OnDone.
+	OnEvict func(*Task)
+}
+
+// backend is the runtime state of one configured Backend.
+type backend struct {
+	name      string
+	slots     int
+	exec      Executor
+	busy      int
+	completed uint64
+}
+
+// classQueue is one class's pending tasks, bucketed by backend affinity so a
+// backend's preferred work is O(1) to find. Buckets stay sorted by the
+// dispatcher's policy ordering.
+type classQueue struct {
+	byAff map[string][]*Task
+	n     int
+}
+
+// slaLatencyWindow bounds the per-class latency reservoir backing the
+// p50/p99 snapshot metrics.
+const slaLatencyWindow = 4096
+
+// slaStats accumulates one SLA class's accounting.
+type slaStats struct {
+	completed  uint64
+	violations uint64
+	dropped    uint64 // shed under overload (evicted from the queue or refused at admission)
+	penaltyMS  float64
+	lat        []float64 // ring of recent latencies (ms)
+	latN       int       // valid entries
+	latIdx     int       // next write position
+}
+
+func (s *slaStats) record(latMS float64) {
+	if s.lat == nil {
+		s.lat = make([]float64, slaLatencyWindow)
+	}
+	s.lat[s.latIdx] = latMS
+	s.latIdx = (s.latIdx + 1) % len(s.lat)
+	if s.latN < len(s.lat) {
+		s.latN++
+	}
+}
+
+// percentiles returns (p50, p99) over a copied latency window, using
+// nearest-rank (ceil) indices so p99 never ranks below p50 on small
+// samples. It sorts xs in place, so callers pass a copy taken under the
+// dispatcher lock and call this after releasing it — the sort never stalls
+// admission or dispatch.
+func percentiles(xs []float64) (float64, float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(xs)
+	p99 := (99*len(xs)+99)/100 - 1
+	return xs[len(xs)/2], xs[p99]
+}
+
+// Dispatcher owns the scheduling plane's queues and backend pool. Create
+// with New; it starts dispatching immediately. All methods are safe for
+// concurrent use.
+type Dispatcher struct {
+	policy   Policy
+	queueCap int
+	slaKey   string
+	costKey  string
+	shed     bool
+	sla      map[string]time.Duration
+	onDone   func(*Task)
+	onEvict  func(*Task)
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   map[string]*classQueue
+	order    []string // realized dispatch priority
+	listed   int      // first `listed` entries of order came from ClassOrder
+	backends map[string]*backend
+	names    []string // backend names, config order
+	closed   bool
+	waiting  int // goroutines parked in cond.Wait
+	seq      uint64
+	backlog  int
+	inflight int
+
+	submitted uint64
+	completed uint64
+	rejected  uint64
+	shedCount uint64 // incoming tasks refused by shedding (never counted in submitted)
+	evicted   uint64 // queued tasks evicted by shedding (counted in submitted, never completed)
+	stolen    uint64
+	perSLA    map[string]*slaStats
+
+	wg sync.WaitGroup
+}
+
+// New validates cfg, builds the dispatcher, and starts one goroutine per
+// backend slot. Close stops intake; Drain waits for the backlog to finish.
+func New(cfg Config) (*Dispatcher, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("sched: at least one backend required")
+	}
+	d := &Dispatcher{
+		policy:   cfg.Policy,
+		queueCap: cfg.QueueCap,
+		slaKey:   cfg.SLAKey,
+		costKey:  cfg.CostKey,
+		shed:     cfg.Shed,
+		sla:      make(map[string]time.Duration, len(cfg.SLA)),
+		onDone:   cfg.OnDone,
+		onEvict:  cfg.OnEvict,
+		queues:   make(map[string]*classQueue),
+		backends: make(map[string]*backend, len(cfg.Backends)),
+		perSLA:   make(map[string]*slaStats),
+	}
+	if d.policy == nil {
+		d.policy = FIFO{}
+	}
+	if d.queueCap <= 0 {
+		d.queueCap = 1024
+	}
+	if d.slaKey == "" {
+		d.slaKey = "resource"
+	}
+	if d.costKey == "" {
+		d.costKey = "runtimeMS"
+	}
+	for class, target := range cfg.SLA {
+		d.sla[class] = target
+	}
+	d.cond = sync.NewCond(&d.mu)
+	for _, class := range cfg.ClassOrder {
+		d.classIndexLocked(class)
+	}
+	d.listed = len(d.order)
+	for _, b := range cfg.Backends {
+		if b.Name == "" {
+			return nil, fmt.Errorf("sched: backend with empty name")
+		}
+		if _, dup := d.backends[b.Name]; dup {
+			return nil, fmt.Errorf("sched: duplicate backend %q", b.Name)
+		}
+		if b.Exec == nil {
+			return nil, fmt.Errorf("sched: backend %q has no executor", b.Name)
+		}
+		slots := b.Slots
+		if slots <= 0 {
+			slots = 1
+		}
+		d.backends[b.Name] = &backend{name: b.Name, slots: slots, exec: b.Exec}
+		d.names = append(d.names, b.Name)
+	}
+	for _, name := range d.names {
+		bk := d.backends[name]
+		for i := 0; i < bk.slots; i++ {
+			d.wg.Add(1)
+			go d.worker(bk)
+		}
+	}
+	return d, nil
+}
+
+// Policy returns the admission policy in force.
+func (d *Dispatcher) Policy() Policy { return d.policy }
+
+// Enqueue admits one annotated query, implementing core.Scheduler (the
+// Qworker Forward edge after Service.AttachScheduler). It classifies q
+// through the policy, stamps deadline/cost, and queues it — returning
+// ErrQueueFull (backpressure), ErrShed, or ErrClosed instead of blocking.
+func (d *Dispatcher) Enqueue(q *core.LabeledQuery) error {
+	now := time.Now()
+	class, aff := d.policy.Admit(q)
+	t := &Task{
+		Query:     q,
+		Class:     class,
+		Affinity:  aff,
+		Submitted: now,
+		CostMS:    costFromLabel(q, d.costKey),
+	}
+	t.SLAClass = q.Label(d.slaKey)
+	if t.SLAClass == "" {
+		t.SLAClass = "default"
+	}
+	if target, ok := d.sla[t.SLAClass]; ok {
+		t.Deadline = now.Add(target)
+	}
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	if t.Affinity != "" {
+		if _, ok := d.backends[t.Affinity]; !ok {
+			t.Affinity = "" // unroutable hint: any backend
+		}
+	}
+	t.seq = d.seq
+	d.seq++
+	var victim *Task
+	if d.backlog >= d.queueCap {
+		if !d.shed {
+			d.rejected++
+			d.mu.Unlock()
+			return ErrQueueFull
+		}
+		if victim = d.shedForLocked(t); victim == nil {
+			d.shedCount++
+			d.slaStatsLocked(t.SLAClass).dropped++
+			d.mu.Unlock()
+			return ErrShed
+		}
+		d.evicted++
+		d.slaStatsLocked(victim.SLAClass).dropped++
+	}
+	d.pushLocked(t)
+	d.backlog++
+	d.submitted++
+	if d.waiting > 0 {
+		d.cond.Broadcast()
+	}
+	onEvict := d.onEvict
+	d.mu.Unlock()
+	if victim != nil && onEvict != nil {
+		victim.Err = ErrShed
+		onEvict(victim)
+	}
+	return nil
+}
+
+// maxTrackedClasses bounds the number of distinct queue classes and SLA
+// classes the dispatcher tracks. Every admitted class costs a permanent
+// registry entry scanned per dispatch (and, for SLA classes, a latency
+// reservoir), so a free-form or high-cardinality label must not be able to
+// grow the dispatcher without bound; classes past the cap collapse into one
+// catch-all at the lowest priority.
+const maxTrackedClasses = 64
+
+// overflowClass is the catch-all queue/SLA class for labels seen after
+// maxTrackedClasses distinct ones.
+const overflowClass = "~overflow"
+
+// classIndexLocked returns the dispatch-priority index of class, registering
+// it (after all configured classes) on first sight. The last registry slot
+// is reserved for the overflow class, so once the cap is reached every
+// unseen class collapses into it.
+func (d *Dispatcher) classIndexLocked(class string) int {
+	for i, c := range d.order {
+		if c == class {
+			return i
+		}
+	}
+	if class != overflowClass && len(d.order) >= maxTrackedClasses-1 {
+		return d.classIndexLocked(overflowClass)
+	}
+	d.order = append(d.order, class)
+	d.queues[class] = &classQueue{byAff: make(map[string][]*Task)}
+	return len(d.order) - 1
+}
+
+// pushLocked inserts t into its class queue (the overflow queue when the
+// class registry is full), keeping the affinity bucket sorted by the policy
+// ordering.
+func (d *Dispatcher) pushLocked(t *Task) {
+	q := d.queues[d.order[d.classIndexLocked(t.Class)]]
+	bucket := q.byAff[t.Affinity]
+	i := sort.Search(len(bucket), func(i int) bool { return d.policy.Less(t, bucket[i]) })
+	bucket = append(bucket, nil)
+	copy(bucket[i+1:], bucket[i:])
+	bucket[i] = t
+	q.byAff[t.Affinity] = bucket
+	q.n++
+}
+
+// popLocked removes the head of the given affinity bucket.
+func (d *Dispatcher) popLocked(q *classQueue, aff string) *Task {
+	bucket := q.byAff[aff]
+	t := bucket[0]
+	if len(bucket) == 1 {
+		delete(q.byAff, aff)
+	} else {
+		q.byAff[aff] = bucket[1:]
+	}
+	q.n--
+	return t
+}
+
+// pickLocked chooses the next task for backendName: strict class priority
+// first (SLA dominates), then — within the chosen class — the policy-least
+// task among the backend's own and unaffined buckets, stealing the class's
+// overall least task only when neither holds work. Affinity is a
+// preference, never a reason to idle.
+func (d *Dispatcher) pickLocked(backendName string) *Task {
+	for _, class := range d.order {
+		q := d.queues[class]
+		if q == nil || q.n == 0 {
+			continue
+		}
+		var bestAff string
+		var best *Task
+		for _, aff := range [2]string{backendName, ""} {
+			if bucket := q.byAff[aff]; len(bucket) > 0 {
+				if best == nil || d.policy.Less(bucket[0], best) {
+					best, bestAff = bucket[0], aff
+				}
+			}
+		}
+		if best == nil {
+			// Only foreign-affinity work queued: steal the least task.
+			for aff, bucket := range q.byAff {
+				if best == nil || d.policy.Less(bucket[0], best) {
+					best, bestAff = bucket[0], aff
+				}
+			}
+			d.stolen++
+		}
+		return d.popLocked(q, bestAff)
+	}
+	return nil
+}
+
+// shedForLocked makes room for t by evicting the least-urgent task of the
+// lowest-priority backlogged class at or below t's priority, returning the
+// victim. It returns nil when t itself is the least-urgent candidate (the
+// caller drops t instead).
+func (d *Dispatcher) shedForLocked(t *Task) *Task {
+	ti := d.classIndexLocked(t.Class)
+	for i := len(d.order) - 1; i >= ti; i-- {
+		q := d.queues[d.order[i]]
+		if q == nil || q.n == 0 {
+			continue
+		}
+		// Victim: the policy-greatest task in the class (max over bucket
+		// tails; buckets are sorted ascending).
+		var victimAff string
+		var victim *Task
+		for aff, bucket := range q.byAff {
+			if last := bucket[len(bucket)-1]; victim == nil || d.policy.Less(victim, last) {
+				victim, victimAff = last, aff
+			}
+		}
+		if i == ti && !d.policy.Less(t, victim) {
+			return nil // incoming is least urgent in its own class
+		}
+		bucket := q.byAff[victimAff]
+		if len(bucket) == 1 {
+			delete(q.byAff, victimAff)
+		} else {
+			q.byAff[victimAff] = bucket[:len(bucket)-1]
+		}
+		q.n--
+		d.backlog--
+		return victim
+	}
+	return nil
+}
+
+// slaStatsLocked returns the accounting bucket for class, collapsing unseen
+// classes into the overflow bucket once maxTrackedClasses are tracked (each
+// bucket owns a latency reservoir, so cardinality must stay bounded).
+func (d *Dispatcher) slaStatsLocked(class string) *slaStats {
+	if st := d.perSLA[class]; st != nil {
+		return st
+	}
+	if len(d.perSLA) >= maxTrackedClasses {
+		if st := d.perSLA[overflowClass]; st != nil {
+			return st
+		}
+		class = overflowClass
+	}
+	st := &slaStats{}
+	d.perSLA[class] = st
+	return st
+}
+
+// worker is one backend slot: pick, execute, account, repeat. It exits when
+// the dispatcher is closed and the backlog is drained.
+func (d *Dispatcher) worker(b *backend) {
+	defer d.wg.Done()
+	for {
+		d.mu.Lock()
+		var t *Task
+		for {
+			if t = d.pickLocked(b.name); t != nil || d.closed {
+				break
+			}
+			d.waiting++
+			d.cond.Wait()
+			d.waiting--
+		}
+		if t == nil {
+			d.mu.Unlock()
+			return
+		}
+		d.backlog--
+		d.inflight++
+		b.busy++
+		d.mu.Unlock()
+
+		t.Started = time.Now()
+		t.RanOn = b.name
+		t.Err = b.exec(t)
+		t.Finished = time.Now()
+		d.complete(t, b)
+	}
+}
+
+// complete runs SLA accounting for a finished task and fires OnDone.
+func (d *Dispatcher) complete(t *Task, b *backend) {
+	latMS := float64(t.Latency()) / float64(time.Millisecond)
+	d.mu.Lock()
+	d.inflight--
+	b.busy--
+	b.completed++
+	d.completed++
+	st := d.slaStatsLocked(t.SLAClass)
+	st.completed++
+	st.record(latMS)
+	if !t.Deadline.IsZero() && t.Finished.After(t.Deadline) {
+		st.violations++
+		st.penaltyMS += float64(t.Finished.Sub(t.Deadline)) / float64(time.Millisecond)
+	}
+	if d.waiting > 0 {
+		d.cond.Broadcast()
+	}
+	done := d.onDone
+	d.mu.Unlock()
+	if done != nil {
+		done(t)
+	}
+}
+
+// Close stops intake: subsequent Enqueue calls return ErrClosed. Backend
+// slots finish the queued backlog and exit; use Drain to wait for them.
+// Close is idempotent.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	d.closed = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// Drain blocks until every queued and in-flight task has completed, or until
+// timeout (timeout <= 0 waits forever). It does not stop intake — callers
+// wanting shutdown semantics Close first.
+func (d *Dispatcher) Drain(timeout time.Duration) error {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		timer := time.AfterFunc(timeout, func() {
+			d.mu.Lock()
+			d.cond.Broadcast()
+			d.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.backlog > 0 || d.inflight > 0 {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return fmt.Errorf("sched: drain timed out with %d queued, %d in flight", d.backlog, d.inflight)
+		}
+		d.waiting++
+		d.cond.Wait()
+		d.waiting--
+	}
+	return nil
+}
+
+// QueueSnapshot is one class queue's depth.
+type QueueSnapshot struct {
+	Class string `json:"class"`
+	Depth int    `json:"depth"`
+}
+
+// SLASnapshot is one SLA class's accounting. Dropped counts the class's
+// tasks shed under overload; they complete nowhere, so they appear in
+// neither Completed nor Violations — a class can look violation-free while
+// its work is being dropped, which is exactly what Dropped surfaces.
+type SLASnapshot struct {
+	Class      string  `json:"class"`
+	TargetMS   float64 `json:"targetMS"` // 0 when the class has no target
+	Completed  uint64  `json:"completed"`
+	Violations uint64  `json:"violations"`
+	Dropped    uint64  `json:"dropped"`
+	PenaltyMS  float64 `json:"penaltyMS"`
+	P50MS      float64 `json:"p50MS"`
+	P99MS      float64 `json:"p99MS"`
+}
+
+// BackendSnapshot is one backend's occupancy.
+type BackendSnapshot struct {
+	Name      string `json:"name"`
+	Slots     int    `json:"slots"`
+	Busy      int    `json:"busy"`
+	Completed uint64 `json:"completed"`
+}
+
+// Snapshot is a point-in-time view of the scheduling plane — quercd's
+// GET /v1/sched payload. Counter conservation:
+// Submitted == Completed + Backlog + Inflight + Evicted (admitted tasks),
+// while Rejected and Shed count Enqueue calls that never admitted.
+type Snapshot struct {
+	Policy    string            `json:"policy"`
+	Submitted uint64            `json:"submitted"`
+	Completed uint64            `json:"completed"`
+	Rejected  uint64            `json:"rejected"` // backpressured Enqueue calls
+	Shed      uint64            `json:"shed"`     // incoming tasks refused by load shedding
+	Evicted   uint64            `json:"evicted"`  // queued tasks evicted by load shedding
+	Stolen    uint64            `json:"stolen"`   // dispatches ignoring affinity
+	Backlog   int               `json:"backlog"`
+	Inflight  int               `json:"inflight"`
+	Queues    []QueueSnapshot   `json:"queues"`
+	Classes   []SLASnapshot     `json:"classes"`
+	Backends  []BackendSnapshot `json:"backends"`
+}
+
+// Counters returns the scalar counters only — no queue listings and, more
+// to the point, no latency-reservoir copies or sorts — for cheap
+// high-frequency polling (quercd's /v1/stats rollup).
+func (d *Dispatcher) Counters() Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Snapshot{
+		Policy:    d.policy.Name(),
+		Submitted: d.submitted,
+		Completed: d.completed,
+		Rejected:  d.rejected,
+		Shed:      d.shedCount,
+		Evicted:   d.evicted,
+		Stolen:    d.stolen,
+		Backlog:   d.backlog,
+		Inflight:  d.inflight,
+	}
+}
+
+// Stats returns a consistent snapshot of counters, queue depths, per-class
+// SLA accounting, and backend occupancy. Latency reservoirs are copied
+// under the lock but sorted for percentiles after releasing it, so a stats
+// poll never stalls admission or dispatch on the sort; monitoring loops
+// that only need the counters should call Counters instead.
+func (d *Dispatcher) Stats() Snapshot {
+	d.mu.Lock()
+	s := Snapshot{
+		Policy:    d.policy.Name(),
+		Submitted: d.submitted,
+		Completed: d.completed,
+		Rejected:  d.rejected,
+		Shed:      d.shedCount,
+		Evicted:   d.evicted,
+		Stolen:    d.stolen,
+		Backlog:   d.backlog,
+		Inflight:  d.inflight,
+	}
+	for _, class := range d.order {
+		s.Queues = append(s.Queues, QueueSnapshot{Class: class, Depth: d.queues[class].n})
+	}
+	classes := make([]string, 0, len(d.perSLA))
+	for class := range d.perSLA {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	lats := make([][]float64, len(classes))
+	for i, class := range classes {
+		st := d.perSLA[class]
+		lats[i] = append([]float64(nil), st.lat[:st.latN]...)
+		s.Classes = append(s.Classes, SLASnapshot{
+			Class:      class,
+			TargetMS:   float64(d.sla[class]) / float64(time.Millisecond),
+			Completed:  st.completed,
+			Violations: st.violations,
+			Dropped:    st.dropped,
+			PenaltyMS:  st.penaltyMS,
+		})
+	}
+	for _, name := range d.names {
+		bk := d.backends[name]
+		s.Backends = append(s.Backends, BackendSnapshot{
+			Name: bk.name, Slots: bk.slots, Busy: bk.busy, Completed: bk.completed,
+		})
+	}
+	d.mu.Unlock()
+	for i := range s.Classes {
+		s.Classes[i].P50MS, s.Classes[i].P99MS = percentiles(lats[i])
+	}
+	return s
+}

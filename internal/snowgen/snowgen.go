@@ -47,16 +47,19 @@ const (
 	DialectSnow                // ILIKE, QUALIFY, :: casts
 )
 
-// Query is one generated log record (the paper's "labeled query").
+// Query is one generated log record (the paper's "labeled query"). The JSON
+// tags pin workloadgen's output format, execution labels included, so
+// scheduling experiments can replay a dumped workload offline with its
+// ground-truth runtimes.
 type Query struct {
-	SQL       string
-	Account   string
-	User      string
-	Cluster   string
-	Timestamp int64   // milliseconds since epoch
-	RuntimeMS float64 // execution label for resource prediction
-	MemoryMB  float64
-	ErrorCode string // "" when the query succeeded
+	SQL       string  `json:"sql"`
+	Account   string  `json:"account"`
+	User      string  `json:"user"`
+	Cluster   string  `json:"cluster"`
+	Timestamp int64   `json:"timestamp"` // milliseconds since epoch
+	RuntimeMS float64 `json:"runtimeMS"` // execution label for resource prediction
+	MemoryMB  float64 `json:"memoryMB"`
+	ErrorCode string  `json:"errorCode"` // "" when the query succeeded
 }
 
 // Options configure Generate.

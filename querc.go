@@ -25,6 +25,12 @@
 //     scores workload drift per classifier, and — past a threshold — runs
 //     rate-limited gated retrains, hot-swapping a challenger in only when
 //     it beats the incumbent on recent holdout traffic;
+//   - the scheduling plane: Service.AttachScheduler forwards annotated
+//     queries into a Dispatcher whose pluggable policy turns predicted
+//     labels into actions — the resource-class label picks a bounded
+//     priority queue, the routing label picks a backend affinity, per-class
+//     SLA targets are accounted (violations, penalties, latency
+//     percentiles), and overload surfaces as backpressure or load shedding;
 //   - applications: workload summarization for index tuning, security
 //     auditing, routing checks, error prediction, resource allocation, and
 //     query recommendation (via querc/internal/apps, re-exported here).
@@ -40,6 +46,7 @@ import (
 	"querc/internal/drift"
 	"querc/internal/lstm"
 	"querc/internal/ml/forest"
+	"querc/internal/sched"
 	"querc/internal/vec"
 )
 
@@ -78,6 +85,44 @@ type (
 	DriftScore          = drift.Score
 	DriftSample         = drift.Sample
 )
+
+// Re-exported scheduling plane: a Dispatcher (Service.AttachScheduler wires
+// it behind every Qworker's Forward edge) admits annotated queries into
+// bounded per-class priority queues under a SchedulerPolicy — FIFOPolicy is
+// the label-blind baseline, LabelPolicy acts on the predicted resource class
+// and routing cluster — and dispatches them across a Backend pool with
+// per-class SLA accounting (SchedulerStats / quercd's GET /v1/sched).
+type (
+	Scheduler        = core.Scheduler
+	Dispatcher       = sched.Dispatcher
+	SchedulerConfig  = sched.Config
+	SchedulerPolicy  = sched.Policy
+	FIFOPolicy       = sched.FIFO
+	LabelPolicy      = sched.LabelPolicy
+	SchedBackend     = sched.Backend
+	SchedTask        = sched.Task
+	SchedExecutor    = sched.Executor
+	SchedulerStats   = sched.Snapshot
+	SchedSLASnapshot = sched.SLASnapshot
+)
+
+// Scheduler admission errors (backpressure, shedding, shutdown).
+var (
+	ErrSchedQueueFull = sched.ErrQueueFull
+	ErrSchedShed      = sched.ErrShed
+	ErrSchedClosed    = sched.ErrClosed
+)
+
+// NewDispatcher builds and starts a scheduling-plane dispatcher.
+func NewDispatcher(cfg SchedulerConfig) (*Dispatcher, error) { return sched.New(cfg) }
+
+// SimSchedExecutor returns the simulated executor: it sleeps each task's
+// service-time estimate (CostMS, then classMS[class], then defaultMS)
+// scaled by scale — snowgen runtime labels or engine cost estimates stand in
+// for real execution.
+func SimSchedExecutor(scale float64, classMS map[string]float64, defaultMS float64) SchedExecutor {
+	return sched.SimExecutor(scale, classMS, defaultMS)
+}
 
 // DefaultVectorCacheEntries is the capacity of the shared embedding-plane
 // vector cache a new Service provisions.
