@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a minimal analysistest: fixtures live under
+// testdata/src/<name>/ (invisible to go build), annotate expected findings
+// with `// want "regexp"` comments, and RunFixture reports every mismatch
+// between expectations and the diagnostics the analyzers actually produce.
+
+// wantExpectation is one `// want "re"` annotation, anchored to a line.
+type wantExpectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// RunFixture loads the fixture package at dir, runs the analyzers over it,
+// and returns one message per mismatch (nil means the fixture passed).
+// Fixture dependencies resolve through the source importer, so fixtures may
+// import the standard library but nothing else.
+func RunFixture(dir string, analyzers []*Analyzer) ([]string, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := newTypesInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+	}
+	pkg, err := conf.Check("fixture/"+filepath.Base(dir), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking fixture: %w", err)
+	}
+
+	wants, err := collectWants(fset, files)
+	if err != nil {
+		return nil, err
+	}
+	diags := Check(fset, files, pkg, info, pkg.Path(), analyzers)
+
+	var problems []string
+	for _, d := range diags {
+		if !claimWant(wants, d) {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic at %s: %s: %s", d.Pos, d.Analyzer, d.Message))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// claimWant marks the first unmatched expectation on the diagnostic's line
+// whose regexp matches the message.
+func claimWant(wants []*wantExpectation, d Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every `// want "re" ["re" ...]` comment. The
+// expectation anchors to the comment's own line.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*wantExpectation, error) {
+	var wants []*wantExpectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+				patterns, err := splitQuoted(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: malformed want comment: %w", pos.Filename, pos.Line, err)
+				}
+				for _, pat := range patterns {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %w", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &wantExpectation{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   re,
+						raw:  pat,
+					})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted decodes a sequence of space-separated double-quoted Go
+// string literals.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		// Find the closing quote, honoring escapes.
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated quote in %q", s)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pat)
+		s = s[end+1:]
+	}
+	return out, nil
+}

@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotpath enforces the zero-alloc contract on per-query code. A function
+// annotated //querc:hotpath — the internal/vec kernels, doc2vec.Infer,
+// lstm.Encode, the Qworker submit path, the dispatcher enqueue — and every
+// same-package function it (transitively) calls must not allocate per call:
+//
+//   - no fmt.Sprintf/Sprint/Sprintln/Errorf, strings.Join/Repeat, or
+//     rand.New;
+//   - no un-capped append (append to a slice whose capacity was not
+//     established in the function via make(_, _, n) or a [:0] reslice);
+//   - no map or closure construction;
+//   - no interface boxing of scalar arguments.
+//
+// The walk stays inside the package: cross-package callees are checked
+// where they are declared (annotate them there). Deliberate cold-path or
+// amortized allocations carry //querc:allow-alloc <reason>.
+var Hotpath = &Analyzer{
+	Name:  "hotpath",
+	Doc:   "functions marked //querc:hotpath (and same-package callees) must not allocate",
+	Allow: "allow-alloc",
+	Run:   runHotpath,
+}
+
+// hotForbiddenCalls maps fully-qualified callees to the reason they are
+// banned on hot paths.
+var hotForbiddenCalls = map[string]string{
+	"fmt.Sprintf":      "allocates its result string (and boxes every argument)",
+	"fmt.Sprint":       "allocates its result string (and boxes every argument)",
+	"fmt.Sprintln":     "allocates its result string (and boxes every argument)",
+	"fmt.Errorf":       "allocates an error value per call",
+	"strings.Join":     "allocates the joined string",
+	"strings.Repeat":   "allocates the repeated string",
+	"math/rand.New":    "allocates a generator per call — hoist it or use an inline PRNG",
+	"math/rand/v2.New": "allocates a generator per call — hoist it or use an inline PRNG",
+}
+
+func runHotpath(p *Pass) {
+	decls := p.declsByObj()
+	declOf := make(map[*ast.FuncDecl]*types.Func, len(decls))
+	for fn, d := range decls {
+		declOf[d] = fn
+	}
+
+	// Roots: annotated declarations. hotVia maps every hot function to the
+	// annotated root that pulled it in (for diagnostics).
+	hotVia := make(map[*types.Func]string)
+	var work []*types.Func
+	for fd, fn := range declOf {
+		if p.dirs.isHot(fd) {
+			hotVia[fn] = fn.Name()
+			work = append(work, fn)
+		}
+	}
+	// Transitive same-package closure over static calls.
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		decl := decls[fn]
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := p.funcObjOf(call.Fun)
+			if callee == nil || decls[callee] == nil {
+				return true
+			}
+			if _, seen := hotVia[callee]; !seen {
+				hotVia[callee] = hotVia[fn]
+				work = append(work, callee)
+			}
+			return true
+		})
+	}
+
+	reported := make(map[token.Pos]bool)
+	for fn, via := range hotVia {
+		decl := decls[fn]
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		h := &hotpathCheck{p: p, via: via, fn: fn.Name(), reported: reported}
+		h.capped = h.cappedVars(decl.Body)
+		ast.Inspect(decl.Body, h.visit)
+	}
+}
+
+type hotpathCheck struct {
+	p        *Pass
+	via      string
+	fn       string
+	capped   map[types.Object]bool
+	reported map[token.Pos]bool
+}
+
+func (h *hotpathCheck) reportf(pos token.Pos, format string, args ...any) {
+	if h.reported[pos] {
+		return
+	}
+	h.reported[pos] = true
+	args = append(args, h.fn, h.via)
+	h.p.Reportf(pos, format+" in %s (on a //querc:hotpath path via %s)", args...)
+}
+
+// cappedVars pre-scans the body for slice variables whose capacity is
+// locally established: make with an explicit capacity, a [:0] or
+// three-index reslice, or reassignment from an append to an
+// already-capped slice.
+func (h *hotpathCheck) cappedVars(body *ast.BlockStmt) map[types.Object]bool {
+	capped := make(map[types.Object]bool)
+	record := func(lhs, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := h.p.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if h.cappedExpr(rhs, capped) {
+			capped[obj] = true
+		}
+	}
+	// Two passes so `s = append(s, x)` after `s := make(..., 0, n)` keeps s
+	// capped regardless of traversal order quirks inside loops.
+	for i := 0; i < 2; i++ {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						record(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.DeclStmt:
+				if gd, ok := n.Decl.(*ast.GenDecl); ok {
+					for _, spec := range gd.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Names) == len(vs.Values) {
+							for i := range vs.Names {
+								record(vs.Names[i], vs.Values[i])
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return capped
+}
+
+// cappedExpr reports whether e denotes a slice with locally-known capacity.
+func (h *hotpathCheck) cappedExpr(e ast.Expr, capped map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return capped[h.p.TypesInfo.ObjectOf(e)]
+	case *ast.SliceExpr:
+		if e.Max != nil {
+			return true // three-index slice pins capacity
+		}
+		if lit, ok := e.High.(*ast.BasicLit); ok && lit.Value == "0" {
+			return true // buf[:0] reuse idiom
+		}
+		return false
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			if fun.Name == "make" && len(e.Args) == 3 {
+				return true
+			}
+			if fun.Name == "append" && len(e.Args) > 0 {
+				return h.cappedExpr(e.Args[0], capped)
+			}
+		}
+	}
+	return false
+}
+
+func (h *hotpathCheck) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		h.reportf(n.Pos(), "closure construction allocates")
+		return true // keep walking: the closure body runs on the hot path too
+	case *ast.CompositeLit:
+		if tv, ok := h.p.TypesInfo.Types[n]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				h.reportf(n.Pos(), "map construction allocates")
+			}
+		}
+	case *ast.CallExpr:
+		h.visitCall(n)
+	}
+	return true
+}
+
+func (h *hotpathCheck) visitCall(call *ast.CallExpr) {
+	// Builtins: make(map...) and un-capped append.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := h.p.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				if tv, ok := h.p.TypesInfo.Types[call]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						h.reportf(call.Pos(), "map construction allocates")
+					}
+				}
+			case "append":
+				if len(call.Args) > 0 && !h.cappedExpr(call.Args[0], h.capped) {
+					h.reportf(call.Pos(), "un-capped append can grow its backing array")
+				}
+			}
+			return
+		}
+	}
+	if path := h.p.calleePath(call.Fun); path != "" {
+		if reason, banned := hotForbiddenCalls[path]; banned {
+			h.reportf(call.Pos(), "%s %s", path, reason)
+			return
+		}
+	}
+	h.checkBoxing(call)
+}
+
+// checkBoxing flags scalar arguments passed to interface-typed parameters
+// — each such call boxes the value into a fresh interface allocation.
+func (h *hotpathCheck) checkBoxing(call *ast.CallExpr) {
+	tv, ok := h.p.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var paramType types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			last := params.At(params.Len() - 1).Type()
+			if s, ok := last.Underlying().(*types.Slice); ok {
+				paramType = s.Elem()
+			}
+		} else if i < params.Len() {
+			paramType = params.At(i).Type()
+		}
+		if paramType == nil {
+			continue
+		}
+		if _, isIface := paramType.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		argTV, ok := h.p.TypesInfo.Types[arg]
+		if !ok {
+			continue
+		}
+		if b, isBasic := argTV.Type.Underlying().(*types.Basic); isBasic && b.Kind() != types.UntypedNil {
+			h.reportf(arg.Pos(), "passing %s to an interface parameter boxes it", argTV.Type)
+		}
+	}
+}

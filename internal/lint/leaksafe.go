@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Leaksafe enforces goroutine and timer lifecycle invariants — the drift
+// controller and dispatcher drain loops are the motivating cases:
+//
+//   - a goroutine running an unbounded loop (`for {}` / `for cond {}` over
+//     non-channel state) must wait on a stop channel, a select, or a
+//     context — otherwise nothing can ever retire it;
+//   - time.Tick leaks its ticker (use time.NewTicker and Stop it);
+//   - time.After inside a loop allocates a timer per iteration that is not
+//     collected until it fires (hoist a Timer or a Ticker out of the loop).
+//
+// Suppress deliberate cases with //querc:allow-leak <reason>.
+var Leaksafe = &Analyzer{
+	Name:  "leaksafe",
+	Doc:   "flags stop-less goroutine loops, time.Tick, and time.After in loops",
+	Allow: "allow-leak",
+	Run:   runLeaksafe,
+}
+
+func runLeaksafe(p *Pass) {
+	decls := p.declsByObj()
+	for _, f := range p.Files {
+		var loopDepth int
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loopDepth++
+				for _, c := range childrenOf(n) {
+					ast.Inspect(c, walk)
+				}
+				loopDepth--
+				return false
+			case *ast.CallExpr:
+				switch p.calleePath(n.Fun) {
+				case "time.Tick":
+					p.Reportf(n.Pos(), "time.Tick leaks its ticker — use time.NewTicker and defer Stop")
+				case "time.After":
+					if loopDepth > 0 {
+						p.Reportf(n.Pos(), "time.After in a loop allocates an uncollectable timer per iteration — hoist a time.NewTimer/NewTicker out of the loop")
+					}
+				}
+			case *ast.GoStmt:
+				checkGoroutineStop(p, decls, n)
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+}
+
+// childrenOf returns the traversable children of a loop node so walk can
+// manage loop depth itself.
+func childrenOf(n ast.Node) []ast.Node {
+	var out []ast.Node
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		for _, c := range []ast.Node{n.Init, n.Cond, n.Post, n.Body} {
+			if c != nil {
+				out = append(out, c)
+			}
+		}
+	case *ast.RangeStmt:
+		for _, c := range []ast.Node{n.Key, n.Value, n.X, n.Body} {
+			if c != nil {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// checkGoroutineStop flags go statements whose body runs an infinite loop
+// with no channel receive, select, or context hook inside it.
+func checkGoroutineStop(p *Pass, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) {
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if fn := p.funcObjOf(g.Call.Fun); fn != nil {
+			if decl := decls[fn]; decl != nil {
+				body = decl.Body
+			}
+		}
+	}
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !loopHasStopSignal(p, loop.Body) && !loopHasReturn(loop.Body) {
+			p.Reportf(g.Pos(), "goroutine runs an unbounded loop with no stop channel, select, or context — it can never be retired")
+			return false
+		}
+		return true
+	})
+}
+
+// loopHasReturn reports whether the loop body can return out of the
+// goroutine directly — the counter-drained worker-pool idiom
+// (`for { k := next.Add(1)-1; if k >= len(work) { return } … }`) retires
+// itself without any channel.
+func loopHasReturn(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// loopHasStopSignal reports whether the loop body contains any channel
+// receive, send, select, or range-over-channel — the shapes a stop signal
+// or work source can take.
+func loopHasStopSignal(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt, *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := p.TypesInfo.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			// sync.Cond.Wait parks the goroutine under a waiter registry
+			// (the dispatcher's worker loop); it is a retirement point.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := p.TypesInfo.ObjectOf(sel.Sel).(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Wait" {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,193 @@
+// Package lint is querclint: a suite of project-specific static analyzers
+// that machine-check the concurrency, hot-path, and error-handling
+// invariants this codebase established informally — the way pkgdoc_test.go
+// already machine-checks godoc coverage. The suite is built directly on the
+// standard library's go/ast + go/types (no golang.org/x/tools dependency)
+// and is compiled into cmd/querclint, which runs both standalone
+// (querclint ./...) and as a `go vet -vettool` (see vettool.go).
+//
+// Analyzers:
+//
+//   - locksafe: mutexes held across blocking operations, copies of
+//     lock-bearing values, fields accessed both atomically and plainly, and
+//     goroutines calling unsynchronized methods on shared state.
+//   - hotpath: functions annotated //querc:hotpath (and their same-package
+//     callees) must not allocate: no fmt.Sprintf/strings.Join/rand.New, no
+//     un-capped append, no map or closure construction, no interface boxing
+//     of scalars.
+//   - leaksafe: goroutines running unbounded loops with no stop channel or
+//     context, time.Tick, and time.After inside loops.
+//   - errwrap: sentinel errors compared with == / != instead of errors.Is,
+//     and fmt.Errorf dropping the cause by formatting an error without %w.
+//   - pkgdoc: every package carries a package-level doc comment.
+//
+// Each analyzer honors a suppression directive (Analyzer.Allow) written as
+// a //querc:<directive> comment on the offending line, the line above it,
+// or in the doc comment of the enclosing function declaration — e.g.
+// //querc:allow-race whitelists the deliberate Hogwild races in
+// internal/doc2vec. Directives should carry a reason after the name.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CI output.
+	Name string
+	// Doc is the one-line description shown by querclint -help.
+	Doc string
+	// Allow is the //querc: directive (without the querc: prefix) that
+	// suppresses this analyzer's findings at a site.
+	Allow string
+	// Run reports the analyzer's findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	ImportPath string
+
+	dirs  *directiveIndex
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless a matching allow directive
+// suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.dirs.suppressed(p.Analyzer.Allow, pos) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Locksafe, Hotpath, Leaksafe, Errwrap, Pkgdoc}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Check runs the given analyzers over one type-checked package and returns
+// the surviving (non-suppressed) diagnostics sorted by position.
+func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, importPath string, analyzers []*Analyzer) []Diagnostic {
+	dirs := buildDirectiveIndex(fset, files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			ImportPath: importPath,
+			dirs:       dirs,
+			diags:      &diags,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// funcObjOf resolves a called expression to its same-package *types.Func
+// declaration object, or nil when the callee is a builtin, a function
+// value, an interface method, or declared in another package.
+func (p *Pass) funcObjOf(fun ast.Expr) *types.Func {
+	var id *ast.Ident
+	switch e := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	fn, ok := p.TypesInfo.ObjectOf(id).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() != p.Pkg {
+		return nil
+	}
+	return fn
+}
+
+// calleePath returns "pkgpath.Name" for a called function resolved through
+// the type info (e.g. "fmt.Sprintf"), or "" when unresolvable.
+func (p *Pass) calleePath(fun ast.Expr) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	fn, ok := p.TypesInfo.ObjectOf(id).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// declsByObj maps every function/method declaration in the package to its
+// AST node, for intra-package call-graph walks.
+func (p *Pass) declsByObj() map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if fn, ok := p.TypesInfo.ObjectOf(fd.Name).(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestFixtures runs each analyzer over its testdata package and checks the
+// `// want "re"` expectations: every annotated line must produce a matching
+// diagnostic, every diagnostic must be annotated, and directive-suppressed
+// sites must stay silent.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		dir      string
+		analyzer *Analyzer
+	}{
+		{"locksafe", Locksafe},
+		{"hotpath", Hotpath},
+		{"leaksafe", Leaksafe},
+		{"errwrap", Errwrap},
+		{"pkgdoc", Pkgdoc},
+		{"pkgdocallow", Pkgdoc},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			dir := filepath.Join("testdata", "src", tc.dir)
+			problems, err := RunFixture(dir, []*Analyzer{tc.analyzer})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range problems {
+				t.Error(p)
+			}
+		})
+	}
+}
+
+// TestByName pins the public analyzer registry: CI scripts select analyzers
+// by these names.
+func TestByName(t *testing.T) {
+	for _, name := range []string{"locksafe", "hotpath", "leaksafe", "errwrap", "pkgdoc"} {
+		a := ByName(name)
+		if a == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+		if a.Name != name {
+			t.Fatalf("ByName(%q).Name = %q", name, a.Name)
+		}
+		if a.Allow == "" {
+			t.Fatalf("analyzer %q has no allow directive", name)
+		}
+	}
+	if got := len(All()); got != 5 {
+		t.Fatalf("All() returned %d analyzers, want 5", got)
+	}
+	if ByName("nope") != nil {
+		t.Fatal(`ByName("nope") should be nil`)
+	}
+}

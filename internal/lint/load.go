@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for Check.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg mirrors the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	ForTest    string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	ImportMap  map[string]string
+	Error      *listPkgError
+}
+
+type listPkgError struct {
+	Err string
+}
+
+// Load type-checks the packages matching patterns (e.g. "./...") in dir,
+// using `go list -export` so dependencies are resolved from compiler export
+// data instead of re-typechecking the world. With includeTests, test
+// variants of the matched packages are loaded too (the synthesized .test
+// mains are skipped — their files are generated).
+func Load(dir string, patterns []string, includeTests bool) ([]*Package, error) {
+	args := []string{"list", "-e", "-export",
+		"-json=ImportPath,Dir,Name,Export,ForTest,Standard,DepOnly,GoFiles,ImportMap,Error",
+		"-deps"}
+	if includeTests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var pkgs []*listPkg
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		pkgs = append(pkgs, lp)
+	}
+
+	var loaded []*Package
+	for _, lp := range pkgs {
+		if !isLintTarget(lp) {
+			continue
+		}
+		p, err := typecheckListed(lp, exports)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", lp.ImportPath, err)
+		}
+		loaded = append(loaded, p)
+	}
+	return loaded, nil
+}
+
+// isLintTarget filters the -deps -test closure down to this module's real
+// packages: no stdlib, no pure dependencies, no synthesized .test mains.
+func isLintTarget(lp *listPkg) bool {
+	if lp.Standard || lp.DepOnly || len(lp.GoFiles) == 0 {
+		return false
+	}
+	if strings.HasSuffix(lp.ImportPath, ".test") {
+		return false
+	}
+	if lp.Error != nil {
+		return false
+	}
+	return true
+}
+
+// typecheckListed parses and type-checks one go-list package against the
+// export data of its dependencies.
+func typecheckListed(lp *listPkg, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(importPath string) (io.ReadCloser, error) {
+		resolved := importPath
+		if mapped, ok := lp.ImportMap[importPath]; ok {
+			resolved = mapped
+		}
+		exp, ok := exports[resolved]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (resolved %q)", importPath, resolved)
+		}
+		return os.Open(exp)
+	}
+	info := newTypesInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+	}
+	pkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      pkg,
+		Info:       info,
+	}, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

@@ -1,0 +1,551 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Locksafe enforces the codebase's locking invariants:
+//
+//  1. A sync.Mutex/RWMutex must not be held across an operation that can
+//     block indefinitely — a channel send/receive, a select without
+//     default, time.Sleep, or sync.WaitGroup.Wait. (sync.Cond.Wait is
+//     exempt: it requires the lock by contract and releases it while
+//     parked, which is the dispatcher's drain/steal idiom.)
+//  2. Values containing sync locks must not be copied (by-value
+//     parameters, receivers, results, assignments, or range variables).
+//  3. A struct field must not be accessed both through sync/atomic and
+//     plainly — mixed access is a data race even when each side looks
+//     consistent locally.
+//  4. A goroutine must not call a same-package pointer-receiver method
+//     that uses no synchronization on state shared with its spawner —
+//     either the method synchronizes internally or the race is deliberate
+//     and annotated (the Hogwild trainers in internal/doc2vec).
+//
+// Suppress deliberate races with //querc:allow-race <reason>.
+var Locksafe = &Analyzer{
+	Name:  "locksafe",
+	Doc:   "flags locks held across blocking ops, lock copies, mixed atomic/plain access, and unsynchronized shared-state calls in goroutines",
+	Allow: "allow-race",
+	Run:   runLocksafe,
+}
+
+// noCopySyncTypes are the sync package types whose values must not be
+// copied after first use.
+var noCopySyncTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Cond": true,
+	"Once": true, "Pool": true, "Map": true,
+}
+
+func runLocksafe(p *Pass) {
+	ls := &locksafe{p: p, decls: p.declsByObj(), syncMemo: make(map[*types.Func]int)}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					ls.checkHeldAcrossBlocking(n.Type, n.Body)
+					ls.checkCopiedParams(n.Recv, n.Type)
+				}
+			case *ast.FuncLit:
+				ls.checkHeldAcrossBlocking(n.Type, n.Body)
+				ls.checkCopiedParams(nil, n.Type)
+			case *ast.AssignStmt:
+				ls.checkCopyAssign(n)
+			case *ast.RangeStmt:
+				ls.checkCopyRange(n)
+			case *ast.GoStmt:
+				ls.checkGoroutineCalls(n)
+			}
+			return true
+		})
+	}
+	ls.checkMixedAtomicPlain()
+}
+
+type locksafe struct {
+	p        *Pass
+	decls    map[*types.Func]*ast.FuncDecl
+	syncMemo map[*types.Func]int // 0 unknown, 1 synchronized, 2 not
+}
+
+// ---- sub-check 1: lock held across a blocking operation ----
+
+// lockCall classifies a call as a sync.Mutex/RWMutex Lock/Unlock family
+// method and returns the receiver expression's string form.
+func (ls *locksafe) lockCall(call *ast.CallExpr) (recv string, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := ls.p.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", false
+	}
+	named, isNamed := types.Unalias(derefType(sig.Recv().Type())).(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	tn := named.Obj().Name()
+	if tn != "Mutex" && tn != "RWMutex" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+		return types.ExprString(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// checkHeldAcrossBlocking flags blocking operations lexically between a
+// Lock and its matching Unlock (or, for deferred unlocks and unpaired
+// locks, to the end of the function).
+func (ls *locksafe) checkHeldAcrossBlocking(_ *ast.FuncType, body *ast.BlockStmt) {
+	type lockEvt struct {
+		pos, end token.Pos
+		recv     string
+		unlock   bool
+	}
+	var evts []lockEvt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // nested closures are separate critical sections
+		}
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, isCall := n.X.(*ast.CallExpr); isCall {
+				if recv, method, ok := ls.lockCall(call); ok {
+					evts = append(evts, lockEvt{n.Pos(), n.End(), recv, method == "Unlock" || method == "RUnlock"})
+				}
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() holds the lock for the rest of the
+			// function; model it as an unlock at body end.
+			if recv, method, ok := ls.lockCall(n.Call); ok && (method == "Unlock" || method == "RUnlock") {
+				evts = append(evts, lockEvt{body.End(), body.End(), recv, true})
+			}
+			return false
+		}
+		return true
+	})
+	for _, lock := range evts {
+		if lock.unlock {
+			continue
+		}
+		regionEnd := body.End()
+		for _, un := range evts {
+			if un.unlock && un.recv == lock.recv && un.pos > lock.pos && un.pos < regionEnd {
+				regionEnd = un.pos
+			}
+		}
+		ls.flagBlockingIn(body, lock.end, regionEnd, lock.recv)
+	}
+}
+
+// flagBlockingIn reports blocking operations positioned in (from, to),
+// skipping nested function literals (their bodies run on other stacks or
+// after unlock).
+func (ls *locksafe) flagBlockingIn(body *ast.BlockStmt, from, to token.Pos, recv string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if n.End() <= from || n.Pos() >= to {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			ls.p.Reportf(n.Pos(), "%s is held across a channel send — blocking with a lock held stalls every contender", recv)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ls.p.Reportf(n.Pos(), "%s is held across a channel receive — blocking with a lock held stalls every contender", recv)
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				ls.p.Reportf(n.Pos(), "%s is held across a blocking select — blocking with a lock held stalls every contender", recv)
+			}
+			return false // don't re-flag the comm clauses' channel ops
+		case *ast.RangeStmt:
+			if t, ok := ls.p.TypesInfo.Types[n.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					ls.p.Reportf(n.Pos(), "%s is held across a range over a channel", recv)
+				}
+			}
+		case *ast.CallExpr:
+			switch ls.p.calleePath(n.Fun) {
+			case "time.Sleep":
+				ls.p.Reportf(n.Pos(), "%s is held across time.Sleep", recv)
+			case "sync.Wait":
+				// Resolve the receiver type: WaitGroup.Wait blocks;
+				// Cond.Wait is the condition-variable contract and exempt.
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if fn, ok := ls.p.TypesInfo.ObjectOf(sel.Sel).(*types.Func); ok && recvTypeName(fn) == "WaitGroup" {
+						ls.p.Reportf(n.Pos(), "%s is held across sync.WaitGroup.Wait", recv)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if named, ok := types.Unalias(derefType(sig.Recv().Type())).(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// ---- sub-check 2: copies of lock-bearing values ----
+
+// lockInType returns the sync type name a by-value copy of t would copy,
+// or "".
+func lockInType(t types.Type) string {
+	return lockInTypeSeen(t, make(map[types.Type]bool))
+}
+
+func lockInTypeSeen(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" && noCopySyncTypes[named.Obj().Name()] {
+			return named.Obj().Name()
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockInTypeSeen(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockInTypeSeen(u.Elem(), seen)
+	}
+	return ""
+}
+
+func (ls *locksafe) checkCopiedParams(recv *ast.FieldList, ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			tv, ok := ls.p.TypesInfo.Types[f.Type]
+			if !ok {
+				continue
+			}
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if name := lockInType(tv.Type); name != "" {
+				ls.p.Reportf(f.Type.Pos(), "%s passes a value containing sync.%s by copy — pass a pointer", what, name)
+			}
+		}
+	}
+	check(recv, "receiver")
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}
+
+// copiesLockValue reports whether assigning rhs copies an existing
+// lock-bearing value (dereference, variable, field, or index read —
+// composite literals and calls construct fresh values).
+func (ls *locksafe) copiesLockValue(rhs ast.Expr) string {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return ""
+	}
+	tv, ok := ls.p.TypesInfo.Types[rhs]
+	if !ok {
+		return ""
+	}
+	return lockInType(tv.Type)
+}
+
+func (ls *locksafe) checkCopyAssign(n *ast.AssignStmt) {
+	for _, rhs := range n.Rhs {
+		if name := ls.copiesLockValue(rhs); name != "" {
+			ls.p.Reportf(rhs.Pos(), "assignment copies a value containing sync.%s — use a pointer", name)
+		}
+	}
+}
+
+func (ls *locksafe) checkCopyRange(n *ast.RangeStmt) {
+	if n.Value == nil {
+		return
+	}
+	tv, ok := ls.p.TypesInfo.Types[n.Value]
+	if !ok {
+		return
+	}
+	if name := lockInType(tv.Type); name != "" {
+		ls.p.Reportf(n.Value.Pos(), "range copies a value containing sync.%s per iteration — range over indices instead", name)
+	}
+}
+
+// ---- sub-check 3: fields accessed both atomically and plainly ----
+
+func (ls *locksafe) checkMixedAtomicPlain() {
+	type access struct {
+		pos token.Pos
+	}
+	atomicFields := make(map[*types.Var][]access)
+	atomicArgPos := make(map[token.Pos]bool) // positions of &x.f args inside atomic calls
+	fieldOf := func(e ast.Expr) *types.Var {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		v, ok := ls.p.TypesInfo.ObjectOf(sel.Sel).(*types.Var)
+		if !ok || !v.IsField() {
+			return nil
+		}
+		return v
+	}
+	for _, f := range ls.p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path := ls.p.calleePath(call.Fun)
+			if len(path) < len("sync/atomic.") || path[:len("sync/atomic.")] != "sync/atomic." {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if v := fieldOf(un.X); v != nil {
+					atomicFields[v] = append(atomicFields[v], access{un.X.Pos()})
+					atomicArgPos[un.X.Pos()] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	for _, f := range ls.p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if atomicArgPos[sel.Pos()] {
+				return true
+			}
+			v := fieldOf(sel)
+			if v == nil {
+				return true
+			}
+			if sites, mixed := atomicFields[v]; mixed {
+				ls.p.Reportf(sel.Pos(), "field %s is accessed atomically at %s but plainly here — mixed access is a data race",
+					v.Name(), ls.p.Fset.Position(sites[0].pos))
+			}
+			return true
+		})
+	}
+}
+
+// ---- sub-check 4: goroutines calling unsynchronized shared methods ----
+
+// synchronized reports whether fn's body (transitively through same-package
+// callees with known bodies) contains any synchronization: a sync or
+// sync/atomic call, a channel operation, or a select. Functions without a
+// same-package body (cross-package, interface methods) are assumed
+// synchronized so only locally provable races get flagged.
+func (ls *locksafe) synchronized(fn *types.Func) bool {
+	switch ls.syncMemo[fn] {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	ls.syncMemo[fn] = 2 // cycle guard: assume not until proven
+	decl := ls.decls[fn]
+	if decl == nil || decl.Body == nil {
+		ls.syncMemo[fn] = 1
+		return true
+	}
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			if path := ls.p.calleePath(n.Fun); strings.HasPrefix(path, "sync.") || strings.HasPrefix(path, "sync/atomic.") {
+				found = true
+				return false
+			}
+			// Same-package callees with bodies propagate their evidence;
+			// bodiless callees deliberately don't (almost every function
+			// calls something cross-package).
+			if callee := ls.p.funcObjOf(n.Fun); callee != nil && callee != fn &&
+				ls.decls[callee] != nil && ls.synchronized(callee) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	if found {
+		ls.syncMemo[fn] = 1
+	}
+	return found
+}
+
+func (ls *locksafe) checkGoroutineCalls(g *ast.GoStmt) {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		ls.checkClosureSharedCalls(fun)
+	default:
+		// go x.M(...): flag when M is a same-package pointer-receiver
+		// method with no synchronization of its own.
+		if fn := ls.p.funcObjOf(g.Call.Fun); fn != nil && isPointerReceiverMethod(fn) && !ls.synchronized(fn) {
+			ls.p.Reportf(g.Pos(), "goroutine calls %s, which uses no synchronization, on shared state — synchronize it or annotate the deliberate race with //querc:allow-race", fn.Name())
+		}
+	}
+}
+
+// checkClosureSharedCalls flags same-package pointer-receiver method calls
+// on captured variables inside a go-launched closure when the callee uses
+// no synchronization (the closure's own channel/lock use does not protect
+// the callee's state).
+func (ls *locksafe) checkClosureSharedCalls(lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := ls.p.funcObjOf(call.Fun)
+		if fn == nil || !isPointerReceiverMethod(fn) {
+			return true
+		}
+		root := rootIdent(sel.X)
+		if root == nil {
+			return true
+		}
+		obj := ls.p.TypesInfo.ObjectOf(root)
+		if obj == nil || obj.Pos() == token.NoPos {
+			return true
+		}
+		// Captured: declared outside the closure.
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true
+		}
+		if ls.indexSharded(lit, sel.X) {
+			return true
+		}
+		if ls.synchronized(fn) {
+			return true
+		}
+		ls.p.Reportf(call.Pos(), "goroutine calls %s, which uses no synchronization, on captured %s — synchronize it or annotate the deliberate race with //querc:allow-race", fn.Name(), root.Name)
+		return true
+	})
+}
+
+// indexSharded reports whether the receiver chain indexes a collection
+// with a goroutine-local value — trainers[w].accumulate(...) where w is the
+// closure's own parameter. Each goroutine then owns a disjoint element: the
+// standard worker-shard pattern, not a shared-state race.
+func (ls *locksafe) indexSharded(lit *ast.FuncLit, e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			local := false
+			ast.Inspect(x.Index, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := ls.p.TypesInfo.ObjectOf(id); obj != nil &&
+						obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+						local = true
+					}
+				}
+				return true
+			})
+			if local {
+				return true
+			}
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func isPointerReceiverMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, isPtr := sig.Recv().Type().Underlying().(*types.Pointer)
+	return isPtr
+}
+
+// rootIdent returns the leftmost identifier of a selector/index chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// Pkgdoc is the analyzer form of the repository's godoc-coverage check
+// (pkgdoc_test.go is now a thin wrapper over it): every package must carry
+// a package-level doc comment in at least one of its non-test files.
+// Suppress for scratch packages with //querc:allow-nodoc <reason> on the
+// package clause.
+var Pkgdoc = &Analyzer{
+	Name:  "pkgdoc",
+	Doc:   "every package needs a package-level doc comment in a non-test file",
+	Allow: "allow-nodoc",
+	Run:   runPkgdoc,
+}
+
+func runPkgdoc(p *Pass) {
+	if strings.HasSuffix(p.Pkg.Name(), "_test") {
+		return // external test packages document the package under test
+	}
+	documented := false
+	for _, f := range p.Files {
+		name := filepath.Base(p.Fset.Position(f.Package).Filename)
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			documented = true
+			break
+		}
+	}
+	if documented || len(p.Files) == 0 {
+		return
+	}
+	// Report on the first non-test file's package clause (stable order).
+	for _, f := range p.Files {
+		name := filepath.Base(p.Fset.Position(f.Package).Filename)
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		p.Reportf(f.Package, "package %s has no package-level doc comment — add one (// Package %s ...) to a non-test file", p.Pkg.Name(), p.Pkg.Name())
+		return
+	}
+}

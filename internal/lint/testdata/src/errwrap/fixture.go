@@ -1,0 +1,52 @@
+// Package errwrap exercises the errwrap analyzer: sentinel errors compared
+// with == / != instead of errors.Is, identity switches on sentinels, and
+// fmt.Errorf dropping the cause — with //querc:allow-errcmp suppression.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrQueueFull = errors.New("queue full")
+var ErrShed = errors.New("shed")
+
+func enqueue() error { return ErrQueueFull }
+
+func compareEq(err error) bool {
+	return err == ErrQueueFull // want "sentinel error ErrQueueFull compared with =="
+}
+
+func compareNeq() error {
+	if err := enqueue(); err != ErrQueueFull { // want "sentinel error ErrQueueFull compared with !="
+		return err
+	}
+	return nil
+}
+
+func compareIs(err error) bool {
+	return errors.Is(err, ErrQueueFull) // ok
+}
+
+func allowedIdentity(err error) bool {
+	//querc:allow-errcmp identity check is the contract here, the sentinel is never wrapped
+	return err == ErrShed // suppressed by the directive on the line above
+}
+
+func switchIdentity(err error) string {
+	switch err {
+	case ErrQueueFull: // want "sentinel error ErrQueueFull matched by switch identity"
+		return "full"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+func dropsCause(err error) error {
+	return fmt.Errorf("enqueue failed: %v", err) // want "fmt.Errorf formats an error without %w"
+}
+
+func wrapsCause(err error) error {
+	return fmt.Errorf("enqueue failed: %w", err) // ok
+}

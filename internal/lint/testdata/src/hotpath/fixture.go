@@ -1,0 +1,67 @@
+// Package hotpath exercises the hotpath analyzer: //querc:hotpath roots
+// (and their same-package callees) must not allocate — no fmt.Sprintf, no
+// un-capped append, no map or closure construction, no interface boxing —
+// with //querc:allow-alloc suppressing deliberate cold-path allocations.
+package hotpath
+
+import "fmt"
+
+//querc:hotpath
+func kernel(dst, src []float64, tag int) {
+	_ = fmt.Sprintf("tag-%d", tag) // want "fmt.Sprintf allocates"
+	for i := range src {
+		dst = append(dst, src[i]) // want "un-capped append"
+	}
+	_ = map[string]int{"a": 1} // want "map construction allocates"
+	f := func() {}             // want "closure construction allocates"
+	f()
+}
+
+//querc:hotpath
+func cappedKernel(src []float64) []float64 {
+	out := make([]float64, 0, len(src))
+	for _, v := range src {
+		out = append(out, v) // ok: capacity established by the 3-arg make
+	}
+	return out
+}
+
+//querc:hotpath
+func reuseKernel(buf, src []float64) []float64 {
+	buf = buf[:0]
+	for _, v := range src {
+		buf = append(buf, v) // ok: [:0] reuse of the caller's buffer
+	}
+	return buf
+}
+
+//querc:hotpath
+func root(xs []float64) float64 { return helper(xs) }
+
+// helper is not annotated, but root pulls it onto the hot path.
+func helper(xs []float64) float64 {
+	var sink []float64
+	sink = append(sink, xs...) // want "un-capped append .* in helper .* via root"
+	if len(sink) == 0 {
+		return 0
+	}
+	return sink[0]
+}
+
+//querc:hotpath
+func guarded(a, b int) {
+	if a != b {
+		//querc:allow-alloc the Sprintf runs only on the panic path
+		panic(fmt.Sprintf("mismatch %d != %d", a, b)) // suppressed by the directive above
+	}
+}
+
+func consume(v any) { _ = v }
+
+//querc:hotpath
+func boxes(x int) {
+	consume(x) // want "passing int to an interface parameter boxes it"
+}
+
+// cold is never reached from a hotpath root, so it may allocate freely.
+func cold() string { return fmt.Sprintf("%d", 42) }

@@ -1,0 +1,80 @@
+// Package leaksafe exercises the leaksafe analyzer: goroutines running
+// unbounded loops with no retirement path, time.Tick, and time.After inside
+// loops — with //querc:allow-leak suppression.
+package leaksafe
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func leakyLoop(work func()) {
+	go func() { // want "goroutine runs an unbounded loop with no stop channel"
+		for {
+			work()
+		}
+	}()
+}
+
+func stoppableLoop(work func(), stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func counterDrainedPool(items []int, fn func(int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() { // ok: the loop returns when the shared counter is exhausted
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(items) {
+					return
+				}
+				fn(items[k])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func allowedLoop(work func()) {
+	//querc:allow-leak process-lifetime daemon, retired with the process
+	go func() { // suppressed by the directive on the line above
+		for {
+			work()
+		}
+	}()
+}
+
+func tickLeak() <-chan time.Time {
+	return time.Tick(time.Second) // want "time.Tick leaks its ticker"
+}
+
+func afterInLoop(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		case <-time.After(time.Millisecond): // want "time.After in a loop"
+		}
+	}
+}
+
+func afterOutsideLoop(done chan struct{}) {
+	select {
+	case <-done:
+	case <-time.After(time.Millisecond): // ok: one timer, not per iteration
+	}
+}

@@ -1,0 +1,3 @@
+package pkgdoc // want "package pkgdoc has no package-level doc comment"
+
+func Unused() {}

@@ -1,0 +1,4 @@
+//querc:allow-nodoc scratch package, suppressed on purpose
+package pkgdocallow
+
+func Unused() {}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ModulePath is the import-path prefix of packages querclint analyzes when
+// driven by `go vet` — the vet driver hands the tool every dependency
+// (stdlib included) and expects it to succeed on all of them.
+const ModulePath = "querc"
+
+// vetConfig mirrors the JSON configuration file cmd/go passes to a
+// -vettool for each package unit (the unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVetVersion implements the -V=full handshake: cmd/go parses the last
+// space-separated field of the first line as the tool's build ID and mixes
+// it into the vet action cache key, so it must change when the tool does.
+// The line must match the shape `<name> version <ver> buildID=<id>`.
+func PrintVetVersion(w io.Writer) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return err
+	}
+	h := sha256.Sum256(data)
+	_, err = fmt.Fprintf(w, "%s version devel comments-go-here buildID=%02x\n",
+		filepath.Base(os.Args[0]), string(h[:16]))
+	return err
+}
+
+// RunVetUnit processes one *.cfg unit from the go vet driver. It returns
+// the process exit code: 0 for clean (or skipped) units, 2 when
+// diagnostics were reported — the same convention x/tools' unitchecker
+// uses, which `go vet` understands.
+func RunVetUnit(cfgPath string, analyzers []*Analyzer, stderr io.Writer) int {
+	cfg, err := readVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "querclint: %v\n", err)
+		return 1
+	}
+	// The driver expects the facts file to exist for every unit, even ones
+	// this tool has nothing to say about.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(stderr, "querclint: %v\n", err)
+			return 1
+		}
+	}
+	if !vetShouldAnalyze(cfg) {
+		return 0
+	}
+	diags, err := checkVetUnit(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "querclint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetShouldAnalyze keeps the vet pass scoped to this module's real
+// packages: the driver also feeds the tool the whole stdlib dependency
+// closure and the synthesized .test mains (whose sources are generated).
+func vetShouldAnalyze(cfg *vetConfig) bool {
+	ip := cfg.ImportPath
+	if ip != ModulePath && !strings.HasPrefix(ip, ModulePath+"/") {
+		return false
+	}
+	if strings.HasSuffix(ip, ".test") || cfg.VetxOnly {
+		return false
+	}
+	return len(cfg.GoFiles) > 0
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// checkVetUnit type-checks the unit against the export data the driver
+// already compiled (PackageFile) and runs the analyzers over it.
+func checkVetUnit(cfg *vetConfig, analyzers []*Analyzer) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(importPath string) (io.ReadCloser, error) {
+		resolved := importPath
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			resolved = mapped
+		}
+		exp, ok := cfg.PackageFile[resolved]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (resolved %q)", importPath, resolved)
+		}
+		return os.Open(exp)
+	}
+	info := newTypesInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, cfg.Compiler, lookup),
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return Check(fset, files, pkg, info, cfg.ImportPath, analyzers), nil
+}
