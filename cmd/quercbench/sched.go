@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -151,7 +152,7 @@ func runSched(scale experiments.Scale, workers int, csvDir string) error {
 				if err == nil {
 					break
 				}
-				if err != querc.ErrSchedQueueFull {
+				if !errors.Is(err, querc.ErrSchedQueueFull) {
 					return nil, err
 				}
 				// Backpressure: the bounded queue throttles the offered

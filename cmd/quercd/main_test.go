@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -437,7 +438,7 @@ func TestGracefulShutdown(t *testing.T) {
 	if st.Completed != 3 || st.Backlog != 0 || st.Inflight != 0 {
 		t.Fatalf("scheduler not drained: %+v", st)
 	}
-	if err := d.Enqueue(&core.LabeledQuery{SQL: "late"}); err != querc.ErrSchedClosed {
+	if err := d.Enqueue(&core.LabeledQuery{SQL: "late"}); !errors.Is(err, querc.ErrSchedClosed) {
 		t.Fatalf("post-shutdown enqueue: %v", err)
 	}
 	if _, err := net.DialTimeout("tcp", ln.Addr().String(), 100*time.Millisecond); err == nil {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"strconv"
@@ -116,7 +117,7 @@ func main() {
 				if err == nil {
 					break
 				}
-				if err != querc.ErrSchedQueueFull {
+				if !errors.Is(err, querc.ErrSchedQueueFull) {
 					log.Fatal(err)
 				}
 				time.Sleep(300 * time.Microsecond)

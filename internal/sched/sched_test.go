@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -196,7 +197,7 @@ func TestBackpressure(t *testing.T) {
 			t.Fatalf("fill %d: %v", i, err)
 		}
 	}
-	if err := d.Enqueue(labeled("overflow", "", "")); err != ErrQueueFull {
+	if err := d.Enqueue(labeled("overflow", "", "")); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("overflow: got %v want ErrQueueFull", err)
 	}
 	close(release)
@@ -226,7 +227,7 @@ func TestShedLowestClass(t *testing.T) {
 		Backends:   []Backend{{Name: "b1", Slots: 1, Exec: gatedExec(started, release)}},
 		OnDone:     col.hook,
 		OnEvict: func(t *Task) {
-			if t.Err != ErrShed {
+			if !errors.Is(t.Err, ErrShed) {
 				panic("evicted task must carry ErrShed")
 			}
 			evicted = append(evicted, t.Query.SQL)
@@ -249,7 +250,7 @@ func TestShedLowestClass(t *testing.T) {
 		t.Fatalf("shedding admit: %v", err)
 	}
 	// Incoming heavy is itself the least urgent: dropped.
-	if err := d.Enqueue(labeled("h2", "heavy", "")); err != ErrShed {
+	if err := d.Enqueue(labeled("h2", "heavy", "")); !errors.Is(err, ErrShed) {
 		t.Fatalf("lowest incoming: got %v want ErrShed", err)
 	}
 	close(release)
@@ -484,7 +485,7 @@ func TestCloseAndDrain(t *testing.T) {
 		t.Fatal("drain with a stuck task must time out")
 	}
 	d.Close()
-	if err := d.Enqueue(labeled("late", "", "")); err != ErrClosed {
+	if err := d.Enqueue(labeled("late", "", "")); !errors.Is(err, ErrClosed) {
 		t.Fatalf("post-close enqueue: got %v want ErrClosed", err)
 	}
 	close(release)
