@@ -384,11 +384,13 @@ func TestControllerStartStop(t *testing.T) {
 	ctl.Start()
 	ctl.Start() // no-op
 	deadline := time.After(2 * time.Second)
+	poll := time.NewTicker(5 * time.Millisecond)
+	defer poll.Stop()
 	for ctl.Ticks() == 0 {
 		select {
 		case <-deadline:
 			t.Fatal("background loop never ticked")
-		case <-time.After(5 * time.Millisecond):
+		case <-poll.C:
 		}
 	}
 	ctl.Stop()
