@@ -235,6 +235,8 @@ func (d *Dispatcher) Policy() Policy { return d.policy }
 // Qworker Forward edge after Service.AttachScheduler). It classifies q
 // through the policy, stamps deadline/cost, and queues it — returning
 // ErrQueueFull (backpressure), ErrShed, or ErrClosed instead of blocking.
+//
+//querc:hotpath
 func (d *Dispatcher) Enqueue(q *core.LabeledQuery) error {
 	now := time.Now()
 	class, aff := d.policy.Admit(q)
@@ -312,6 +314,8 @@ const overflowClass = "~overflow"
 // it (after all configured classes) on first sight. The last registry slot
 // is reserved for the overflow class, so once the cap is reached every
 // unseen class collapses into it.
+//
+//querc:allow-alloc registry growth happens at most maxTrackedClasses times over the dispatcher's life
 func (d *Dispatcher) classIndexLocked(class string) int {
 	for i, c := range d.order {
 		if c == class {
@@ -332,10 +336,26 @@ func (d *Dispatcher) classIndexLocked(class string) int {
 func (d *Dispatcher) pushLocked(t *Task) {
 	q := d.queues[d.order[d.classIndexLocked(t.Class)]]
 	bucket := q.byAff[t.Affinity]
-	i := sort.Search(len(bucket), func(i int) bool { return d.policy.Less(t, bucket[i]) })
-	bucket = append(bucket, nil)
-	copy(bucket[i+1:], bucket[i:])
-	bucket[i] = t
+	// Inline binary search: a sort.Search closure capturing t and bucket
+	// escapes and allocates on every enqueue.
+	lo, hi := 0, len(bucket)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if d.policy.Less(t, bucket[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if len(bucket) < cap(bucket) {
+		bucket = bucket[:len(bucket)+1]
+	} else {
+		grown := make([]*Task, len(bucket)+1, 2*cap(bucket)+8)
+		copy(grown, bucket)
+		bucket = grown
+	}
+	copy(bucket[lo+1:], bucket[lo:])
+	bucket[lo] = t
 	q.byAff[t.Affinity] = bucket
 	q.n++
 }
@@ -347,7 +367,13 @@ func (d *Dispatcher) popLocked(q *classQueue, aff string) *Task {
 	if len(bucket) == 1 {
 		delete(q.byAff, aff)
 	} else {
-		q.byAff[aff] = bucket[1:]
+		// Compact instead of reslicing bucket[1:]: the reslice walks the
+		// live window down the backing array and leaks its front capacity,
+		// so steady pop/push traffic would force pushLocked to reallocate
+		// the bucket over and over.
+		copy(bucket, bucket[1:])
+		bucket[len(bucket)-1] = nil
+		q.byAff[aff] = bucket[:len(bucket)-1]
 	}
 	q.n--
 	return t

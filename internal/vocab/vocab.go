@@ -159,7 +159,17 @@ func (v *Vocabulary) Encode(tokens []string) []int {
 // EncodeInto appends the IDs of tokens to dst and returns the extended
 // slice. Passing a reused buffer (dst[:0]) makes encoding allocation-free on
 // the models' hot inference paths.
+//
+//querc:hotpath
 func (v *Vocabulary) EncodeInto(dst []int, tokens []string) []int {
+	// Grow to the exact need up front: one allocation on a cold buffer and
+	// none once the pooled buffer reaches steady state, instead of letting
+	// append double its way there.
+	if need := len(dst) + len(tokens); cap(dst) < need {
+		grown := make([]int, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
 	for _, t := range tokens {
 		dst = append(dst, v.ID(t))
 	}
