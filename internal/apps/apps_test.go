@@ -262,7 +262,7 @@ func TestResourceAllocatorBoundaryTies(t *testing.T) {
 		runtime float64
 		want    ResourceClass
 	}{
-		{10, ClassLight},   // exactly on the light boundary → lower class
+		{10, ClassLight}, // exactly on the light boundary → lower class
 		{10.01, ClassMedium},
 		{100, ClassMedium}, // exactly on the medium boundary → lower class
 		{100.01, ClassHeavy},

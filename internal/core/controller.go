@@ -201,6 +201,10 @@ func (c *Controller) Stop() {
 		return
 	}
 	close(c.stop)
+	// Holding onceMu across the wait is the point: it serializes Stop
+	// against Start, and the loop goroutine signalling done never takes
+	// onceMu, so this cannot deadlock.
+	//querc:allow-race lifecycle mutex deliberately held while awaiting loop exit
 	<-c.done
 	c.stop, c.done = nil, nil
 }

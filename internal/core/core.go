@@ -40,6 +40,8 @@ type LabeledQuery struct {
 }
 
 // Clone returns a deep copy (labels map included).
+//
+//querc:allow-alloc ownership fork at the sink boundary — the copy is the product
 func (q *LabeledQuery) Clone() *LabeledQuery {
 	out := *q
 	out.Labels = make(map[string]string, len(q.Labels))
@@ -53,6 +55,8 @@ func (q *LabeledQuery) Clone() *LabeledQuery {
 func (q *LabeledQuery) Label(key string) string { return q.Labels[key] }
 
 // SetLabel sets key=value, allocating the map if needed.
+//
+//querc:allow-alloc lazy label-map init is part of constructing the result
 func (q *LabeledQuery) SetLabel(key, value string) {
 	if q.Labels == nil {
 		q.Labels = make(map[string]string)

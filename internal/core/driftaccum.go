@@ -62,6 +62,7 @@ func (a *driftAccum) merge(plan []embedderGroup, chunk []*LabeledQuery, sums []v
 		for _, c := range g.clfs {
 			m := a.labels[c.LabelKey]
 			if m == nil {
+				//querc:allow-alloc one lazy map per classifier label key, amortized over the interval
 				m = make(map[string]int)
 				a.labels[c.LabelKey] = m
 			}

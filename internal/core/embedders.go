@@ -54,6 +54,8 @@ func (e *Doc2VecEmbedder) EmbedBatch(sqls []string) []vec.Vector {
 }
 
 // EmbedTokens implements TokenizedEmbedder.
+//
+//querc:hotpath
 func (e *Doc2VecEmbedder) EmbedTokens(tokens []string) vec.Vector {
 	return e.Model.Infer(tokens)
 }
@@ -105,6 +107,8 @@ func (e *LSTMEmbedder) EmbedBatch(sqls []string) []vec.Vector {
 }
 
 // EmbedTokens implements TokenizedEmbedder.
+//
+//querc:hotpath
 func (e *LSTMEmbedder) EmbedTokens(tokens []string) vec.Vector {
 	return e.Model.Encode(tokens)
 }

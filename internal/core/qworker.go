@@ -199,6 +199,8 @@ func (w *Qworker) TakeDriftSample() *drift.Sample {
 // serialized, so concurrent callers overlap on the expensive embedding work.
 // Each distinct embedder runs once per query — cache hit or one Embed — and
 // its vector is fanned to all labelers in the group.
+//
+//querc:hotpath
 func (w *Qworker) Process(q *LabeledQuery) *LabeledQuery {
 	q.App = w.App
 	plan, cache, acc := w.snapshot()

@@ -239,6 +239,11 @@ func (m *Model) trainHogwild(encoded [][]int, workers int) {
 					alpha := cfg.Alpha - (cfg.Alpha-cfg.MinAlpha)*float64(s)/float64(totalSteps)
 					sampled := m.Vocab.Subsample(rng, encoded[docID], cfg.Subsample)
 					hogwildLock()
+					// Hogwild!: workers update the shared word/doc matrices
+					// with no per-row locking; sparse gradients make the
+					// collisions statistically harmless, and the race
+					// detector builds serialize via hogwildLock (race.go).
+					//querc:allow-race Hogwild! lock-free SGD, see above
 					m.trainDoc(rng, m.Docs.Row(docID), sampled, alpha, true, ctxs[w], grads[w])
 					hogwildUnlock()
 				}
@@ -366,6 +371,8 @@ func (m *Model) DocVector(i int) vec.Vector { return m.Docs.Row(i) }
 // deterministic per input, and all scratch state beyond the returned vector
 // comes from a per-model pool — one allocation per call on the steady state.
 // Infer is safe for concurrent use (the word matrices are read-only here).
+//
+//querc:hotpath
 func (m *Model) Infer(tokens []string) vec.Vector {
 	sc, _ := m.inferPool.Get().(*inferScratch)
 	if sc == nil {

@@ -243,6 +243,8 @@ func (m *Model) Dim() int { return m.Cfg.HiddenDim }
 // so the only allocation per call is the returned vector. Encode is
 // deterministic and safe for concurrent use (the parameters are read-only
 // here).
+//
+//querc:hotpath
 func (m *Model) Encode(tokens []string) vec.Vector {
 	sc, _ := m.encPool.Get().(*encodeScratch)
 	if sc == nil {

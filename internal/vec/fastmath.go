@@ -39,6 +39,8 @@ func init() {
 // outside [-6, 6) saturate to 0 or 1 — the same treatment the exact Sigmoid
 // applies at +-30, just sooner, which is immaterial for gradient updates
 // because (label - f) is already ~0 there.
+//
+//querc:hotpath
 func FastSigmoid(x float64) float64 {
 	if x >= sigmoidMaxExp {
 		return 1
@@ -57,6 +59,8 @@ func FastSigmoid(x float64) float64 {
 
 // DotSigmoid returns FastSigmoid(Dot(a, b)) — the fused activation kernel of
 // every negative-sampling step.
+//
+//querc:hotpath
 func DotSigmoid(a, b Vector) float64 {
 	return FastSigmoid(Dot(a, b))
 }
@@ -69,6 +73,8 @@ func DotSigmoid(a, b Vector) float64 {
 // grad, out, and in must be distinct, equal-length slices. Fusing the two
 // AddScaled calls halves the passes over out, which is the dominant traffic
 // of doc2vec's gradient step.
+//
+//querc:hotpath
 func AddScaledBoth(grad, out, in Vector, g float64) {
 	mustSameLen(len(grad), len(out))
 	mustSameLen(len(grad), len(in))

@@ -29,17 +29,24 @@ func NewRandomMatrix(rng *rand.Rand, rows, cols int, scale float64) *Matrix {
 }
 
 // Row returns row i as a Vector sharing the matrix's backing storage.
+//
+//querc:hotpath
 func (m *Matrix) Row(i int) Vector {
 	if i < 0 || i >= m.Rows {
+		//querc:allow-alloc the Sprintf runs only on the panic path
 		panic(fmt.Sprintf("vec: row %d out of range [0,%d)", i, m.Rows))
 	}
 	return Vector(m.Data[i*m.Cols : (i+1)*m.Cols])
 }
 
 // At returns the element at (i, j).
+//
+//querc:hotpath
 func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 
 // Set assigns the element at (i, j).
+//
+//querc:hotpath
 func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 
 // Clone returns a deep copy of m.
@@ -58,6 +65,8 @@ func (m *Matrix) Zero() {
 
 // MulVec computes dst = m · x where x has length Cols and dst has length
 // Rows. dst must not alias x.
+//
+//querc:hotpath
 func (m *Matrix) MulVec(dst, x Vector) {
 	mustSameLen(len(x), m.Cols)
 	mustSameLen(len(dst), m.Rows)
@@ -69,6 +78,8 @@ func (m *Matrix) MulVec(dst, x Vector) {
 // MulVecAdd accumulates dst += m · x — the fused form of MulVec used where a
 // matrix-vector product lands on top of an existing partial sum (the LSTM
 // gate pre-activation Wx·x + Wh·h + b), avoiding a temporary per step.
+//
+//querc:hotpath
 func (m *Matrix) MulVecAdd(dst, x Vector) {
 	mustSameLen(len(x), m.Cols)
 	mustSameLen(len(dst), m.Rows)
@@ -79,6 +90,8 @@ func (m *Matrix) MulVecAdd(dst, x Vector) {
 
 // MulVecT computes dst = mᵀ · x where x has length Rows and dst has length
 // Cols. dst must not alias x.
+//
+//querc:hotpath
 func (m *Matrix) MulVecT(dst, x Vector) {
 	mustSameLen(len(x), m.Rows)
 	mustSameLen(len(dst), m.Cols)
@@ -94,6 +107,8 @@ func (m *Matrix) MulVecT(dst, x Vector) {
 
 // AddOuterScaled adds alpha * a·bᵀ into m, where a has length Rows and b has
 // length Cols. This is the rank-1 update used by gradient steps.
+//
+//querc:hotpath
 func (m *Matrix) AddOuterScaled(alpha float64, a, b Vector) {
 	mustSameLen(len(a), m.Rows)
 	mustSameLen(len(b), m.Cols)
@@ -107,6 +122,8 @@ func (m *Matrix) AddOuterScaled(alpha float64, a, b Vector) {
 }
 
 // AddScaled adds alpha*other into m element-wise.
+//
+//querc:hotpath
 func (m *Matrix) AddScaled(alpha float64, other *Matrix) {
 	if m.Rows != other.Rows || m.Cols != other.Cols {
 		panic("vec: matrix shape mismatch")

@@ -41,6 +41,8 @@ func (v Vector) Clone() Vector {
 }
 
 // Zero sets every entry of v to 0.
+//
+//querc:hotpath
 func (v Vector) Zero() {
 	for i := range v {
 		v[i] = 0
@@ -48,6 +50,8 @@ func (v Vector) Zero() {
 }
 
 // Add adds other into v element-wise. It panics if lengths differ.
+//
+//querc:hotpath
 func (v Vector) Add(other Vector) {
 	mustSameLen(len(v), len(other))
 	other = other[:len(v)] // bounds-check elimination hint
@@ -64,6 +68,8 @@ func (v Vector) Add(other Vector) {
 }
 
 // AddScaled adds alpha*other into v element-wise.
+//
+//querc:hotpath
 func (v Vector) AddScaled(alpha float64, other Vector) {
 	mustSameLen(len(v), len(other))
 	other = other[:len(v)] // bounds-check elimination hint
@@ -80,6 +86,8 @@ func (v Vector) AddScaled(alpha float64, other Vector) {
 }
 
 // Sub subtracts other from v element-wise.
+//
+//querc:hotpath
 func (v Vector) Sub(other Vector) {
 	mustSameLen(len(v), len(other))
 	for i := range v {
@@ -88,6 +96,8 @@ func (v Vector) Sub(other Vector) {
 }
 
 // Scale multiplies every entry of v by alpha.
+//
+//querc:hotpath
 func (v Vector) Scale(alpha float64) {
 	for i := range v {
 		v[i] *= alpha
@@ -97,6 +107,8 @@ func (v Vector) Scale(alpha float64) {
 // Dot returns the inner product of v and other. The sum runs over four
 // independent accumulators, so the result can differ from a strictly serial
 // sum in the last few ulps.
+//
+//querc:hotpath
 func Dot(a, b Vector) float64 {
 	mustSameLen(len(a), len(b))
 	b = b[:len(a)] // bounds-check elimination hint
@@ -115,10 +127,14 @@ func Dot(a, b Vector) float64 {
 }
 
 // Norm returns the Euclidean norm of v.
+//
+//querc:hotpath
 func Norm(v Vector) float64 { return math.Sqrt(Dot(v, v)) }
 
 // Normalize scales v to unit length in place. A zero vector is left
 // unchanged.
+//
+//querc:hotpath
 func (v Vector) Normalize() {
 	n := Norm(v)
 	if n == 0 {
@@ -129,6 +145,8 @@ func (v Vector) Normalize() {
 
 // Cosine returns the cosine similarity between a and b, or 0 if either is the
 // zero vector.
+//
+//querc:hotpath
 func Cosine(a, b Vector) float64 {
 	na, nb := Norm(a), Norm(b)
 	if na == 0 || nb == 0 {
@@ -138,6 +156,8 @@ func Cosine(a, b Vector) float64 {
 }
 
 // SquaredDistance returns the squared Euclidean distance between a and b.
+//
+//querc:hotpath
 func SquaredDistance(a, b Vector) float64 {
 	mustSameLen(len(a), len(b))
 	b = b[:len(a)] // bounds-check elimination hint
@@ -161,6 +181,8 @@ func SquaredDistance(a, b Vector) float64 {
 }
 
 // Distance returns the Euclidean distance between a and b.
+//
+//querc:hotpath
 func Distance(a, b Vector) float64 { return math.Sqrt(SquaredDistance(a, b)) }
 
 // Mean returns the element-wise mean of vs. It panics if vs is empty.
@@ -178,6 +200,8 @@ func Mean(vs []Vector) Vector {
 
 // Sigmoid returns 1/(1+exp(-x)), numerically clamped so that extreme inputs
 // saturate instead of overflowing.
+//
+//querc:hotpath
 func Sigmoid(x float64) float64 {
 	switch {
 	case x > 30:
@@ -189,10 +213,14 @@ func Sigmoid(x float64) float64 {
 }
 
 // Tanh is math.Tanh, re-exported for symmetry with Sigmoid.
+//
+//querc:hotpath
 func Tanh(x float64) float64 { return math.Tanh(x) }
 
 // Softmax writes the softmax of src into dst (which may alias src) and
 // returns dst. It subtracts the maximum for numerical stability.
+//
+//querc:hotpath
 func Softmax(dst, src Vector) Vector {
 	mustSameLen(len(dst), len(src))
 	maxv := math.Inf(-1)
@@ -217,6 +245,8 @@ func Softmax(dst, src Vector) Vector {
 
 // ArgMax returns the index of the largest entry, or -1 for an empty vector.
 // Ties resolve to the lowest index.
+//
+//querc:hotpath
 func ArgMax(v Vector) int {
 	if len(v) == 0 {
 		return -1
@@ -230,6 +260,7 @@ func ArgMax(v Vector) int {
 	return best
 }
 
+//querc:allow-alloc the Sprintf runs only on the panic path
 func mustSameLen(a, b int) {
 	if a != b {
 		panic(fmt.Sprintf("vec: length mismatch %d != %d", a, b))
