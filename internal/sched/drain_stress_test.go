@@ -1,0 +1,169 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// These tests stress the drain and work-stealing paths under real
+// concurrency; CI runs the package under -race at GOMAXPROCS=1, 2, and 8
+// so the dispatcher's lock discipline is exercised both interleaved and
+// genuinely parallel.
+
+// TestDrainStealStress floods a three-backend pool from several producer
+// goroutines with mixed-affinity work while one backend is wedged, releases
+// it, and drains. Every admitted task must complete exactly once, the
+// backlog must reach zero, and the healthy backends must have stolen the
+// wedged backend's affine work instead of idling.
+func TestDrainStealStress(t *testing.T) {
+	const (
+		producers    = 4
+		perProducer  = 200
+		wedgedSlots  = 2
+		queueBound   = 64
+		drainTimeout = 10 * time.Second
+	)
+	release := make(chan struct{})
+	fast := func(*Task) error { return nil }
+	wedged := func(*Task) error {
+		<-release
+		return nil
+	}
+	var completed atomic.Int64
+	d, err := New(Config{
+		Policy: &LabelPolicy{},
+		Backends: []Backend{
+			{Name: "b1", Slots: 2, Exec: fast},
+			{Name: "b2", Slots: 2, Exec: fast},
+			{Name: "wedged", Slots: wedgedSlots, Exec: wedged},
+		},
+		QueueCap: queueBound,
+		OnDone:   func(*Task) { completed.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	affinities := [4]string{"b1", "b2", "wedged", ""}
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q := labeled(fmt.Sprintf("p%d-q%d", p, i), "light", affinities[(p+i)%len(affinities)])
+				for {
+					err := d.Enqueue(q)
+					if err == nil {
+						admitted.Add(1)
+						break
+					}
+					if !errors.Is(err, ErrQueueFull) {
+						t.Errorf("enqueue p%d-q%d: %v", p, i, err)
+						return
+					}
+					runtime.Gosched() // backpressured: let the pool drain
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	// The wedged backend can hold at most its slot count in flight; the
+	// rest of its affine work must have been stolen by b1/b2 while the
+	// producers were still running.
+	close(release)
+	if err := d.Drain(drainTimeout); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	st := d.Stats()
+	want := int64(producers * perProducer)
+	if admitted.Load() != want {
+		t.Fatalf("admitted %d of %d", admitted.Load(), want)
+	}
+	if completed.Load() != want || st.Completed != uint64(want) {
+		t.Fatalf("completed %d (snapshot %d), want %d", completed.Load(), st.Completed, want)
+	}
+	if st.Backlog != 0 || st.Inflight != 0 {
+		t.Fatalf("drained dispatcher still has backlog=%d inflight=%d", st.Backlog, st.Inflight)
+	}
+	if st.Stolen == 0 {
+		t.Fatalf("healthy backends never stole the wedged backend's work: %+v", st)
+	}
+}
+
+// TestConcurrentDrainers pins that Drain is multi-waiter safe: several
+// goroutines drain the same dispatcher while work is still completing, and
+// every one of them must observe the empty state.
+func TestConcurrentDrainers(t *testing.T) {
+	slow := func(*Task) error { time.Sleep(100 * time.Microsecond); return nil }
+	d, err := New(Config{
+		Backends: []Backend{
+			{Name: "b1", Slots: 2, Exec: slow},
+			{Name: "b2", Slots: 2, Exec: slow},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tasks = 64
+	for i := 0; i < tasks; i++ {
+		if err := d.Enqueue(labeled(fmt.Sprintf("q%d", i), "", "")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const drainers = 8
+	errs := make(chan error, drainers)
+	for i := 0; i < drainers; i++ {
+		go func() { errs <- d.Drain(10 * time.Second) }()
+	}
+	for i := 0; i < drainers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("drainer %d: %v", i, err)
+		}
+	}
+	d.Close()
+	if st := d.Stats(); st.Completed != tasks || st.Backlog != 0 || st.Inflight != 0 {
+		t.Fatalf("after concurrent drains: %+v", st)
+	}
+}
+
+// TestDrainTimeoutUnderLoad pins the timeout path with real contention: a
+// permanently stuck task must time every concurrent drainer out, with the
+// stuck work still reported in flight.
+func TestDrainTimeoutUnderLoad(t *testing.T) {
+	release := make(chan struct{})
+	stuck := func(*Task) error { <-release; return nil }
+	d, err := New(Config{
+		Backends: []Backend{{Name: "b1", Slots: 1, Exec: stuck}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Enqueue(labeled("stuck", "", "")); err != nil {
+		t.Fatal(err)
+	}
+	const drainers = 4
+	errs := make(chan error, drainers)
+	for i := 0; i < drainers; i++ {
+		go func() { errs <- d.Drain(20 * time.Millisecond) }()
+	}
+	for i := 0; i < drainers; i++ {
+		if err := <-errs; err == nil {
+			t.Fatal("drain of a stuck dispatcher returned nil")
+		}
+	}
+	close(release)
+	if err := d.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+}
