@@ -456,6 +456,26 @@ func BenchmarkDispatchLabelDriven(b *testing.B) {
 	})
 }
 
+// BenchmarkDispatchMemoryAware measures the memory plane's hot-path tax on
+// the common case: memory-aware admission against a budgeted backend over a
+// workload with no memory labels (MemMB 0), so every query pays the two
+// extra label parses in Enqueue plus the budget gate in every pick, but
+// nothing ever defers. The acceptance bar is the same ≤5% dispatch budget
+// as the other variants; deferral behavior itself is covered by
+// quercbench -experiment memory and the sched unit tests.
+func BenchmarkDispatchMemoryAware(b *testing.B) {
+	dispatchBench(b, func() *querc.Dispatcher {
+		cfg := noopSchedCfg(querc.FIFOPolicy{})
+		cfg.MemoryAware = true
+		cfg.Backends[0].MemoryMB = 1 << 20
+		d, err := querc.NewDispatcher(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	})
+}
+
 // ---------- Ablations ----------
 
 // BenchmarkAblationSummaryBaseline compares the learned-embedding summarizer

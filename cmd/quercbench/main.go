@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	quercbench -experiment fig3|fig4|table1|table2|ingest|train|drift|sched|all [-scale small|paper] [-csv dir] [-workers n]
+//	quercbench -experiment fig3|fig4|table1|table2|ingest|train|drift|sched|memory|all [-scale small|paper] [-csv dir] [-workers n]
 //
 // Results print as text tables shaped like the paper's artifacts; -csv also
 // writes machine-readable series for plotting. The ingest experiment
@@ -17,7 +17,10 @@
 // labeling accuracy. The sched experiment replays a mixed multi-tenant
 // workload through the scheduling plane under the FIFO baseline vs the
 // label-driven policy and reports per-class SLA violations, latency
-// percentiles, and throughput for both.
+// percentiles, and throughput for both. The memory experiment replays a
+// mixed-size workload through slot-only vs memory-aware admission against
+// per-backend working-set budgets and reports OOM-class violations and
+// throughput for both.
 package main
 
 import (
@@ -39,7 +42,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("quercbench: ")
 	var (
-		experiment = flag.String("experiment", "all", "fig3, fig4, table1, table2, ingest, train, drift, sched, or all")
+		experiment = flag.String("experiment", "all", "fig3, fig4, table1, table2, ingest, train, drift, sched, memory, or all")
 		scaleFlag  = flag.String("scale", "small", "small (minutes) or paper (hours)")
 		csvDir     = flag.String("csv", "", "directory to write CSV series into (optional)")
 		workers    = flag.Int("workers", 8, "batch fan-out for the ingest experiment")
@@ -98,11 +101,14 @@ func main() {
 		run("Drift recovery", func() error { return runDrift(scale, *workers, *csvDir) })
 	case "sched":
 		run("Scheduling plane", func() error { return runSched(scale, *workers, *csvDir) })
+	case "memory":
+		run("Memory plane", func() error { return runMemory(scale, *workers, *csvDir) })
 	case "all":
 		run("Ingest throughput", func() error { return runIngest(scale, *workers) })
 		run("Parallel training", func() error { return runTrain(scale) })
 		run("Drift recovery", func() error { return runDrift(scale, *workers, *csvDir) })
 		run("Scheduling plane", func() error { return runSched(scale, *workers, *csvDir) })
+		run("Memory plane", func() error { return runMemory(scale, *workers, *csvDir) })
 		run("Figure 3", func() error { return runFig3(scale, *csvDir) })
 		run("Figure 4", func() error { return runFig4(scale, *csvDir) })
 		run("Tables 1 & 2", func() error {

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"querc"
+	"querc/internal/apps"
+	"querc/internal/experiments"
+	"querc/internal/snowgen"
+)
+
+// memBudgetMB is each backend's working-set budget in the memory experiment.
+// It is sized so that a slot-only pool co-running two analytics monsters
+// (~300-600MB each) overruns it routinely, while a memory-aware pool can
+// still pack one monster alongside the transactional mix (~32-220MB).
+const memBudgetMB = 900
+
+// runMemory is the memory-plane experiment: the same annotated workload is
+// replayed twice through identical dispatchers — once admitting by slot
+// count alone (the PR-5 baseline), once memory-aware (admission also capped
+// by each backend's working-set budget, using the memMB label predicted by
+// the trained MemoryEstimator). Execution replays ground-truth snowgen
+// memoryMB labels, so every dispatch that pushes a backend's actual working
+// set past its budget counts as an OOM-class violation in both runs —
+// admission is the only variable. Acceptance: memory-aware admission cuts
+// OOM-class violations by >= 30% at >= 0.95x throughput.
+func runMemory(scale experiments.Scale, workers int, csvDir string) error {
+	nQueries, trainN := 4500, 1500
+	if scale == experiments.ScalePaper {
+		nQueries = 24000
+	}
+	// A mixed-size tenant population: two transactional accounts plus one
+	// analytics-heavy tenant whose multi-join monsters dominate the memory
+	// distribution's tail — the workload shape slot counting cannot see.
+	gen := snowgen.Generate(snowgen.Options{
+		Accounts: []snowgen.AccountSpec{
+			{Name: "acctA", Users: 8, Queries: nQueries * 2 / 5, SharedFraction: 0.2, Dialect: snowgen.DialectSnow},
+			{Name: "acctB", Users: 8, Queries: nQueries * 2 / 5, SharedFraction: 0.2, Dialect: snowgen.DialectAnsi},
+			{Name: "acctC", Users: 6, Queries: nQueries / 5, SharedFraction: 0.1, Analytics: 0.5, Dialect: snowgen.DialectTSQL},
+		},
+		Seed: 99,
+	})
+	sqls := make([]string, len(gen))
+	runtimes := make([]float64, len(gen))
+	memMBs := make([]float64, len(gen))
+	for i, q := range gen {
+		sqls[i] = q.SQL
+		runtimes[i] = q.RuntimeMS
+		memMBs[i] = q.MemoryMB
+	}
+
+	cfg := querc.DefaultDoc2VecConfig()
+	cfg.Dim = 24
+	cfg.Epochs = 3
+	emb, err := querc.TrainDoc2Vec("memory", sqls[:trainN], cfg)
+	if err != nil {
+		return err
+	}
+	est := apps.NewMemoryEstimator(emb, querc.DefaultForestConfig())
+	est.Workers = workers
+	if err := est.Train(sqls[:trainN], memMBs[:trainN]); err != nil {
+		return err
+	}
+
+	// Annotate the whole stream once through the Qworker plane; both
+	// admission modes then schedule the identical labeled queries.
+	svc := querc.NewService()
+	svc.AddApplication("memory", 512, nil)
+	if err := svc.Deploy("memory", est.Classifier()); err != nil {
+		return err
+	}
+	annotated, err := svc.SubmitBatch("memory", sqls, workers)
+	if err != nil {
+		return err
+	}
+	bucketAcc := 0
+	for i, q := range annotated {
+		// Ground truth rides the query: runtimeMS for the simulated
+		// executor's service time, memoryMB for the dispatcher's actual
+		// working-set accounting. The admission gate only ever sees the
+		// predicted memMB label.
+		q.SetLabel("runtimeMS", strconv.FormatFloat(runtimes[i], 'f', 2, 64))
+		q.SetLabel("memoryMB", strconv.FormatFloat(memMBs[i], 'f', 2, 64))
+		if q.Label("memMB") == strconv.FormatFloat(est.TrueMB(memMBs[i]), 'f', -1, 64) {
+			bucketAcc++
+		}
+	}
+
+	type modeResult struct {
+		name     string
+		makespan time.Duration
+		qps      float64
+		oom      uint64
+		stats    querc.SchedulerStats
+	}
+	replay := func(name string, memoryAware bool) (*modeResult, error) {
+		exec := querc.SimSchedExecutor(schedTimeScale, nil, 50)
+		d, err := querc.NewDispatcher(querc.SchedulerConfig{
+			Policy: querc.FIFOPolicy{},
+			Backends: []querc.SchedBackend{
+				{Name: "pool1", Slots: 4, MemoryMB: memBudgetMB, Exec: exec},
+				{Name: "pool2", Slots: 4, MemoryMB: memBudgetMB, Exec: exec},
+			},
+			QueueCap:    300,
+			MemoryAware: memoryAware,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for _, q := range annotated {
+			for {
+				err := d.Enqueue(q)
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, querc.ErrSchedQueueFull) {
+					return nil, err
+				}
+				// Backpressure: the bounded queue throttles the offered
+				// load to the pool's service rate, identically for both
+				// admission modes.
+				time.Sleep(500 * time.Microsecond)
+			}
+		}
+		d.Close()
+		if err := d.Drain(5 * time.Minute); err != nil {
+			return nil, err
+		}
+		makespan := time.Since(start)
+		st := d.Stats()
+		return &modeResult{
+			name:     name,
+			makespan: makespan,
+			qps:      float64(len(annotated)) / makespan.Seconds(),
+			oom:      st.OOMViolations,
+			stats:    st,
+		}, nil
+	}
+
+	slots, err := replay("slot-only", false)
+	if err != nil {
+		return err
+	}
+	aware, err := replay("mem-aware", true)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%d queries, 2 backends x 4 slots, %dMB budget each, time scale %.2f\n",
+		len(annotated), memBudgetMB, schedTimeScale)
+	fmt.Printf("memory-bucket prediction accuracy: %.1f%%\n\n", 100*float64(bucketAcc)/float64(len(annotated)))
+	fmt.Printf("%-10s %10s %10s %10s %10s\n", "admission", "makespan", "q/s", "oom-viol", "mem-waits")
+	for _, r := range []*modeResult{slots, aware} {
+		fmt.Printf("%-10s %10s %10.0f %10d %10d\n",
+			r.name, r.makespan.Round(time.Millisecond), r.qps, r.oom, r.stats.MemWaits)
+	}
+	fmt.Printf("\n%-10s %-8s %10s %10s %12s\n", "admission", "backend", "completed", "oomEvents", "budget-MB")
+	for _, r := range []*modeResult{slots, aware} {
+		for _, b := range r.stats.Backends {
+			fmt.Printf("%-10s %-8s %10d %10d %12.0f\n", r.name, b.Name, b.Completed, b.OOMEvents, b.MemoryMB)
+		}
+	}
+
+	reduction := 0.0
+	if slots.oom > 0 {
+		reduction = 1 - float64(aware.oom)/float64(slots.oom)
+	}
+	thrRatio := aware.qps / slots.qps
+	fmt.Printf("\nOOM-class violations: %d -> %d\n", slots.oom, aware.oom)
+	fmt.Printf("reduction:            %.1f%%  (target >= 30%%)\n", 100*reduction)
+	fmt.Printf("throughput ratio:     %.2fx (memory-aware vs slot-only)\n", thrRatio)
+
+	if csvDir != "" {
+		f, err := os.Create(filepath.Join(csvDir, "memory.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := csv.NewWriter(f)
+		if err := w.Write([]string{"admission", "qps", "oom_violations", "mem_waits"}); err != nil {
+			return err
+		}
+		for _, r := range []*modeResult{slots, aware} {
+			if err := w.Write([]string{
+				r.name,
+				strconv.FormatFloat(r.qps, 'f', 0, 64),
+				strconv.FormatUint(r.oom, 10),
+				strconv.FormatUint(r.stats.MemWaits, 10),
+			}); err != nil {
+				return err
+			}
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			return err
+		}
+	}
+
+	if slots.oom == 0 {
+		return fmt.Errorf("memory: slot-only baseline saw no OOM-class violations — budget too loose to measure")
+	}
+	if reduction < 0.30 {
+		return fmt.Errorf("memory: memory-aware admission cut OOM violations only %.1f%% (target >= 30%%)", 100*reduction)
+	}
+	if thrRatio < 0.95 {
+		return fmt.Errorf("memory: memory-aware throughput fell to %.2fx of slot-only (want >= 0.95x)", thrRatio)
+	}
+	return nil
+}

@@ -31,12 +31,17 @@
 //
 // The scheduling plane is enabled with -sched fifo|label: annotated queries
 // forward into a dispatcher with bounded per-class queues, a backend pool
-// declared by -backends ("name:slots,..."), and per-class latency targets
-// declared by -sla ("class:duration,..."). The daemon ships the simulated
-// executor (a stand-in that sleeps each task's estimated cost); real
-// deployments attach an executor through the library
+// declared by -backends ("name:slots[:memMB],..."), and per-class latency
+// targets declared by -sla ("class:duration,..."). A backend's optional
+// memMB field declares its working-set budget and switches the pool to
+// memory-aware admission: tasks dispatch while the aggregate predicted
+// working set (the memMB label from a deployed memory estimator) stays
+// within budget, with slot count as the secondary cap. The daemon ships the
+// simulated executor (a stand-in that sleeps each task's estimated cost);
+// real deployments attach an executor through the library
 // (querc.SchedulerConfig.Backends). GET /v1/sched reports queue depths,
-// per-class p50/p99 and SLA violations, sheds, and backend occupancy.
+// per-class p50/p99 and SLA violations, sheds, OOM-class violations, and
+// backend occupancy including memory pressure.
 //
 // quercd shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting and in-flight requests finish, the drift controller stops, and
@@ -85,7 +90,7 @@ func main() {
 		schedPolicy = flag.String("sched", "",
 			"scheduling plane policy: fifo or label (empty disables the plane)")
 		backendsSpec = flag.String("backends", "primary:4",
-			"scheduler backend pool as name:slots[,name:slots...]")
+			"scheduler backend pool as name:slots[:memMB][,name:slots[:memMB]...]; a memMB budget enables memory-aware admission")
 		slaSpec = flag.String("sla", "",
 			"per-class latency targets as class:duration[,class:duration...], e.g. light:250ms,heavy:8s")
 		schedQueue = flag.Int("sched-queue", 1024,
@@ -253,6 +258,14 @@ func buildScheduler(policy, backendsSpec, slaSpec string, queueCap int) (*querc.
 		SLA:        sla,
 		ClassOrder: classOrder,
 	}
+	// Any declared budget switches the pool to memory-aware admission; a
+	// budget-free pool keeps the slot-only behavior (and zero overhead).
+	for _, b := range backends {
+		if b.MemoryMB > 0 {
+			cfg.MemoryAware = true
+			break
+		}
+	}
 	switch policy {
 	case "fifo":
 		cfg.Policy = querc.FIFOPolicy{}
@@ -264,8 +277,10 @@ func buildScheduler(policy, backendsSpec, slaSpec string, queueCap int) (*querc.
 	return querc.NewDispatcher(cfg)
 }
 
-// parseBackends parses "name:slots[,name:slots...]" into a backend pool
-// sharing one executor.
+// parseBackends parses "name:slots[:memMB][,name:slots[:memMB]...]" into a
+// backend pool sharing one executor. The optional third field declares the
+// backend's working-set budget in megabytes, turning on memory-aware
+// admission for the pool.
 func parseBackends(spec string, exec querc.SchedExecutor) ([]querc.SchedBackend, error) {
 	var out []querc.SchedBackend
 	for _, part := range strings.Split(spec, ",") {
@@ -273,15 +288,23 @@ func parseBackends(spec string, exec querc.SchedExecutor) ([]querc.SchedBackend,
 		if part == "" {
 			continue
 		}
-		name, slotsStr, ok := strings.Cut(part, ":")
+		name, rest, ok := strings.Cut(part, ":")
 		if !ok || name == "" {
-			return nil, fmt.Errorf("backend %q: want name:slots", part)
+			return nil, fmt.Errorf("backend %q: want name:slots[:memMB]", part)
 		}
+		slotsStr, memStr, hasMem := strings.Cut(rest, ":")
 		slots, err := strconv.Atoi(slotsStr)
 		if err != nil || slots <= 0 {
 			return nil, fmt.Errorf("backend %q: invalid slot count", part)
 		}
-		out = append(out, querc.SchedBackend{Name: name, Slots: slots, Exec: exec})
+		var memMB float64
+		if hasMem {
+			memMB, err = strconv.ParseFloat(memStr, 64)
+			if err != nil || memMB <= 0 {
+				return nil, fmt.Errorf("backend %q: invalid memory budget", part)
+			}
+		}
+		out = append(out, querc.SchedBackend{Name: name, Slots: slots, MemoryMB: memMB, Exec: exec})
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("-backends %q declares no backends", spec)
@@ -391,14 +414,16 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		// latency percentiles, so don't pay for reservoir copies per poll.
 		st := s.sched.Counters()
 		resp["scheduler"] = map[string]any{
-			"policy":    st.Policy,
-			"submitted": st.Submitted,
-			"completed": st.Completed,
-			"rejected":  st.Rejected,
-			"shed":      st.Shed,
-			"evicted":   st.Evicted,
-			"backlog":   st.Backlog,
-			"inflight":  st.Inflight,
+			"policy":        st.Policy,
+			"submitted":     st.Submitted,
+			"completed":     st.Completed,
+			"rejected":      st.Rejected,
+			"shed":          st.Shed,
+			"evicted":       st.Evicted,
+			"oomViolations": st.OOMViolations,
+			"memWaits":      st.MemWaits,
+			"backlog":       st.Backlog,
+			"inflight":      st.Inflight,
 		}
 	}
 	if c := s.svc.VectorCache(); c != nil {

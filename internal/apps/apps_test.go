@@ -386,3 +386,70 @@ func TestQueryRecommenderErrors(t *testing.T) {
 		t.Fatal("untrained recommender must return nil")
 	}
 }
+
+// TestMemoryEstimatorBucketedRegression pins the memory label task: quantile
+// buckets over the training distribution, labels that round-trip through
+// the string wire format, and predictions that separate light from heavy
+// shapes.
+func TestMemoryEstimatorBucketedRegression(t *testing.T) {
+	var sqls []string
+	var mems []float64
+	for i := 0; i < 300; i++ {
+		switch i % 3 {
+		case 0:
+			sqls = append(sqls, fmt.Sprintf("select a from t where id = %d", i))
+			mems = append(mems, 32)
+		case 1:
+			sqls = append(sqls, fmt.Sprintf("select a, sum(b) from t join u group by a -- %d", i))
+			mems = append(mems, 128)
+		default:
+			sqls = append(sqls, fmt.Sprintf("select * from t join u join v join w order by 1 -- %d", i))
+			mems = append(mems, 512)
+		}
+	}
+	m := NewMemoryEstimator(hashEmbedder{64}, forest.Config{NumTrees: 20, Seed: 4})
+	if err := m.Train(sqls, mems); err != nil {
+		t.Fatal(err)
+	}
+	// Three distinct values: tied quantile buckets must merge down to three.
+	if m.TrueMB(32) != 32 || m.TrueMB(128) != 128 || m.TrueMB(512) != 512 {
+		t.Fatalf("representatives wrong: %v %v %v", m.TrueMB(32), m.TrueMB(128), m.TrueMB(512))
+	}
+	// In-between and out-of-range values bucket to a trained representative.
+	if m.TrueMB(64) != 128 || m.TrueMB(1e9) != 512 {
+		t.Fatalf("bucketing wrong: TrueMB(64)=%v TrueMB(1e9)=%v", m.TrueMB(64), m.TrueMB(1e9))
+	}
+	mb, conf := m.Predict("select * from t join u join v join w order by 1 -- 999")
+	if mb != 512 || conf < 0.4 {
+		t.Fatalf("heavy query predicted %vMB (%.2f), want 512", mb, conf)
+	}
+	mb, _ = m.Predict("select a from t where id = 12345")
+	if mb != 32 {
+		t.Fatalf("light query predicted %vMB, want 32", mb)
+	}
+	if key := m.Classifier().LabelKey; key != "memMB" {
+		t.Fatalf("label key %q, want memMB", key)
+	}
+}
+
+// TestMemoryEstimatorDegenerate pins the edge cases: tiny training sets
+// and a constant distribution still train (one merged bucket), and label
+// parsing rejects junk.
+func TestMemoryEstimatorDegenerate(t *testing.T) {
+	m := NewMemoryEstimator(hashEmbedder{32}, forest.Config{NumTrees: 5, Seed: 2})
+	if err := m.Train([]string{"select a from t"}, []float64{96}); err != nil {
+		t.Fatalf("n=1: %v", err)
+	}
+	if m.TrueMB(5) != 96 || m.TrueMB(5000) != 96 {
+		t.Fatalf("single bucket should absorb everything: %v %v", m.TrueMB(5), m.TrueMB(5000))
+	}
+	if err := m.Train(nil, nil); err == nil {
+		t.Fatal("empty training set must error")
+	}
+	if got := parseMB("not-a-number"); got != 0 {
+		t.Fatalf("parseMB junk = %v, want 0", got)
+	}
+	if got := parseMB("-4"); got != 0 {
+		t.Fatalf("parseMB negative = %v, want 0", got)
+	}
+}

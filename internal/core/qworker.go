@@ -293,6 +293,14 @@ func (w *Qworker) ProcessBatch(qs []*LabeledQuery, workers int) []*LabeledQuery 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Classification is CPU-bound, so workers beyond the machine's
+	// parallelism only time-slice one P and pay the pool's coordination
+	// (chunk claims, memo synchronization, goroutine switches) with no
+	// parallel payoff — on a single-core host the clamp routes the batch
+	// through the inline path below.
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
 	if workers > (len(qs)+batchChunk-1)/batchChunk {
 		workers = (len(qs) + batchChunk - 1) / batchChunk
 	}

@@ -1,0 +1,107 @@
+package featurize_test
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"querc/internal/featurize"
+	"querc/internal/snowgen"
+	"querc/internal/tpch"
+)
+
+// featSeeds exercises the feature families: joins, grouping, filters,
+// aggregates, subqueries, and shapes the parser only partially understands.
+var featSeeds = []string{
+	"",
+	"select * from t",
+	"select count(*), sum(x) from a join b on a.id = b.id group by a.x having count(*) > 1 order by a.x limit 5",
+	"select distinct x from t where y > 0 and z like '%q%' and w in (select v from u)",
+	"insert into t select * from u",
+	"update t set a = 1 where b = c",
+	"create index i on t",
+	"select a.x = b.y from",
+	"group by order by join on",
+	"\xffselect\x00from\x80",
+}
+
+// FuzzFeaturize asserts the baseline featurizer pipeline is total and
+// internally consistent on arbitrary input: Extract never returns nil, its
+// categorical families come out sorted (Tables also distinct), counts agree
+// with the slices, Vectorize fills exactly Dim() finite non-negative
+// entries whose categorical mass matches the family sizes, and the custom
+// workload distance is a pseudometric (zero on self, symmetric, finite).
+func FuzzFeaturize(f *testing.F) {
+	for _, s := range featSeeds {
+		f.Add(s)
+	}
+	for _, inst := range tpch.GenerateWorkload(tpch.WorkloadOptions{PerTemplate: 2, Seed: 13}) {
+		f.Add(inst.SQL)
+	}
+	for _, q := range snowgen.Generate(snowgen.Options{
+		Accounts: []snowgen.AccountSpec{
+			{Name: "ff1", Users: 2, Queries: 30, SharedFraction: 0.3, Dialect: snowgen.DialectAnsi},
+			{Name: "ff2", Users: 2, Queries: 30, Analytics: 0.5, Dialect: snowgen.DialectSnow},
+		},
+		Seed: 13,
+	}) {
+		f.Add(q.SQL)
+	}
+	base := featurize.Extract("select x from t where y = 1")
+	vzs := []featurize.Vectorizer{{}, {Buckets: 4}, {Buckets: 64}}
+	f.Fuzz(func(t *testing.T, sql string) {
+		ft := featurize.Extract(sql)
+		if ft == nil {
+			t.Fatal("Extract returned nil")
+		}
+		families := map[string][]string{
+			"Tables": ft.Tables, "JoinEdges": ft.JoinEdges, "GroupCols": ft.GroupCols,
+			"FilterCols": ft.FilterCols, "Aggregates": ft.Aggregates,
+		}
+		for name, fam := range families {
+			if !sort.StringsAreSorted(fam) {
+				t.Fatalf("%s not sorted: %q", name, fam)
+			}
+		}
+		for i := 1; i < len(ft.Tables); i++ {
+			if ft.Tables[i] == ft.Tables[i-1] {
+				t.Fatalf("duplicate table %q", ft.Tables[i])
+			}
+		}
+		if ft.NumJoins != len(ft.JoinEdges) {
+			t.Fatalf("NumJoins %d != len(JoinEdges) %d", ft.NumJoins, len(ft.JoinEdges))
+		}
+		if ft.NumFilters < len(ft.FilterCols) {
+			t.Fatalf("NumFilters %d < filter columns %d", ft.NumFilters, len(ft.FilterCols))
+		}
+		if ft.NumSubq < 0 {
+			t.Fatalf("NumSubq = %d", ft.NumSubq)
+		}
+		for _, vz := range vzs {
+			v := vz.Vectorize(ft)
+			if len(v) != vz.Dim() {
+				t.Fatalf("buckets %d: vector length %d, Dim %d", vz.Buckets, len(v), vz.Dim())
+			}
+			var catMass float64
+			for i, x := range v {
+				if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+					t.Fatalf("buckets %d: entry %d = %v", vz.Buckets, i, x)
+				}
+				if i < len(v)-8 {
+					catMass += x
+				}
+			}
+			want := float64(len(ft.Tables) + len(ft.JoinEdges) + len(ft.GroupCols) + len(ft.FilterCols))
+			if catMass != want {
+				t.Fatalf("buckets %d: categorical mass %v, want %v", vz.Buckets, catMass, want)
+			}
+		}
+		if d := featurize.Distance(ft, ft); d != 0 {
+			t.Fatalf("Distance(f, f) = %v", d)
+		}
+		ab, ba := featurize.Distance(ft, base), featurize.Distance(base, ft)
+		if ab != ba || ab < 0 || math.IsNaN(ab) || math.IsInf(ab, 0) {
+			t.Fatalf("Distance not a pseudometric: ab=%v ba=%v", ab, ba)
+		}
+	})
+}

@@ -155,8 +155,12 @@ func (p *Pass) funcObjOf(fun ast.Expr) *types.Func {
 	return fn
 }
 
-// calleePath returns "pkgpath.Name" for a called function resolved through
-// the type info (e.g. "fmt.Sprintf"), or "" when unresolvable.
+// calleePath returns "pkgpath.Name" for a called package-level function
+// resolved through the type info (e.g. "fmt.Sprintf") and
+// "pkgpath.Recv.Name" for a method (e.g. "sync.WaitGroup.Wait"), or ""
+// when unresolvable. Qualifying methods by receiver keeps them from
+// aliasing same-named package functions — time.Time.After is not
+// time.After.
 func (p *Pass) calleePath(fun ast.Expr) string {
 	var id *ast.Ident
 	switch e := ast.Unparen(fun).(type) {
@@ -170,6 +174,13 @@ func (p *Pass) calleePath(fun ast.Expr) string {
 	fn, ok := p.TypesInfo.ObjectOf(id).(*types.Func)
 	if !ok || fn.Pkg() == nil {
 		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := recvTypeName(fn)
+		if recv == "" {
+			return ""
+		}
+		return fn.Pkg().Path() + "." + recv + "." + fn.Name()
 	}
 	return fn.Pkg().Path() + "." + fn.Name()
 }

@@ -184,14 +184,10 @@ func (ls *locksafe) flagBlockingIn(body *ast.BlockStmt, from, to token.Pos, recv
 			switch ls.p.calleePath(n.Fun) {
 			case "time.Sleep":
 				ls.p.Reportf(n.Pos(), "%s is held across time.Sleep", recv)
-			case "sync.Wait":
-				// Resolve the receiver type: WaitGroup.Wait blocks;
-				// Cond.Wait is the condition-variable contract and exempt.
-				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
-					if fn, ok := ls.p.TypesInfo.ObjectOf(sel.Sel).(*types.Func); ok && recvTypeName(fn) == "WaitGroup" {
-						ls.p.Reportf(n.Pos(), "%s is held across sync.WaitGroup.Wait", recv)
-					}
-				}
+			case "sync.WaitGroup.Wait":
+				// Cond.Wait — the condition-variable contract — resolves to
+				// its own receiver-qualified path and stays exempt.
+				ls.p.Reportf(n.Pos(), "%s is held across sync.WaitGroup.Wait", recv)
 			}
 		}
 		return true

@@ -78,3 +78,12 @@ func afterOutsideLoop(done chan struct{}) {
 	case <-time.After(time.Millisecond): // ok: one timer, not per iteration
 	}
 }
+
+func methodAfterInLoop(deadline time.Time, poll func() bool) bool {
+	for !poll() {
+		if time.Now().After(deadline) { // ok: time.Time.After, not time.After
+			return false
+		}
+	}
+	return true
+}

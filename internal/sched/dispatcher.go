@@ -52,6 +52,22 @@ type Config struct {
 	// milliseconds for Task.CostMS (default "runtimeMS"; SimExecutor
 	// consumes it).
 	CostKey string
+	// MemKey is the label key carrying the predicted working-set estimate in
+	// megabytes for Task.MemMB (default "memMB", the memory label task's
+	// key).
+	MemKey string
+	// ActualMemKey is the label key carrying the observed working set in
+	// megabytes for Task.ActualMemMB (default "memoryMB", snowgen's
+	// execution label; absent falls back to the prediction).
+	ActualMemKey string
+	// MemoryAware gates dispatch on memory: a backend with a MemoryMB
+	// budget admits a task only while the aggregate predicted working set
+	// of its running tasks stays within the budget (an idle backend always
+	// admits, so an oversized task degrades to an accounted overrun rather
+	// than wedging the queue). Off, slots alone cap concurrency — the
+	// admission baseline the memory plane exists to beat — while declared
+	// budgets still drive OOM-class violation accounting.
+	MemoryAware bool
 	// Shed switches overload behavior from backpressure to load shedding:
 	// admission past QueueCap evicts the least-urgent task of the
 	// lowest-priority backlogged class (or drops the incoming task when
@@ -70,11 +86,15 @@ type Config struct {
 
 // backend is the runtime state of one configured Backend.
 type backend struct {
-	name      string
-	slots     int
-	exec      Executor
-	busy      int
-	completed uint64
+	name       string
+	slots      int
+	memoryMB   float64 // working-set budget (<= 0 unbounded)
+	exec       Executor
+	busy       int
+	memUsed    float64 // aggregate predicted MemMB of running tasks
+	actualUsed float64 // aggregate ActualMemMB of running tasks
+	oomEvents  uint64  // dispatches that pushed actualUsed past memoryMB
+	completed  uint64
 }
 
 // classQueue is one class's pending tasks, bucketed by backend affinity so a
@@ -91,13 +111,14 @@ const slaLatencyWindow = 4096
 
 // slaStats accumulates one SLA class's accounting.
 type slaStats struct {
-	completed  uint64
-	violations uint64
-	dropped    uint64 // shed under overload (evicted from the queue or refused at admission)
-	penaltyMS  float64
-	lat        []float64 // ring of recent latencies (ms)
-	latN       int       // valid entries
-	latIdx     int       // next write position
+	completed     uint64
+	violations    uint64
+	dropped       uint64 // shed under overload (evicted from the queue or refused at admission)
+	oomViolations uint64 // dispatches of this class that pushed a backend's actual memory past its budget
+	penaltyMS     float64
+	lat           []float64 // ring of recent latencies (ms)
+	latN          int       // valid entries
+	latIdx        int       // next write position
 }
 
 func (s *slaStats) record(latMS float64) {
@@ -129,14 +150,17 @@ func percentiles(xs []float64) (float64, float64) {
 // with New; it starts dispatching immediately. All methods are safe for
 // concurrent use.
 type Dispatcher struct {
-	policy   Policy
-	queueCap int
-	slaKey   string
-	costKey  string
-	shed     bool
-	sla      map[string]time.Duration
-	onDone   func(*Task)
-	onEvict  func(*Task)
+	policy       Policy
+	queueCap     int
+	slaKey       string
+	costKey      string
+	memKey       string
+	actualMemKey string
+	memAware     bool
+	shed         bool
+	sla          map[string]time.Duration
+	onDone       func(*Task)
+	onEvict      func(*Task)
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -151,13 +175,15 @@ type Dispatcher struct {
 	backlog  int
 	inflight int
 
-	submitted uint64
-	completed uint64
-	rejected  uint64
-	shedCount uint64 // incoming tasks refused by shedding (never counted in submitted)
-	evicted   uint64 // queued tasks evicted by shedding (counted in submitted, never completed)
-	stolen    uint64
-	perSLA    map[string]*slaStats
+	submitted     uint64
+	completed     uint64
+	rejected      uint64
+	shedCount     uint64 // incoming tasks refused by shedding (never counted in submitted)
+	evicted       uint64 // queued tasks evicted by shedding (counted in submitted, never completed)
+	stolen        uint64
+	memWaits      uint64 // class scans skipped because no queued task fit the remaining memory budget
+	oomViolations uint64 // dispatches that pushed a backend's actual memory past its budget
+	perSLA        map[string]*slaStats
 
 	wg sync.WaitGroup
 }
@@ -169,17 +195,20 @@ func New(cfg Config) (*Dispatcher, error) {
 		return nil, fmt.Errorf("sched: at least one backend required")
 	}
 	d := &Dispatcher{
-		policy:   cfg.Policy,
-		queueCap: cfg.QueueCap,
-		slaKey:   cfg.SLAKey,
-		costKey:  cfg.CostKey,
-		shed:     cfg.Shed,
-		sla:      make(map[string]time.Duration, len(cfg.SLA)),
-		onDone:   cfg.OnDone,
-		onEvict:  cfg.OnEvict,
-		queues:   make(map[string]*classQueue),
-		backends: make(map[string]*backend, len(cfg.Backends)),
-		perSLA:   make(map[string]*slaStats),
+		policy:       cfg.Policy,
+		queueCap:     cfg.QueueCap,
+		slaKey:       cfg.SLAKey,
+		costKey:      cfg.CostKey,
+		memKey:       cfg.MemKey,
+		actualMemKey: cfg.ActualMemKey,
+		memAware:     cfg.MemoryAware,
+		shed:         cfg.Shed,
+		sla:          make(map[string]time.Duration, len(cfg.SLA)),
+		onDone:       cfg.OnDone,
+		onEvict:      cfg.OnEvict,
+		queues:       make(map[string]*classQueue),
+		backends:     make(map[string]*backend, len(cfg.Backends)),
+		perSLA:       make(map[string]*slaStats),
 	}
 	if d.policy == nil {
 		d.policy = FIFO{}
@@ -192,6 +221,12 @@ func New(cfg Config) (*Dispatcher, error) {
 	}
 	if d.costKey == "" {
 		d.costKey = "runtimeMS"
+	}
+	if d.memKey == "" {
+		d.memKey = "memMB"
+	}
+	if d.actualMemKey == "" {
+		d.actualMemKey = "memoryMB"
 	}
 	for class, target := range cfg.SLA {
 		d.sla[class] = target
@@ -215,7 +250,7 @@ func New(cfg Config) (*Dispatcher, error) {
 		if slots <= 0 {
 			slots = 1
 		}
-		d.backends[b.Name] = &backend{name: b.Name, slots: slots, exec: b.Exec}
+		d.backends[b.Name] = &backend{name: b.Name, slots: slots, memoryMB: b.MemoryMB, exec: b.Exec}
 		d.names = append(d.names, b.Name)
 	}
 	for _, name := range d.names {
@@ -245,7 +280,12 @@ func (d *Dispatcher) Enqueue(q *core.LabeledQuery) error {
 		Class:     class,
 		Affinity:  aff,
 		Submitted: now,
-		CostMS:    costFromLabel(q, d.costKey),
+		CostMS:    floatFromLabel(q, d.costKey),
+		MemMB:     floatFromLabel(q, d.memKey),
+	}
+	t.ActualMemMB = floatFromLabel(q, d.actualMemKey)
+	if t.ActualMemMB <= 0 {
+		t.ActualMemMB = t.MemMB // no observation: account the prediction
 	}
 	t.SLAClass = q.Label(d.slaKey)
 	if t.SLAClass == "" {
@@ -360,10 +400,11 @@ func (d *Dispatcher) pushLocked(t *Task) {
 	q.n++
 }
 
-// popLocked removes the head of the given affinity bucket.
-func (d *Dispatcher) popLocked(q *classQueue, aff string) *Task {
+// removeLocked removes and returns the task at idx of the given affinity
+// bucket.
+func (d *Dispatcher) removeLocked(q *classQueue, aff string, idx int) *Task {
 	bucket := q.byAff[aff]
-	t := bucket[0]
+	t := bucket[idx]
 	if len(bucket) == 1 {
 		delete(q.byAff, aff)
 	} else {
@@ -371,7 +412,7 @@ func (d *Dispatcher) popLocked(q *classQueue, aff string) *Task {
 		// live window down the backing array and leaks its front capacity,
 		// so steady pop/push traffic would force pushLocked to reallocate
 		// the bucket over and over.
-		copy(bucket, bucket[1:])
+		copy(bucket[idx:], bucket[idx+1:])
 		bucket[len(bucket)-1] = nil
 		q.byAff[aff] = bucket[:len(bucket)-1]
 	}
@@ -379,36 +420,75 @@ func (d *Dispatcher) popLocked(q *classQueue, aff string) *Task {
 	return t
 }
 
-// pickLocked chooses the next task for backendName: strict class priority
+// firstFitLocked returns the index of the least queued task in bucket that
+// fits b's remaining memory budget, or -1. Without gating that is simply the
+// bucket head (buckets stay sorted by the policy ordering), so the
+// memory-blind path stays O(1); under gating the scan walks past the
+// too-big prefix only.
+func (d *Dispatcher) firstFitLocked(bucket []*Task, b *backend, gate bool) int {
+	if !gate {
+		if len(bucket) == 0 {
+			return -1
+		}
+		return 0
+	}
+	for i, t := range bucket {
+		if b.memUsed+t.MemMB <= b.memoryMB {
+			return i
+		}
+	}
+	return -1
+}
+
+// pickLocked chooses the next task for backend b: strict class priority
 // first (SLA dominates), then — within the chosen class — the policy-least
 // task among the backend's own and unaffined buckets, stealing the class's
 // overall least task only when neither holds work. Affinity is a
 // preference, never a reason to idle.
-func (d *Dispatcher) pickLocked(backendName string) *Task {
+//
+// Under memory-aware admission a budgeted, busy backend only considers tasks
+// whose predicted working set fits its remaining budget; a class whose
+// queued work is all too big is skipped, letting smaller lower-priority work
+// backfill the memory headroom instead of idling the slot. An idle backend
+// always admits (an oversized task degrades to an accounted overrun, never a
+// wedged queue), and every completion frees budget and re-wakes the pick, so
+// a deferred task dispatches as soon as it fits.
+func (d *Dispatcher) pickLocked(b *backend) *Task {
+	gate := d.memAware && b.memoryMB > 0 && b.busy > 0
 	for _, class := range d.order {
 		q := d.queues[class]
 		if q == nil || q.n == 0 {
 			continue
 		}
+		bestIdx := -1
 		var bestAff string
 		var best *Task
-		for _, aff := range [2]string{backendName, ""} {
-			if bucket := q.byAff[aff]; len(bucket) > 0 {
-				if best == nil || d.policy.Less(bucket[0], best) {
-					best, bestAff = bucket[0], aff
+		for _, aff := range [2]string{b.name, ""} {
+			bucket := q.byAff[aff]
+			if i := d.firstFitLocked(bucket, b, gate); i >= 0 {
+				if best == nil || d.policy.Less(bucket[i], best) {
+					best, bestAff, bestIdx = bucket[i], aff, i
 				}
 			}
 		}
 		if best == nil {
-			// Only foreign-affinity work queued: steal the least task.
+			// Only foreign-affinity work queued (or nothing preferred
+			// fits): steal the class's least fitting task.
 			for aff, bucket := range q.byAff {
-				if best == nil || d.policy.Less(bucket[0], best) {
-					best, bestAff = bucket[0], aff
+				if i := d.firstFitLocked(bucket, b, gate); i >= 0 {
+					if best == nil || d.policy.Less(bucket[i], best) {
+						best, bestAff, bestIdx = bucket[i], aff, i
+					}
 				}
+			}
+			if best == nil {
+				// Queued work, but none of it fits the remaining budget.
+				d.memWaits++
+				continue
 			}
 			d.stolen++
 		}
-		return d.popLocked(q, bestAff)
+		return d.removeLocked(q, bestAff, bestIdx)
 	}
 	return nil
 }
@@ -475,7 +555,7 @@ func (d *Dispatcher) worker(b *backend) {
 		d.mu.Lock()
 		var t *Task
 		for {
-			if t = d.pickLocked(b.name); t != nil || d.closed {
+			if t = d.pickLocked(b); t != nil || d.closed {
 				break
 			}
 			d.waiting++
@@ -489,6 +569,17 @@ func (d *Dispatcher) worker(b *backend) {
 		d.backlog--
 		d.inflight++
 		b.busy++
+		b.memUsed += t.MemMB
+		b.actualUsed += t.ActualMemMB
+		if b.memoryMB > 0 && b.actualUsed > b.memoryMB {
+			// The observed working set just overran the budget: with
+			// memory-blind admission this is the OOM the plane exists to
+			// prevent; with memory-aware admission it quantifies prediction
+			// error. Either way it is an accounted violation, never a stall.
+			b.oomEvents++
+			d.oomViolations++
+			d.slaStatsLocked(t.SLAClass).oomViolations++
+		}
 		d.mu.Unlock()
 
 		t.Started = time.Now()
@@ -505,6 +596,8 @@ func (d *Dispatcher) complete(t *Task, b *backend) {
 	d.mu.Lock()
 	d.inflight--
 	b.busy--
+	b.memUsed -= t.MemMB
+	b.actualUsed -= t.ActualMemMB
 	b.completed++
 	d.completed++
 	st := d.slaStatsLocked(t.SLAClass)
@@ -577,17 +670,27 @@ type SLASnapshot struct {
 	Completed  uint64  `json:"completed"`
 	Violations uint64  `json:"violations"`
 	Dropped    uint64  `json:"dropped"`
-	PenaltyMS  float64 `json:"penaltyMS"`
-	P50MS      float64 `json:"p50MS"`
-	P99MS      float64 `json:"p99MS"`
+	// OOMViolations counts the class's dispatches that pushed a backend's
+	// observed working set past its declared memory budget.
+	OOMViolations uint64  `json:"oomViolations"`
+	PenaltyMS     float64 `json:"penaltyMS"`
+	P50MS         float64 `json:"p50MS"`
+	P99MS         float64 `json:"p99MS"`
 }
 
-// BackendSnapshot is one backend's occupancy.
+// BackendSnapshot is one backend's occupancy and memory pressure.
 type BackendSnapshot struct {
 	Name      string `json:"name"`
 	Slots     int    `json:"slots"`
 	Busy      int    `json:"busy"`
 	Completed uint64 `json:"completed"`
+	// MemoryMB is the configured working-set budget (0 = unbounded).
+	MemoryMB float64 `json:"memoryMB,omitempty"`
+	// MemUsedMB is the aggregate predicted working set of running tasks.
+	MemUsedMB float64 `json:"memUsedMB,omitempty"`
+	// OOMEvents counts dispatches that pushed the backend's observed working
+	// set past its budget.
+	OOMEvents uint64 `json:"oomEvents,omitempty"`
 }
 
 // Snapshot is a point-in-time view of the scheduling plane — quercd's
@@ -595,18 +698,24 @@ type BackendSnapshot struct {
 // Submitted == Completed + Backlog + Inflight + Evicted (admitted tasks),
 // while Rejected and Shed count Enqueue calls that never admitted.
 type Snapshot struct {
-	Policy    string            `json:"policy"`
-	Submitted uint64            `json:"submitted"`
-	Completed uint64            `json:"completed"`
-	Rejected  uint64            `json:"rejected"` // backpressured Enqueue calls
-	Shed      uint64            `json:"shed"`     // incoming tasks refused by load shedding
-	Evicted   uint64            `json:"evicted"`  // queued tasks evicted by load shedding
-	Stolen    uint64            `json:"stolen"`   // dispatches ignoring affinity
-	Backlog   int               `json:"backlog"`
-	Inflight  int               `json:"inflight"`
-	Queues    []QueueSnapshot   `json:"queues"`
-	Classes   []SLASnapshot     `json:"classes"`
-	Backends  []BackendSnapshot `json:"backends"`
+	Policy    string `json:"policy"`
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Rejected  uint64 `json:"rejected"` // backpressured Enqueue calls
+	Shed      uint64 `json:"shed"`     // incoming tasks refused by load shedding
+	Evicted   uint64 `json:"evicted"`  // queued tasks evicted by load shedding
+	Stolen    uint64 `json:"stolen"`   // dispatches ignoring affinity
+	// OOMViolations counts dispatches that pushed a backend's observed
+	// working set past its declared memory budget.
+	OOMViolations uint64 `json:"oomViolations"`
+	// MemWaits counts class scans skipped because no queued task fit the
+	// picking backend's remaining memory budget.
+	MemWaits uint64            `json:"memWaits"`
+	Backlog  int               `json:"backlog"`
+	Inflight int               `json:"inflight"`
+	Queues   []QueueSnapshot   `json:"queues"`
+	Classes  []SLASnapshot     `json:"classes"`
+	Backends []BackendSnapshot `json:"backends"`
 }
 
 // Counters returns the scalar counters only — no queue listings and, more
@@ -616,15 +725,17 @@ func (d *Dispatcher) Counters() Snapshot {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return Snapshot{
-		Policy:    d.policy.Name(),
-		Submitted: d.submitted,
-		Completed: d.completed,
-		Rejected:  d.rejected,
-		Shed:      d.shedCount,
-		Evicted:   d.evicted,
-		Stolen:    d.stolen,
-		Backlog:   d.backlog,
-		Inflight:  d.inflight,
+		Policy:        d.policy.Name(),
+		Submitted:     d.submitted,
+		Completed:     d.completed,
+		Rejected:      d.rejected,
+		Shed:          d.shedCount,
+		Evicted:       d.evicted,
+		Stolen:        d.stolen,
+		OOMViolations: d.oomViolations,
+		MemWaits:      d.memWaits,
+		Backlog:       d.backlog,
+		Inflight:      d.inflight,
 	}
 }
 
@@ -636,15 +747,17 @@ func (d *Dispatcher) Counters() Snapshot {
 func (d *Dispatcher) Stats() Snapshot {
 	d.mu.Lock()
 	s := Snapshot{
-		Policy:    d.policy.Name(),
-		Submitted: d.submitted,
-		Completed: d.completed,
-		Rejected:  d.rejected,
-		Shed:      d.shedCount,
-		Evicted:   d.evicted,
-		Stolen:    d.stolen,
-		Backlog:   d.backlog,
-		Inflight:  d.inflight,
+		Policy:        d.policy.Name(),
+		Submitted:     d.submitted,
+		Completed:     d.completed,
+		Rejected:      d.rejected,
+		Shed:          d.shedCount,
+		Evicted:       d.evicted,
+		Stolen:        d.stolen,
+		OOMViolations: d.oomViolations,
+		MemWaits:      d.memWaits,
+		Backlog:       d.backlog,
+		Inflight:      d.inflight,
 	}
 	for _, class := range d.order {
 		s.Queues = append(s.Queues, QueueSnapshot{Class: class, Depth: d.queues[class].n})
@@ -659,18 +772,20 @@ func (d *Dispatcher) Stats() Snapshot {
 		st := d.perSLA[class]
 		lats[i] = append([]float64(nil), st.lat[:st.latN]...)
 		s.Classes = append(s.Classes, SLASnapshot{
-			Class:      class,
-			TargetMS:   float64(d.sla[class]) / float64(time.Millisecond),
-			Completed:  st.completed,
-			Violations: st.violations,
-			Dropped:    st.dropped,
-			PenaltyMS:  st.penaltyMS,
+			Class:         class,
+			TargetMS:      float64(d.sla[class]) / float64(time.Millisecond),
+			Completed:     st.completed,
+			Violations:    st.violations,
+			Dropped:       st.dropped,
+			OOMViolations: st.oomViolations,
+			PenaltyMS:     st.penaltyMS,
 		})
 	}
 	for _, name := range d.names {
 		bk := d.backends[name]
 		s.Backends = append(s.Backends, BackendSnapshot{
 			Name: bk.name, Slots: bk.slots, Busy: bk.busy, Completed: bk.completed,
+			MemoryMB: bk.memoryMB, MemUsedMB: bk.memUsed, OOMEvents: bk.oomEvents,
 		})
 	}
 	d.mu.Unlock()

@@ -1,0 +1,200 @@
+package sched
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"querc/internal/core"
+)
+
+// memQuery builds a query carrying a predicted (memMB) and, optionally, an
+// observed (memoryMB) working-set label.
+func memQuery(sql string, predMB, actualMB float64) *core.LabeledQuery {
+	q := &core.LabeledQuery{SQL: sql}
+	if predMB > 0 {
+		q.SetLabel("memMB", strconv.FormatFloat(predMB, 'f', -1, 64))
+	}
+	if actualMB > 0 {
+		q.SetLabel("memoryMB", strconv.FormatFloat(actualMB, 'f', -1, 64))
+	}
+	return q
+}
+
+// TestMemoryLabelsParsed pins the Enqueue label plumbing: memMB fills
+// Task.MemMB, memoryMB fills Task.ActualMemMB, and a missing observation
+// falls back to the prediction.
+func TestMemoryLabelsParsed(t *testing.T) {
+	col := &doneCollector{}
+	d, err := New(Config{
+		Backends: []Backend{{Name: "b1", Slots: 1, Exec: func(*Task) error { return nil }}},
+		OnDone:   col.hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Enqueue(memQuery("both", 64, 80)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Enqueue(memQuery("pred-only", 48, 0)); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if err := d.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range col.tasks {
+		switch task.Query.SQL {
+		case "both":
+			if task.MemMB != 64 || task.ActualMemMB != 80 {
+				t.Errorf("both: MemMB=%v ActualMemMB=%v, want 64/80", task.MemMB, task.ActualMemMB)
+			}
+		case "pred-only":
+			if task.MemMB != 48 || task.ActualMemMB != 48 {
+				t.Errorf("pred-only: MemMB=%v ActualMemMB=%v, want 48/48 (fallback)", task.MemMB, task.ActualMemMB)
+			}
+		}
+	}
+	if len(col.tasks) != 2 {
+		t.Fatalf("completed %d of 2", len(col.tasks))
+	}
+}
+
+// TestMemoryAwareDefersOversized is the admission gate's core behavior: a
+// busy, budgeted backend skips a queued task that would overflow the budget
+// and backfills with later, smaller work; the deferred task dispatches once
+// completions free the budget.
+func TestMemoryAwareDefersOversized(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	d, err := New(Config{
+		Backends:    []Backend{{Name: "b1", Slots: 2, MemoryMB: 100, Exec: gatedExec(started, release)}},
+		MemoryAware: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Enqueue(memQuery("big1", 60, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-started; got != "big1" {
+		t.Fatalf("first dispatch %q, want big1", got)
+	}
+	// big2 would put the predicted working set at 120 > 100: it must wait
+	// even though a slot is free. Wait for the free worker's failed pick
+	// (memWaits) so the deferral is observed before smaller work arrives.
+	if err := d.Enqueue(memQuery("big2", 60, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for deadline := time.Now().Add(5 * time.Second); d.Counters().MemWaits == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("free slot never attempted (and deferred) the oversized task")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := d.Enqueue(memQuery("small", 30, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// The free slot backfills with the later-but-fitting task.
+	if got := <-started; got != "small" {
+		t.Fatalf("second dispatch %q, want small (big2 must defer)", got)
+	}
+	close(release)
+	if got := <-started; got != "big2" {
+		t.Fatalf("third dispatch %q, want big2", got)
+	}
+	d.Close()
+	if err := d.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Completed != 3 {
+		t.Fatalf("completed %d of 3", st.Completed)
+	}
+	if st.MemWaits == 0 {
+		t.Error("deferral recorded no memWaits")
+	}
+	if st.OOMViolations != 0 {
+		t.Errorf("gated admission recorded %d OOM violations, want 0", st.OOMViolations)
+	}
+}
+
+// TestIdleBackendAdmitsOversized is the progress guarantee: a task bigger
+// than the whole budget still runs on an idle backend — it becomes an
+// accounted overrun (OOM-class violation), never a wedged queue.
+func TestIdleBackendAdmitsOversized(t *testing.T) {
+	d, err := New(Config{
+		Backends:    []Backend{{Name: "b1", Slots: 1, MemoryMB: 50, Exec: func(*Task) error { return nil }}},
+		MemoryAware: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Enqueue(memQuery("monster", 100, 0)); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if err := d.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Completed != 1 {
+		t.Fatalf("completed %d of 1", st.Completed)
+	}
+	if st.OOMViolations != 1 {
+		t.Errorf("OOMViolations = %d, want 1", st.OOMViolations)
+	}
+	if len(st.Backends) != 1 || st.Backends[0].OOMEvents != 1 {
+		t.Errorf("backend snapshot = %+v, want 1 oomEvent", st.Backends)
+	}
+	if st.Backends[0].MemoryMB != 50 {
+		t.Errorf("backend snapshot budget = %v, want 50", st.Backends[0].MemoryMB)
+	}
+	var total uint64
+	for _, c := range st.Classes {
+		total += c.OOMViolations
+	}
+	if total != 1 {
+		t.Errorf("per-class OOM violations sum to %d, want 1", total)
+	}
+}
+
+// TestSlotOnlyAdmissionStillAccountsOOM pins the decoupling that makes the
+// memory experiment a fair comparison: with MemoryAware off, a declared
+// budget never gates dispatch but still counts violations when the observed
+// aggregate working set overruns it.
+func TestSlotOnlyAdmissionStillAccountsOOM(t *testing.T) {
+	started := make(chan string, 4)
+	release := make(chan struct{})
+	d, err := New(Config{
+		Backends: []Backend{{Name: "b1", Slots: 2, MemoryMB: 100, Exec: gatedExec(started, release)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both dispatch immediately (slot-only admission): the second pushes the
+	// aggregate observed working set to 160 > 100.
+	if err := d.Enqueue(memQuery("a", 80, 80)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Enqueue(memQuery("b", 80, 80)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	<-started
+	close(release)
+	d.Close()
+	if err := d.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Completed != 2 {
+		t.Fatalf("completed %d of 2", st.Completed)
+	}
+	if st.OOMViolations != 1 {
+		t.Errorf("OOMViolations = %d, want 1", st.OOMViolations)
+	}
+	if st.MemWaits != 0 {
+		t.Errorf("slot-only admission recorded %d memWaits, want 0", st.MemWaits)
+	}
+}

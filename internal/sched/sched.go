@@ -46,6 +46,17 @@ type Task struct {
 	// CostMS is the service-time estimate in workload milliseconds, consumed
 	// by SimExecutor (parsed from the Config.CostKey label when present).
 	CostMS float64
+	// MemMB is the predicted working-set estimate in megabytes (parsed from
+	// the Config.MemKey label — the memory label task's prediction). The
+	// dispatcher admits tasks onto a budgeted backend until the aggregate
+	// MemMB of its running tasks reaches Backend.MemoryMB.
+	MemMB float64
+	// ActualMemMB is the observed working set in megabytes (parsed from the
+	// Config.ActualMemKey label — snowgen's ground-truth execution label in
+	// replays, the engine's measurement in deployments; falls back to MemMB
+	// when absent). Aggregate actual memory exceeding the backend budget at
+	// dispatch is an OOM-class violation.
+	ActualMemMB float64
 	// Deadline is Submitted plus the SLAClass target (zero when the class
 	// has no target). The label-driven policy orders queues by it.
 	Deadline  time.Time
@@ -68,11 +79,18 @@ func (t *Task) Latency() time.Duration { return t.Finished.Sub(t.Submitted) }
 type Executor func(*Task) error
 
 // Backend is one execution target: a named pool of concurrency slots over an
-// executor.
+// executor, optionally bounded by a working-set memory budget.
 type Backend struct {
 	Name  string
 	Slots int // concurrent tasks (<= 0 means 1)
-	Exec  Executor
+	// MemoryMB is the backend's working-set budget in megabytes (<= 0 means
+	// unbounded). With Config.MemoryAware set, the dispatcher admits tasks
+	// until the aggregate predicted working set (Task.MemMB) of running
+	// tasks reaches the budget — slot count becomes the secondary cap.
+	// Whether or not admission is memory-aware, a declared budget is the
+	// reference line for OOM-class violation accounting.
+	MemoryMB float64
+	Exec     Executor
 }
 
 // SimExecutor returns an executor that simulates query execution by sleeping
@@ -192,9 +210,10 @@ func (p *LabelPolicy) Less(a, b *Task) bool {
 	return Before(a, b)
 }
 
-// costFromLabel parses the CostKey label as milliseconds, returning 0 when
-// absent or malformed.
-func costFromLabel(q *core.LabeledQuery, key string) float64 {
+// floatFromLabel parses the label under key as a non-negative float
+// (milliseconds for CostKey, megabytes for MemKey/ActualMemKey), returning 0
+// when absent or malformed.
+func floatFromLabel(q *core.LabeledQuery, key string) float64 {
 	if key == "" {
 		return 0
 	}

@@ -62,20 +62,21 @@ func newSchema(rng *rand.Rand, account string, tables int) *schema {
 // small per-template pools, so one user's instances look alike while staying
 // distinguishable from other users' templates.
 type template struct {
-	sc       *schema
-	dialect  Dialect
-	kind     int // 0 select, 1 insert, 2 aggregate select, 3 update
-	main     int
-	join     int // -1 when absent
-	filters  []int
-	ops      []string
-	pools    [][]string
-	projCols []int
-	aggFn    string
-	aggCol   int
-	groupBy  int // column index or -1
-	orderBy  int // column index or -1
-	limit    int // 0 when absent
+	sc         *schema
+	dialect    Dialect
+	kind       int // 0 select, 1 insert, 2 aggregate select, 3 update
+	main       int
+	join       int   // -1 when absent
+	extraJoins []int // additional join tables (analytics templates only)
+	filters    []int
+	ops        []string
+	pools      [][]string
+	projCols   []int
+	aggFn      string
+	aggCol     int
+	groupBy    int // column index or -1
+	orderBy    int // column index or -1
+	limit      int // 0 when absent
 }
 
 // newTemplate samples a fresh query shape. userIdx flavours the literal
@@ -131,6 +132,35 @@ func newTemplate(rng *rand.Rand, sc *schema, dialect Dialect, userIdx int) templ
 	if rng.Float64() < 0.4 {
 		t.limit = []int{10, 50, 100, 500, 1000}[rng.Intn(5)]
 	}
+	return t
+}
+
+// newAnalyticsTemplate samples a multi-join aggregate shape — the
+// "analytics monster" end of the workload, whose 3-5 joins drive the
+// synthetic memoryMB execution label several times past the transactional
+// mix. Templates are account-shared (generic literal pools), mirroring how
+// scheduled reporting queries look identical across a tenant's users.
+func newAnalyticsTemplate(rng *rand.Rand, sc *schema, dialect Dialect) template {
+	t := template{sc: sc, dialect: dialect, kind: 2, join: -1, groupBy: -1, orderBy: -1}
+	t.main = rng.Intn(len(sc.tables))
+	mt := sc.tables[t.main]
+	nf := 1 + rng.Intn(2)
+	for f := 0; f < nf; f++ {
+		t.filters = append(t.filters, rng.Intn(len(mt.cols)))
+		t.ops = append(t.ops, pickOp(rng, dialect))
+		t.pools = append(t.pools, literalPool(rng, -1))
+	}
+	t.projCols = []int{rng.Intn(len(mt.cols))}
+	t.join = rng.Intn(len(sc.tables))
+	if t.join == t.main && len(sc.tables) > 1 {
+		t.join = (t.join + 1) % len(sc.tables)
+	}
+	for extra := 2 + rng.Intn(3); extra > 0; extra-- {
+		t.extraJoins = append(t.extraJoins, rng.Intn(len(sc.tables)))
+	}
+	t.aggFn = []string{"sum", "count", "avg", "max"}[rng.Intn(4)]
+	t.aggCol = rng.Intn(len(mt.cols))
+	t.groupBy = t.projCols[0]
 	return t
 }
 
@@ -197,6 +227,11 @@ func (t template) render(rng *rand.Rand) string {
 	fmt.Fprintf(&b, " from %s", t.quoteTable(mt.name))
 	if t.join >= 0 {
 		jt := t.sc.tables[t.join]
+		fmt.Fprintf(&b, " join %s on %s.%s = %s.%s",
+			t.quoteTable(jt.name), mt.name, mt.cols[0], jt.name, jt.cols[0])
+	}
+	for _, ji := range t.extraJoins {
+		jt := t.sc.tables[ji]
 		fmt.Fprintf(&b, " join %s on %s.%s = %s.%s",
 			t.quoteTable(jt.name), mt.name, mt.cols[0], jt.name, jt.cols[0])
 	}

@@ -33,8 +33,14 @@ type AccountSpec struct {
 	Users          int
 	Queries        int
 	SharedFraction float64 // fraction of queries drawn from the shared duplicate pool
-	Tables         int     // schema size (default 12)
-	Dialect        Dialect
+	// Analytics is the fraction of queries drawn from account-shared
+	// multi-join aggregate templates (3-5 joins) — the working-set monsters
+	// whose memoryMB labels dwarf the transactional mix. Zero (the default)
+	// consumes no extra randomness, so pre-existing seeds generate
+	// byte-identical workloads.
+	Analytics float64
+	Tables    int // schema size (default 12)
+	Dialect   Dialect
 }
 
 // Dialect selects per-account SQL surface quirks.
@@ -193,11 +199,24 @@ func generateAccount(rng *rand.Rand, spec *AccountSpec, acctIdx int) []Query {
 		}
 	}
 
+	// Analytics pool: multi-join aggregate shapes shared account-wide. Built
+	// (and drawn from) only when the knob is on, so Analytics == 0 accounts
+	// consume exactly the randomness they did before the knob existed.
+	var analytics []template
+	if spec.Analytics > 0 {
+		analytics = make([]template, 2+rng.Intn(3))
+		for i := range analytics {
+			analytics[i] = newAnalyticsTemplate(rng, sc, spec.Dialect)
+		}
+	}
+
 	out := make([]Query, 0, spec.Queries)
 	for i := 0; i < spec.Queries; i++ {
 		u := rng.Intn(len(users))
 		var sql string
-		if rng.Float64() < spec.SharedFraction {
+		if spec.Analytics > 0 && rng.Float64() < spec.Analytics {
+			sql = analytics[rng.Intn(len(analytics))].render(rng)
+		} else if rng.Float64() < spec.SharedFraction {
 			sql = shared[rng.Intn(len(shared))]
 		} else {
 			tpl := users[u].templates[rng.Intn(len(users[u].templates))]

@@ -1,0 +1,136 @@
+package sqllex_test
+
+import (
+	"testing"
+	"unicode/utf8"
+
+	"querc/internal/snowgen"
+	"querc/internal/sqllex"
+	"querc/internal/tpch"
+)
+
+// handSeeds is the hand-picked corpus floor: dialect quirks, pathological
+// quoting, and truncated constructs the generators rarely emit.
+var handSeeds = []string{
+	"",
+	"select 1",
+	"SELECT Top 5 [a b] FROM [t1] WHERE x <> 'y'",
+	"select a::varchar, b from t where c ilike '%x%' qualify row_number() over (partition by a order by b) = 1",
+	"select * from t -- trailing comment",
+	"/* block */ select /* nested? */ 1",
+	"select 'unterminated string",
+	"select \"unterminated quoted ident",
+	"select [unterminated bracket",
+	"insert into t (a, b) values (?, :named), ($1, @p)",
+	"select 1.5e-3, .5, 0x1f, 42abc",
+	"select a from t where b in (select c from u group by c having count(*) > 1)",
+	"\x00\xff\xfe binary junk \x80",
+	"'''", "\"\"\"", "--", "/*", "*/", ";;;",
+	"select 'str''escaped' from t",
+}
+
+// generatorSeeds draws realistic SQL from both workload generators — tpch's
+// templated analytics and snowgen's multi-dialect tenant mix — so the fuzzer
+// mutates from the shapes the production path actually lexes.
+func generatorSeeds() []string {
+	var out []string
+	for _, inst := range tpch.GenerateWorkload(tpch.WorkloadOptions{PerTemplate: 2, Seed: 7}) {
+		out = append(out, inst.SQL)
+	}
+	qs := snowgen.Generate(snowgen.Options{
+		Accounts: []snowgen.AccountSpec{
+			{Name: "fz1", Users: 2, Queries: 25, SharedFraction: 0.2, Dialect: snowgen.DialectSnow},
+			{Name: "fz2", Users: 2, Queries: 25, SharedFraction: 0, Analytics: 0.4, Dialect: snowgen.DialectTSQL},
+			{Name: "fz3", Users: 2, Queries: 25, SharedFraction: 0, Dialect: snowgen.DialectAnsi},
+		},
+		Seed: 7,
+	})
+	for _, q := range qs {
+		out = append(out, q.SQL)
+	}
+	return out
+}
+
+// FuzzTokenize asserts lexing is total and well-formed on arbitrary input:
+// it never panics, token positions are strictly increasing byte offsets
+// into the input, token texts are non-empty, the stream is deterministic,
+// Strings mirrors it, and literal normalization actually normalizes.
+func FuzzTokenize(f *testing.F) {
+	for _, s := range handSeeds {
+		f.Add(s)
+	}
+	for _, s := range generatorSeeds() {
+		f.Add(s)
+	}
+	profiles := []sqllex.Options{
+		{},
+		{KeepComments: true},
+		sqllex.EmbeddingOptions(),
+		sqllex.EmbeddingOptionsNormalized(),
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		for _, opts := range profiles {
+			toks := sqllex.Tokenize(sql, opts)
+			prev := -1
+			for i, tok := range toks {
+				if tok.Kind == sqllex.EOF {
+					t.Fatalf("opts %+v: EOF token leaked into the stream at %d", opts, i)
+				}
+				if tok.Text == "" {
+					t.Fatalf("opts %+v: empty token text at %d (kind %v)", opts, i, tok.Kind)
+				}
+				if tok.Pos <= prev || tok.Pos >= len(sql) {
+					t.Fatalf("opts %+v: token %d position %d out of order or range (prev %d, len %d)",
+						opts, i, tok.Pos, prev, len(sql))
+				}
+				prev = tok.Pos
+				if opts.NormalizeLiterals {
+					switch tok.Kind {
+					case sqllex.Number:
+						if tok.Text != "0" {
+							t.Fatalf("normalized Number text %q", tok.Text)
+						}
+					case sqllex.String:
+						if tok.Text != "'str'" {
+							t.Fatalf("normalized String text %q", tok.Text)
+						}
+					case sqllex.Param:
+						if tok.Text != "?" {
+							t.Fatalf("normalized Param text %q", tok.Text)
+						}
+					}
+				}
+				if !opts.KeepComments && tok.Kind == sqllex.Comment {
+					t.Fatalf("comment token survived without KeepComments: %q", tok.Text)
+				}
+			}
+			again := sqllex.Tokenize(sql, opts)
+			if len(again) != len(toks) {
+				t.Fatalf("opts %+v: nondeterministic stream length %d vs %d", opts, len(toks), len(again))
+			}
+			for i := range toks {
+				if toks[i] != again[i] {
+					t.Fatalf("opts %+v: nondeterministic token %d: %+v vs %+v", opts, i, toks[i], again[i])
+				}
+			}
+			strs := sqllex.Strings(sql, opts)
+			if len(strs) != len(toks) {
+				t.Fatalf("Strings length %d, Tokenize length %d", len(strs), len(toks))
+			}
+			for i := range strs {
+				if strs[i] != toks[i].Text {
+					t.Fatalf("Strings[%d] = %q, token text %q", i, strs[i], toks[i].Text)
+				}
+			}
+		}
+		// Valid UTF-8 in, valid UTF-8 out (token texts slice the input or
+		// are fixed replacement strings).
+		if utf8.ValidString(sql) {
+			for _, tok := range sqllex.Tokenize(sql, sqllex.EmbeddingOptions()) {
+				if !utf8.ValidString(tok.Text) {
+					t.Fatalf("invalid UTF-8 token text %q from valid input", tok.Text)
+				}
+			}
+		}
+	})
+}

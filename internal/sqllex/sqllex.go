@@ -15,6 +15,7 @@ package sqllex
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Kind classifies a token.
@@ -210,6 +211,16 @@ func (lx *lexer) next() Token {
 	case c == '(' || c == ')' || c == ',' || c == ';' || c == '.':
 		lx.pos++
 		return Token{Kind: Punct, Text: string(c), Pos: start}
+	case c >= 0x80:
+		// Non-ASCII: decode the whole rune so token texts never split a
+		// multi-byte sequence. Letters start identifiers; anything else is a
+		// single-rune operator token.
+		r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if unicode.IsLetter(r) {
+			return lx.lexWord(start)
+		}
+		lx.pos += size
+		return Token{Kind: Operator, Text: lx.src[start:lx.pos], Pos: start}
 	default:
 		return lx.lexOperator(start)
 	}
@@ -292,8 +303,20 @@ done:
 }
 
 func (lx *lexer) lexWord(start int) Token {
-	for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
-		lx.pos++
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c < 0x80 {
+			if !isIdentPart(c) {
+				break
+			}
+			lx.pos++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+			break
+		}
+		lx.pos += size
 	}
 	text := lx.src[start:lx.pos]
 	kind := Ident
@@ -336,7 +359,7 @@ func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 
 func isIdentStart(c byte) bool {
-	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= 0x80 && unicode.IsLetter(rune(c))
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
 }
 
 func isIdentPart(c byte) bool {

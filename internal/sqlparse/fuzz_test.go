@@ -1,0 +1,106 @@
+package sqlparse_test
+
+import (
+	"reflect"
+	"testing"
+
+	"querc/internal/snowgen"
+	"querc/internal/sqlparse"
+	"querc/internal/tpch"
+)
+
+// parseSeeds covers each statement path (select/insert/update/delete/DDL),
+// the clause machinery (CTEs, unions, joins, subqueries), and truncated or
+// malformed texts that must still summarize without panicking.
+var parseSeeds = []string{
+	"",
+	"select 1",
+	"select * from t",
+	"select a.x, b.y from ta a join tb b on a.id = b.id where a.x > 5 group by a.x having count(*) > 1 order by a.x limit 10",
+	"with cte as (select x from t) select * from cte union all select * from u",
+	"select top 3 [col] from [dbo].[t] where x <> 'y'",
+	"select x from t where exists (select 1 from u where u.id = t.id)",
+	"select x from t where y in (select z from u) and w between 1 and 2",
+	"select x from t1, t2 where t1.a = t2.a and t1.b like '%q%'",
+	"select count(distinct x), sum(y) from t sample (10)",
+	"insert into t (a, b) select a, b from u",
+	"update t set a = 1 where b is null",
+	"delete from t where a not in (1, 2)",
+	"create table if not exists s.t (a integer primary key)",
+	"drop index idx on t",
+	"select from where group by",
+	"select ((((",
+	"))))) select",
+	"select a from t join join join on on",
+	"\x00 select \xff from \x80",
+}
+
+// FuzzParse asserts the structural parser is total and self-consistent on
+// arbitrary input: never nil, never panics, Limit stays in range, recursive
+// accessors terminate, TableNames are distinct and non-empty, named tables
+// resolve through their own alias, and parsing is deterministic.
+func FuzzParse(f *testing.F) {
+	for _, s := range parseSeeds {
+		f.Add(s)
+	}
+	for _, inst := range tpch.GenerateWorkload(tpch.WorkloadOptions{PerTemplate: 2, Seed: 11}) {
+		f.Add(inst.SQL)
+	}
+	for _, q := range snowgen.Generate(snowgen.Options{
+		Accounts: []snowgen.AccountSpec{
+			{Name: "fp1", Users: 2, Queries: 30, SharedFraction: 0.2, Dialect: snowgen.DialectSnow},
+			{Name: "fp2", Users: 2, Queries: 30, Analytics: 0.5, Dialect: snowgen.DialectTSQL},
+		},
+		Seed: 11,
+	}) {
+		f.Add(q.SQL)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		s := sqlparse.Parse(sql)
+		if s == nil {
+			t.Fatal("Parse returned nil")
+		}
+		if s.Limit < -1 {
+			t.Fatalf("Limit = %d, want >= -1", s.Limit)
+		}
+		if n := s.SubqueryCount(); n < 0 {
+			t.Fatalf("SubqueryCount = %d", n)
+		}
+		names := s.TableNames()
+		seen := map[string]bool{}
+		for _, name := range names {
+			if name == "" {
+				t.Fatal("TableNames returned an empty name")
+			}
+			if seen[name] {
+				t.Fatalf("TableNames returned duplicate %q", name)
+			}
+			seen[name] = true
+		}
+		for _, tab := range s.Tables {
+			if tab.Name == "" {
+				continue // derived table (subquery); may have no alias
+			}
+			// Only unambiguous aliases must resolve: a duplicate alias (or one
+			// shadowed by a derived table) legitimately binds elsewhere.
+			matches := 0
+			for _, other := range s.Tables {
+				if other.Alias == tab.Alias || other.Name == tab.Alias {
+					matches++
+				}
+			}
+			if got := s.ResolveTable(tab.Alias); matches == 1 && got != tab.Name {
+				t.Fatalf("ResolveTable(%q) = %q for table %+v", tab.Alias, got, tab)
+			}
+		}
+		for _, j := range s.Joins {
+			if j.Left.Column == "" || j.Right.Column == "" {
+				t.Fatalf("join with empty column ref: %+v", j)
+			}
+		}
+		again := sqlparse.Parse(sql)
+		if !reflect.DeepEqual(s, again) {
+			t.Fatal("Parse is nondeterministic")
+		}
+	})
+}

@@ -146,6 +146,7 @@ type (
 	RoutingFinding     = apps.RoutingFinding
 	ErrorPredictor     = apps.ErrorPredictor
 	ResourceAllocator  = apps.ResourceAllocator
+	MemoryEstimator    = apps.MemoryEstimator
 	QueryRecommender   = apps.QueryRecommender
 )
 
@@ -186,6 +187,14 @@ func TrainLSTM(name string, corpus []string, cfg LSTMConfig) (Embedder, error) {
 
 // NewForestLabeler returns an untrained randomized-tree labeler.
 func NewForestLabeler(cfg ForestConfig) *ForestLabeler { return core.NewForestLabeler(cfg) }
+
+// NewMemoryEstimator builds the memory label task — a bucketed working-set
+// regressor over the shared embedding — with a fresh forest labeler. Train
+// it on (sql, memoryMB) history, then Deploy est.Classifier() so every
+// admitted query carries a "memMB" prediction for memory-aware dispatch.
+func NewMemoryEstimator(embedder Embedder, cfg ForestConfig) *MemoryEstimator {
+	return apps.NewMemoryEstimator(embedder, cfg)
+}
 
 // NewVectorCache returns a bounded, sharded LRU cache of query vectors keyed
 // by (embedder name, SQL) — the shared store of the embedding plane.
