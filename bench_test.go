@@ -476,6 +476,43 @@ func BenchmarkDispatchMemoryAware(b *testing.B) {
 	})
 }
 
+// BenchmarkDispatchRetry measures the failure plane's retry/deadline tax on
+// the common case: retries and per-query deadlines armed, over a workload
+// where every attempt succeeds — so each query pays the per-task state
+// allocation, deadline stamping, and cancel bookkeeping in Enqueue and
+// completeAttempt, but nothing ever retries. The acceptance bar is the same
+// ≤5% dispatch budget as the other variants; retry behavior itself is
+// covered by quercbench -experiment chaos and the sched unit tests.
+func BenchmarkDispatchRetry(b *testing.B) {
+	dispatchBench(b, func() *querc.Dispatcher {
+		cfg := noopSchedCfg(querc.FIFOPolicy{})
+		cfg.Deadline = time.Minute
+		cfg.Retry = &querc.SchedRetryConfig{MaxRetries: 2}
+		d, err := querc.NewDispatcher(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	})
+}
+
+// BenchmarkDispatchBreaker measures the circuit breaker's hot-path tax: a
+// per-backend health EWMA folds in every attempt and the pick path consults
+// the breaker gate, but the backend stays healthy so the breaker never
+// trips. Same ≤5% dispatch budget; trip/steer behavior is covered by
+// quercbench -experiment chaos and the sched unit tests.
+func BenchmarkDispatchBreaker(b *testing.B) {
+	dispatchBench(b, func() *querc.Dispatcher {
+		cfg := noopSchedCfg(querc.FIFOPolicy{})
+		cfg.Breaker = &querc.SchedBreakerConfig{}
+		d, err := querc.NewDispatcher(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	})
+}
+
 // ---------- Ablations ----------
 
 // BenchmarkAblationSummaryBaseline compares the learned-embedding summarizer

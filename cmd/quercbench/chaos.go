@@ -1,0 +1,341 @@
+package main
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"querc"
+	"querc/internal/experiments"
+	"querc/internal/snowgen"
+)
+
+// chaosSpec is one run of the chaos experiment: the same workload replayed
+// against the same backend pool, varying only whether faults are injected and
+// whether the failure plane (deadlines, retries, hedges, breakers) is on.
+type chaosSpec struct {
+	name    string
+	faults  bool
+	planeOn bool
+}
+
+type chaosResult struct {
+	spec         chaosSpec
+	makespan     time.Duration
+	withinSLA    uint64 // completed within the class target
+	compliance   float64
+	stats        querc.SchedulerStats
+	breakerOpens uint64
+}
+
+// runChaos is the failure-plane experiment: a labeled snowgen workload with a
+// correlated transient-failure stream (errorCode labels arriving in Markov
+// bursts) replays through three dispatchers at the same offered load —
+//
+//	fault-free:  no injected faults, plane off (the compliance ceiling);
+//	plane-off:   a FaultExecutor per backend derives faults from the
+//	             workload's own errorCode labels and adds a down window, a
+//	             brownout, seeded errors, and heavy-tail stragglers; errored
+//	             queries fail terminally;
+//	plane-on:    the same fault schedule, with per-query deadlines, budgeted
+//	             retries steered off the failing backend, hedged re-dispatch
+//	             of stragglers, and per-backend circuit breakers.
+//
+// Compliance is the fraction of submitted queries completed within their SLA
+// class target. Acceptance: the books balance exactly for every run
+// (Completed + Failed + Evicted == Submitted), the plane-on run keeps >= 85%
+// of the fault-free compliance, and the plane-off run loses >= 3x more
+// compliance than the plane-on run.
+func runChaos(scale experiments.Scale, csvDir string) error {
+	nQueries := 3000
+	if scale == experiments.ScalePaper {
+		nQueries = 15000
+	}
+	// Three tenants, three clusters; ~12% of each tenant's traffic carries a
+	// transient errorCode label in bursts, which the fault executors below
+	// turn into first-attempt failures.
+	gen := snowgen.Generate(snowgen.Options{
+		Accounts: []snowgen.AccountSpec{
+			{Name: "acctA", Users: 8, Queries: nQueries / 3, SharedFraction: 0.2, TransientFailures: 0.12, Dialect: snowgen.DialectSnow},
+			{Name: "acctB", Users: 8, Queries: nQueries / 3, SharedFraction: 0.2, TransientFailures: 0.12, Dialect: snowgen.DialectAnsi},
+			{Name: "acctC", Users: 8, Queries: nQueries / 3, SharedFraction: 0.2, TransientFailures: 0.12, Dialect: snowgen.DialectTSQL},
+		},
+		Seed: 99,
+	})
+	// Ground-truth labels steer scheduling directly: chaos measures the
+	// failure plane, not the classifiers (the sched experiment covers those).
+	classFor := func(runtimeMS float64) string {
+		switch {
+		case runtimeMS < 300:
+			return "light"
+		case runtimeMS < 1500:
+			return "medium"
+		default:
+			return "heavy"
+		}
+	}
+	queries := make([]*querc.LabeledQuery, len(gen))
+	clusters := map[string]bool{}
+	for i, q := range gen {
+		lq := &querc.LabeledQuery{SQL: q.SQL}
+		lq.SetLabel("resource", classFor(q.RuntimeMS))
+		lq.SetLabel("cluster", q.Cluster)
+		lq.SetLabel("runtimeMS", strconv.FormatFloat(q.RuntimeMS, 'f', 2, 64))
+		if q.ErrorCode != "" {
+			lq.SetLabel("errorCode", q.ErrorCode)
+		}
+		queries[i] = lq
+		clusters[q.Cluster] = true
+	}
+	var clusterNames []string
+	for _, q := range gen {
+		if clusters[q.Cluster] {
+			clusterNames = append(clusterNames, q.Cluster)
+			clusters[q.Cluster] = false
+		}
+	}
+
+	sla := make(map[string]time.Duration, len(schedSLA))
+	for class, ms := range schedSLA {
+		sla[class] = time.Duration(ms * schedTimeScale * float64(time.Millisecond))
+	}
+
+	// Pace arrivals to ~45% pool utilization: compliance is measured against
+	// a pool with headroom, not one saturated by the replay loop itself (a
+	// saturated queue violates every target and hides the faults' effect).
+	// The headroom is sized so the pool stays stable even with one backend
+	// quarantined and another browned out — the failure plane then pays for
+	// faults in retries and steering, not in unbounded queue growth.
+	const slotsPerBackend, utilization = 2, 0.45
+	var meanCostMS float64
+	for _, q := range gen {
+		meanCostMS += q.RuntimeMS
+	}
+	meanCostMS /= float64(len(gen))
+	totalSlots := slotsPerBackend * len(clusterNames)
+	interArrival := time.Duration(meanCostMS / float64(totalSlots) / utilization *
+		schedTimeScale * float64(time.Millisecond))
+	expectedMakespan := time.Duration(len(queries)) * interArrival
+
+	// Per-backend fault schedules, keyed by pool position: the first backend
+	// goes hard down for the first quarter of the run (breaker feed), the
+	// second browns out for the first two fifths, the third adds seeded
+	// errors, rare hangs, and heavy-tail stragglers. All three fail the first
+	// attempt of any query labeled with a transient errorCode.
+	faultFor := func(i int) querc.FaultConfig {
+		cfg := querc.FaultConfig{
+			Seed:       int64(100 + i),
+			ErrorLabel: "errorCode",
+			ErrorCodes: snowgen.TransientErrorCodes(),
+			MaxHang:    200 * time.Millisecond,
+		}
+		switch i {
+		case 0:
+			cfg.Down = []querc.FaultWindow{{From: 0, To: expectedMakespan / 4}}
+		case 1:
+			cfg.Brownout = []querc.FaultWindow{{From: 0, To: expectedMakespan * 2 / 5}}
+			cfg.BrownoutDelay = 2 * time.Millisecond
+		default:
+			cfg.ErrorRate = 0.03
+			cfg.HangRate = 0.005
+			cfg.TailRate = 0.05
+			cfg.TailScale = 2 * time.Millisecond
+		}
+		return cfg
+	}
+
+	replay := func(spec chaosSpec) (*chaosResult, error) {
+		inner := querc.SimSchedExecutor(schedTimeScale, nil, 50)
+		var backends []querc.SchedBackend
+		var faultExecs []*querc.FaultExecutor
+		for i, name := range clusterNames {
+			exec := inner
+			if spec.faults {
+				fe := querc.NewFaultExecutor(name, inner, faultFor(i))
+				faultExecs = append(faultExecs, fe)
+				exec = fe.Exec
+			}
+			backends = append(backends, querc.SchedBackend{Name: name, Slots: slotsPerBackend, Exec: exec})
+		}
+		cfg := querc.SchedulerConfig{
+			Policy:     &querc.LabelPolicy{},
+			Backends:   backends,
+			ClassOrder: []string{"light", "medium", "heavy"},
+			QueueCap:   300,
+			SLA:        sla,
+		}
+		if spec.planeOn {
+			cfg.Deadline = 2 * time.Second
+			cfg.Retry = &querc.SchedRetryConfig{
+				MaxRetries:     2,
+				BaseBackoff:    time.Millisecond,
+				MaxBackoff:     4 * time.Millisecond,
+				AttemptTimeout: 250 * time.Millisecond,
+				Budget:         0.5,
+				BudgetFloor:    64,
+			}
+			cfg.Hedge = &querc.SchedHedgeConfig{
+				After:       25 * time.Millisecond,
+				Budget:      0.1,
+				BudgetFloor: 16,
+			}
+			// The breaker is tuned for the persistent backend-local fault
+			// (the down window), not the workload's correlated error bursts:
+			// a slow EWMA and a 0.6 trip threshold ride out a ~5-8 query
+			// burst (retries absorb those), while the hard-down backend
+			// still trips within ~18 instant failures. Quarantine recovery
+			// is quick — the default 10s outlasts the whole run, which would
+			// amputate the pool long after the down window.
+			cfg.Breaker = &querc.SchedBreakerConfig{
+				Alpha:         0.05,
+				ErrThreshold:  0.6,
+				MinSamples:    12,
+				OpenFor:       150 * time.Millisecond,
+				QuarantineFor: 600 * time.Millisecond,
+			}
+		}
+		d, err := querc.NewDispatcher(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// One epoch for every backend's down/brownout windows, pinned at the
+		// moment load starts.
+		epoch := time.Now()
+		for _, fe := range faultExecs {
+			fe.Start(epoch)
+		}
+		var accepted uint64
+		for _, q := range queries {
+			for {
+				err := d.Enqueue(q)
+				if err == nil {
+					accepted++
+					break
+				}
+				if errors.Is(err, querc.ErrSchedShed) {
+					break
+				}
+				if !errors.Is(err, querc.ErrSchedQueueFull) {
+					return nil, err
+				}
+				// Backpressure throttles the offered load to the pool's
+				// service rate, identically for every run.
+				time.Sleep(500 * time.Microsecond)
+			}
+			// Open-loop arrivals at the paced rate, identical across runs.
+			time.Sleep(interArrival)
+		}
+		d.Close()
+		if err := d.Drain(5 * time.Minute); err != nil {
+			return nil, err
+		}
+		makespan := time.Since(epoch)
+		st := d.Stats()
+
+		// The conservation gate: every accepted query is accounted exactly
+		// once, faults and retries included.
+		if st.Submitted != accepted {
+			return nil, fmt.Errorf("chaos %s: Submitted %d != accepted %d", spec.name, st.Submitted, accepted)
+		}
+		if st.Completed+st.Failed+st.Evicted != st.Submitted {
+			return nil, fmt.Errorf("chaos %s: ledger broken: Completed %d + Failed %d + Evicted %d != Submitted %d",
+				spec.name, st.Completed, st.Failed, st.Evicted, st.Submitted)
+		}
+		if st.Backlog != 0 || st.Inflight != 0 || st.PendingRetries != 0 {
+			return nil, fmt.Errorf("chaos %s: drained dispatcher holds backlog=%d inflight=%d pendingRetries=%d",
+				spec.name, st.Backlog, st.Inflight, st.PendingRetries)
+		}
+
+		res := &chaosResult{spec: spec, makespan: makespan, stats: st}
+		for _, c := range st.Classes {
+			res.withinSLA += c.Completed - c.Violations
+		}
+		// Compliance is measured against the full offered workload: a query
+		// shed at admission counts as non-compliant, it does not shrink the
+		// denominator.
+		res.compliance = float64(res.withinSLA) / float64(len(queries))
+		for _, b := range st.Backends {
+			res.breakerOpens += b.BreakerOpens
+		}
+		return res, nil
+	}
+
+	baseline, err := replay(chaosSpec{name: "fault-free"})
+	if err != nil {
+		return err
+	}
+	planeOff, err := replay(chaosSpec{name: "plane-off", faults: true})
+	if err != nil {
+		return err
+	}
+	planeOn, err := replay(chaosSpec{name: "plane-on", faults: true, planeOn: true})
+	if err != nil {
+		return err
+	}
+	runs := []*chaosResult{baseline, planeOff, planeOn}
+
+	fmt.Printf("%d queries, %d backends x %d slots, time scale %.2f, inter-arrival %s\n\n",
+		len(queries), len(clusterNames), slotsPerBackend, schedTimeScale, interArrival.Round(time.Microsecond))
+	fmt.Printf("%-10s %9s %9s %8s %8s %6s %8s %8s %8s %7s %10s\n",
+		"run", "withinSLA", "complied", "failed", "evicted", "shed", "retries", "hedges", "wins", "opens", "makespan")
+	for _, r := range runs {
+		fmt.Printf("%-10s %9d %8.1f%% %8d %8d %6d %8d %8d %8d %7d %10s\n",
+			r.spec.name, r.withinSLA, 100*r.compliance, r.stats.Failed, r.stats.Evicted,
+			r.stats.Shed, r.stats.Retries, r.stats.Hedges, r.stats.HedgeWins, r.breakerOpens,
+			r.makespan.Round(time.Millisecond))
+	}
+	dropOff := baseline.compliance - planeOff.compliance
+	dropOn := baseline.compliance - planeOn.compliance
+	keptRatio := planeOn.compliance / baseline.compliance
+	fmt.Printf("\ncompliance kept by plane-on:   %.1f%% of fault-free (target >= 85%%)\n", 100*keptRatio)
+	fmt.Printf("compliance lost:               plane-off %.1f pts, plane-on %.1f pts (target >= 3x)\n",
+		100*dropOff, 100*dropOn)
+
+	if csvDir != "" {
+		f, err := os.Create(filepath.Join(csvDir, "chaos.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := csv.NewWriter(f)
+		if err := w.Write([]string{"run", "class", "completed", "failed", "violations", "retries"}); err != nil {
+			return err
+		}
+		for _, r := range runs {
+			for _, c := range r.stats.Classes {
+				if err := w.Write([]string{
+					r.spec.name, c.Class,
+					strconv.FormatUint(c.Completed, 10),
+					strconv.FormatUint(c.Failed, 10),
+					strconv.FormatUint(c.Violations, 10),
+					strconv.FormatUint(c.Retries, 10),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			return err
+		}
+	}
+
+	if planeOff.stats.Failed == 0 {
+		return fmt.Errorf("chaos: fault injection never fired with the plane off — nothing was measured")
+	}
+	if planeOn.stats.Retries == 0 || planeOn.breakerOpens == 0 {
+		return fmt.Errorf("chaos: plane-on run exercised no retries (%d) or breaker trips (%d)",
+			planeOn.stats.Retries, planeOn.breakerOpens)
+	}
+	if keptRatio < 0.85 {
+		return fmt.Errorf("chaos: plane-on kept only %.1f%% of fault-free compliance (target >= 85%%)", 100*keptRatio)
+	}
+	if dropOn > 0 && dropOff < 3*dropOn {
+		return fmt.Errorf("chaos: plane-off lost %.1f pts vs plane-on %.1f pts (want >= 3x)", 100*dropOff, 100*dropOn)
+	}
+	return nil
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	quercbench -experiment fig3|fig4|table1|table2|ingest|train|drift|sched|memory|all [-scale small|paper] [-csv dir] [-workers n]
+//	quercbench -experiment fig3|fig4|table1|table2|ingest|train|drift|sched|chaos|memory|all [-scale small|paper] [-csv dir] [-workers n]
 //
 // Results print as text tables shaped like the paper's artifacts; -csv also
 // writes machine-readable series for plotting. The ingest experiment
@@ -17,7 +17,12 @@
 // labeling accuracy. The sched experiment replays a mixed multi-tenant
 // workload through the scheduling plane under the FIFO baseline vs the
 // label-driven policy and reports per-class SLA violations, latency
-// percentiles, and throughput for both. The memory experiment replays a
+// percentiles, and throughput for both. The chaos experiment replays a
+// workload carrying a correlated transient-failure label stream against
+// fault-injecting backends (a down window, a brownout, seeded errors and
+// stragglers) with the failure plane off vs on, and gates on the conservation
+// ledger balancing and on deadlines/retries/hedges/breakers recovering most
+// of the fault-free SLA compliance. The memory experiment replays a
 // mixed-size workload through slot-only vs memory-aware admission against
 // per-backend working-set budgets and reports OOM-class violations and
 // throughput for both.
@@ -42,7 +47,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("quercbench: ")
 	var (
-		experiment = flag.String("experiment", "all", "fig3, fig4, table1, table2, ingest, train, drift, sched, memory, or all")
+		experiment = flag.String("experiment", "all", "fig3, fig4, table1, table2, ingest, train, drift, sched, chaos, memory, or all")
 		scaleFlag  = flag.String("scale", "small", "small (minutes) or paper (hours)")
 		csvDir     = flag.String("csv", "", "directory to write CSV series into (optional)")
 		workers    = flag.Int("workers", 8, "batch fan-out for the ingest experiment")
@@ -101,6 +106,8 @@ func main() {
 		run("Drift recovery", func() error { return runDrift(scale, *workers, *csvDir) })
 	case "sched":
 		run("Scheduling plane", func() error { return runSched(scale, *workers, *csvDir) })
+	case "chaos":
+		run("Failure plane", func() error { return runChaos(scale, *csvDir) })
 	case "memory":
 		run("Memory plane", func() error { return runMemory(scale, *workers, *csvDir) })
 	case "all":
@@ -108,6 +115,7 @@ func main() {
 		run("Parallel training", func() error { return runTrain(scale) })
 		run("Drift recovery", func() error { return runDrift(scale, *workers, *csvDir) })
 		run("Scheduling plane", func() error { return runSched(scale, *workers, *csvDir) })
+		run("Failure plane", func() error { return runChaos(scale, *csvDir) })
 		run("Memory plane", func() error { return runMemory(scale, *workers, *csvDir) })
 		run("Figure 3", func() error { return runFig3(scale, *csvDir) })
 		run("Figure 4", func() error { return runFig4(scale, *csvDir) })

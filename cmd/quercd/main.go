@@ -43,9 +43,21 @@
 // per-class p50/p99 and SLA violations, sheds, OOM-class violations, and
 // backend occupancy including memory pressure.
 //
+// The failure plane rides on the scheduling plane (-sched required):
+// -deadline bounds each query's end-to-end execution (expired attempts are
+// cancelled and fail terminally), -retry re-dispatches transient failures up
+// to n times with capped jittered backoff under per-class retry budgets,
+// -hedge clones a straggling query onto a second backend after the given
+// delay (first finisher wins), and -breaker gives every backend a three-state
+// circuit breaker driven by EWMA error/latency health — tripping open on a
+// sick backend, probing it half-open after a cooldown, and quarantining
+// flappers. GET /v1/sched reports per-backend breaker state and health;
+// GET /v1/stats rolls up retry/hedge/deadline/breaker counters.
+//
 // quercd shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting and in-flight requests finish, the drift controller stops, and
-// the scheduler drains its queued backlog before the process exits.
+// the scheduler drains its queued backlog — including retries parked in
+// backoff, which collapse to immediate requeues — before the process exits.
 package main
 
 import (
@@ -95,6 +107,14 @@ func main() {
 			"per-class latency targets as class:duration[,class:duration...], e.g. light:250ms,heavy:8s")
 		schedQueue = flag.Int("sched-queue", 1024,
 			"scheduler backlog bound in tasks (admission past it is backpressure)")
+		schedDeadline = flag.Duration("deadline", 0,
+			"per-query execution deadline; expired attempts are cancelled and fail terminally (0 disables)")
+		schedRetry = flag.Int("retry", 0,
+			"max retries per query for transient failures, with capped jittered backoff and per-class budgets (0 disables)")
+		schedHedge = flag.Duration("hedge", 0,
+			"hedge delay: re-dispatch a straggling query to a second backend after this long, first finisher wins (0 disables)")
+		schedBreaker = flag.Bool("breaker", false,
+			"enable per-backend circuit breakers: EWMA health trips open, half-open probes recover, flappers are quarantined")
 		apps appFlags
 	)
 	flag.Var(&apps, "app", "application stream to host (repeatable)")
@@ -121,13 +141,25 @@ func main() {
 	}
 	var dispatcher *querc.Dispatcher
 	if *schedPolicy != "" {
+		fp := failurePlane{
+			deadline: *schedDeadline,
+			retries:  *schedRetry,
+			hedge:    *schedHedge,
+			breaker:  *schedBreaker,
+		}
 		var err error
-		dispatcher, err = buildScheduler(*schedPolicy, *backendsSpec, *slaSpec, *schedQueue)
+		dispatcher, err = buildScheduler(*schedPolicy, *backendsSpec, *slaSpec, *schedQueue, fp)
 		if err != nil {
 			log.Fatal(err)
 		}
 		svc.AttachScheduler(dispatcher)
 		log.Printf("scheduling plane enabled (policy %s, backends %s)", *schedPolicy, *backendsSpec)
+		if fp.on() {
+			log.Printf("failure plane enabled (deadline %s, retries %d, hedge %s, breaker %v)",
+				*schedDeadline, *schedRetry, *schedHedge, *schedBreaker)
+		}
+	} else if *schedDeadline > 0 || *schedRetry > 0 || *schedHedge > 0 || *schedBreaker {
+		log.Fatal("-deadline/-retry/-hedge/-breaker require the scheduling plane (-sched fifo|label)")
 	}
 	for _, app := range apps {
 		svc.AddApplication(app, 256, nil)
@@ -221,9 +253,23 @@ func shutdown(srv *http.Server, ctl *querc.Controller, dispatcher *querc.Dispatc
 	return firstErr
 }
 
+// failurePlane carries the -deadline/-retry/-hedge/-breaker flag values into
+// the scheduler config. The zero value leaves the plane off: enqueue stays
+// alloc-light and errored executions fail terminally with no second chances.
+type failurePlane struct {
+	deadline time.Duration
+	retries  int
+	hedge    time.Duration
+	breaker  bool
+}
+
+func (f failurePlane) on() bool {
+	return f.deadline > 0 || f.retries > 0 || f.hedge > 0 || f.breaker
+}
+
 // buildScheduler assembles the scheduling plane from the -sched, -backends,
-// and -sla flag values.
-func buildScheduler(policy, backendsSpec, slaSpec string, queueCap int) (*querc.Dispatcher, error) {
+// -sla, and failure-plane flag values.
+func buildScheduler(policy, backendsSpec, slaSpec string, queueCap int, fp failurePlane) (*querc.Dispatcher, error) {
 	sla, slaOrder, err := parseSLA(slaSpec)
 	if err != nil {
 		return nil, err
@@ -257,6 +303,18 @@ func buildScheduler(policy, backendsSpec, slaSpec string, queueCap int) (*querc.
 		QueueCap:   queueCap,
 		SLA:        sla,
 		ClassOrder: classOrder,
+		Deadline:   fp.deadline,
+	}
+	// Each knob opts into its slice of the failure plane independently;
+	// library defaults fill in backoff, budgets, and breaker thresholds.
+	if fp.retries > 0 {
+		cfg.Retry = &querc.SchedRetryConfig{MaxRetries: fp.retries}
+	}
+	if fp.hedge > 0 {
+		cfg.Hedge = &querc.SchedHedgeConfig{After: fp.hedge}
+	}
+	if fp.breaker {
+		cfg.Breaker = &querc.SchedBreakerConfig{}
 	}
 	// Any declared budget switches the pool to memory-aware admission; a
 	// budget-free pool keeps the slot-only behavior (and zero overhead).
@@ -417,6 +475,7 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 			"policy":        st.Policy,
 			"submitted":     st.Submitted,
 			"completed":     st.Completed,
+			"failed":        st.Failed,
 			"rejected":      st.Rejected,
 			"shed":          st.Shed,
 			"evicted":       st.Evicted,
@@ -424,6 +483,17 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 			"memWaits":      st.MemWaits,
 			"backlog":       st.Backlog,
 			"inflight":      st.Inflight,
+			// Failure plane: retry/hedge traffic, deadline expiries, and how
+			// much of the pool the breakers currently refuse.
+			"retries":          st.Retries,
+			"retryStarved":     st.RetryStarved,
+			"pendingRetries":   st.PendingRetries,
+			"hedges":           st.Hedges,
+			"hedgeWins":        st.HedgeWins,
+			"hedgeWaste":       st.HedgeWaste,
+			"deadlineExceeded": st.DeadlineExceeded,
+			"breakerOpen":      st.BreakerOpen,
+			"quarantined":      st.Quarantined,
 		}
 	}
 	if c := s.svc.VectorCache(); c != nil {

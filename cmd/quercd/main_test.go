@@ -313,7 +313,7 @@ func TestSchedEndpoint(t *testing.T) {
 		t.Fatalf("sched while disabled: %d", rr.Code)
 	}
 
-	d, err := buildScheduler("label", "bk1:2,bk2:1", "light:1ns", 64)
+	d, err := buildScheduler("label", "bk1:2,bk2:1", "light:1ns", 64, failurePlane{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,7 +403,7 @@ func TestParseBackendsAndSLA(t *testing.T) {
 			t.Fatalf("parseSLA(%q) must fail", bad)
 		}
 	}
-	if _, err := buildScheduler("nope", "a:1", "", 8); err == nil {
+	if _, err := buildScheduler("nope", "a:1", "", 8, failurePlane{}); err == nil {
 		t.Fatal("unknown policy must fail")
 	}
 }
@@ -412,7 +412,7 @@ func TestParseBackendsAndSLA(t *testing.T) {
 // accepting, in-flight work drains from the scheduler, and shutdown returns
 // only after both.
 func TestGracefulShutdown(t *testing.T) {
-	d, err := buildScheduler("fifo", "bk:1", "", 64)
+	d, err := buildScheduler("fifo", "bk:1", "", 64, failurePlane{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -443,6 +443,120 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	if _, err := net.DialTimeout("tcp", ln.Addr().String(), 100*time.Millisecond); err == nil {
 		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestFailurePlaneFlagsAndEndpoints: the -deadline/-retry/-hedge/-breaker
+// flags wire the failure plane into the dispatcher, /v1/sched reports
+// per-backend breaker state, and /v1/stats rolls up the plane's counters.
+func TestFailurePlaneFlagsAndEndpoints(t *testing.T) {
+	s, mux := newTestServer(t)
+	fp := failurePlane{deadline: 5 * time.Second, retries: 2, hedge: time.Second, breaker: true}
+	if !fp.on() {
+		t.Fatal("failurePlane.on() = false with every knob set")
+	}
+	if (failurePlane{}).on() {
+		t.Fatal("failurePlane.on() = true for the zero value")
+	}
+	d, err := buildScheduler("label", "bk1:2,bk2:1", "", 64, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.sched = d
+	s.svc.AttachScheduler(d)
+	s.svc.Deploy("app1", &core.Classifier{
+		LabelKey: "resource",
+		Embedder: constEmbedder{},
+		Labeler:  &core.RuleLabeler{RuleName: "r", Rule: func(v querc.Vector) string { return "light" }},
+	})
+	for i := 0; i < 3; i++ {
+		if rr := do(t, mux, "POST", "/v1/apps/app1/queries", `{"sql":"select 1"}`); rr.Code != http.StatusOK {
+			t.Fatalf("submit %d: %d %s", i, rr.Code, rr.Body)
+		}
+	}
+	if err := d.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	rr := do(t, mux, "GET", "/v1/sched", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("sched: %d %s", rr.Code, rr.Body)
+	}
+	var snap querc.SchedulerStats
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Completed != 3 || snap.Failed != 0 {
+		t.Fatalf("sched snapshot: %+v", snap)
+	}
+	for _, b := range snap.Backends {
+		if b.Breaker != querc.SchedBreakerClosed {
+			t.Fatalf("backend %s breaker = %q, want closed", b.Name, b.Breaker)
+		}
+	}
+
+	rr = do(t, mux, "GET", "/v1/stats", "")
+	var stats struct {
+		Scheduler map[string]any `json:"scheduler"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"failed", "retries", "retryStarved", "pendingRetries",
+		"hedges", "hedgeWins", "hedgeWaste", "deadlineExceeded",
+		"breakerOpen", "quarantined",
+	} {
+		if _, ok := stats.Scheduler[key]; !ok {
+			t.Errorf("stats scheduler rollup missing %q: %v", key, stats.Scheduler)
+		}
+	}
+	d.Close()
+}
+
+// TestShutdownDrainsPendingRetries: a retry parked in a long backoff at
+// SIGTERM time is collapsed and completed by the graceful-shutdown drain, not
+// abandoned.
+func TestShutdownDrainsPendingRetries(t *testing.T) {
+	transient := errors.New("transient")
+	exec := func(task *querc.SchedTask) error {
+		if task.Attempt == 1 {
+			return transient
+		}
+		return nil
+	}
+	d, err := querc.NewDispatcher(querc.SchedulerConfig{
+		Backends: []querc.SchedBackend{{Name: "bk", Slots: 1, Exec: exec}},
+		// Backoff far longer than the test: only shutdown's drain collapse
+		// can finish the retry in time.
+		Retry: &querc.SchedRetryConfig{MaxRetries: 1, BaseBackoff: time.Hour, MaxBackoff: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Enqueue(&core.LabeledQuery{SQL: "select 1"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Counters().PendingRetries == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("retry never parked in backoff")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.NewServeMux()}
+	go srv.Serve(ln)
+	if err := shutdown(srv, nil, d, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Completed != 1 || st.PendingRetries != 0 || st.Retries != 1 {
+		t.Fatalf("retry not drained: %+v", st)
 	}
 }
 

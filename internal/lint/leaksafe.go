@@ -14,12 +14,16 @@ import (
 //     context — otherwise nothing can ever retire it;
 //   - time.Tick leaks its ticker (use time.NewTicker and Stop it);
 //   - time.After inside a loop allocates a timer per iteration that is not
-//     collected until it fires (hoist a Timer or a Ticker out of the loop).
+//     collected until it fires (hoist a Timer or a Ticker out of the loop);
+//   - a bare time.Sleep inside a loop that has a context.Context in scope
+//     but never consults it stalls cancellation for the whole backoff — the
+//     retry-loop bug the failure plane's drains exist to avoid. Select on
+//     the context's Done channel and a timer instead.
 //
 // Suppress deliberate cases with //querc:allow-leak <reason>.
 var Leaksafe = &Analyzer{
 	Name:  "leaksafe",
-	Doc:   "flags stop-less goroutine loops, time.Tick, and time.After in loops",
+	Doc:   "flags stop-less goroutine loops, time.Tick, time.After in loops, and context-blind sleeps in retry loops",
 	Allow: "allow-leak",
 	Run:   runLeaksafe,
 }
@@ -27,24 +31,45 @@ var Leaksafe = &Analyzer{
 func runLeaksafe(p *Pass) {
 	decls := p.declsByObj()
 	for _, f := range p.Files {
-		var loopDepth int
+		var loops []ast.Node // enclosing for/range statements, innermost last
+		var ctxScope []bool  // per enclosing function: a context.Context is declared in scope
+		inScope := func() bool { return len(ctxScope) > 0 && ctxScope[len(ctxScope)-1] }
 		var walk func(n ast.Node) bool
 		walk = func(n ast.Node) bool {
 			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ctxScope = append(ctxScope, declaresContext(p, n))
+				for _, c := range []ast.Node{n.Type, n.Body} {
+					if c != nil {
+						ast.Inspect(c, walk)
+					}
+				}
+				ctxScope = ctxScope[:len(ctxScope)-1]
+				return false
+			case *ast.FuncLit:
+				// Closures capture the enclosing function's context.
+				ctxScope = append(ctxScope, inScope() || declaresContext(p, n))
+				ast.Inspect(n.Body, walk)
+				ctxScope = ctxScope[:len(ctxScope)-1]
+				return false
 			case *ast.ForStmt, *ast.RangeStmt:
-				loopDepth++
+				loops = append(loops, n)
 				for _, c := range childrenOf(n) {
 					ast.Inspect(c, walk)
 				}
-				loopDepth--
+				loops = loops[:len(loops)-1]
 				return false
 			case *ast.CallExpr:
 				switch p.calleePath(n.Fun) {
 				case "time.Tick":
 					p.Reportf(n.Pos(), "time.Tick leaks its ticker — use time.NewTicker and defer Stop")
 				case "time.After":
-					if loopDepth > 0 {
+					if len(loops) > 0 {
 						p.Reportf(n.Pos(), "time.After in a loop allocates an uncollectable timer per iteration — hoist a time.NewTimer/NewTicker out of the loop")
+					}
+				case "time.Sleep":
+					if len(loops) > 0 && inScope() && !usesContext(p, loops[len(loops)-1]) {
+						p.Reportf(n.Pos(), "time.Sleep in a loop ignores the in-scope context — select on the context's Done channel and a timer so cancellation can interrupt the backoff")
 					}
 				}
 			case *ast.GoStmt:
@@ -54,6 +79,56 @@ func runLeaksafe(p *Pass) {
 		}
 		ast.Inspect(f, walk)
 	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && t.String() == "context.Context"
+}
+
+// declaresContext reports whether fn (a FuncDecl or FuncLit) declares a
+// context.Context — a parameter or local binding — in its own scope. Nested
+// function literals are skipped: their declarations are not visible here.
+func declaresContext(p *Pass, fn ast.Node) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n != fn {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.TypesInfo.Defs[id]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// usesContext reports whether any expression under n — the loop condition,
+// body, or post statement — has type context.Context: consulting Done/Err,
+// passing the context to a callee, or rebinding it all count as not
+// ignoring it.
+func usesContext(p *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := m.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := p.TypesInfo.Types[e]; ok && isContextType(tv.Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // childrenOf returns the traversable children of a loop node so walk can

@@ -1,9 +1,11 @@
 // Package leaksafe exercises the leaksafe analyzer: goroutines running
-// unbounded loops with no retirement path, time.Tick, and time.After inside
-// loops — with //querc:allow-leak suppression.
+// unbounded loops with no retirement path, time.Tick, time.After inside
+// loops, and context-blind time.Sleep in retry loops — with
+// //querc:allow-leak suppression.
 package leaksafe
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -86,4 +88,52 @@ func methodAfterInLoop(deadline time.Time, poll func() bool) bool {
 		}
 	}
 	return true
+}
+
+func sleepRetryIgnoresCtx(ctx context.Context, attempt func() error) error {
+	var err error
+	for i := 0; i < 5; i++ {
+		if err = attempt(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond << i) // want "time.Sleep in a loop ignores the in-scope context"
+	}
+	return err
+}
+
+func sleepRetryChecksCtx(ctx context.Context, attempt func() error) error {
+	var err error
+	for i := 0; i < 5; i++ {
+		if err = attempt(); err == nil {
+			return nil
+		}
+		t := time.NewTimer(time.Millisecond << i)
+		select {
+		case <-ctx.Done(): // ok: cancellation interrupts the backoff
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	return err
+}
+
+func sleepCondConsultsCtx(ctx context.Context, poll func() bool) {
+	for ctx.Err() == nil && !poll() { // ok: the loop condition consults the context
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func sleepNoCtx(poll func() bool) {
+	for !poll() {
+		time.Sleep(time.Millisecond) // ok: no context in scope to consult
+	}
+}
+
+func sleepClosureInheritsCtx(ctx context.Context, attempt func() error) {
+	go func() {
+		for attempt() != nil {
+			time.Sleep(time.Millisecond) // want "time.Sleep in a loop ignores the in-scope context"
+		}
+	}()
 }

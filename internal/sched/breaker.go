@@ -1,0 +1,193 @@
+package sched
+
+import "time"
+
+// BreakerConfig enables per-backend health accounting and a three-state
+// circuit breaker. Every completed attempt updates the backend's EWMA error
+// rate and EWMA attempt latency; a backend whose error rate or latency
+// crosses its threshold trips open and stops receiving work (its queued
+// affinity work is stolen by healthy backends). After OpenFor the breaker
+// half-opens and admits a bounded number of probe tasks: ProbeSuccesses
+// consecutive healthy probes close it, any sick probe re-opens it. A backend
+// that keeps flapping — QuarantineAfter opens inside FlapWindow — is
+// quarantined for the much longer QuarantineFor.
+type BreakerConfig struct {
+	// Alpha is the EWMA smoothing factor for both signals (<= 0 means 0.2).
+	Alpha float64
+	// ErrThreshold opens the breaker when the EWMA error rate exceeds it
+	// (<= 0 means 0.5).
+	ErrThreshold float64
+	// LatencyThresholdMS opens the breaker when the EWMA attempt latency
+	// exceeds it — the brownout detector, since a browned-out backend is slow
+	// but not failing (0 disables the latency signal).
+	LatencyThresholdMS float64
+	// MinSamples is how many completions the EWMA must see before it is
+	// trusted to trip (<= 0 means 10). Health resets when a breaker closes,
+	// so re-tripping also re-accumulates evidence.
+	MinSamples int
+	// OpenFor is how long an open breaker rejects work before half-opening
+	// (<= 0 means 1s).
+	OpenFor time.Duration
+	// Probes bounds concurrent half-open trial tasks (<= 0 means 2).
+	Probes int
+	// ProbeSuccesses is how many consecutive healthy probes close the
+	// breaker (<= 0 means 2).
+	ProbeSuccesses int
+	// QuarantineAfter quarantines a backend that opens this many times
+	// within FlapWindow (<= 0 means 4).
+	QuarantineAfter int
+	// QuarantineFor is the quarantine duration (<= 0 means 10s).
+	QuarantineFor time.Duration
+	// FlapWindow is the sliding window over which opens count toward
+	// quarantine (<= 0 means 30s).
+	FlapWindow time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Alpha <= 0 {
+		c.Alpha = 0.2
+	}
+	if c.ErrThreshold <= 0 {
+		c.ErrThreshold = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 10
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = time.Second
+	}
+	if c.Probes <= 0 {
+		c.Probes = 2
+	}
+	if c.ProbeSuccesses <= 0 {
+		c.ProbeSuccesses = 2
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = 4
+	}
+	if c.QuarantineFor <= 0 {
+		c.QuarantineFor = 10 * time.Second
+	}
+	if c.FlapWindow <= 0 {
+		c.FlapWindow = 30 * time.Second
+	}
+	return c
+}
+
+// Breaker states as reported in BackendSnapshot.Breaker.
+const (
+	BreakerClosed      = "closed"
+	BreakerOpen        = "open"
+	BreakerHalfOpen    = "half-open"
+	BreakerQuarantined = "quarantined"
+)
+
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// breaker is one backend's health accounting and breaker state machine. All
+// fields are guarded by the dispatcher mutex; transitions happen inside
+// pickLocked (open → half-open on expiry) and recordHealthLocked (trips,
+// probe verdicts).
+type breaker struct {
+	cfg         *BreakerConfig
+	state       breakerState
+	quarantined bool // the current open window is a quarantine
+	errEWMA     float64
+	latEWMA     float64 // attempt service latency, ms
+	samples     int
+	openUntil   time.Time
+	probing     int // in-flight half-open probes
+	probeOK     int // consecutive healthy probes this half-open round
+	opens       uint64
+	quarantines uint64
+	openTimes   []time.Time // recent opens, pruned to FlapWindow
+}
+
+// stateName returns the snapshot label for the breaker's current state.
+func (br *breaker) stateName() string {
+	switch {
+	case br.state == stateOpen && br.quarantined:
+		return BreakerQuarantined
+	case br.state == stateOpen:
+		return BreakerOpen
+	case br.state == stateHalfOpen:
+		return BreakerHalfOpen
+	}
+	return BreakerClosed
+}
+
+// blocked reports whether the breaker currently refuses regular dispatch —
+// open (or quarantined) and the open window has not expired.
+func (br *breaker) blocked(now time.Time) bool {
+	return br != nil && br.state == stateOpen && now.Before(br.openUntil)
+}
+
+// probeHealthy is the per-probe verdict: a probe must succeed AND come back
+// under the latency threshold, so a browned-out backend that answers slowly
+// does not close the breaker onto itself.
+func (br *breaker) probeHealthy(ok bool, latMS float64) bool {
+	return ok && (br.cfg.LatencyThresholdMS <= 0 || latMS <= br.cfg.LatencyThresholdMS)
+}
+
+// open transitions to the open state (or quarantine, when the backend has
+// been flapping) and returns when the breaker may half-open again.
+func (br *breaker) open(now time.Time) time.Time {
+	br.opens++
+	keep := br.openTimes[:0]
+	for _, ts := range br.openTimes {
+		if now.Sub(ts) <= br.cfg.FlapWindow {
+			keep = append(keep, ts)
+		}
+	}
+	br.openTimes = append(keep, now)
+	dur := br.cfg.OpenFor
+	br.quarantined = false
+	if len(br.openTimes) >= br.cfg.QuarantineAfter {
+		br.quarantined = true
+		br.quarantines++
+		br.openTimes = br.openTimes[:0]
+		dur = br.cfg.QuarantineFor
+	}
+	br.state = stateOpen
+	br.openUntil = now.Add(dur)
+	br.probeOK = 0
+	return br.openUntil
+}
+
+// close transitions to closed and resets the health evidence, so the next
+// trip must re-accumulate MinSamples of fresh trouble rather than re-firing
+// off the stale EWMA that caused the last open.
+func (br *breaker) close() {
+	br.state = stateClosed
+	br.quarantined = false
+	br.errEWMA = 0
+	br.latEWMA = 0
+	br.samples = 0
+	br.probeOK = 0
+}
+
+// observe folds one completed attempt into the EWMAs.
+func (br *breaker) observe(ok bool, latMS float64) {
+	e := 0.0
+	if !ok {
+		e = 1
+	}
+	br.errEWMA = br.cfg.Alpha*e + (1-br.cfg.Alpha)*br.errEWMA
+	br.latEWMA = br.cfg.Alpha*latMS + (1-br.cfg.Alpha)*br.latEWMA
+	br.samples++
+}
+
+// shouldTrip reports whether the closed-state evidence warrants opening.
+func (br *breaker) shouldTrip() bool {
+	if br.samples < br.cfg.MinSamples {
+		return false
+	}
+	return br.errEWMA > br.cfg.ErrThreshold ||
+		(br.cfg.LatencyThresholdMS > 0 && br.latEWMA > br.cfg.LatencyThresholdMS)
+}

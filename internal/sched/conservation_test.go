@@ -15,16 +15,23 @@ import (
 // TestConservationInvariant is the dispatcher's ledger check: every Enqueue
 // outcome is counted exactly once, and after Close+Drain the books balance —
 // no task is lost, duplicated, or double-counted, under concurrent
-// producers, load shedding, failing executors, and memory-aware admission.
+// producers, load shedding, failing executors, memory-aware admission, and
+// the full failure plane (injected faults, deadlines, retries, hedges,
+// breakers).
 //
 // The invariants, with caller-side tallies on the left:
 //
-//	accepted             == Submitted == Completed + Evicted
+//	accepted             == Submitted == Completed + Failed + Evicted
 //	rejected (queue full)== Rejected
 //	refused  (shed)      == Shed
-//	OnDone deliveries    == Completed == Σ backend.Completed == Σ class.Completed
+//	OnDone deliveries    == Completed + Failed
+//	                        Completed == Σ backend.Completed == Σ class.Completed
+//	                        Failed    == Σ backend.Failed    == Σ class.Failed
 //	OnEvict deliveries   == Evicted;   Evicted + Shed == Σ class.Dropped
-//	Backlog == Inflight  == 0
+//	Backlog == Inflight  == PendingRetries == 0
+//
+// Exactly one terminal delivery per admitted query — even when a hedge clone
+// and the original race, or a retry is in backoff at Close.
 //
 // The CI sched-race matrix runs this under -race at GOMAXPROCS 1, 2 and 8.
 func TestConservationInvariant(t *testing.T) {
@@ -35,6 +42,26 @@ func TestConservationInvariant(t *testing.T) {
 			return execErr
 		}
 		return nil
+	}
+	// The failure-plane base: a slice of permanent errors on top of flaky,
+	// plus a touch of service time so hedges have a straggler to race.
+	permFlaky := func(t *Task) error {
+		if err := sleepCtx(t, 200*time.Microsecond); err != nil {
+			return err
+		}
+		if len(t.Query.SQL)%13 == 0 {
+			return Permanent(execErr)
+		}
+		return flaky(t)
+	}
+	faulty := func(name string, seed int64) Executor {
+		return NewFaultExecutor(name, permFlaky, FaultConfig{
+			Seed:      seed,
+			ErrorRate: 0.25,
+			HangRate:  0.02,
+			TailRate:  0.1,
+			TailScale: time.Millisecond,
+		}).Exec
 	}
 	cases := []struct {
 		name string
@@ -73,6 +100,38 @@ func TestConservationInvariant(t *testing.T) {
 				Backends: []Backend{
 					{Name: "b1", Slots: 2, MemoryMB: 120, Exec: flaky},
 					{Name: "b2", Slots: 2, MemoryMB: 60, Exec: flaky},
+				},
+			},
+		},
+		{
+			name: "failure-plane",
+			cfg: Config{
+				Policy:   &LabelPolicy{},
+				QueueCap: 32,
+				Shed:     true,
+				Deadline: 2 * time.Second,
+				SLA:      map[string]time.Duration{"gold": 50 * time.Millisecond},
+				Retry: &RetryConfig{
+					MaxRetries:     2,
+					BaseBackoff:    time.Millisecond,
+					MaxBackoff:     4 * time.Millisecond,
+					AttemptTimeout: 100 * time.Millisecond,
+					Budget:         0.5,
+					BudgetFloor:    32,
+				},
+				Hedge: &HedgeConfig{
+					After:       2 * time.Millisecond,
+					Budget:      0.2,
+					BudgetFloor: 16,
+				},
+				Breaker: &BreakerConfig{
+					ErrThreshold: 0.4,
+					MinSamples:   8,
+					OpenFor:      10 * time.Millisecond,
+				},
+				Backends: []Backend{
+					{Name: "b1", Slots: 2, Exec: faulty("b1", 7)},
+					{Name: "b2", Slots: 2, Exec: faulty("b2", 8)},
 				},
 			},
 		},
@@ -150,8 +209,9 @@ func TestConservationInvariant(t *testing.T) {
 			}
 
 			st := d.Stats()
-			if st.Backlog != 0 || st.Inflight != 0 {
-				t.Fatalf("drained dispatcher holds backlog=%d inflight=%d", st.Backlog, st.Inflight)
+			if st.Backlog != 0 || st.Inflight != 0 || st.PendingRetries != 0 {
+				t.Fatalf("drained dispatcher holds backlog=%d inflight=%d pendingRetries=%d",
+					st.Backlog, st.Inflight, st.PendingRetries)
 			}
 			if st.Submitted != accepted.Load() {
 				t.Errorf("Submitted = %d, callers saw %d accepts", st.Submitted, accepted.Load())
@@ -162,28 +222,41 @@ func TestConservationInvariant(t *testing.T) {
 			if st.Shed != refused.Load() {
 				t.Errorf("Shed = %d, callers saw %d ErrShed", st.Shed, refused.Load())
 			}
-			if st.Completed+st.Evicted != st.Submitted {
-				t.Errorf("Completed %d + Evicted %d != Submitted %d", st.Completed, st.Evicted, st.Submitted)
+			if st.Completed+st.Failed+st.Evicted != st.Submitted {
+				t.Errorf("Completed %d + Failed %d + Evicted %d != Submitted %d",
+					st.Completed, st.Failed, st.Evicted, st.Submitted)
 			}
-			if doneCount.Load() != st.Completed {
-				t.Errorf("OnDone fired %d times, Completed = %d", doneCount.Load(), st.Completed)
+			if doneCount.Load() != st.Completed+st.Failed {
+				t.Errorf("OnDone fired %d times, Completed+Failed = %d",
+					doneCount.Load(), st.Completed+st.Failed)
+			}
+			if failCount.Load() != st.Failed {
+				t.Errorf("OnDone saw %d errored tasks, Failed = %d", failCount.Load(), st.Failed)
 			}
 			if evictCount.Load() != st.Evicted {
 				t.Errorf("OnEvict fired %d times, Evicted = %d", evictCount.Load(), st.Evicted)
 			}
-			var backendDone, classDone, classDropped uint64
+			var backendDone, backendFailed, classDone, classFailed, classDropped uint64
 			for _, b := range st.Backends {
 				backendDone += b.Completed
+				backendFailed += b.Failed
 			}
 			for _, c := range st.Classes {
 				classDone += c.Completed
+				classFailed += c.Failed
 				classDropped += c.Dropped
 			}
 			if backendDone != st.Completed {
 				t.Errorf("backend completions sum to %d, Completed = %d", backendDone, st.Completed)
 			}
+			if backendFailed != st.Failed {
+				t.Errorf("backend failures sum to %d, Failed = %d", backendFailed, st.Failed)
+			}
 			if classDone != st.Completed {
 				t.Errorf("class completions sum to %d, Completed = %d", classDone, st.Completed)
+			}
+			if classFailed != st.Failed {
+				t.Errorf("class failures sum to %d, Failed = %d", classFailed, st.Failed)
 			}
 			if classDropped != st.Evicted+st.Shed {
 				t.Errorf("class drops sum to %d, Evicted+Shed = %d", classDropped, st.Evicted+st.Shed)
@@ -195,11 +268,23 @@ func TestConservationInvariant(t *testing.T) {
 					t.Errorf("task %s delivered %d times", sql, n)
 				}
 			}
-			if uint64(len(delivered)) != st.Completed+st.Evicted {
-				t.Errorf("%d distinct tasks delivered, want %d", len(delivered), st.Completed+st.Evicted)
+			if uint64(len(delivered)) != st.Completed+st.Failed+st.Evicted {
+				t.Errorf("%d distinct tasks delivered, want %d",
+					len(delivered), st.Completed+st.Failed+st.Evicted)
 			}
 			if tc.name == "backpressure-fifo" && failCount.Load() == 0 {
 				t.Error("failure injection never fired; the invariant was not exercised on the error path")
+			}
+			if tc.name == "failure-plane" {
+				if st.Retries == 0 {
+					t.Error("failure-plane case scheduled no retries")
+				}
+				if st.Hedges == 0 {
+					t.Error("failure-plane case fired no hedges")
+				}
+				if st.Completed == 0 {
+					t.Error("failure-plane case completed nothing")
+				}
 			}
 		})
 	}

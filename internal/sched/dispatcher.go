@@ -1,8 +1,10 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -73,6 +75,21 @@ type Config struct {
 	// lowest-priority backlogged class (or drops the incoming task when
 	// nothing queued is lower priority than it).
 	Shed bool
+	// Deadline, when positive, gives every admitted query a hard execution
+	// deadline of Submitted+Deadline (Task.ExecDeadline). Attempts run under
+	// a context cancelled at the deadline, and a failure past it never
+	// retries.
+	Deadline time.Duration
+	// Retry, when set, enables retry-on-failure dispatch (see RetryConfig).
+	Retry *RetryConfig
+	// Hedge, when set, enables hedged re-dispatch for stragglers (see
+	// HedgeConfig). Hedging needs at least two backends to race.
+	Hedge *HedgeConfig
+	// Breaker, when set, enables per-backend health accounting and circuit
+	// breaking (see BreakerConfig). When open breakers have shrunk the
+	// healthy pool, a full backlog degrades to shed-lowest-class even
+	// without Shed.
+	Breaker *BreakerConfig
 	// OnDone, when set, receives every executed task after SLA accounting
 	// (outside the dispatcher lock). Experiments use it to collect
 	// latencies.
@@ -95,6 +112,8 @@ type backend struct {
 	actualUsed float64 // aggregate ActualMemMB of running tasks
 	oomEvents  uint64  // dispatches that pushed actualUsed past memoryMB
 	completed  uint64
+	failed     uint64 // tasks that failed terminally on this backend
+	br         *breaker
 }
 
 // classQueue is one class's pending tasks, bucketed by backend affinity so a
@@ -111,7 +130,10 @@ const slaLatencyWindow = 4096
 
 // slaStats accumulates one SLA class's accounting.
 type slaStats struct {
+	admitted      uint64 // tasks admitted into the class (the retry-budget base)
 	completed     uint64
+	failed        uint64 // tasks that failed terminally
+	retries       uint64 // re-dispatches consumed by the class
 	violations    uint64
 	dropped       uint64 // shed under overload (evicted from the queue or refused at admission)
 	oomViolations uint64 // dispatches of this class that pushed a backend's actual memory past its budget
@@ -162,6 +184,13 @@ type Dispatcher struct {
 	onDone       func(*Task)
 	onEvict      func(*Task)
 
+	deadline    time.Duration
+	retry       *RetryConfig
+	hedge       *HedgeConfig
+	breakerCfg  *BreakerConfig
+	planeOn     bool // retry, hedge, or deadline enabled: tasks carry taskState
+	avoidActive bool // retry/hedge steering away from a backend is possible
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	queues   map[string]*classQueue
@@ -175,15 +204,27 @@ type Dispatcher struct {
 	backlog  int
 	inflight int
 
-	submitted     uint64
-	completed     uint64
-	rejected      uint64
-	shedCount     uint64 // incoming tasks refused by shedding (never counted in submitted)
-	evicted       uint64 // queued tasks evicted by shedding (counted in submitted, never completed)
-	stolen        uint64
-	memWaits      uint64 // class scans skipped because no queued task fit the remaining memory budget
-	oomViolations uint64 // dispatches that pushed a backend's actual memory past its budget
-	perSLA        map[string]*slaStats
+	retryRNG       *rand.Rand               // jitter source, guarded by mu
+	retryTimers    map[*retryEntry]struct{} // parked retries; membership decides the timer-vs-Close race
+	hedgeTimers    map[*hedgeEntry]struct{} // armed hedges; membership decides the timer-vs-finish race
+	pendingRetries int                      // retries parked in a backoff (neither backlog nor inflight)
+
+	submitted        uint64
+	completed        uint64
+	failed           uint64 // tasks that failed terminally (error after retries exhausted)
+	rejected         uint64
+	shedCount        uint64 // incoming tasks refused by shedding (never counted in submitted)
+	evicted          uint64 // queued tasks evicted by shedding (counted in submitted, never completed)
+	stolen           uint64
+	memWaits         uint64 // class scans skipped because no queued task fit the remaining memory budget
+	oomViolations    uint64 // dispatches that pushed a backend's actual memory past its budget
+	retries          uint64 // re-dispatches after retriable failures
+	retryStarved     uint64 // retriable failures denied by an exhausted class budget
+	hedges           uint64 // hedge clones queued
+	hedgeWins        uint64 // queries whose hedge clone delivered the result
+	hedgeWaste       uint64 // attempts discarded because a racing sibling finished first
+	deadlineExceeded uint64 // attempts that failed past their execution deadline
+	perSLA           map[string]*slaStats
 
 	wg sync.WaitGroup
 }
@@ -209,7 +250,26 @@ func New(cfg Config) (*Dispatcher, error) {
 		queues:       make(map[string]*classQueue),
 		backends:     make(map[string]*backend, len(cfg.Backends)),
 		perSLA:       make(map[string]*slaStats),
+		retryTimers:  make(map[*retryEntry]struct{}),
+		hedgeTimers:  make(map[*hedgeEntry]struct{}),
 	}
+	if cfg.Deadline > 0 {
+		d.deadline = cfg.Deadline
+	}
+	if cfg.Retry != nil {
+		r := cfg.Retry.withDefaults()
+		d.retry = &r
+		d.retryRNG = rand.New(rand.NewSource(r.Seed))
+	}
+	if cfg.Hedge != nil {
+		h := cfg.Hedge.withDefaults()
+		d.hedge = &h
+	}
+	if cfg.Breaker != nil {
+		bc := cfg.Breaker.withDefaults()
+		d.breakerCfg = &bc
+	}
+	d.planeOn = d.retry != nil || d.hedge != nil || d.deadline > 0
 	if d.policy == nil {
 		d.policy = FIFO{}
 	}
@@ -250,9 +310,14 @@ func New(cfg Config) (*Dispatcher, error) {
 		if slots <= 0 {
 			slots = 1
 		}
-		d.backends[b.Name] = &backend{name: b.Name, slots: slots, memoryMB: b.MemoryMB, exec: b.Exec}
+		bk := &backend{name: b.Name, slots: slots, memoryMB: b.MemoryMB, exec: b.Exec}
+		if d.breakerCfg != nil {
+			bk.br = &breaker{cfg: d.breakerCfg}
+		}
+		d.backends[b.Name] = bk
 		d.names = append(d.names, b.Name)
 	}
+	d.avoidActive = (d.retry != nil || d.hedge != nil) && len(d.names) > 1
 	for _, name := range d.names {
 		bk := d.backends[name]
 		for i := 0; i < bk.slots; i++ {
@@ -294,6 +359,12 @@ func (d *Dispatcher) Enqueue(q *core.LabeledQuery) error {
 	if target, ok := d.sla[t.SLAClass]; ok {
 		t.Deadline = now.Add(target)
 	}
+	if d.deadline > 0 {
+		t.ExecDeadline = now.Add(d.deadline)
+	}
+	if d.planeOn {
+		t.state = &taskState{outstanding: 1}
+	}
 
 	d.mu.Lock()
 	if d.closed {
@@ -309,7 +380,9 @@ func (d *Dispatcher) Enqueue(q *core.LabeledQuery) error {
 	d.seq++
 	var victim *Task
 	if d.backlog >= d.queueCap {
-		if !d.shed {
+		// Open breakers shrink the healthy pool; under that saturation a
+		// full backlog degrades to shed-lowest-class even without Shed.
+		if !d.shed && !d.breakerDegradeLocked() {
 			d.rejected++
 			d.mu.Unlock()
 			return ErrQueueFull
@@ -320,12 +393,26 @@ func (d *Dispatcher) Enqueue(q *core.LabeledQuery) error {
 			d.mu.Unlock()
 			return ErrShed
 		}
-		d.evicted++
-		d.slaStatsLocked(victim.SLAClass).dropped++
+		if vst := victim.state; vst != nil && (vst.done || vst.outstanding > 1) {
+			// The victim was a redundant attempt: a sibling either delivered
+			// already (done) or still carries the query (outstanding > 1), so
+			// the queue slot is freed but nothing is evicted.
+			vst.outstanding--
+			d.hedgeWaste++
+			victim = nil
+		} else {
+			if vst := victim.state; vst != nil {
+				vst.outstanding--
+				d.retireStateLocked(vst)
+			}
+			d.evicted++
+			d.slaStatsLocked(victim.SLAClass).dropped++
+		}
 	}
 	d.pushLocked(t)
 	d.backlog++
 	d.submitted++
+	d.slaStatsLocked(t.SLAClass).admitted++
 	if d.waiting > 0 {
 		d.cond.Broadcast()
 	}
@@ -336,6 +423,36 @@ func (d *Dispatcher) Enqueue(q *core.LabeledQuery) error {
 		onEvict(victim)
 	}
 	return nil
+}
+
+// breakerDegradeLocked reports whether any backend's breaker currently
+// refuses dispatch — the shrunken-pool condition under which overload
+// degrades to shedding.
+func (d *Dispatcher) breakerDegradeLocked() bool {
+	if d.breakerCfg == nil {
+		return false
+	}
+	now := time.Now()
+	for _, name := range d.names {
+		if d.backends[name].br.blocked(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// retireStateLocked delivers a terminal outcome's side effects on the shared
+// state: mark done, disarm the pending hedge, cancel running siblings.
+func (d *Dispatcher) retireStateLocked(st *taskState) {
+	st.done = true
+	if he := st.hedge; he != nil {
+		st.hedge = nil
+		if _, ok := d.hedgeTimers[he]; ok {
+			delete(d.hedgeTimers, he)
+			he.timer.Stop()
+		}
+	}
+	st.cancelAll()
 }
 
 // maxTrackedClasses bounds the number of distinct queue classes and SLA
@@ -421,21 +538,25 @@ func (d *Dispatcher) removeLocked(q *classQueue, aff string, idx int) *Task {
 }
 
 // firstFitLocked returns the index of the least queued task in bucket that
-// fits b's remaining memory budget, or -1. Without gating that is simply the
-// bucket head (buckets stay sorted by the policy ordering), so the
-// memory-blind path stays O(1); under gating the scan walks past the
-// too-big prefix only.
-func (d *Dispatcher) firstFitLocked(bucket []*Task, b *backend, gate bool) int {
-	if !gate {
+// fits b's remaining memory budget (gate) and is not steering away from b
+// (honorAvoid), or -1. With neither filter that is simply the bucket head
+// (buckets stay sorted by the policy ordering), so the plain path stays
+// O(1); a filtered scan walks past the unfit prefix only.
+func (d *Dispatcher) firstFitLocked(bucket []*Task, b *backend, gate, honorAvoid bool) int {
+	if !gate && !honorAvoid {
 		if len(bucket) == 0 {
 			return -1
 		}
 		return 0
 	}
 	for i, t := range bucket {
-		if b.memUsed+t.MemMB <= b.memoryMB {
-			return i
+		if honorAvoid && t.avoid == b.name {
+			continue
 		}
+		if gate && b.memUsed+t.MemMB > b.memoryMB {
+			continue
+		}
+		return i
 	}
 	return -1
 }
@@ -454,7 +575,24 @@ func (d *Dispatcher) firstFitLocked(bucket []*Task, b *backend, gate bool) int {
 // wedged queue), and every completion frees budget and re-wakes the pick, so
 // a deferred task dispatches as soon as it fits.
 func (d *Dispatcher) pickLocked(b *backend) *Task {
+	// Breaker gate: an open breaker refuses dispatch outright; a half-open
+	// one admits a bounded number of probes. Bypassed after Close so a sick
+	// pool can never wedge a drain.
+	if b.br != nil && !d.closed {
+		if b.br.state == stateOpen {
+			if time.Now().Before(b.br.openUntil) {
+				return nil
+			}
+			b.br.state = stateHalfOpen
+			b.br.probing = 0
+			b.br.probeOK = 0
+		}
+		if b.br.state == stateHalfOpen && b.br.probing >= b.br.cfg.Probes {
+			return nil
+		}
+	}
 	gate := d.memAware && b.memoryMB > 0 && b.busy > 0
+	honorAvoid := d.avoidActive && !d.closed
 	for _, class := range d.order {
 		q := d.queues[class]
 		if q == nil || q.n == 0 {
@@ -465,7 +603,7 @@ func (d *Dispatcher) pickLocked(b *backend) *Task {
 		var best *Task
 		for _, aff := range [2]string{b.name, ""} {
 			bucket := q.byAff[aff]
-			if i := d.firstFitLocked(bucket, b, gate); i >= 0 {
+			if i := d.firstFitLocked(bucket, b, gate, honorAvoid); i >= 0 {
 				if best == nil || d.policy.Less(bucket[i], best) {
 					best, bestAff, bestIdx = bucket[i], aff, i
 				}
@@ -475,15 +613,17 @@ func (d *Dispatcher) pickLocked(b *backend) *Task {
 			// Only foreign-affinity work queued (or nothing preferred
 			// fits): steal the class's least fitting task.
 			for aff, bucket := range q.byAff {
-				if i := d.firstFitLocked(bucket, b, gate); i >= 0 {
+				if i := d.firstFitLocked(bucket, b, gate, honorAvoid); i >= 0 {
 					if best == nil || d.policy.Less(bucket[i], best) {
 						best, bestAff, bestIdx = bucket[i], aff, i
 					}
 				}
 			}
 			if best == nil {
-				// Queued work, but none of it fits the remaining budget.
-				d.memWaits++
+				if gate {
+					// Queued work, but none of it fits the remaining budget.
+					d.memWaits++
+				}
 				continue
 			}
 			d.stolen++
@@ -567,6 +707,17 @@ func (d *Dispatcher) worker(b *backend) {
 			return
 		}
 		d.backlog--
+		if st := t.state; st != nil && st.done {
+			// A racing sibling delivered the outcome while this attempt sat
+			// queued: retire it without executing.
+			st.outstanding--
+			d.hedgeWaste++
+			if d.waiting > 0 {
+				d.cond.Broadcast()
+			}
+			d.mu.Unlock()
+			continue
+		}
 		d.inflight++
 		b.busy++
 		b.memUsed += t.MemMB
@@ -580,32 +731,217 @@ func (d *Dispatcher) worker(b *backend) {
 			d.oomViolations++
 			d.slaStatsLocked(t.SLAClass).oomViolations++
 		}
+		t.Attempt++
+		probe := false
+		if b.br != nil && b.br.state == stateHalfOpen {
+			b.br.probing++
+			probe = true
+		}
+		cancelID := d.armAttemptLocked(t)
+		d.maybeHedgeLocked(t, b)
 		d.mu.Unlock()
 
 		t.Started = time.Now()
 		t.RanOn = b.name
-		t.Err = b.exec(t)
-		t.Finished = time.Now()
-		d.complete(t, b)
+		err := b.exec(t)
+		d.completeAttempt(t, b, err, time.Now(), probe, cancelID)
 	}
 }
 
-// complete runs SLA accounting for a finished task and fires OnDone.
-func (d *Dispatcher) complete(t *Task, b *backend) {
-	latMS := float64(t.Latency()) / float64(time.Millisecond)
+// armAttemptLocked builds the attempt's execution context — cancelled at
+// min(ExecDeadline, now+AttemptTimeout), or by the winning sibling of a
+// hedge race — registers its cancel on the shared state, and returns the
+// registration id (0 when no context is needed).
+func (d *Dispatcher) armAttemptLocked(t *Task) int {
+	st := t.state
+	if st == nil {
+		return 0
+	}
+	deadline := t.ExecDeadline
+	if d.retry != nil && d.retry.AttemptTimeout > 0 {
+		if at := time.Now().Add(d.retry.AttemptTimeout); deadline.IsZero() || at.Before(deadline) {
+			deadline = at
+		}
+	}
+	hedgeable := d.hedge != nil && len(d.names) > 1
+	if deadline.IsZero() && !hedgeable {
+		return 0
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if deadline.IsZero() {
+		ctx, cancel = context.WithCancel(context.Background())
+	} else {
+		ctx, cancel = context.WithDeadline(context.Background(), deadline)
+	}
+	t.ctx = ctx
+	return st.addCancel(cancel)
+}
+
+// maybeHedgeLocked arms the hedge timer for a freshly dispatched attempt:
+// if it is still executing After later, a clone is queued for another
+// backend. One hedge per query, and never for the hedge itself.
+func (d *Dispatcher) maybeHedgeLocked(t *Task, b *backend) {
+	if d.hedge == nil || t.Hedge || len(d.names) < 2 {
+		return
+	}
+	st := t.state
+	if st == nil || st.hedged {
+		return
+	}
+	st.hedged = true
+	he := &hedgeEntry{t: t, backend: b.name}
+	st.hedge = he
+	d.hedgeTimers[he] = struct{}{}
+	he.timer = time.AfterFunc(d.hedge.After, func() { d.fireHedge(he) })
+}
+
+// fireHedge runs when an attempt has straggled past HedgeConfig.After: it
+// queues a clone of the task (sharing the original's completion state and
+// deadlines) steered away from the straggling backend. Map membership in
+// hedgeTimers decides the race against completion and Close.
+func (d *Dispatcher) fireHedge(he *hedgeEntry) {
+	d.mu.Lock()
+	if _, ok := d.hedgeTimers[he]; !ok {
+		d.mu.Unlock()
+		return
+	}
+	delete(d.hedgeTimers, he)
+	t := he.t
+	st := t.state
+	if st.hedge == he {
+		st.hedge = nil
+	}
+	if d.closed || st.done ||
+		float64(d.hedges+1) > d.hedge.Budget*float64(d.submitted)+float64(d.hedge.BudgetFloor) {
+		d.mu.Unlock()
+		return
+	}
+	clone := &Task{
+		Query:        t.Query,
+		Class:        t.Class,
+		SLAClass:     t.SLAClass,
+		CostMS:       t.CostMS,
+		MemMB:        t.MemMB,
+		ActualMemMB:  t.ActualMemMB,
+		Deadline:     t.Deadline,
+		Submitted:    t.Submitted,
+		ExecDeadline: t.ExecDeadline,
+		Attempt:      t.Attempt,
+		Hedge:        true,
+		seq:          d.seq,
+		state:        st,
+		avoid:        he.backend,
+	}
+	d.seq++
+	st.outstanding++
+	d.hedges++
+	// Hedges bypass QueueCap — they are bounded by the hedge budget.
+	d.pushLocked(clone)
+	d.backlog++
+	if d.waiting > 0 {
+		d.cond.Broadcast()
+	}
+	d.mu.Unlock()
+}
+
+// completeAttempt settles one executed attempt: release the slot, record
+// backend health, then decide the outcome — deliver success, schedule a
+// retry, wait on a live sibling, or fail terminally.
+func (d *Dispatcher) completeAttempt(t *Task, b *backend, err error, finished time.Time, probe bool, cancelID int) {
+	t.Finished = finished
+	attemptMS := float64(finished.Sub(t.Started)) / float64(time.Millisecond)
 	d.mu.Lock()
 	d.inflight--
 	b.busy--
 	b.memUsed -= t.MemMB
 	b.actualUsed -= t.ActualMemMB
-	b.completed++
-	d.completed++
-	st := d.slaStatsLocked(t.SLAClass)
-	st.completed++
-	st.record(latMS)
-	if !t.Deadline.IsZero() && t.Finished.After(t.Deadline) {
-		st.violations++
-		st.penaltyMS += float64(t.Finished.Sub(t.Deadline)) / float64(time.Millisecond)
+	st := t.state
+	if st != nil && cancelID != 0 {
+		if cancel := st.dropCancel(cancelID); cancel != nil {
+			cancel()
+		}
+	}
+	d.recordHealthLocked(b, err == nil, attemptMS, probe)
+	if st != nil && st.done {
+		// A racing sibling already delivered: this attempt's outcome is void.
+		st.outstanding--
+		d.hedgeWaste++
+		if d.waiting > 0 {
+			d.cond.Broadcast()
+		}
+		d.mu.Unlock()
+		return
+	}
+	if err == nil {
+		if st != nil {
+			st.outstanding--
+		}
+		t.Err = nil
+		d.finishLocked(t, b, nil) // unlocks
+		return
+	}
+	expired := !t.ExecDeadline.IsZero() && !finished.Before(t.ExecDeadline)
+	if expired {
+		d.deadlineExceeded++
+	}
+	if st != nil && d.retry != nil && !expired && !isPermanent(err) && st.retries < d.retry.MaxRetries {
+		cs := d.slaStatsLocked(t.SLAClass)
+		if float64(cs.retries+1) <= d.retry.Budget*float64(cs.admitted)+float64(d.retry.BudgetFloor) {
+			st.retries++
+			cs.retries++
+			d.retries++
+			t.avoid = b.name
+			t.Err = nil
+			d.scheduleRetryLocked(t, d.backoffLocked(st.retries))
+			if d.waiting > 0 {
+				d.cond.Broadcast()
+			}
+			d.mu.Unlock()
+			return
+		}
+		d.retryStarved++
+	}
+	if st != nil {
+		st.outstanding--
+		if st.outstanding > 0 {
+			// A sibling attempt is still live; it will deliver the outcome.
+			if d.waiting > 0 {
+				d.cond.Broadcast()
+			}
+			d.mu.Unlock()
+			return
+		}
+	}
+	t.Err = err
+	d.finishLocked(t, b, err) // unlocks
+}
+
+// finishLocked delivers the terminal outcome for a query: accounting under
+// the lock, then OnDone outside it. Exactly one terminal delivery happens
+// per admitted query — the done flag retires every racing sibling. Called
+// with mu held; unlocks.
+func (d *Dispatcher) finishLocked(t *Task, b *backend, err error) {
+	if st := t.state; st != nil {
+		d.retireStateLocked(st)
+	}
+	cs := d.slaStatsLocked(t.SLAClass)
+	if err == nil {
+		b.completed++
+		d.completed++
+		cs.completed++
+		cs.record(float64(t.Latency()) / float64(time.Millisecond))
+		if !t.Deadline.IsZero() && t.Finished.After(t.Deadline) {
+			cs.violations++
+			cs.penaltyMS += float64(t.Finished.Sub(t.Deadline)) / float64(time.Millisecond)
+		}
+		if t.Hedge {
+			d.hedgeWins++
+		}
+	} else {
+		b.failed++
+		d.failed++
+		cs.failed++
 	}
 	if d.waiting > 0 {
 		d.cond.Broadcast()
@@ -617,12 +953,129 @@ func (d *Dispatcher) complete(t *Task, b *backend) {
 	}
 }
 
+// recordHealthLocked folds one attempt's outcome into the backend's breaker:
+// EWMA updates, probe verdicts (close on enough healthy probes, re-open on a
+// sick one), and the closed-state trip check.
+func (d *Dispatcher) recordHealthLocked(b *backend, ok bool, latMS float64, probe bool) {
+	br := b.br
+	if br == nil {
+		return
+	}
+	br.observe(ok, latMS)
+	now := time.Now()
+	if probe {
+		br.probing--
+		if br.state == stateHalfOpen {
+			if br.probeHealthy(ok, latMS) {
+				br.probeOK++
+				if br.probeOK >= br.cfg.ProbeSuccesses {
+					br.close()
+				}
+			} else {
+				d.openBreakerLocked(b, now)
+			}
+		}
+		return
+	}
+	if br.state == stateClosed && br.shouldTrip() {
+		d.openBreakerLocked(b, now)
+	}
+}
+
+// openBreakerLocked trips b's breaker and schedules a wake-up at the end of
+// the open window so parked workers re-run pickLocked and start probing.
+func (d *Dispatcher) openBreakerLocked(b *backend, now time.Time) {
+	until := b.br.open(now)
+	time.AfterFunc(until.Sub(now)+time.Millisecond, func() {
+		d.mu.Lock()
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	})
+}
+
+// backoffLocked draws retry n's backoff: uniform in
+// [0, min(BaseBackoff<<(n-1), MaxBackoff)) — capped exponential, full jitter.
+func (d *Dispatcher) backoffLocked(n int) time.Duration {
+	max := d.retry.MaxBackoff
+	if n-1 < 32 {
+		if exp := d.retry.BaseBackoff << uint(n-1); exp > 0 && exp < max {
+			max = exp
+		}
+	}
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(d.retryRNG.Int63n(int64(max)))
+}
+
+// scheduleRetryLocked parks t for delay before requeueing it. After Close
+// (or with no delay) the requeue is immediate, so a draining dispatcher
+// finishes its retries instead of leaking them.
+func (d *Dispatcher) scheduleRetryLocked(t *Task, delay time.Duration) {
+	if d.closed || delay <= 0 {
+		d.requeueLocked(t)
+		return
+	}
+	re := &retryEntry{t: t}
+	d.pendingRetries++
+	d.retryTimers[re] = struct{}{}
+	re.timer = time.AfterFunc(delay, func() { d.fireRetry(re) })
+}
+
+// fireRetry runs when a backoff elapses; map membership decides the race
+// against Close (whoever deletes the entry owns the requeue).
+func (d *Dispatcher) fireRetry(re *retryEntry) {
+	d.mu.Lock()
+	if _, ok := d.retryTimers[re]; !ok {
+		d.mu.Unlock()
+		return
+	}
+	delete(d.retryTimers, re)
+	d.pendingRetries--
+	d.releaseRetryLocked(re.t)
+	if d.waiting > 0 {
+		d.cond.Broadcast()
+	}
+	d.mu.Unlock()
+}
+
+// releaseRetryLocked requeues a parked retry — or retires it when a racing
+// sibling already delivered the outcome.
+func (d *Dispatcher) releaseRetryLocked(t *Task) {
+	if st := t.state; st != nil && st.done {
+		st.outstanding--
+		d.hedgeWaste++
+		return
+	}
+	d.requeueLocked(t)
+}
+
+// requeueLocked re-admits an already-accounted task into its queue.
+func (d *Dispatcher) requeueLocked(t *Task) {
+	t.RanOn = ""
+	t.ctx = nil
+	d.pushLocked(t)
+	d.backlog++
+}
+
 // Close stops intake: subsequent Enqueue calls return ErrClosed. Backend
 // slots finish the queued backlog and exit; use Drain to wait for them.
-// Close is idempotent.
+// Pending hedges are cancelled and pending retries requeue immediately —
+// their backoffs collapse so the drain finishes them rather than racing
+// their timers. Close is idempotent.
 func (d *Dispatcher) Close() {
 	d.mu.Lock()
 	d.closed = true
+	for he := range d.hedgeTimers {
+		he.timer.Stop()
+		delete(d.hedgeTimers, he)
+	}
+	for re := range d.retryTimers {
+		re.timer.Stop()
+		delete(d.retryTimers, re)
+		d.pendingRetries--
+		d.releaseRetryLocked(re.t)
+	}
 	d.cond.Broadcast()
 	d.mu.Unlock()
 }
@@ -643,9 +1096,10 @@ func (d *Dispatcher) Drain(timeout time.Duration) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for d.backlog > 0 || d.inflight > 0 {
+	for d.backlog > 0 || d.inflight > 0 || d.pendingRetries > 0 {
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
-			return fmt.Errorf("sched: drain timed out with %d queued, %d in flight", d.backlog, d.inflight)
+			return fmt.Errorf("sched: drain timed out with %d queued, %d in flight, %d retries pending",
+				d.backlog, d.inflight, d.pendingRetries)
 		}
 		d.waiting++
 		d.cond.Wait()
@@ -667,7 +1121,10 @@ type QueueSnapshot struct {
 type SLASnapshot struct {
 	Class      string  `json:"class"`
 	TargetMS   float64 `json:"targetMS"` // 0 when the class has no target
+	Admitted   uint64  `json:"admitted"`
 	Completed  uint64  `json:"completed"`
+	Failed     uint64  `json:"failed"`
+	Retries    uint64  `json:"retries"`
 	Violations uint64  `json:"violations"`
 	Dropped    uint64  `json:"dropped"`
 	// OOMViolations counts the class's dispatches that pushed a backend's
@@ -678,12 +1135,14 @@ type SLASnapshot struct {
 	P99MS         float64 `json:"p99MS"`
 }
 
-// BackendSnapshot is one backend's occupancy and memory pressure.
+// BackendSnapshot is one backend's occupancy, memory pressure, and health.
 type BackendSnapshot struct {
 	Name      string `json:"name"`
 	Slots     int    `json:"slots"`
 	Busy      int    `json:"busy"`
 	Completed uint64 `json:"completed"`
+	// Failed counts tasks that failed terminally on this backend.
+	Failed uint64 `json:"failed,omitempty"`
 	// MemoryMB is the configured working-set budget (0 = unbounded).
 	MemoryMB float64 `json:"memoryMB,omitempty"`
 	// MemUsedMB is the aggregate predicted working set of running tasks.
@@ -691,31 +1150,65 @@ type BackendSnapshot struct {
 	// OOMEvents counts dispatches that pushed the backend's observed working
 	// set past its budget.
 	OOMEvents uint64 `json:"oomEvents,omitempty"`
+	// Breaker is the circuit breaker's current state — closed, open,
+	// half-open, or quarantined (empty when breakers are off).
+	Breaker string `json:"breaker,omitempty"`
+	// ErrEWMA and LatEWMAMS are the health signals the breaker trips on.
+	ErrEWMA   float64 `json:"errEWMA,omitempty"`
+	LatEWMAMS float64 `json:"latEWMAMS,omitempty"`
+	// BreakerOpens and Quarantines count lifetime trips.
+	BreakerOpens uint64 `json:"breakerOpens,omitempty"`
+	Quarantines  uint64 `json:"quarantines,omitempty"`
 }
 
 // Snapshot is a point-in-time view of the scheduling plane — quercd's
-// GET /v1/sched payload. Counter conservation:
-// Submitted == Completed + Backlog + Inflight + Evicted (admitted tasks),
-// while Rejected and Shed count Enqueue calls that never admitted.
+// GET /v1/sched payload. Counter conservation: after a drain,
+// Submitted == Completed + Failed + Evicted (every admitted query reaches
+// exactly one terminal outcome, however many attempts it took); mid-flight
+// the remainder is spread across Backlog, Inflight, and PendingRetries
+// (hedge clones inflate Backlog/Inflight without touching Submitted).
+// Rejected and Shed count Enqueue calls that never admitted.
 type Snapshot struct {
 	Policy    string `json:"policy"`
 	Submitted uint64 `json:"submitted"`
 	Completed uint64 `json:"completed"`
-	Rejected  uint64 `json:"rejected"` // backpressured Enqueue calls
-	Shed      uint64 `json:"shed"`     // incoming tasks refused by load shedding
-	Evicted   uint64 `json:"evicted"`  // queued tasks evicted by load shedding
-	Stolen    uint64 `json:"stolen"`   // dispatches ignoring affinity
+	// Failed counts queries whose terminal outcome was an error — retries
+	// exhausted, retry budget spent, permanent error, or deadline exceeded.
+	Failed   uint64 `json:"failed"`
+	Rejected uint64 `json:"rejected"` // backpressured Enqueue calls
+	Shed     uint64 `json:"shed"`     // incoming tasks refused by load shedding
+	Evicted  uint64 `json:"evicted"`  // queued tasks evicted by load shedding
+	Stolen   uint64 `json:"stolen"`   // dispatches ignoring affinity
 	// OOMViolations counts dispatches that pushed a backend's observed
 	// working set past its declared memory budget.
 	OOMViolations uint64 `json:"oomViolations"`
 	// MemWaits counts class scans skipped because no queued task fit the
 	// picking backend's remaining memory budget.
-	MemWaits uint64            `json:"memWaits"`
-	Backlog  int               `json:"backlog"`
-	Inflight int               `json:"inflight"`
-	Queues   []QueueSnapshot   `json:"queues"`
-	Classes  []SLASnapshot     `json:"classes"`
-	Backends []BackendSnapshot `json:"backends"`
+	MemWaits uint64 `json:"memWaits"`
+	// Retries counts re-dispatches after retriable failures; RetryStarved
+	// counts retriable failures denied by an exhausted class budget;
+	// PendingRetries is the number currently parked in a backoff.
+	Retries        uint64 `json:"retries"`
+	RetryStarved   uint64 `json:"retryStarved"`
+	PendingRetries int    `json:"pendingRetries"`
+	// Hedges counts hedge clones queued; HedgeWins, queries whose clone
+	// delivered the result; HedgeWaste, attempts discarded because a racing
+	// sibling finished first.
+	Hedges     uint64 `json:"hedges"`
+	HedgeWins  uint64 `json:"hedgeWins"`
+	HedgeWaste uint64 `json:"hedgeWaste"`
+	// DeadlineExceeded counts attempts that failed past their execution
+	// deadline.
+	DeadlineExceeded uint64 `json:"deadlineExceeded"`
+	// BreakerOpen and Quarantined are the number of backends currently in
+	// those states.
+	BreakerOpen int               `json:"breakerOpen"`
+	Quarantined int               `json:"quarantined"`
+	Backlog     int               `json:"backlog"`
+	Inflight    int               `json:"inflight"`
+	Queues      []QueueSnapshot   `json:"queues"`
+	Classes     []SLASnapshot     `json:"classes"`
+	Backends    []BackendSnapshot `json:"backends"`
 }
 
 // Counters returns the scalar counters only — no queue listings and, more
@@ -724,19 +1217,45 @@ type Snapshot struct {
 func (d *Dispatcher) Counters() Snapshot {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return Snapshot{
-		Policy:        d.policy.Name(),
-		Submitted:     d.submitted,
-		Completed:     d.completed,
-		Rejected:      d.rejected,
-		Shed:          d.shedCount,
-		Evicted:       d.evicted,
-		Stolen:        d.stolen,
-		OOMViolations: d.oomViolations,
-		MemWaits:      d.memWaits,
-		Backlog:       d.backlog,
-		Inflight:      d.inflight,
+	return d.countersLocked()
+}
+
+// countersLocked assembles the scalar half of a Snapshot.
+func (d *Dispatcher) countersLocked() Snapshot {
+	s := Snapshot{
+		Policy:           d.policy.Name(),
+		Submitted:        d.submitted,
+		Completed:        d.completed,
+		Failed:           d.failed,
+		Rejected:         d.rejected,
+		Shed:             d.shedCount,
+		Evicted:          d.evicted,
+		Stolen:           d.stolen,
+		OOMViolations:    d.oomViolations,
+		MemWaits:         d.memWaits,
+		Retries:          d.retries,
+		RetryStarved:     d.retryStarved,
+		PendingRetries:   d.pendingRetries,
+		Hedges:           d.hedges,
+		HedgeWins:        d.hedgeWins,
+		HedgeWaste:       d.hedgeWaste,
+		DeadlineExceeded: d.deadlineExceeded,
+		Backlog:          d.backlog,
+		Inflight:         d.inflight,
 	}
+	if d.breakerCfg != nil {
+		now := time.Now()
+		for _, name := range d.names {
+			br := d.backends[name].br
+			if br.blocked(now) {
+				s.BreakerOpen++
+				if br.quarantined {
+					s.Quarantined++
+				}
+			}
+		}
+	}
+	return s
 }
 
 // Stats returns a consistent snapshot of counters, queue depths, per-class
@@ -746,19 +1265,7 @@ func (d *Dispatcher) Counters() Snapshot {
 // that only need the counters should call Counters instead.
 func (d *Dispatcher) Stats() Snapshot {
 	d.mu.Lock()
-	s := Snapshot{
-		Policy:        d.policy.Name(),
-		Submitted:     d.submitted,
-		Completed:     d.completed,
-		Rejected:      d.rejected,
-		Shed:          d.shedCount,
-		Evicted:       d.evicted,
-		Stolen:        d.stolen,
-		OOMViolations: d.oomViolations,
-		MemWaits:      d.memWaits,
-		Backlog:       d.backlog,
-		Inflight:      d.inflight,
-	}
+	s := d.countersLocked()
 	for _, class := range d.order {
 		s.Queues = append(s.Queues, QueueSnapshot{Class: class, Depth: d.queues[class].n})
 	}
@@ -774,7 +1281,10 @@ func (d *Dispatcher) Stats() Snapshot {
 		s.Classes = append(s.Classes, SLASnapshot{
 			Class:         class,
 			TargetMS:      float64(d.sla[class]) / float64(time.Millisecond),
+			Admitted:      st.admitted,
 			Completed:     st.completed,
+			Failed:        st.failed,
+			Retries:       st.retries,
 			Violations:    st.violations,
 			Dropped:       st.dropped,
 			OOMViolations: st.oomViolations,
@@ -783,10 +1293,19 @@ func (d *Dispatcher) Stats() Snapshot {
 	}
 	for _, name := range d.names {
 		bk := d.backends[name]
-		s.Backends = append(s.Backends, BackendSnapshot{
-			Name: bk.name, Slots: bk.slots, Busy: bk.busy, Completed: bk.completed,
+		bs := BackendSnapshot{
+			Name: bk.name, Slots: bk.slots, Busy: bk.busy,
+			Completed: bk.completed, Failed: bk.failed,
 			MemoryMB: bk.memoryMB, MemUsedMB: bk.memUsed, OOMEvents: bk.oomEvents,
-		})
+		}
+		if br := bk.br; br != nil {
+			bs.Breaker = br.stateName()
+			bs.ErrEWMA = br.errEWMA
+			bs.LatEWMAMS = br.latEWMA
+			bs.BreakerOpens = br.opens
+			bs.Quarantines = br.quarantines
+		}
+		s.Backends = append(s.Backends, bs)
 	}
 	d.mu.Unlock()
 	for i := range s.Classes {

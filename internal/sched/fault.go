@@ -1,0 +1,202 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the base error returned by FaultExecutor for every injected
+// failure (wrapped with the fault kind and backend). errors.Is(err,
+// ErrInjected) distinguishes injected faults from real executor errors in
+// tests and experiments.
+var ErrInjected = errors.New("sched: injected fault")
+
+// Window is a wall-clock interval relative to the FaultExecutor epoch
+// (Start). Down and Brownout schedules are lists of Windows.
+type Window struct {
+	From time.Duration
+	To   time.Duration
+}
+
+func (w Window) contains(d time.Duration) bool { return d >= w.From && d < w.To }
+
+// FaultConfig describes one backend's deterministic fault schedule. Every
+// per-attempt decision (error, hang, tail latency) is drawn from a hash of
+// (Seed, query text, attempt), so the same workload replayed against the
+// same config produces the same faults regardless of goroutine interleaving;
+// Down and Brownout windows are positioned on the clock relative to Start.
+type FaultConfig struct {
+	// Seed keys the per-attempt hash (0 means 1).
+	Seed int64
+	// ErrorRate is the probability an attempt fails with an injected error.
+	ErrorRate float64
+	// HangRate is the probability an attempt hangs until its context is
+	// cancelled (or MaxHang elapses) and then fails.
+	HangRate float64
+	// MaxHang bounds a hang when the attempt has no deadline, so a plane
+	// with deadlines off cannot wedge a slot forever (<= 0 means 30s).
+	MaxHang time.Duration
+	// FixedDelay is added to every attempt's execution.
+	FixedDelay time.Duration
+	// TailRate is the probability an attempt is a straggler, sleeping an
+	// extra heavy-tailed delay of roughly TailScale / uniform^2 (capped at
+	// 100x TailScale).
+	TailRate  float64
+	TailScale time.Duration
+	// Down windows fail every attempt instantly — the backend is dead.
+	Down []Window
+	// Brownout windows add BrownoutDelay to every attempt — the backend is
+	// up but correlated-slow.
+	Brownout      []Window
+	BrownoutDelay time.Duration
+	// ErrorLabel, when set, fails the FIRST attempt of any task whose query
+	// carries this execution label with a value in ErrorCodes (any value if
+	// ErrorCodes is empty). This derives the fault schedule from replayed
+	// workload labels (snowgen's errorCode stream) instead of RNG; only the
+	// first attempt fails, so the fault is transient and retries recover.
+	ErrorLabel string
+	ErrorCodes map[string]bool
+}
+
+func (c FaultConfig) withDefaults() FaultConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxHang <= 0 {
+		c.MaxHang = 30 * time.Second
+	}
+	return c
+}
+
+// FaultExecutor wraps an Executor with the deterministic fault schedule of
+// one backend. Build one per backend, Start them on a shared epoch, and
+// install each as that backend's Exec.
+type FaultExecutor struct {
+	cfg   FaultConfig
+	name  string
+	inner Executor
+	once  sync.Once
+	epoch time.Time
+}
+
+// NewFaultExecutor wraps inner with cfg's fault schedule; name is the
+// backend name used in injected-error messages.
+func NewFaultExecutor(name string, inner Executor, cfg FaultConfig) *FaultExecutor {
+	return &FaultExecutor{cfg: cfg.withDefaults(), name: name, inner: inner}
+}
+
+// Start pins the epoch Down/Brownout windows are measured from — call it once
+// before the first Exec (experiments share one epoch across all backends).
+// Unstarted, the first Exec pins its own time; later Start calls are no-ops.
+func (f *FaultExecutor) Start(epoch time.Time) {
+	f.once.Do(func() { f.epoch = epoch })
+}
+
+// Exec implements Executor: it consults the schedule, injects the drawn
+// fault (error, hang, delay), and otherwise delegates to the wrapped
+// executor.
+func (f *FaultExecutor) Exec(t *Task) error {
+	now := time.Now()
+	f.once.Do(func() { f.epoch = now })
+	since := now.Sub(f.epoch)
+	for _, w := range f.cfg.Down {
+		if w.contains(since) {
+			return fmt.Errorf("%w: backend %s down: %s", ErrInjected, f.name, t.Query.SQL)
+		}
+	}
+	if f.cfg.ErrorLabel != "" && t.Attempt <= 1 {
+		if code, ok := t.Query.Labels[f.cfg.ErrorLabel]; ok && code != "" {
+			if len(f.cfg.ErrorCodes) == 0 || f.cfg.ErrorCodes[code] {
+				return fmt.Errorf("%w: backend %s label %s=%s", ErrInjected, f.name, f.cfg.ErrorLabel, code)
+			}
+		}
+	}
+	u := f.uniforms(t)
+	if u[0] < f.cfg.ErrorRate {
+		return fmt.Errorf("%w: backend %s error: %s", ErrInjected, f.name, t.Query.SQL)
+	}
+	if u[1] < f.cfg.HangRate {
+		hang := time.NewTimer(f.cfg.MaxHang)
+		defer hang.Stop()
+		select {
+		case <-t.Context().Done():
+		case <-hang.C:
+		}
+		return fmt.Errorf("%w: backend %s hang: %s", ErrInjected, f.name, t.Query.SQL)
+	}
+	delay := f.cfg.FixedDelay
+	for _, w := range f.cfg.Brownout {
+		if w.contains(since) {
+			delay += f.cfg.BrownoutDelay
+			break
+		}
+	}
+	if f.cfg.TailRate > 0 && u[2] < f.cfg.TailRate {
+		// Heavy tail: scale / uniform^2 stretches a uniform draw into a
+		// Pareto-ish straggler; the cap keeps pathological draws bounded.
+		x := u[3]
+		if x < 0.1 {
+			x = 0.1
+		}
+		tail := time.Duration(float64(f.cfg.TailScale) / (x * x))
+		if tail > 100*f.cfg.TailScale {
+			tail = 100 * f.cfg.TailScale
+		}
+		delay += tail
+	}
+	if delay > 0 {
+		if err := sleepCtx(t, delay); err != nil {
+			return err
+		}
+	}
+	return f.inner(t)
+}
+
+// uniforms derives four independent-ish uniforms in [0,1) from
+// (seed, query text, attempt) — deterministic per attempt, stable across
+// goroutine interleavings.
+func (f *FaultExecutor) uniforms(t *Task) [4]float64 {
+	h := fnv.New64a()
+	h.Write([]byte(f.name))
+	h.Write([]byte(t.Query.SQL))
+	var buf [2]byte
+	buf[0] = byte(t.Attempt)
+	buf[1] = byte(f.cfg.Seed)
+	h.Write(buf[:])
+	x := h.Sum64() ^ uint64(f.cfg.Seed)*0x9e3779b97f4a7c15
+	var u [4]float64
+	for i := range u {
+		x = splitmix64(x)
+		u[i] = float64(x>>11) / (1 << 53)
+	}
+	return u
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// sleepCtx sleeps d or until the task's context is cancelled, whichever
+// comes first; cancellation surfaces as the context error (retriable).
+func sleepCtx(t *Task, d time.Duration) error {
+	done := t.Context().Done()
+	if done == nil {
+		time.Sleep(d)
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return t.Context().Err()
+	case <-timer.C:
+		return nil
+	}
+}

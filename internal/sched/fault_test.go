@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"querc/internal/core"
+)
+
+func faultTask(sql string, attempt int) *Task {
+	return &Task{Query: &core.LabeledQuery{SQL: sql}, Attempt: attempt}
+}
+
+// TestFaultExecutorDeterministic: the same (seed, query, attempt) draws the
+// same fault on every run and every instance; a different seed draws a
+// different schedule.
+func TestFaultExecutorDeterministic(t *testing.T) {
+	noop := func(*Task) error { return nil }
+	cfg := FaultConfig{Seed: 42, ErrorRate: 0.3}
+	a := NewFaultExecutor("b1", noop, cfg)
+	b := NewFaultExecutor("b1", noop, cfg)
+	c := NewFaultExecutor("b1", noop, FaultConfig{Seed: 43, ErrorRate: 0.3})
+	var sameAB, sameAC, errs int
+	for i := 0; i < 200; i++ {
+		task := faultTask(fmt.Sprintf("select %d", i), 1)
+		ea, eb, ec := a.Exec(task), b.Exec(task), c.Exec(task)
+		if (ea == nil) == (eb == nil) {
+			sameAB++
+		}
+		if (ea == nil) == (ec == nil) {
+			sameAC++
+		}
+		if ea != nil {
+			errs++
+			if !errors.Is(ea, ErrInjected) {
+				t.Fatalf("injected error %v is not ErrInjected", ea)
+			}
+		}
+	}
+	if sameAB != 200 {
+		t.Errorf("same seed agreed on %d/200 draws, want 200", sameAB)
+	}
+	if sameAC == 200 {
+		t.Error("different seeds drew identical schedules")
+	}
+	if errs < 30 || errs > 90 {
+		t.Errorf("ErrorRate 0.3 injected %d/200 errors, want roughly 60", errs)
+	}
+}
+
+// TestFaultExecutorAttemptIndependence: retrying the same query redraws the
+// fault, so a transient injected error clears on a later attempt.
+func TestFaultExecutorAttemptIndependence(t *testing.T) {
+	noop := func(*Task) error { return nil }
+	f := NewFaultExecutor("b1", noop, FaultConfig{Seed: 7, ErrorRate: 0.5})
+	recovered := 0
+	for i := 0; i < 100; i++ {
+		sql := fmt.Sprintf("select %d", i)
+		if f.Exec(faultTask(sql, 1)) != nil && f.Exec(faultTask(sql, 2)) == nil {
+			recovered++
+		}
+	}
+	if recovered == 0 {
+		t.Fatal("no first-attempt failure ever recovered on attempt 2 — faults are not per-attempt")
+	}
+}
+
+// TestFaultExecutorDownWindow: inside a Down window every attempt fails
+// instantly; outside it the schedule reverts to normal.
+func TestFaultExecutorDownWindow(t *testing.T) {
+	noop := func(*Task) error { return nil }
+	f := NewFaultExecutor("b1", noop, FaultConfig{
+		Seed: 1,
+		Down: []Window{{From: 0, To: 50 * time.Millisecond}},
+	})
+	epoch := time.Now()
+	f.Start(epoch)
+	if err := f.Exec(faultTask("q", 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("in-window Exec = %v, want injected down error", err)
+	}
+	// Re-pin a second executor with an epoch already past the window.
+	g := NewFaultExecutor("b1", noop, FaultConfig{
+		Seed: 1,
+		Down: []Window{{From: 0, To: 50 * time.Millisecond}},
+	})
+	g.Start(time.Now().Add(-time.Second))
+	if err := g.Exec(faultTask("q", 1)); err != nil {
+		t.Fatalf("out-of-window Exec = %v, want nil", err)
+	}
+}
+
+// TestFaultExecutorBrownoutDelay: a brownout window adds its delay to every
+// attempt but still executes.
+func TestFaultExecutorBrownoutDelay(t *testing.T) {
+	ran := false
+	inner := func(*Task) error { ran = true; return nil }
+	f := NewFaultExecutor("b1", inner, FaultConfig{
+		Seed:          1,
+		Brownout:      []Window{{From: 0, To: time.Minute}},
+		BrownoutDelay: 30 * time.Millisecond,
+	})
+	f.Start(time.Now())
+	start := time.Now()
+	if err := f.Exec(faultTask("q", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("brownout swallowed the execution")
+	}
+	if took := time.Since(start); took < 25*time.Millisecond {
+		t.Fatalf("brownout added %v of delay, want ~30ms", took)
+	}
+}
+
+// TestFaultExecutorHangHonorsContext: a hang fault parks until the attempt
+// context cancels, then fails — it never outlives the deadline.
+func TestFaultExecutorHangHonorsContext(t *testing.T) {
+	noop := func(*Task) error { return nil }
+	f := NewFaultExecutor("b1", noop, FaultConfig{Seed: 1, HangRate: 1, MaxHang: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	task := faultTask("q", 1)
+	task.ctx = ctx
+	start := time.Now()
+	err := f.Exec(task)
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("hang ignored the context (took %v)", took)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("hang returned %v, want injected error", err)
+	}
+}
+
+// TestFaultExecutorLabelFaults: ErrorLabel derives first-attempt failures
+// from the workload's own execution labels; retries (attempt > 1) pass, so
+// label faults are transient by construction.
+func TestFaultExecutorLabelFaults(t *testing.T) {
+	noop := func(*Task) error { return nil }
+	f := NewFaultExecutor("b1", noop, FaultConfig{
+		Seed:       1,
+		ErrorLabel: "errorCode",
+		ErrorCodes: map[string]bool{"BACKEND_UNAVAILABLE": true},
+	})
+	mk := func(code string, attempt int) *Task {
+		q := &core.LabeledQuery{SQL: "select 1"}
+		if code != "" {
+			q.SetLabel("errorCode", code)
+		}
+		return &Task{Query: q, Attempt: attempt}
+	}
+	if err := f.Exec(mk("BACKEND_UNAVAILABLE", 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("labeled first attempt = %v, want injected error", err)
+	}
+	if err := f.Exec(mk("BACKEND_UNAVAILABLE", 2)); err != nil {
+		t.Fatalf("labeled retry = %v, want nil (label faults are transient)", err)
+	}
+	if err := f.Exec(mk("OUT_OF_MEMORY", 1)); err != nil {
+		t.Fatalf("unlisted code = %v, want nil", err)
+	}
+	if err := f.Exec(mk("", 1)); err != nil {
+		t.Fatalf("unlabeled query = %v, want nil", err)
+	}
+}
+
+// TestSimExecutorHonorsContext: the simulated executor's sleep is cut short
+// by context cancellation, so deadlines work against simulated backends.
+func TestSimExecutorHonorsContext(t *testing.T) {
+	exec := SimExecutor(1, nil, 10_000) // would sleep 10s
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	task := faultTask("q", 1)
+	task.ctx = ctx
+	start := time.Now()
+	err := exec(task)
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("SimExecutor ignored cancellation (took %v)", took)
+	}
+	if err == nil {
+		t.Fatal("cancelled SimExecutor returned nil, want context error")
+	}
+}

@@ -21,6 +21,7 @@
 package sched
 
 import (
+	"context"
 	"strconv"
 	"time"
 
@@ -65,10 +66,35 @@ type Task struct {
 	Finished  time.Time
 	// RanOn is the name of the backend that executed the task.
 	RanOn string
-	// Err is the executor's error, if any (the task still completes).
+	// Err is the executor's error, if any. With no retry policy the task
+	// still completes; with one, a retriable error re-admits the task and Err
+	// only survives on terminal failure.
 	Err error
+	// Attempt is the 1-based dispatch attempt executing (or last executed)
+	// this task; retries and hedges increment it.
+	Attempt int
+	// Hedge marks a hedged clone racing the original attempt.
+	Hedge bool
+	// ExecDeadline is the hard per-query execution deadline (Submitted +
+	// Config.Deadline; zero when deadlines are off). Attempts run under a
+	// context cancelled at this deadline, and a task that fails after it
+	// never retries — retrying never buys a query more time.
+	ExecDeadline time.Time
 
-	seq uint64 // admission order, the FIFO and tie-break key
+	seq   uint64          // admission order, the FIFO and tie-break key
+	ctx   context.Context // per-attempt execution context, set at dispatch
+	state *taskState      // shared completion state across attempts
+	avoid string          // backend this attempt prefers to avoid (hedge/retry steering)
+}
+
+// Context returns the execution context of the task's current attempt.
+// Executors must observe its cancellation: it fires on deadline/attempt
+// timeout and when a racing hedge wins. Background outside execution.
+func (t *Task) Context() context.Context {
+	if t.ctx == nil {
+		return context.Background()
+	}
+	return t.ctx
 }
 
 // Latency returns the task's queue wait plus service time.
@@ -108,7 +134,7 @@ func SimExecutor(scale float64, classMS map[string]float64, defaultMS float64) E
 			ms = defaultMS
 		}
 		if ms > 0 && scale > 0 {
-			time.Sleep(time.Duration(ms * scale * float64(time.Millisecond)))
+			return sleepCtx(t, time.Duration(ms*scale*float64(time.Millisecond)))
 		}
 		return nil
 	}

@@ -39,8 +39,44 @@ type AccountSpec struct {
 	// consumes no extra randomness, so pre-existing seeds generate
 	// byte-identical workloads.
 	Analytics float64
-	Tables    int // schema size (default 12)
-	Dialect   Dialect
+	// TransientFailures is the steady-state fraction of queries labeled with
+	// a correlated transient infrastructure failure (errorCode
+	// "BACKEND_UNAVAILABLE" or "CONNECTION_RESET"). Failures arrive in
+	// bursts via a two-state Markov chain — once a backend incident starts,
+	// consecutive queries keep failing until it clears — mirroring how real
+	// transient errors cluster in time rather than arriving independently.
+	// Zero (the default) consumes no extra randomness, so pre-existing seeds
+	// generate byte-identical workloads.
+	TransientFailures float64
+	Tables            int // schema size (default 12)
+	Dialect           Dialect
+}
+
+// transientCodes are the errorCode values the correlated transient-failure
+// stream emits; one code is drawn per burst (a single incident has a single
+// failure mode).
+var transientCodes = []string{"BACKEND_UNAVAILABLE", "CONNECTION_RESET"}
+
+// IsTransientError reports whether an errorCode label came from the
+// transient-failure stream (and is therefore retriable), as opposed to a
+// query-shape error like OUT_OF_MEMORY.
+func IsTransientError(code string) bool {
+	for _, c := range transientCodes {
+		if code == c {
+			return true
+		}
+	}
+	return false
+}
+
+// TransientErrorCodes returns the transient errorCode set as a fresh lookup
+// map, in the shape sched.FaultConfig.ErrorCodes consumes.
+func TransientErrorCodes() map[string]bool {
+	m := make(map[string]bool, len(transientCodes))
+	for _, c := range transientCodes {
+		m[c] = true
+	}
+	return m
 }
 
 // Dialect selects per-account SQL surface quirks.
@@ -210,6 +246,19 @@ func generateAccount(rng *rand.Rand, spec *AccountSpec, acctIdx int) []Query {
 		}
 	}
 
+	// Transient-failure Markov chain: burst exit probability 0.25 gives a
+	// mean incident length of ~5 queries; the entry probability is solved so
+	// the chain's stationary burst share equals the requested failure rate
+	// (every in-burst query fails).
+	const burstExit = 0.25
+	rate := spec.TransientFailures
+	if rate > 0.5 {
+		rate = 0.5
+	}
+	enterProb := burstExit * rate / (1 - rate)
+	var burst bool
+	var burstCode string
+
 	out := make([]Query, 0, spec.Queries)
 	for i := 0; i < spec.Queries; i++ {
 		u := rng.Intn(len(users))
@@ -229,6 +278,22 @@ func generateAccount(rng *rand.Rand, spec *AccountSpec, acctIdx int) []Query {
 			Cluster: cluster,
 		}
 		q.RuntimeMS, q.MemoryMB, q.ErrorCode = executionLabels(rng, sql)
+		// Drawn only when the knob is on: TransientFailures == 0 accounts
+		// consume exactly the randomness they did before the knob existed.
+		if rate > 0 {
+			if burst {
+				// The incident overrides shape-correlated errors: a dead
+				// backend fails every query the same way.
+				q.ErrorCode = burstCode
+				if rng.Float64() < burstExit {
+					burst = false
+				}
+			} else if rng.Float64() < enterProb {
+				burst = true
+				burstCode = transientCodes[rng.Intn(len(transientCodes))]
+				q.ErrorCode = burstCode
+			}
+		}
 		out = append(out, q)
 	}
 	return out

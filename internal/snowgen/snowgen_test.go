@@ -188,6 +188,92 @@ func TestPaperProfileShape(t *testing.T) {
 	}
 }
 
+// TestTransientFailuresRateAndBurstiness: the transient stream hits roughly
+// its requested steady-state rate, emits only the transient codes, and
+// clusters failures into runs (the Markov chain's whole point) rather than
+// sprinkling them independently.
+func TestTransientFailuresRateAndBurstiness(t *testing.T) {
+	opts := Options{
+		Accounts: []AccountSpec{{
+			Name: "a1", Users: 4, Queries: 8000,
+			TransientFailures: 0.1, Dialect: DialectSnow,
+		}},
+		Seed: 7,
+	}
+	qs := Generate(opts)
+	var transient, runs int
+	inRun := false
+	for _, q := range qs {
+		if IsTransientError(q.ErrorCode) {
+			transient++
+			if !inRun {
+				runs++
+				inRun = true
+			}
+		} else {
+			inRun = false
+		}
+	}
+	rate := float64(transient) / float64(len(qs))
+	if rate < 0.05 || rate > 0.2 {
+		t.Fatalf("transient rate %.3f, want ~0.1", rate)
+	}
+	// Independent 10%% failures over 8k queries would give ~runs == transient;
+	// bursts of mean length ~5 give far fewer distinct runs.
+	if meanRun := float64(transient) / float64(runs); meanRun < 2 {
+		t.Fatalf("mean burst length %.2f, want bursty (>= 2)", meanRun)
+	}
+	// Both failure modes occur across incidents. (Within one incident the
+	// code is constant, but adjacent incidents can merge into one observed
+	// run, so per-run constancy is not assertable from the stream alone.)
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if IsTransientError(q.ErrorCode) {
+			seen[q.ErrorCode] = true
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("transient codes seen = %v, want both", seen)
+	}
+}
+
+// TestTransientFailuresOffIsByteIdentical: the knob at zero consumes no
+// randomness — the stream is identical to one generated before the knob
+// existed.
+func TestTransientFailuresOffIsByteIdentical(t *testing.T) {
+	a := Generate(smallOptions())
+	withKnob := smallOptions()
+	for i := range withKnob.Accounts {
+		withKnob.Accounts[i].TransientFailures = 0
+	}
+	b := Generate(withKnob)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs with the knob at zero: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTransientErrorCodeHelpers(t *testing.T) {
+	if !IsTransientError("BACKEND_UNAVAILABLE") || !IsTransientError("CONNECTION_RESET") {
+		t.Fatal("transient codes not recognized")
+	}
+	if IsTransientError("OUT_OF_MEMORY") || IsTransientError("") {
+		t.Fatal("non-transient codes misclassified")
+	}
+	m := TransientErrorCodes()
+	if !m["BACKEND_UNAVAILABLE"] || !m["CONNECTION_RESET"] || len(m) != 2 {
+		t.Fatalf("TransientErrorCodes() = %v", m)
+	}
+	m["BACKEND_UNAVAILABLE"] = false // callers own the returned map
+	if !TransientErrorCodes()["BACKEND_UNAVAILABLE"] {
+		t.Fatal("returned map is shared state")
+	}
+}
+
 func TestErrorLabelsPresent(t *testing.T) {
 	opts := smallOptions()
 	opts.Accounts[0].Queries = 3000 // enough volume for rare errors

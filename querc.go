@@ -93,25 +93,61 @@ type (
 // and routing cluster — and dispatches them across a Backend pool with
 // per-class SLA accounting (SchedulerStats / quercd's GET /v1/sched).
 type (
-	Scheduler        = core.Scheduler
-	Dispatcher       = sched.Dispatcher
-	SchedulerConfig  = sched.Config
-	SchedulerPolicy  = sched.Policy
-	FIFOPolicy       = sched.FIFO
-	LabelPolicy      = sched.LabelPolicy
-	SchedBackend     = sched.Backend
-	SchedTask        = sched.Task
-	SchedExecutor    = sched.Executor
-	SchedulerStats   = sched.Snapshot
-	SchedSLASnapshot = sched.SLASnapshot
+	Scheduler            = core.Scheduler
+	Dispatcher           = sched.Dispatcher
+	SchedulerConfig      = sched.Config
+	SchedulerPolicy      = sched.Policy
+	FIFOPolicy           = sched.FIFO
+	LabelPolicy          = sched.LabelPolicy
+	SchedBackend         = sched.Backend
+	SchedTask            = sched.Task
+	SchedExecutor        = sched.Executor
+	SchedulerStats       = sched.Snapshot
+	SchedSLASnapshot     = sched.SLASnapshot
+	SchedBackendSnapshot = sched.BackendSnapshot
 )
 
-// Scheduler admission errors (backpressure, shedding, shutdown).
-var (
-	ErrSchedQueueFull = sched.ErrQueueFull
-	ErrSchedShed      = sched.ErrShed
-	ErrSchedClosed    = sched.ErrClosed
+// Re-exported failure plane: per-query deadlines and retry/hedge dispatch
+// (SchedulerConfig.Deadline/Retry/Hedge), per-backend circuit breakers
+// (SchedulerConfig.Breaker) whose states surface in SchedulerStats, and the
+// deterministic fault injector (NewFaultExecutor) that chaos experiments wrap
+// around real executors.
+type (
+	SchedRetryConfig   = sched.RetryConfig
+	SchedHedgeConfig   = sched.HedgeConfig
+	SchedBreakerConfig = sched.BreakerConfig
+	FaultConfig        = sched.FaultConfig
+	FaultWindow        = sched.Window
+	FaultExecutor      = sched.FaultExecutor
 )
+
+// Breaker states reported in SchedulerStats.Backends[i].Breaker.
+const (
+	SchedBreakerClosed      = sched.BreakerClosed
+	SchedBreakerOpen        = sched.BreakerOpen
+	SchedBreakerHalfOpen    = sched.BreakerHalfOpen
+	SchedBreakerQuarantined = sched.BreakerQuarantined
+)
+
+// Scheduler admission errors (backpressure, shedding, shutdown), plus the
+// sentinel every injected fault wraps.
+var (
+	ErrSchedQueueFull     = sched.ErrQueueFull
+	ErrSchedShed          = sched.ErrShed
+	ErrSchedClosed        = sched.ErrClosed
+	ErrSchedFaultInjected = sched.ErrInjected
+)
+
+// NewFaultExecutor wraps an executor with a deterministic per-backend fault
+// schedule (seeded errors, hangs, tail latency, down/brownout windows) for
+// chaos experiments; name is the backend the schedule keys on.
+func NewFaultExecutor(name string, inner SchedExecutor, cfg FaultConfig) *FaultExecutor {
+	return sched.NewFaultExecutor(name, inner, cfg)
+}
+
+// SchedPermanent marks err as non-retriable: the failure plane fails the
+// query terminally instead of consuming retry budget on it.
+func SchedPermanent(err error) error { return sched.Permanent(err) }
 
 // NewDispatcher builds and starts a scheduling-plane dispatcher.
 func NewDispatcher(cfg SchedulerConfig) (*Dispatcher, error) { return sched.New(cfg) }
