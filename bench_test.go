@@ -10,6 +10,7 @@ package querc_test
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -511,6 +512,71 @@ func BenchmarkDispatchBreaker(b *testing.B) {
 		}
 		return d
 	})
+}
+
+// BenchmarkSubmitBatchTraced measures the lifecycle tracer's hot-path tax
+// on the annotate pipeline: the same workload and batch fan-out as
+// BenchmarkSubmitBatch with tracing on at the production-default 1%
+// sampling — every query pays the deterministic sampling hash, one in a
+// hundred carries a pooled trace through tokenize/embed/label. Acceptance
+// for the observability-plane work: within 5% of BenchmarkSubmitBatch
+// (quercbench -experiment observe gates the same bound end to end).
+func BenchmarkSubmitBatchTraced(b *testing.B) {
+	sqls, mk := ingestBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := mk()
+		svc.EnableTracing(querc.TracerConfig{SampleRate: 0.01, RingSize: 1024})
+		out, err := svc.SubmitBatch("acct", sqls, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(sqls) {
+			b.Fatalf("batch output: %d", len(out))
+		}
+	}
+	b.ReportMetric(float64(len(sqls)*b.N)/b.Elapsed().Seconds(), "q/s")
+}
+
+// BenchmarkDispatchObserved measures the observability plane's dispatch
+// tax with everything lit: the dispatcher's counters live in the shared
+// metrics registry, 1% lifecycle tracing marks attempts and settles, and
+// every terminal outcome emits a structured audit event. Same ≤5% dispatch
+// budget as the other variants, against BenchmarkDispatchFIFO.
+func BenchmarkDispatchObserved(b *testing.B) {
+	sqls, mk := ingestBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := mk()
+		svc.EnableTracing(querc.TracerConfig{SampleRate: 0.01, RingSize: 1024})
+		auditor := querc.NewAuditor(io.Discard)
+		cfg := noopSchedCfg(querc.FIFOPolicy{})
+		cfg.Metrics = svc.Metrics()
+		cfg.Audit = auditor
+		d, err := querc.NewDispatcher(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc.AttachScheduler(d)
+		out, err := svc.SubmitBatch("acct", sqls, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(sqls) {
+			b.Fatalf("batch output: %d", len(out))
+		}
+		d.Close()
+		if err := d.Drain(time.Minute); err != nil {
+			b.Fatal(err)
+		}
+		if st := d.Stats(); st.Completed != uint64(len(sqls)) {
+			b.Fatalf("dispatched %d of %d", st.Completed, len(sqls))
+		}
+		if err := auditor.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(sqls)*b.N)/b.Elapsed().Seconds(), "q/s")
 }
 
 // ---------- Ablations ----------

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	quercbench -experiment fig3|fig4|table1|table2|ingest|train|drift|sched|chaos|memory|all [-scale small|paper] [-csv dir] [-workers n]
+//	quercbench -experiment fig3|fig4|table1|table2|ingest|train|drift|sched|chaos|memory|observe|all [-scale small|paper] [-csv dir] [-workers n]
 //
 // Results print as text tables shaped like the paper's artifacts; -csv also
 // writes machine-readable series for plotting. The ingest experiment
@@ -25,7 +25,11 @@
 // of the fault-free SLA compliance. The memory experiment replays a
 // mixed-size workload through slot-only vs memory-aware admission against
 // per-backend working-set budgets and reports OOM-class violations and
-// throughput for both.
+// throughput for both. The observe experiment replays the same workload
+// through the Submit pipeline and the dispatch loop with the observability
+// plane quiet vs fully lit (1% lifecycle tracing plus the structured audit
+// stream) and gates on the lit run keeping at least 95% of the quiet
+// throughput on both hot paths.
 package main
 
 import (
@@ -47,7 +51,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("quercbench: ")
 	var (
-		experiment = flag.String("experiment", "all", "fig3, fig4, table1, table2, ingest, train, drift, sched, chaos, memory, or all")
+		experiment = flag.String("experiment", "all", "fig3, fig4, table1, table2, ingest, train, drift, sched, chaos, memory, observe, or all")
 		scaleFlag  = flag.String("scale", "small", "small (minutes) or paper (hours)")
 		csvDir     = flag.String("csv", "", "directory to write CSV series into (optional)")
 		workers    = flag.Int("workers", 8, "batch fan-out for the ingest experiment")
@@ -110,6 +114,8 @@ func main() {
 		run("Failure plane", func() error { return runChaos(scale, *csvDir) })
 	case "memory":
 		run("Memory plane", func() error { return runMemory(scale, *workers, *csvDir) })
+	case "observe":
+		run("Observability overhead", func() error { return runObserve(scale, *workers) })
 	case "all":
 		run("Ingest throughput", func() error { return runIngest(scale, *workers) })
 		run("Parallel training", func() error { return runTrain(scale) })
@@ -117,6 +123,7 @@ func main() {
 		run("Scheduling plane", func() error { return runSched(scale, *workers, *csvDir) })
 		run("Failure plane", func() error { return runChaos(scale, *csvDir) })
 		run("Memory plane", func() error { return runMemory(scale, *workers, *csvDir) })
+		run("Observability overhead", func() error { return runObserve(scale, *workers) })
 		run("Figure 3", func() error { return runFig3(scale, *csvDir) })
 		run("Figure 4", func() error { return runFig4(scale, *csvDir) })
 		run("Tables 1 & 2", func() error {

@@ -12,6 +12,8 @@
 //	GET  /v1/stats                   per-app counters + vector-cache + scheduler counters
 //	GET  /v1/drift                   per-app drift scores, retrain times, gate decisions
 //	GET  /v1/sched                   scheduler queue depths, per-class SLA accounting, backends
+//	GET  /v1/trace                   sampled per-query lifecycle traces (?n=&sort=recent|slowest&outcome=)
+//	GET  /metrics                    every plane's counters/gauges/histograms, Prometheus text format
 //	GET  /v1/healthz
 //
 // Applications are declared with repeated -app flags. Embedders are loaded
@@ -53,6 +55,15 @@
 // sick backend, probing it half-open after a cooldown, and quarantining
 // flappers. GET /v1/sched reports per-backend breaker state and health;
 // GET /v1/stats rolls up retry/hedge/deadline/breaker counters.
+//
+// The observability plane is always on for counters: every plane records
+// into one shared metrics registry served at GET /metrics. Per-query
+// lifecycle tracing is enabled with -trace-sample (a [0,1] sampling rate):
+// sampled queries carry a trace from submit through tokenize/embed/label,
+// admission, dispatch attempts (retries and hedges included), to a terminal
+// settle, retained in a -trace-ring–bounded ring served at GET /v1/trace.
+// -audit appends one JSON line per terminally-settled query to the given
+// file ("-" for stdout), flushed on shutdown.
 //
 // quercd shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting and in-flight requests finish, the drift controller stops, and
@@ -115,6 +126,12 @@ func main() {
 			"hedge delay: re-dispatch a straggling query to a second backend after this long, first finisher wins (0 disables)")
 		schedBreaker = flag.Bool("breaker", false,
 			"enable per-backend circuit breakers: EWMA health trips open, half-open probes recover, flappers are quarantined")
+		traceSample = flag.Float64("trace-sample", 0,
+			"per-query lifecycle trace sampling rate in [0,1] (0 disables tracing)")
+		traceRing = flag.Int("trace-ring", 1024,
+			"settled traces retained in memory for GET /v1/trace")
+		auditPath = flag.String("audit", "",
+			`audit event stream destination: a file path, or "-" for stdout (empty disables)`)
 		apps appFlags
 	)
 	flag.Var(&apps, "app", "application stream to host (repeatable)")
@@ -139,6 +156,24 @@ func main() {
 	} else if *vecCache != querc.DefaultVectorCacheEntries {
 		svc.SetVectorCache(querc.NewVectorCache(*vecCache, 0))
 	}
+	if *traceSample > 0 {
+		svc.EnableTracing(querc.TracerConfig{SampleRate: *traceSample, RingSize: *traceRing})
+		log.Printf("lifecycle tracing enabled (sample rate %g, ring %d)", *traceSample, *traceRing)
+	}
+	var auditor *querc.Auditor
+	if *auditPath != "" {
+		w := os.Stdout
+		if *auditPath != "-" {
+			f, err := os.Create(*auditPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			w = f
+		}
+		auditor = querc.NewAuditor(w)
+		auditor.Register(svc.Metrics())
+		log.Printf("audit stream enabled (%s)", *auditPath)
+	}
 	var dispatcher *querc.Dispatcher
 	if *schedPolicy != "" {
 		fp := failurePlane{
@@ -148,7 +183,7 @@ func main() {
 			breaker:  *schedBreaker,
 		}
 		var err error
-		dispatcher, err = buildScheduler(*schedPolicy, *backendsSpec, *slaSpec, *schedQueue, fp)
+		dispatcher, err = buildScheduler(*schedPolicy, *backendsSpec, *slaSpec, *schedQueue, fp, svc.Metrics(), auditSink(auditor))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -192,6 +227,8 @@ func main() {
 	mux.HandleFunc("GET /v1/stats", srv.stats)
 	mux.HandleFunc("GET /v1/drift", srv.driftStatus)
 	mux.HandleFunc("GET /v1/sched", srv.schedStatus)
+	mux.HandleFunc("GET /v1/trace", srv.traces)
+	mux.HandleFunc("GET /metrics", srv.metrics)
 	mux.HandleFunc("POST /v1/apps/{app}/queries", srv.submitQuery)
 	mux.HandleFunc("POST /v1/apps/{app}/queries:batch", srv.submitBatch)
 	mux.HandleFunc("POST /v1/apps/{app}/logs", srv.ingestLogs)
@@ -216,7 +253,22 @@ func main() {
 	if err := shutdown(httpSrv, ctl, dispatcher, 15*time.Second); err != nil {
 		log.Fatal(err)
 	}
+	if auditor != nil {
+		// After the drain no dispatcher goroutine emits; write the tail out.
+		if err := auditor.Close(); err != nil {
+			log.Printf("audit close: %v", err)
+		}
+	}
 	log.Printf("shutdown complete")
+}
+
+// auditSink widens a possibly-nil *Auditor to the AuditSink interface without
+// producing a non-nil interface around a nil pointer.
+func auditSink(a *querc.Auditor) querc.AuditSink {
+	if a == nil {
+		return nil
+	}
+	return a
 }
 
 // shutdown runs the graceful teardown sequence: stop accepting HTTP (letting
@@ -268,8 +320,10 @@ func (f failurePlane) on() bool {
 }
 
 // buildScheduler assembles the scheduling plane from the -sched, -backends,
-// -sla, and failure-plane flag values.
-func buildScheduler(policy, backendsSpec, slaSpec string, queueCap int, fp failurePlane) (*querc.Dispatcher, error) {
+// -sla, and failure-plane flag values. metrics is the service registry the
+// dispatcher publishes its counters on; audit (may be nil) receives one
+// event per terminally-settled query.
+func buildScheduler(policy, backendsSpec, slaSpec string, queueCap int, fp failurePlane, metrics *querc.MetricsRegistry, audit querc.AuditSink) (*querc.Dispatcher, error) {
 	sla, slaOrder, err := parseSLA(slaSpec)
 	if err != nil {
 		return nil, err
@@ -304,6 +358,8 @@ func buildScheduler(policy, backendsSpec, slaSpec string, queueCap int, fp failu
 		SLA:        sla,
 		ClassOrder: classOrder,
 		Deadline:   fp.deadline,
+		Metrics:    metrics,
+		Audit:      audit,
 	}
 	// Each knob opts into its slice of the failure plane independently;
 	// library defaults fill in backoff, budgets, and breaker thresholds.
@@ -539,6 +595,49 @@ func (s *server) schedStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, s.sched.Stats())
+}
+
+// metrics renders the shared registry — every plane's counters, gauges, and
+// latency histograms — in Prometheus text exposition format.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.svc.Metrics().WriteProm(w); err != nil {
+		log.Printf("write metrics: %v", err)
+	}
+}
+
+// traces serves the lifecycle-trace ring: the tracer's settle ledger plus
+// matching trace records, newest first by default. Query parameters: n caps
+// the records (default 64), sort is "recent" or "slowest", outcome filters by
+// terminal outcome tag ("completed", "shed", ...). 404 when tracing is
+// disabled.
+func (s *server) traces(w http.ResponseWriter, r *http.Request) {
+	tr := s.svc.Tracer()
+	if tr == nil {
+		httpError(w, http.StatusNotFound, "tracing disabled (start quercd with -trace-sample > 0)")
+		return
+	}
+	var q querc.TraceQuery
+	if n := r.URL.Query().Get("n"); n != "" {
+		v, err := strconv.Atoi(n)
+		if err != nil || v <= 0 {
+			httpError(w, http.StatusBadRequest, "n must be a positive integer")
+			return
+		}
+		q.N = v
+	}
+	switch sortBy := r.URL.Query().Get("sort"); sortBy {
+	case "", "recent", "slowest":
+		q.Sort = sortBy
+	default:
+		httpError(w, http.StatusBadRequest, "sort must be recent or slowest")
+		return
+	}
+	q.Outcome = r.URL.Query().Get("outcome")
+	writeJSON(w, map[string]any{
+		"stats":  tr.Stats(),
+		"traces": tr.Records(q),
+	})
 }
 
 func (s *server) listModels(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -31,6 +32,8 @@ func newTestServer(t *testing.T) (*server, *http.ServeMux) {
 	mux.HandleFunc("GET /v1/stats", s.stats)
 	mux.HandleFunc("GET /v1/drift", s.driftStatus)
 	mux.HandleFunc("GET /v1/sched", s.schedStatus)
+	mux.HandleFunc("GET /v1/trace", s.traces)
+	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("POST /v1/apps/{app}/queries", s.submitQuery)
 	mux.HandleFunc("POST /v1/apps/{app}/queries:batch", s.submitBatch)
 	mux.HandleFunc("POST /v1/apps/{app}/logs", s.ingestLogs)
@@ -313,7 +316,7 @@ func TestSchedEndpoint(t *testing.T) {
 		t.Fatalf("sched while disabled: %d", rr.Code)
 	}
 
-	d, err := buildScheduler("label", "bk1:2,bk2:1", "light:1ns", 64, failurePlane{})
+	d, err := buildScheduler("label", "bk1:2,bk2:1", "light:1ns", 64, failurePlane{}, s.svc.Metrics(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,7 +406,7 @@ func TestParseBackendsAndSLA(t *testing.T) {
 			t.Fatalf("parseSLA(%q) must fail", bad)
 		}
 	}
-	if _, err := buildScheduler("nope", "a:1", "", 8, failurePlane{}); err == nil {
+	if _, err := buildScheduler("nope", "a:1", "", 8, failurePlane{}, nil, nil); err == nil {
 		t.Fatal("unknown policy must fail")
 	}
 }
@@ -412,7 +415,7 @@ func TestParseBackendsAndSLA(t *testing.T) {
 // accepting, in-flight work drains from the scheduler, and shutdown returns
 // only after both.
 func TestGracefulShutdown(t *testing.T) {
-	d, err := buildScheduler("fifo", "bk:1", "", 64, failurePlane{})
+	d, err := buildScheduler("fifo", "bk:1", "", 64, failurePlane{}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -458,7 +461,7 @@ func TestFailurePlaneFlagsAndEndpoints(t *testing.T) {
 	if (failurePlane{}).on() {
 		t.Fatal("failurePlane.on() = true for the zero value")
 	}
-	d, err := buildScheduler("label", "bk1:2,bk2:1", "", 64, fp)
+	d, err := buildScheduler("label", "bk1:2,bk2:1", "", 64, fp, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -583,4 +586,271 @@ func TestStartPprof(t *testing.T) {
 	if _, err := startPprof(ln.Addr().String()); err == nil {
 		t.Fatal("double bind must fail")
 	}
+}
+
+// deployConstLabeler wires the stock test classifier that labels every query
+// "light" so submissions flow through the annotate path deterministically.
+func deployConstLabeler(s *server, label string) {
+	s.svc.Deploy("app1", &core.Classifier{
+		LabelKey: "resource",
+		Embedder: constEmbedder{},
+		Labeler:  &core.RuleLabeler{RuleName: "r", Rule: func(v querc.Vector) string { return label }},
+	})
+}
+
+// TestMetricsEndpoint: GET /metrics serves valid Prometheus exposition text
+// carrying at least one series from every plane wired into the shared
+// registry (embedding cache, app workers, drift control, scheduler).
+func TestMetricsEndpoint(t *testing.T) {
+	s, mux := newTestServer(t)
+	deployConstLabeler(s, "light")
+	d, err := buildScheduler("label", "bk1:2,bk2:1", "light:1s", 64, failurePlane{}, s.svc.Metrics(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.sched = d
+	s.svc.AttachScheduler(d)
+	defer d.Close()
+	ctl := s.svc.EnableDriftControl(querc.ControllerConfig{
+		Threshold: 0.5,
+		Detector:  querc.DriftDetectorConfig{MinQueries: 2},
+	})
+	for i := 0; i < 3; i++ {
+		if rr := do(t, mux, "POST", "/v1/apps/app1/queries", `{"sql":"select 1"}`); rr.Code != http.StatusOK {
+			t.Fatalf("submit %d: %d %s", i, rr.Code, rr.Body)
+		}
+	}
+	ctl.Tick()
+	if err := d.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	rr := do(t, mux, "GET", "/metrics", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("metrics: %d %s", rr.Code, rr.Body)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type: %q", ct)
+	}
+	body := rr.Body.Bytes()
+	if err := querc.ValidatePromText(body); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	// One representative series per plane.
+	for _, name := range []string{
+		"querc_app_processed_total",                // annotation plane
+		"querc_vector_cache_hits_total",            // embedding plane
+		"querc_drift_ticks_total",                  // drift plane
+		"querc_sched_submitted_total",              // scheduling plane
+		"querc_sched_class_latency_seconds_bucket", // latency histogram
+	} {
+		if !bytes.Contains(body, []byte(name)) {
+			t.Errorf("metric %q missing from exposition:\n%s", name, body)
+		}
+	}
+}
+
+// TestStatsFieldCompatibility is the golden key-set for /v1/stats: the
+// handler is now a view over the metrics registry, and this test pins that
+// the migration changed none of the JSON field names.
+func TestStatsFieldCompatibility(t *testing.T) {
+	s, mux := newTestServer(t)
+	deployConstLabeler(s, "light")
+	d, err := buildScheduler("label", "bk1:1", "light:1s", 64, failurePlane{}, s.svc.Metrics(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.sched = d
+	s.svc.AttachScheduler(d)
+	defer d.Close()
+	s.svc.EnableDriftControl(querc.ControllerConfig{Threshold: 0.5})
+	for i := 0; i < 2; i++ {
+		if rr := do(t, mux, "POST", "/v1/apps/app1/queries", `{"sql":"select 1"}`); rr.Code != http.StatusOK {
+			t.Fatalf("submit %d: %d %s", i, rr.Code, rr.Body)
+		}
+	}
+	if err := d.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	rr := do(t, mux, "GET", "/v1/stats", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("stats: %d %s", rr.Code, rr.Body)
+	}
+	var resp map[string]json.RawMessage
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	requireKeys := func(raw json.RawMessage, where string, keys ...string) {
+		t.Helper()
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatalf("%s: %v", where, err)
+		}
+		for _, k := range keys {
+			if _, ok := m[k]; !ok {
+				t.Errorf("%s missing golden field %q (have %v)", where, k, m)
+			}
+		}
+	}
+	for _, k := range []string{"apps", "driftPlane", "schedulerPlane", "scheduler", "vectorCache"} {
+		if _, ok := resp[k]; !ok {
+			t.Fatalf("top-level field %q missing: %s", k, rr.Body)
+		}
+	}
+	var apps []json.RawMessage
+	if err := json.Unmarshal(resp["apps"], &apps); err != nil || len(apps) != 1 {
+		t.Fatalf("apps: %v %s", err, resp["apps"])
+	}
+	requireKeys(apps[0], "apps[0]",
+		"app", "processed", "trainingSet",
+		"driftRetrains", "driftPromotions", "driftRejections")
+	requireKeys(resp["scheduler"], "scheduler",
+		"policy", "submitted", "completed", "failed", "rejected", "shed",
+		"evicted", "oomViolations", "memWaits", "backlog", "inflight",
+		"retries", "retryStarved", "pendingRetries", "hedges", "hedgeWins",
+		"hedgeWaste", "deadlineExceeded", "breakerOpen", "quarantined")
+	requireKeys(resp["vectorCache"], "vectorCache",
+		"hits", "misses", "evictions", "entries", "capacity", "hitRate")
+}
+
+// TestTraceEndpoint: GET /v1/trace is 404 until tracing is enabled, then
+// serves the settled ring with n/sort/outcome filtering.
+func TestTraceEndpoint(t *testing.T) {
+	s, mux := newTestServer(t)
+	if rr := do(t, mux, "GET", "/v1/trace", ""); rr.Code != http.StatusNotFound {
+		t.Fatalf("trace while disabled: %d", rr.Code)
+	}
+
+	s.svc.EnableTracing(querc.TracerConfig{SampleRate: 1, RingSize: 64})
+	deployConstLabeler(s, "light")
+	for i := 0; i < 3; i++ {
+		if rr := do(t, mux, "POST", "/v1/apps/app1/queries", `{"sql":"select 1"}`); rr.Code != http.StatusOK {
+			t.Fatalf("submit %d: %d %s", i, rr.Code, rr.Body)
+		}
+	}
+
+	rr := do(t, mux, "GET", "/v1/trace", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("trace: %d %s", rr.Code, rr.Body)
+	}
+	var resp struct {
+		Stats  querc.TracerStats   `json:"stats"`
+		Traces []querc.TraceRecord `json:"traces"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	// No scheduler attached: the annotation worker is the terminal stage, so
+	// every sampled trace settles annotated exactly once.
+	if resp.Stats.Begun != 3 || resp.Stats.Sampled != 3 || resp.Stats.Annotated != 3 {
+		t.Fatalf("tracer stats: %+v", resp.Stats)
+	}
+	if resp.Stats.DoubleSettles != 0 {
+		t.Fatalf("double settles: %+v", resp.Stats)
+	}
+	if len(resp.Traces) != 3 {
+		t.Fatalf("ring: %d records", len(resp.Traces))
+	}
+	for _, tr := range resp.Traces {
+		if tr.App != "app1" || tr.SQL != "select 1" || tr.Outcome != "annotated" {
+			t.Fatalf("record: %+v", tr)
+		}
+		if tr.TotalNs <= 0 {
+			t.Fatalf("no total latency: %+v", tr)
+		}
+	}
+
+	// Query-string surface: n caps, outcome filters, bad sort rejects.
+	if rr := do(t, mux, "GET", "/v1/trace?n=1&sort=slowest", ""); rr.Code != http.StatusOK {
+		t.Fatalf("slowest: %d %s", rr.Code, rr.Body)
+	} else {
+		var one struct {
+			Traces []querc.TraceRecord `json:"traces"`
+		}
+		if err := json.Unmarshal(rr.Body.Bytes(), &one); err != nil || len(one.Traces) != 1 {
+			t.Fatalf("n=1: %v %s", err, rr.Body)
+		}
+	}
+	if rr := do(t, mux, "GET", "/v1/trace?outcome=shed", ""); rr.Code != http.StatusOK {
+		t.Fatalf("outcome filter: %d", rr.Code)
+	} else {
+		var none struct {
+			Traces []querc.TraceRecord `json:"traces"`
+		}
+		if err := json.Unmarshal(rr.Body.Bytes(), &none); err != nil || len(none.Traces) != 0 {
+			t.Fatalf("outcome=shed: %v %s", err, rr.Body)
+		}
+	}
+	if rr := do(t, mux, "GET", "/v1/trace?sort=bogus", ""); rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad sort: %d", rr.Code)
+	}
+	if rr := do(t, mux, "GET", "/v1/trace?n=zero", ""); rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad n: %d", rr.Code)
+	}
+}
+
+// TestStatsPollRace hammers the read-only observability surfaces
+// (/v1/stats, /metrics, /v1/trace) while queries flow, so `go test -race`
+// proves snapshot reads never race instrument writers. This is the
+// regression test for the torn-counter reads the registry migration fixed.
+func TestStatsPollRace(t *testing.T) {
+	s, mux := newTestServer(t)
+	deployConstLabeler(s, "light")
+	d, err := buildScheduler("label", "bk1:2", "light:1s", 256, failurePlane{}, s.svc.Metrics(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.sched = d
+	s.svc.AttachScheduler(d)
+	ctl := s.svc.EnableDriftControl(querc.ControllerConfig{
+		Threshold: 0.5,
+		Detector:  querc.DriftDetectorConfig{MinQueries: 2},
+	})
+	s.svc.EnableTracing(querc.TracerConfig{SampleRate: 1, RingSize: 128})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, path := range []string{"/v1/stats", "/metrics", "/v1/trace", "/v1/sched", "/v1/drift"} {
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if rr := do(t, mux, "GET", p, ""); rr.Code != http.StatusOK {
+					t.Errorf("%s: %d %s", p, rr.Code, rr.Body)
+					return
+				}
+			}
+		}(path)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				do(t, mux, "POST", "/v1/apps/app1/queries", `{"sql":"select 1"}`)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			ctl.Tick()
+		}
+	}()
+
+	// Hold the pollers open long enough to overlap the writers, then stop.
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if err := d.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
 }

@@ -9,6 +9,7 @@ import (
 	"querc/internal/drift"
 	"querc/internal/ml/eval"
 	"querc/internal/ml/forest"
+	"querc/internal/obs"
 )
 
 // ControllerConfig tunes the drift control loop. The zero value asks for
@@ -140,7 +141,7 @@ type Controller struct {
 	apps   map[string]*appControl
 	stop   chan struct{}
 	done   chan struct{}
-	ticks  int64
+	ticks  *obs.Counter
 	onceMu sync.Mutex // serializes Start/Stop pairs
 }
 
@@ -150,18 +151,34 @@ type appControl struct {
 	mu          sync.Mutex // serializes retrains for this app
 	lastRetrain time.Time
 	keys        map[string]*KeyDriftStatus
+	// counters holds the per-key retrain/promotion/rejection tallies as
+	// registry counters (querc_drift_*_total{app,key}); the int64 fields on
+	// KeyDriftStatus are filled from these at snapshot time, so writers
+	// (maybeRetrain) and JSON snapshots (Status/Counters) never race on
+	// plain fields.
+	counters map[string]*keyCounters
 	// consolidate marks label keys owed a follow-up retrain after a
 	// promotion (see Controller doc).
 	consolidate map[string]bool
 }
 
+// keyCounters are one (app, key) pair's drift-plane registry counters.
+type keyCounters struct {
+	retrains   *obs.Counter
+	promotions *obs.Counter
+	rejections *obs.Counter
+}
+
 // newController wires a controller to svc (see Service.EnableDriftControl).
+// The tick counter registers eagerly so the drift plane is visible on
+// GET /metrics from the moment the loop exists, even before any retrain.
 func newController(svc *Service, cfg ControllerConfig) *Controller {
 	return &Controller{
-		svc:  svc,
-		cfg:  cfg.withDefaults(),
-		det:  drift.NewDetector(cfg.Detector),
-		apps: make(map[string]*appControl),
+		svc:   svc,
+		cfg:   cfg.withDefaults(),
+		det:   drift.NewDetector(cfg.Detector),
+		apps:  make(map[string]*appControl),
+		ticks: svc.metrics.Counter("querc_drift_ticks_total", "Drift control-loop iterations."),
 	}
 }
 
@@ -214,9 +231,7 @@ func (c *Controller) Stop() {
 // Experiments and tests call Tick directly to replay workloads
 // deterministically; the Start loop calls it on a wall-clock timer.
 func (c *Controller) Tick() {
-	c.mu.Lock()
-	c.ticks++
-	c.mu.Unlock()
+	c.ticks.Inc()
 	for _, app := range c.svc.Apps() {
 		w := c.svc.Worker(app)
 		if w == nil {
@@ -259,11 +274,7 @@ func (c *Controller) Tick() {
 }
 
 // Ticks returns the number of control-loop iterations run so far.
-func (c *Controller) Ticks() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ticks
-}
+func (c *Controller) Ticks() int64 { return int64(c.ticks.Load()) }
 
 // appControl returns (creating if needed) app's control state.
 func (c *Controller) appControl(app string) *appControl {
@@ -273,11 +284,28 @@ func (c *Controller) appControl(app string) *appControl {
 	if ac == nil {
 		ac = &appControl{
 			keys:        make(map[string]*KeyDriftStatus),
+			counters:    make(map[string]*keyCounters),
 			consolidate: make(map[string]bool),
 		}
 		c.apps[app] = ac
 	}
 	return ac
+}
+
+// keyCountersLocked resolves (creating on first use) the registry counters
+// for (app, key). Callers hold c.mu; registry shard locks nest inside it.
+func (c *Controller) keyCountersLocked(ac *appControl, app, key string) *keyCounters {
+	kc := ac.counters[key]
+	if kc == nil {
+		r := c.svc.metrics
+		kc = &keyCounters{
+			retrains:   r.Counter("querc_drift_retrains_total", "Gated retrain attempts per (app, label key).", "app", app, "key", key),
+			promotions: r.Counter("querc_drift_promotions_total", "Retrained challengers promoted past the gate.", "app", app, "key", key),
+			rejections: r.Counter("querc_drift_rejections_total", "Retrained challengers rejected by the gate.", "app", app, "key", key),
+		}
+		ac.counters[key] = kc
+	}
+	return kc
 }
 
 // maybeRetrain runs one rate-limited, per-app-serialized gated retrain for
@@ -313,8 +341,9 @@ func (c *Controller) maybeRetrain(ac *appControl, sc drift.Score, consolidation 
 
 	c.mu.Lock()
 	st := ac.keys[key]
+	kc := c.keyCountersLocked(ac, app, key)
 	st.LastRetrain = ac.lastRetrain
-	st.Retrains++
+	kc.retrains.Inc()
 	if err != nil {
 		st.LastGate = fmt.Sprintf("error: %v", err)
 		c.mu.Unlock()
@@ -329,10 +358,10 @@ func (c *Controller) maybeRetrain(ac *appControl, sc drift.Score, consolidation 
 	}
 	if promote {
 		st.LastGate = "promoted"
-		st.Promotions++
+		kc.promotions.Inc()
 	} else {
 		st.LastGate = "rejected"
-		st.Rejections++
+		kc.rejections.Inc()
 	}
 	ac.consolidate[key] = promote
 	c.mu.Unlock()
@@ -373,7 +402,13 @@ func (c *Controller) Status() []AppDriftStatus {
 			}
 			sort.Strings(keys)
 			for _, k := range keys {
-				st.Keys = append(st.Keys, *ac.keys[k])
+				cp := *ac.keys[k]
+				if kc := ac.counters[k]; kc != nil {
+					cp.Retrains = int64(kc.retrains.Load())
+					cp.Promotions = int64(kc.promotions.Load())
+					cp.Rejections = int64(kc.rejections.Load())
+				}
+				st.Keys = append(st.Keys, cp)
 			}
 		}
 		out = append(out, st)
@@ -387,10 +422,10 @@ func (c *Controller) Counters(app string) (retrains, promotions, rejections int6
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if ac := c.apps[app]; ac != nil {
-		for _, st := range ac.keys {
-			retrains += st.Retrains
-			promotions += st.Promotions
-			rejections += st.Rejections
+		for _, kc := range ac.counters {
+			retrains += int64(kc.retrains.Load())
+			promotions += int64(kc.promotions.Load())
+			rejections += int64(kc.rejections.Load())
 		}
 	}
 	return retrains, promotions, rejections

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"time"
 
+	"querc/internal/obs"
 	"querc/internal/vec"
 )
 
@@ -37,13 +38,32 @@ type LabeledQuery struct {
 	App     string            `json:"app"`               // application / stream name
 	Arrival time.Time         `json:"arrival,omitempty"` // zero when unknown
 	Labels  map[string]string `json:"labels,omitempty"`
+
+	// trace is the query's lifecycle trace, attached by the Qworker when the
+	// query is sampled (nil otherwise) and settled exactly once at the
+	// terminal outcome — by the dispatcher when the query enters the
+	// scheduling plane, by the Qworker when it does not. Unexported: the
+	// trace identifies one in-flight query, so Clone drops it rather than
+	// aliasing the settle.
+	trace *obs.Trace
 }
 
-// Clone returns a deep copy (labels map included).
+// Trace returns the attached lifecycle trace, or nil when the query is
+// unsampled (the usual case).
+func (q *LabeledQuery) Trace() *obs.Trace { return q.trace }
+
+// SetTrace attaches a lifecycle trace (nil detaches). The caller keeps the
+// settle obligation until the query is handed to the scheduling plane.
+func (q *LabeledQuery) SetTrace(t *obs.Trace) { q.trace = t }
+
+// Clone returns a deep copy (labels map included). The lifecycle trace is
+// NOT carried over: a trace settles exactly once per submitted query, and
+// the clone (a training-fork copy) is not that query.
 //
 //querc:allow-alloc ownership fork at the sink boundary — the copy is the product
 func (q *LabeledQuery) Clone() *LabeledQuery {
 	out := *q
+	out.trace = nil
 	out.Labels = make(map[string]string, len(q.Labels))
 	for k, v := range q.Labels {
 		out.Labels[k] = v

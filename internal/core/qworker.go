@@ -4,8 +4,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"querc/internal/drift"
+	"querc/internal/obs"
 	"querc/internal/vec"
 )
 
@@ -34,10 +36,12 @@ type Qworker struct {
 	plan        []embedderGroup // classifiers grouped by embedder identity
 	vectors     *VectorCache    // shared embedding-plane cache; nil disables
 	drift       *driftAccum     // drift-plane statistics; nil disables sampling
+	tracer      *obs.Tracer     // lifecycle tracing; nil disables sampling
 	ring        []*LabeledQuery // fixed-size ring buffer of recent queries
 	ringStart   int             // index of the oldest retained query
 	ringLen     int             // number of valid entries (<= len(ring))
 	fwdClaimed  bool            // Forward was claimed explicitly (SetForward / AddApplication arg)
+	fwdIsSched  bool            // Forward is the scheduling plane's edge (it settles traces)
 
 	// Forward receives annotated queries bound for the database. nil when
 	// Querc is out of the critical path (fork-only deployments, §2). It must
@@ -50,7 +54,10 @@ type Qworker struct {
 	// When nil, ProcessBatch falls back to calling Sink per query.
 	BatchSink func([]*LabeledQuery)
 
-	processed int64
+	// processed counts queries handled, on the observability plane's atomic
+	// counter so monitoring snapshots never race the hot path (exposed as
+	// querc_app_processed_total{app=...} when the Service registers it).
+	processed *obs.Counter
 }
 
 // embedderGroup is one distinct embedder and the classifiers deployed on it
@@ -89,7 +96,7 @@ func NewQworker(app string, windowSize int) *Qworker {
 	if windowSize <= 0 {
 		windowSize = 64
 	}
-	return &Qworker{App: app, ring: make([]*LabeledQuery, windowSize)}
+	return &Qworker{App: app, ring: make([]*LabeledQuery, windowSize), processed: obs.NewCounter()}
 }
 
 // SetVectorCache attaches (or, with nil, detaches) the shared vector cache
@@ -111,6 +118,7 @@ func (w *Qworker) SetForward(f func(*LabeledQuery)) {
 	w.mu.Lock()
 	w.Forward = f
 	w.fwdClaimed = f != nil
+	w.fwdIsSched = false
 	w.mu.Unlock()
 }
 
@@ -121,6 +129,10 @@ func (w *Qworker) setSchedulerForward(f func(*LabeledQuery)) {
 	w.mu.Lock()
 	if !w.fwdClaimed {
 		w.Forward = f
+		// The scheduling plane owns trace settlement on this edge: the
+		// dispatcher settles every trace it admits, rejects, sheds, or
+		// evicts, so the worker must not.
+		w.fwdIsSched = f != nil
 	}
 	w.mu.Unlock()
 }
@@ -154,13 +166,23 @@ func (w *Qworker) Classifiers() []*Classifier {
 	return append([]*Classifier(nil), w.classifiers...)
 }
 
-// snapshot returns the current embed plan, vector cache, and drift
-// accumulator. The plan slice is replaced wholesale by Deploy, never
-// mutated, so it is safe to read without the lock after return.
-func (w *Qworker) snapshot() ([]embedderGroup, *VectorCache, *driftAccum) {
+// snapshot returns the current embed plan, vector cache, drift accumulator,
+// and tracer. The plan slice is replaced wholesale by Deploy, never mutated,
+// so it is safe to read without the lock after return.
+func (w *Qworker) snapshot() ([]embedderGroup, *VectorCache, *driftAccum, *obs.Tracer) {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
-	return w.plan, w.vectors, w.drift
+	return w.plan, w.vectors, w.drift, w.tracer
+}
+
+// SetTracer attaches (or, with nil, detaches) lifecycle tracing: the worker
+// begins a trace per sampled query and records annotation-pipeline spans
+// onto it. Service.EnableTracing turns this on for every registered worker.
+// In-flight batches keep the tracer they started with.
+func (w *Qworker) SetTracer(tr *obs.Tracer) {
+	w.mu.Lock()
+	w.tracer = tr
+	w.mu.Unlock()
 }
 
 // SetDriftSampling enables (or, with false, disables) drift-plane statistics
@@ -203,7 +225,11 @@ func (w *Qworker) TakeDriftSample() *drift.Sample {
 //querc:hotpath
 func (w *Qworker) Process(q *LabeledQuery) *LabeledQuery {
 	q.App = w.App
-	plan, cache, acc := w.snapshot()
+	plan, cache, acc, tracer := w.snapshot()
+	if q.trace == nil {
+		q.trace = tracer.Begin(w.App, q.SQL)
+	}
+	tr := q.trace
 	var vs []vec.Vector // per-group vectors, collected only for drift sampling
 	var sqs []float64
 	var hits, misses int64
@@ -223,34 +249,43 @@ func (w *Qworker) Process(q *LabeledQuery) *LabeledQuery {
 		if !ok {
 			if te, isTok := g.embedder.(TokenizedEmbedder); isTok {
 				if !tokenized {
+					t0 := traceNow(tr)
 					toks = TokenizeForEmbedding(q.SQL)
+					tr.MarkTokenize(traceSince(tr, t0))
 					tokenized = true
 				}
+				t0 := traceNow(tr)
 				v = te.EmbedTokens(toks)
+				tr.MarkEmbed(traceSince(tr, t0))
 			} else {
+				t0 := traceNow(tr)
 				v = g.embedder.Embed(q.SQL)
+				tr.MarkEmbed(traceSince(tr, t0))
 			}
 			cache.Put(g.name, q.SQL, v)
 			misses++
 		} else {
 			hits++
+			tr.MarkCacheHit()
 		}
 		if vs != nil {
 			vs[gi] = v
 			sqs[gi] = vec.Dot(v, v)
 		}
+		t0 := traceNow(tr)
 		for _, c := range g.clfs {
 			c.LabelVector(q, v)
 		}
+		tr.MarkLabel(traceSince(tr, t0))
 	}
 	if acc != nil {
 		acc.merge(plan, []*LabeledQuery{q}, vs, sqs, hits, misses)
 	}
 	w.mu.Lock()
 	w.recordLocked(q)
-	w.processed++
-	forward, sink := w.Forward, w.Sink
+	forward, sink, fwdSched := w.Forward, w.Sink, w.fwdIsSched
 	w.mu.Unlock()
+	w.processed.Inc()
 
 	if sink != nil {
 		sink(q.Clone())
@@ -258,7 +293,33 @@ func (w *Qworker) Process(q *LabeledQuery) *LabeledQuery {
 	if forward != nil {
 		forward(q)
 	}
+	// With a scheduler on the forward edge the dispatcher settles the trace
+	// (whatever the admission outcome); otherwise the pipeline ends here.
+	if forward == nil || !fwdSched {
+		tr.Settle(obs.OutcomeAnnotated, nil)
+	}
 	return q
+}
+
+// traceNow returns a span start only when a trace is live — the untraced hot
+// path skips the clock read entirely.
+//
+//querc:hotpath
+func traceNow(tr *obs.Trace) time.Time {
+	if tr == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// traceSince closes a span opened by traceNow (zero when untraced).
+//
+//querc:hotpath
+func traceSince(tr *obs.Trace, t0 time.Time) time.Duration {
+	if tr == nil {
+		return 0
+	}
+	return time.Since(t0)
 }
 
 // batchChunk is the unit of work one batch worker claims at a time: big
@@ -304,9 +365,9 @@ func (w *Qworker) ProcessBatch(qs []*LabeledQuery, workers int) []*LabeledQuery 
 	if workers > (len(qs)+batchChunk-1)/batchChunk {
 		workers = (len(qs) + batchChunk - 1) / batchChunk
 	}
-	plan, cache, acc := w.snapshot()
+	plan, cache, acc, tracer := w.snapshot()
 	w.mu.RLock()
-	forward, sink, batchSink := w.Forward, w.Sink, w.BatchSink
+	forward, sink, batchSink, fwdSched := w.Forward, w.Sink, w.BatchSink, w.fwdIsSched
 	w.mu.RUnlock()
 	// One vector memo per embedder group, shared by all batch workers, so
 	// repeats spanning chunks stay deduped even when the shared cache is
@@ -342,6 +403,13 @@ func (w *Qworker) ProcessBatch(qs []*LabeledQuery, workers int) []*LabeledQuery 
 			chunk := qs[lo:hi]
 			for _, q := range chunk {
 				q.App = w.App
+				// The batch path traces the submit→settle envelope plus
+				// scheduling-plane spans; per-stage annotation spans are a
+				// Process-path feature (batch work is chunk-amortized and
+				// memoized, so per-query stage costs are not attributable).
+				if q.trace == nil {
+					q.trace = tracer.Begin(w.App, q.SQL)
+				}
 			}
 			// Drift sampling, when enabled, sums the chunk's vectors per
 			// embedder group and counts embed-plane hits vs misses — one
@@ -433,6 +501,11 @@ func (w *Qworker) ProcessBatch(qs []*LabeledQuery, workers int) []*LabeledQuery 
 					forward(q)
 				}
 			}
+			if forward == nil || !fwdSched {
+				for _, q := range chunk {
+					q.trace.Settle(obs.OutcomeAnnotated, nil)
+				}
+			}
 		}
 	}
 	if workers <= 1 {
@@ -469,8 +542,8 @@ func (w *Qworker) recordChunk(chunk []*LabeledQuery) {
 	for _, q := range chunk {
 		w.recordLocked(q)
 	}
-	w.processed += int64(len(chunk))
 	w.mu.Unlock()
+	w.processed.Add(uint64(len(chunk)))
 }
 
 // Window returns a copy of the recent-query window (most recent last).
@@ -486,7 +559,5 @@ func (w *Qworker) Window() []*LabeledQuery {
 
 // Processed returns the number of queries handled so far.
 func (w *Qworker) Processed() int64 {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	return w.processed
+	return int64(w.processed.Load())
 }

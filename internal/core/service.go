@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"querc/internal/obs"
 )
 
 // Service wires the full Fig. 1 topology: per-application Qworkers fed by
@@ -18,21 +20,82 @@ type Service struct {
 	workers    map[string]*Qworker
 	training   *TrainingModule
 	vectors    *VectorCache
-	controller *Controller // drift control loop; nil until enabled
-	scheduler  Scheduler   // scheduling plane; nil until attached
+	controller *Controller   // drift control loop; nil until enabled
+	scheduler  Scheduler     // scheduling plane; nil until attached
+	metrics    *obs.Registry // observability plane: every plane's series
+	tracer     *obs.Tracer   // lifecycle tracing; nil until enabled
 }
 
 // NewService returns a service with an empty worker set, a fresh training
-// module, and a shared vector cache of DefaultVectorCacheEntries capacity
-// (SetVectorCache resizes or disables it).
+// module, a shared vector cache of DefaultVectorCacheEntries capacity
+// (SetVectorCache resizes or disables it), and a metrics registry the
+// embedding plane is pre-registered on (Metrics).
 func NewService() *Service {
 	s := &Service{
 		workers:  make(map[string]*Qworker),
 		training: NewTrainingModule(),
 		vectors:  NewVectorCache(DefaultVectorCacheEntries, 0),
+		metrics:  obs.NewRegistry(),
 	}
 	s.training.SetVectorCache(s.vectors)
+	s.registerCacheMetrics()
 	return s
+}
+
+// Metrics returns the service's metrics registry — the one aggregation
+// point every plane (embedding, drift, scheduling via SchedulerConfig)
+// records into and quercd's GET /metrics renders from.
+func (s *Service) Metrics() *obs.Registry { return s.metrics }
+
+// registerCacheMetrics exposes the shared vector cache on the registry. The
+// closures read through VectorCache() at scrape time, so SetVectorCache
+// swaps (including disabling with nil) stay reflected.
+func (s *Service) registerCacheMetrics() {
+	r := s.metrics
+	r.CounterFunc("querc_vector_cache_hits_total",
+		"Embedding-plane vector cache hits.",
+		func() float64 { return float64(s.VectorCache().Stats().Hits) })
+	r.CounterFunc("querc_vector_cache_misses_total",
+		"Embedding-plane vector cache misses.",
+		func() float64 { return float64(s.VectorCache().Stats().Misses) })
+	r.CounterFunc("querc_vector_cache_evictions_total",
+		"Embedding-plane vector cache evictions.",
+		func() float64 { return float64(s.VectorCache().Stats().Evictions) })
+	r.GaugeFunc("querc_vector_cache_entries",
+		"Vectors currently cached.",
+		func() float64 { return float64(s.VectorCache().Len()) })
+	r.GaugeFunc("querc_vector_cache_capacity",
+		"Vector cache capacity bound.",
+		func() float64 { return float64(s.VectorCache().Stats().Capacity) })
+}
+
+// EnableTracing attaches per-query lifecycle tracing: a Tracer built from
+// cfg samples every registered (and future) worker's stream, and its settle
+// ledger and ring surface through Tracer()/quercd's GET /v1/trace. Calling
+// EnableTracing again returns the existing tracer unchanged.
+func (s *Service) EnableTracing(cfg obs.TracerConfig) *obs.Tracer {
+	s.mu.Lock()
+	if s.tracer == nil {
+		s.tracer = obs.NewTracer(cfg)
+		s.tracer.Register(s.metrics)
+	}
+	tr := s.tracer
+	workers := make([]*Qworker, 0, len(s.workers))
+	for _, w := range s.workers {
+		workers = append(workers, w)
+	}
+	s.mu.Unlock()
+	for _, w := range workers {
+		w.SetTracer(tr)
+	}
+	return tr
+}
+
+// Tracer returns the lifecycle tracer, or nil before EnableTracing.
+func (s *Service) Tracer() *obs.Tracer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tracer
 }
 
 // Training exposes the shared training module.
@@ -80,13 +143,20 @@ func (s *Service) AddApplication(app string, windowSize int, forward func(*Label
 		w.fwdClaimed = true // the caller owns this edge; AttachScheduler keeps off it
 	} else {
 		forward = forwardInto(s.scheduler)
+		w.fwdIsSched = forward != nil // the dispatcher settles traces on this edge
 	}
 	w.Forward = forward
 	w.SetVectorCache(s.vectors)
 	if s.controller != nil {
 		w.SetDriftSampling(true)
 	}
+	if s.tracer != nil {
+		w.SetTracer(s.tracer)
+	}
 	s.workers[app] = w
+	s.metrics.CounterFunc("querc_app_processed_total",
+		"Queries annotated per application stream.",
+		func() float64 { return float64(w.Processed()) }, "app", app)
 	s.mu.Unlock()
 	return w
 }

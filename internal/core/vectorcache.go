@@ -2,8 +2,8 @@ package core
 
 import (
 	"sync"
-	"sync/atomic"
 
+	"querc/internal/obs"
 	"querc/internal/vec"
 )
 
@@ -26,10 +26,13 @@ type VectorCache struct {
 	shards []vcShard
 	// capacity is the enforced total bound (perShard * len(shards)); it is
 	// never exceeded, whatever the churn.
-	capacity  int
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
+	capacity int
+	// Effectiveness counters live on the observability plane's atomic
+	// instruments; Service registration exposes them as
+	// querc_vector_cache_{hits,misses,evictions}_total.
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
 }
 
 // vcShard is one lock's worth of the cache: a map for lookup plus an
@@ -70,8 +73,11 @@ func NewVectorCache(capacity, shards int) *VectorCache {
 	}
 	perShard := (capacity + shards - 1) / shards
 	c := &VectorCache{
-		shards:   make([]vcShard, shards),
-		capacity: perShard * shards,
+		shards:    make([]vcShard, shards),
+		capacity:  perShard * shards,
+		hits:      obs.NewCounter(),
+		misses:    obs.NewCounter(),
+		evictions: obs.NewCounter(),
 	}
 	for i := range c.shards {
 		c.shards[i].limit = perShard
@@ -112,10 +118,10 @@ func (c *VectorCache) Get(embedder, sql string) (vec.Vector, bool) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		c.misses.Add(1)
+		c.misses.Inc()
 		return nil, false
 	}
-	c.hits.Add(1)
+	c.hits.Inc()
 	return v, true
 }
 
@@ -139,7 +145,7 @@ func (c *VectorCache) Put(embedder, sql string, v vec.Vector) {
 		evict := s.tail
 		s.unlink(evict)
 		delete(s.entries, evict.key)
-		c.evictions.Add(1)
+		c.evictions.Inc()
 	}
 	e := &vcEntry{key: key, v: v}
 	s.entries[key] = e
@@ -188,9 +194,9 @@ func (c *VectorCache) Stats() VectorCacheStats {
 		return VectorCacheStats{}
 	}
 	return VectorCacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
+		Hits:      int64(c.hits.Load()),
+		Misses:    int64(c.misses.Load()),
+		Evictions: int64(c.evictions.Load()),
 		Entries:   c.Len(),
 		Capacity:  c.capacity,
 	}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// AuditEvent is one structured record in the audit stream: a query that
+// reached a terminal state (completed, failed, rejected, shed, evicted, or
+// annotated when no scheduler is attached). Together the events replay the
+// workload's admission history — what arrived, what the planes decided, and
+// what it cost.
+type AuditEvent struct {
+	TimeUnixNano int64   // event time (settle time)
+	App          string  // application stream
+	SQL          string  // raw query text
+	Outcome      string  // terminal outcome tag (Outcome.String())
+	Class        string  // predicted resource class, "" when unlabeled
+	SLAClass     string  // SLA accounting class, "" outside the sched plane
+	Backend      string  // backend of the settling attempt, "" if never dispatched
+	LatencyMS    float64 // submit → settle, milliseconds
+	Attempts     int     // dispatch attempts (0 if never dispatched)
+	Hedged       bool    // a speculative hedge clone was dispatched
+	Err          string  // terminal error, "" on success
+}
+
+// AuditSink consumes audit events. Emit is called outside the dispatcher's
+// lock but possibly from many goroutines; implementations must be
+// concurrency-safe and must not retain ev past the call (the caller may
+// reuse it).
+type AuditSink interface {
+	Emit(ev *AuditEvent)
+}
+
+// auditFlushAt is the buffered-byte threshold past which the Auditor writes
+// through to its sink writer.
+const auditFlushAt = 32 * 1024
+
+// Auditor is the built-in AuditSink: JSON lines onto an io.Writer, encoded
+// by hand into one grown-once buffer so steady-state emission does not
+// allocate per event. Writes are buffered and flushed at a size threshold;
+// call Flush (or Close) to push out the tail.
+type Auditor struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+
+	events   atomic.Uint64
+	bytesOut atomic.Uint64
+	errs     atomic.Uint64
+}
+
+// NewAuditor returns an auditor writing JSON lines to w.
+func NewAuditor(w io.Writer) *Auditor {
+	return &Auditor{w: w, buf: make([]byte, 0, auditFlushAt+4096)}
+}
+
+// Emit encodes one event as a JSON line into the buffer, flushing to the
+// underlying writer when the buffer passes its threshold. Concurrency-safe.
+func (a *Auditor) Emit(ev *AuditEvent) {
+	if a == nil || ev == nil {
+		return
+	}
+	a.mu.Lock()
+	a.buf = appendAuditJSON(a.buf, ev)
+	a.events.Add(1)
+	if len(a.buf) >= auditFlushAt {
+		a.flushLocked()
+	}
+	a.mu.Unlock()
+}
+
+// appendAuditJSON renders ev as one JSON object plus newline. Optional
+// fields (class, slaClass, backend, err, hedged, attempts) are omitted at
+// their zero values to keep lines compact.
+func appendAuditJSON(buf []byte, ev *AuditEvent) []byte {
+	buf = append(buf, `{"ts":`...)
+	buf = strconv.AppendInt(buf, ev.TimeUnixNano, 10)
+	buf = append(buf, `,"app":`...)
+	buf = strconv.AppendQuote(buf, ev.App)
+	buf = append(buf, `,"sql":`...)
+	buf = strconv.AppendQuote(buf, ev.SQL)
+	buf = append(buf, `,"outcome":`...)
+	buf = strconv.AppendQuote(buf, ev.Outcome)
+	if ev.Class != "" {
+		buf = append(buf, `,"class":`...)
+		buf = strconv.AppendQuote(buf, ev.Class)
+	}
+	if ev.SLAClass != "" {
+		buf = append(buf, `,"slaClass":`...)
+		buf = strconv.AppendQuote(buf, ev.SLAClass)
+	}
+	if ev.Backend != "" {
+		buf = append(buf, `,"backend":`...)
+		buf = strconv.AppendQuote(buf, ev.Backend)
+	}
+	buf = append(buf, `,"latencyMS":`...)
+	buf = strconv.AppendFloat(buf, ev.LatencyMS, 'f', 3, 64)
+	if ev.Attempts != 0 {
+		buf = append(buf, `,"attempts":`...)
+		buf = strconv.AppendInt(buf, int64(ev.Attempts), 10)
+	}
+	if ev.Hedged {
+		buf = append(buf, `,"hedged":true`...)
+	}
+	if ev.Err != "" {
+		buf = append(buf, `,"err":`...)
+		buf = strconv.AppendQuote(buf, ev.Err)
+	}
+	buf = append(buf, '}', '\n')
+	return buf
+}
+
+// flushLocked writes the buffer through. Callers hold a.mu.
+func (a *Auditor) flushLocked() {
+	if len(a.buf) == 0 || a.w == nil {
+		return
+	}
+	n, err := a.w.Write(a.buf)
+	a.bytesOut.Add(uint64(n))
+	if err != nil {
+		a.errs.Add(1)
+	}
+	a.buf = a.buf[:0]
+}
+
+// Flush writes any buffered events to the underlying writer.
+func (a *Auditor) Flush() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.flushLocked()
+	a.mu.Unlock()
+}
+
+// Close flushes and, when the underlying writer is an io.Closer, closes it.
+func (a *Auditor) Close() error {
+	if a == nil {
+		return nil
+	}
+	a.Flush()
+	if c, ok := a.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// AuditorStats is a snapshot of the auditor's own accounting.
+type AuditorStats struct {
+	Events   uint64 `json:"events"`
+	BytesOut uint64 `json:"bytesOut"`
+	Errors   uint64 `json:"errors"`
+}
+
+// Stats snapshots the auditor's counters. Valid on a nil *Auditor (zeros).
+func (a *Auditor) Stats() AuditorStats {
+	if a == nil {
+		return AuditorStats{}
+	}
+	return AuditorStats{
+		Events:   a.events.Load(),
+		BytesOut: a.bytesOut.Load(),
+		Errors:   a.errs.Load(),
+	}
+}
+
+// Register exposes the auditor's accounting on a metrics registry:
+// querc_audit_events_total, querc_audit_bytes_total,
+// querc_audit_errors_total. No-op on a nil auditor or registry.
+func (a *Auditor) Register(r *Registry) {
+	if a == nil || r == nil {
+		return
+	}
+	r.CounterFunc("querc_audit_events_total",
+		"Audit events emitted.",
+		func() float64 { return float64(a.events.Load()) })
+	r.CounterFunc("querc_audit_bytes_total",
+		"Audit bytes written to the sink.",
+		func() float64 { return float64(a.bytesOut.Load()) })
+	r.CounterFunc("querc_audit_errors_total",
+		"Audit sink write errors.",
+		func() float64 { return float64(a.errs.Load()) })
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count of every Histogram: bucket i holds
+// observations whose microsecond value v satisfies bits.Len64(v) == i, i.e.
+// v in [2^(i-1), 2^i). The bounds grow by 2x per bucket from 1µs; the last
+// bucket is the overflow (+Inf) catch-all, so the covered range tops out
+// around 2.4 hours — far past any latency this system produces.
+const histBuckets = 35
+
+// Histogram is a fixed-bound, log-bucketed latency histogram. Observe is one
+// bits.Len64 plus three atomic adds — allocation-free and safe for concurrent
+// use. The zero value is ready to use.
+//
+// Buckets are cumulative-mergeable: Snapshot returns plain uint64s that add
+// field-wise across histograms or across time (Merge), the property the
+// exposition layer and cross-shard rollups rely on.
+type Histogram struct {
+	count     atomic.Uint64
+	sumMicros atomic.Uint64
+	buckets   [histBuckets]atomic.Uint64
+}
+
+// NewHistogram returns a standalone (unregistered) histogram.
+func NewHistogram() *Histogram { return new(Histogram) }
+
+// Observe records one duration. Negative durations count as zero.
+//
+//querc:hotpath
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	idx := bits.Len64(uint64(us))
+	if idx > histBuckets-1 {
+		idx = histBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sumMicros.Add(uint64(us))
+}
+
+// ObserveMS records one duration given in (possibly fractional)
+// milliseconds — the unit the scheduling plane accounts latency in.
+//
+//querc:hotpath
+func (h *Histogram) ObserveMS(ms float64) {
+	h.Observe(time.Duration(ms * float64(time.Millisecond)))
+}
+
+// bucketUpperMicros returns the inclusive microsecond upper bound of bucket
+// i: 2^i - 1 (bucket 0 holds exactly the sub-microsecond observations). The
+// final bucket is unbounded and reports -1.
+func bucketUpperMicros(i int) int64 {
+	if i >= histBuckets-1 {
+		return -1
+	}
+	return (int64(1) << uint(i)) - 1
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Snapshots from
+// different histograms (or different moments) merge by field-wise addition.
+type HistogramSnapshot struct {
+	Count     uint64
+	SumMicros uint64
+	Buckets   [histBuckets]uint64
+}
+
+// Snapshot copies the current state. Buckets are read individually, so a
+// snapshot taken during concurrent observation is monotone-consistent per
+// bucket rather than a single atomic cut — fine for monitoring rollups.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.SumMicros = h.sumMicros.Load()
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Merge adds o into s field-wise.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	s.Count += o.Count
+	s.SumMicros += o.SumMicros
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) as a
+// duration: the upper bound of the bucket holding the nearest-rank
+// observation. Returns 0 on an empty snapshot; observations in the overflow
+// bucket report the last finite bound.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += s.Buckets[i]
+		if cum >= rank {
+			us := bucketUpperMicros(i)
+			if us < 0 {
+				us = bucketUpperMicros(histBuckets - 2)
+			}
+			return time.Duration(us) * time.Microsecond
+		}
+	}
+	return time.Duration(bucketUpperMicros(histBuckets-2)) * time.Microsecond
+}

@@ -1,0 +1,421 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryHandleIdentity(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("querc_test_total", "help", "class", "gold")
+	c2 := r.Counter("querc_test_total", "help", "class", "gold")
+	if c1 != c2 {
+		t.Fatal("same (name, labels) resolved to distinct counters")
+	}
+	c3 := r.Counter("querc_test_total", "help", "class", "silver")
+	if c1 == c3 {
+		t.Fatal("distinct label sets share a counter")
+	}
+	g := r.Gauge("querc_test_gauge", "help")
+	if g2 := r.Gauge("querc_test_gauge", "help"); g != g2 {
+		t.Fatal("same gauge series resolved to distinct handles")
+	}
+	h := r.Histogram("querc_test_latency", "help")
+	if h2 := r.Histogram("querc_test_latency", "help"); h != h2 {
+		t.Fatal("same histogram series resolved to distinct handles")
+	}
+}
+
+func TestRegistryKindCollision(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("querc_collide", "help")
+	c.Inc()
+	// Asking for the same name as a gauge must not corrupt the counter; the
+	// caller gets a live standalone instrument instead.
+	g := r.Gauge("querc_collide", "help")
+	g.Set(99)
+	if c.Load() != 1 {
+		t.Fatalf("counter corrupted by kind collision: %d", c.Load())
+	}
+}
+
+func TestNilRegistryHandsOutLiveInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	c.Inc()
+	if c.Load() != 1 {
+		t.Fatal("nil-registry counter not live")
+	}
+	g := r.Gauge("x", "")
+	g.Add(-2)
+	if g.Load() != -2 {
+		t.Fatal("nil-registry gauge not live")
+	}
+	h := r.Histogram("x", "")
+	h.Observe(time.Millisecond)
+	if h.Snapshot().Count != 1 {
+		t.Fatal("nil-registry histogram not live")
+	}
+	r.GaugeFunc("x", "", func() float64 { return 0 }) // must not panic
+	r.CounterFunc("x", "", func() float64 { return 0 })
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil-registry WriteProm: err=%v len=%d", err, buf.Len())
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := NewHistogram()
+	// 1µs → bits.Len64(1)=1; 100µs → 7; 1ms → 10; 100ms → 17.
+	h.Observe(time.Microsecond)
+	h.Observe(100 * time.Microsecond)
+	h.Observe(time.Millisecond)
+	h.Observe(100 * time.Millisecond)
+	h.Observe(-time.Second) // clamps to zero, bucket 0
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	for i, want := range map[int]uint64{0: 1, 1: 1, 7: 1, 10: 1, 17: 1} {
+		if s.Buckets[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, s.Buckets[i], want)
+		}
+	}
+	if q := s.Quantile(1.0); q < 100*time.Millisecond {
+		t.Errorf("p100 = %v, want >= 100ms", q)
+	}
+	if q := s.Quantile(0.5); q > time.Millisecond {
+		t.Errorf("p50 = %v, want <= 1ms (bucket upper bound)", q)
+	}
+
+	var merged HistogramSnapshot
+	merged.Merge(s)
+	merged.Merge(s)
+	if merged.Count != 10 || merged.SumMicros != 2*s.SumMicros {
+		t.Errorf("merge: count=%d sum=%d", merged.Count, merged.SumMicros)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(10 * time.Hour)
+	s := h.Snapshot()
+	if s.Buckets[histBuckets-1] != 1 {
+		t.Fatalf("10h observation not in overflow bucket: %+v", s.Buckets)
+	}
+	if s.Quantile(1.0) <= 0 {
+		t.Fatal("overflow quantile collapsed to zero")
+	}
+}
+
+func TestWritePromAndValidate(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("querc_demo_total", "A demo counter.", "plane", "sched").Add(3)
+	r.Counter("querc_demo_total", "A demo counter.", "plane", "core").Add(1)
+	r.Gauge("querc_demo_backlog", "A demo gauge.").Set(7)
+	r.Histogram("querc_demo_latency", "A demo histogram.", "class", `g"old`).Observe(time.Millisecond)
+	r.GaugeFunc("querc_demo_fn", "A func gauge.", func() float64 { return 1.5 })
+	r.CounterFunc("querc_demo_fn_total", "A func counter.", func() float64 { return 12 })
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE querc_demo_total counter",
+		`querc_demo_total{plane="sched"} 3`,
+		`querc_demo_total{plane="core"} 1`,
+		"# TYPE querc_demo_backlog gauge",
+		"querc_demo_backlog 7",
+		"# TYPE querc_demo_latency histogram",
+		`querc_demo_latency_count{class="g\"old"} 1`,
+		`le="+Inf"`,
+		"querc_demo_fn 1.5",
+		"querc_demo_fn_total 12",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per name even with several label sets.
+	if n := strings.Count(out, "# TYPE querc_demo_total counter"); n != 1 {
+		t.Errorf("TYPE line emitted %d times", n)
+	}
+	if err := ValidateProm(buf.Bytes()); err != nil {
+		t.Fatalf("self-produced exposition did not validate: %v", err)
+	}
+	// Deterministic output.
+	var buf2 bytes.Buffer
+	if err := r.WriteProm(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("exposition output not deterministic")
+	}
+}
+
+func TestValidatePromRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no samples":        "# TYPE a counter\n",
+		"undeclared sample": "querc_x 1\n",
+		"bad name":          "# TYPE 9bad counter\n9bad 1\n",
+		"bad value":         "# TYPE a counter\na one\n",
+		"unterminated":      "# TYPE a counter\na{x=\"y 1\n",
+	}
+	for name, payload := range cases {
+		if err := ValidateProm([]byte(payload)); err == nil {
+			t.Errorf("%s: validated but should not", name)
+		}
+	}
+}
+
+func TestTracerSamplingDeterministic(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 0.5, RingSize: 8})
+	first := tr.Begin("app", "SELECT a") != nil
+	for i := 0; i < 10; i++ {
+		if got := tr.Begin("app", "SELECT a") != nil; got != first {
+			t.Fatal("sampling decision not deterministic per query text")
+		}
+	}
+	if tr.Begin("app", "q") != nil && tr.threshold == 0 {
+		t.Fatal("zero threshold sampled")
+	}
+
+	all := NewTracer(TracerConfig{SampleRate: 1})
+	if all.Begin("app", "x") == nil {
+		t.Fatal("rate 1 did not sample")
+	}
+	none := NewTracer(TracerConfig{SampleRate: 0})
+	if none.Begin("app", "x") != nil {
+		t.Fatal("rate 0 sampled")
+	}
+	st := none.Stats()
+	if st.Begun != 1 || st.Sampled != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTraceLifecycleAndExactlyOnce(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1, RingSize: 8})
+	tc := tr.Begin("acct", "SELECT 1")
+	if tc == nil {
+		t.Fatal("not sampled at rate 1")
+	}
+	tc.MarkTokenize(time.Microsecond)
+	tc.MarkEmbed(2 * time.Microsecond)
+	tc.MarkLabel(3 * time.Microsecond)
+	tc.MarkCacheHit()
+	tc.MarkAdmit("gold", "gold")
+	tc.MarkAttempt("b1")
+	tc.MarkRetry()
+	tc.MarkAttempt("b2")
+	tc.MarkHedge()
+	if tc.Settled() {
+		t.Fatal("settled before Settle")
+	}
+	tc.Settle(OutcomeCompleted, nil)
+	if !tc.Settled() {
+		t.Fatal("not settled after Settle")
+	}
+	tc.Settle(OutcomeFailed, errors.New("again")) // must lose the race
+
+	st := tr.Stats()
+	if st.Completed != 1 || st.Failed != 0 {
+		t.Fatalf("settle counts: %+v", st)
+	}
+	if st.DoubleSettles != 1 {
+		t.Fatalf("double settles = %d, want 1", st.DoubleSettles)
+	}
+	recs := tr.Records(TraceQuery{})
+	if len(recs) != 1 {
+		t.Fatalf("ring holds %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Outcome != "completed" || rec.Backend != "b2" || rec.Class != "gold" ||
+		rec.Attempts != 2 || rec.Retries != 1 || !rec.Hedged || !rec.CacheHit {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.TokenizeNs != int64(time.Microsecond) || rec.EmbedNs != int64(2*time.Microsecond) {
+		t.Fatalf("span durations = %+v", rec)
+	}
+	if rec.TotalNs <= 0 || rec.SubmitUnixNano == 0 {
+		t.Fatalf("timestamps = %+v", rec)
+	}
+
+	// Nil traces absorb the whole lifecycle.
+	var nilT *Trace
+	nilT.MarkAdmit("a", "b")
+	nilT.MarkAttempt("x")
+	nilT.Settle(OutcomeCompleted, nil)
+	if !nilT.Settled() {
+		t.Fatal("nil trace reports unsettled")
+	}
+}
+
+func TestTracerRingQueries(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1, RingSize: 4})
+	settle := func(sql string, o Outcome, spin time.Duration) {
+		tc := tr.Begin("a", sql)
+		if spin > 0 {
+			time.Sleep(spin)
+		}
+		tc.Settle(o, nil)
+	}
+	settle("q1", OutcomeCompleted, 0)
+	settle("q2", OutcomeFailed, 0)
+	settle("q3", OutcomeCompleted, 3*time.Millisecond)
+	settle("q4", OutcomeShed, 0)
+	settle("q5", OutcomeCompleted, 0) // wraps, evicting q1
+
+	recent := tr.Records(TraceQuery{N: 2})
+	if len(recent) != 2 || recent[0].SQL != "q5" || recent[1].SQL != "q4" {
+		t.Fatalf("recent = %+v", recent)
+	}
+	slow := tr.Records(TraceQuery{N: 1, Sort: "slowest"})
+	if len(slow) != 1 || slow[0].SQL != "q3" {
+		t.Fatalf("slowest = %+v", slow)
+	}
+	failed := tr.Records(TraceQuery{Outcome: "failed"})
+	if len(failed) != 1 || failed[0].SQL != "q2" {
+		t.Fatalf("by-outcome = %+v", failed)
+	}
+	if got := tr.Records(TraceQuery{Outcome: "completed"}); len(got) != 2 {
+		t.Fatalf("wrap lost records: %d completed in ring, want 2 (q1 evicted)", len(got))
+	}
+}
+
+func TestTracerConcurrentSettle(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1, RingSize: 64})
+	var wg sync.WaitGroup
+	const n = 200
+	for i := 0; i < n; i++ {
+		tc := tr.Begin("a", "q")
+		wg.Add(2)
+		// Two goroutines race to settle the same trace; exactly one wins.
+		for k := 0; k < 2; k++ {
+			go func() {
+				defer wg.Done()
+				tc.Settle(OutcomeCompleted, nil)
+			}()
+		}
+	}
+	wg.Wait()
+	st := tr.Stats()
+	if st.Completed != n {
+		t.Fatalf("settled %d, want %d", st.Completed, n)
+	}
+	if st.DoubleSettles != n {
+		t.Fatalf("double settles %d, want %d", st.DoubleSettles, n)
+	}
+}
+
+func TestAuditorJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	a := NewAuditor(&buf)
+	a.Emit(&AuditEvent{
+		TimeUnixNano: 12345,
+		App:          "acct",
+		SQL:          `SELECT "x" FROM t`,
+		Outcome:      "completed",
+		Class:        "gold",
+		SLAClass:     "gold",
+		Backend:      "b1",
+		LatencyMS:    1.25,
+		Attempts:     2,
+		Hedged:       true,
+		Err:          "",
+	})
+	a.Emit(&AuditEvent{TimeUnixNano: 2, App: "acct", SQL: "q2", Outcome: "shed"})
+	a.Flush()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var ev1 map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev1); err != nil {
+		t.Fatalf("line 1 not JSON: %v\n%s", err, lines[0])
+	}
+	if ev1["app"] != "acct" || ev1["outcome"] != "completed" || ev1["backend"] != "b1" ||
+		ev1["attempts"] != float64(2) || ev1["hedged"] != true || ev1["latencyMS"] != 1.25 {
+		t.Fatalf("event 1 = %v", ev1)
+	}
+	var ev2 map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &ev2); err != nil {
+		t.Fatalf("line 2 not JSON: %v", err)
+	}
+	// Zero-valued optionals are omitted.
+	for _, absent := range []string{"class", "backend", "attempts", "hedged", "err"} {
+		if _, ok := ev2[absent]; ok {
+			t.Errorf("event 2 carries zero-valued field %q", absent)
+		}
+	}
+	if st := a.Stats(); st.Events != 2 || st.BytesOut == 0 || st.Errors != 0 {
+		t.Fatalf("auditor stats = %+v", st)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditorSizeTriggeredFlush(t *testing.T) {
+	var buf bytes.Buffer
+	a := NewAuditor(&buf)
+	big := strings.Repeat("x", 4096)
+	for i := 0; i < 16; i++ {
+		a.Emit(&AuditEvent{App: "a", SQL: big, Outcome: "completed"})
+	}
+	if buf.Len() == 0 {
+		t.Fatal("size threshold never flushed")
+	}
+	a.Flush()
+	if n := strings.Count(buf.String(), "\n"); n != 16 {
+		t.Fatalf("flushed %d lines, want 16", n)
+	}
+}
+
+func TestRegistryFastPathAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("querc_alloc_total", "")
+	g := r.Gauge("querc_alloc_gauge", "")
+	h := r.Histogram("querc_alloc_latency", "")
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(); c.Add(2) }); n != 0 {
+		t.Errorf("Counter ops allocate %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(1); g.Add(-1) }); n != 0 {
+		t.Errorf("Gauge ops allocate %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(time.Millisecond); h.ObserveMS(0.5) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f/op", n)
+	}
+}
+
+func TestUnsampledBeginAllocFree(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 0})
+	if n := testing.AllocsPerRun(1000, func() {
+		if tr.Begin("app", "SELECT * FROM t WHERE id = 42") != nil {
+			t.Fatal("sampled at rate 0")
+		}
+	}); n != 0 {
+		t.Errorf("unsampled Begin allocates %.1f/op", n)
+	}
+}
+
+func TestTraceMarksAllocFree(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1, RingSize: 4})
+	tc := tr.Begin("app", "q")
+	defer tc.Settle(OutcomeAnnotated, nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		tc.MarkTokenize(time.Microsecond)
+		tc.MarkEmbed(time.Microsecond)
+		tc.MarkRetry()
+	}); n != 0 {
+		t.Errorf("trace marks allocate %.1f/op", n)
+	}
+}

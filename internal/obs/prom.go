@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders every registered series in Prometheus text exposition
+// format (version 0.0.4): one # HELP / # TYPE pair per metric name, series
+// sorted by (name, labels) so output is deterministic. Histograms render as
+// the conventional _bucket/_sum/_count triple with cumulative le bounds in
+// seconds. Safe on a nil registry (writes nothing).
+func (r *Registry) WriteProm(w io.Writer) error {
+	all := r.snapshotSeries()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].name != all[j].name {
+			return all[i].name < all[j].name
+		}
+		return all[i].labels < all[j].labels
+	})
+	bw := bufio.NewWriter(w)
+	prevName := ""
+	for _, s := range all {
+		if s.name != prevName {
+			prevName = s.name
+			if s.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", s.name, strings.ReplaceAll(s.help, "\n", " "))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", s.name, s.kind.promType())
+		}
+		switch s.kind {
+		case kindCounter:
+			writeSample(bw, s.name, s.labels, "", float64(s.c.Load()))
+		case kindGauge:
+			writeSample(bw, s.name, s.labels, "", float64(s.g.Load()))
+		case kindCounterFunc, kindGaugeFunc:
+			writeSample(bw, s.name, s.labels, "", s.fn())
+		case kindHistogram:
+			writeHistogram(bw, s)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// promType maps a series kind to its exposition TYPE keyword.
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// writeSample emits one `name{labels} value` line; extraLabel (already
+// rendered, e.g. `le="0.001"`) is appended to the label set when non-empty.
+func writeSample(w io.Writer, name, labels, extraLabel string, v float64) {
+	sep := ""
+	if labels != "" && extraLabel != "" {
+		sep = ","
+	}
+	if labels == "" && extraLabel == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatPromValue(v))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s%s%s} %s\n", name, labels, sep, extraLabel, formatPromValue(v))
+}
+
+// formatPromValue renders a float sample the way Prometheus clients do:
+// integral values without an exponent, everything else in shortest form.
+func formatPromValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeHistogram emits the cumulative _bucket series plus _sum and _count.
+// Bucket bounds are converted from microseconds to seconds (the exposition
+// convention for latency histograms).
+func writeHistogram(w io.Writer, s *series) {
+	snap := s.h.Snapshot()
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += snap.Buckets[i]
+		le := "+Inf"
+		if us := bucketUpperMicros(i); us >= 0 {
+			le = strconv.FormatFloat(float64(us)/1e6, 'g', -1, 64)
+		}
+		writeSample(w, s.name+"_bucket", s.labels, `le="`+le+`"`, float64(cum))
+	}
+	writeSample(w, s.name+"_sum", s.labels, "", float64(snap.SumMicros)/1e6)
+	writeSample(w, s.name+"_count", s.labels, "", float64(snap.Count))
+}
+
+// ValidateProm parses a text-exposition payload and returns an error on the
+// first malformed line: a sample line must be `name value` or
+// `name{k="v",...} value` with a parseable float value, and every sampled
+// metric must have been declared by a preceding # TYPE line (histogram
+// samples match their parent declaration via the _bucket/_sum/_count
+// suffixes). It is the checker behind the CI /metrics smoke.
+func ValidateProm(data []byte) error {
+	typed := map[string]string{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	samples := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && (fields[1] == "TYPE" || fields[1] == "HELP") {
+				if !validMetricName(fields[2]) {
+					return fmt.Errorf("line %d: invalid metric name %q", lineNo, fields[2])
+				}
+				if fields[1] == "TYPE" {
+					if len(fields) < 4 {
+						return fmt.Errorf("line %d: TYPE line missing a type", lineNo)
+					}
+					typed[fields[2]] = fields[3]
+				}
+				continue
+			}
+			return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+		}
+		name, rest := line, ""
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name, rest = line[:i], line[i:]
+		}
+		if !validMetricName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := typed[name]; !ok {
+			if _, ok := typed[base]; !ok {
+				return fmt.Errorf("line %d: sample %q precedes its # TYPE declaration", lineNo, name)
+			}
+		}
+		if strings.HasPrefix(rest, "{") {
+			end := strings.LastIndex(rest, "}")
+			if end < 0 {
+				return fmt.Errorf("line %d: unterminated label set", lineNo)
+			}
+			if err := validateLabels(rest[1:end]); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			rest = rest[end+1:]
+		}
+		value := strings.TrimSpace(rest)
+		if _, err := strconv.ParseFloat(value, 64); err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+			return fmt.Errorf("line %d: unparseable sample value %q", lineNo, value)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("exposition contains no samples")
+	}
+	return nil
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		alpha := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validateLabels checks a rendered label body `k1="v1",k2="v2"`, tolerating
+// escaped quotes and backslashes inside values.
+func validateLabels(body string) error {
+	i := 0
+	for i < len(body) {
+		start := i
+		for i < len(body) && body[i] != '=' {
+			i++
+		}
+		if i == len(body) || !validMetricName(body[start:i]) {
+			return fmt.Errorf("malformed label name in %q", body)
+		}
+		i++ // '='
+		if i >= len(body) || body[i] != '"' {
+			return fmt.Errorf("label value not quoted in %q", body)
+		}
+		i++
+		for i < len(body) && body[i] != '"' {
+			if body[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(body) {
+			return fmt.Errorf("unterminated label value in %q", body)
+		}
+		i++ // closing quote
+		if i < len(body) {
+			if body[i] != ',' {
+				return fmt.Errorf("expected ',' between labels in %q", body)
+			}
+			i++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+// Package obs is Querc's observability plane: a sharded metrics registry of
+// allocation-free counters, gauges and log-bucketed latency histograms that
+// every plane (embedding, drift, scheduling, failure) records into; per-query
+// lifecycle traces (Trace/Tracer) carried submit→annotate→admit→dispatch→
+// settle with deterministic hash-based sampling and a bounded in-memory ring;
+// and a structured JSON-lines audit stream (Auditor) emitting one event per
+// terminally-settled query.
+//
+// The registry is the aggregation substrate: components hold *Counter /
+// *Gauge / *Histogram handles resolved once at construction time, so the hot
+// path is a single atomic add with no map lookups and no allocation. A nil
+// *Registry is valid everywhere and hands out live but unregistered
+// instruments, so library code threads an optional registry without
+// branching. Exposition is Prometheus text format (WriteProm).
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is ready to
+// use; handles from Registry.Counter are shared per (name, labels) series.
+type Counter struct{ v atomic.Uint64 }
+
+// NewCounter returns a standalone (unregistered) counter.
+func NewCounter() *Counter { return new(Counter) }
+
+// Inc adds one.
+//
+//querc:hotpath
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+//
+//querc:hotpath
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+//
+//querc:hotpath
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value (queue depths, in-flight counts).
+// The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// NewGauge returns a standalone (unregistered) gauge.
+func NewGauge() *Gauge { return new(Gauge) }
+
+// Set stores n.
+//
+//querc:hotpath
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds delta (negative to decrement).
+//
+//querc:hotpath
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+//
+//querc:hotpath
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// metricKind discriminates the exposition TYPE of a series.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc // read-only view over an external monotone value
+	kindGaugeFunc   // read-only view over an external instantaneous value
+)
+
+// series is one registered time series: a metric name, a rendered label set,
+// and exactly one instrument.
+type series struct {
+	name   string // bare metric name, e.g. "querc_sched_submitted_total"
+	labels string // rendered label pairs, e.g. `class="gold"`, or ""
+	help   string
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64
+}
+
+// key returns the identity of the series inside the registry.
+func (s *series) key() string {
+	if s.labels == "" {
+		return s.name
+	}
+	return s.name + "{" + s.labels + "}"
+}
+
+// regShards bounds lock contention on concurrent get-or-create; resolution
+// happens at component construction time, so the count stays modest.
+const regShards = 16
+
+// Registry is a sharded, concurrency-safe set of named metric series. All
+// methods are valid on a nil *Registry: instrument getters return live,
+// unregistered instruments and registration is a no-op, so components accept
+// an optional registry without nil checks at every record site.
+type Registry struct {
+	shards [regShards]regShard
+}
+
+type regShard struct {
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	for i := range r.shards {
+		r.shards[i].series = make(map[string]*series)
+	}
+	return r
+}
+
+// renderLabels joins alternating key,value pairs into `k1="v1",k2="v2"`.
+// A trailing odd key is ignored.
+func renderLabels(labels []string) string {
+	if len(labels) < 2 {
+		return ""
+	}
+	out := make([]byte, 0, 32)
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, labels[i]...)
+		out = append(out, '=', '"')
+		out = appendEscaped(out, labels[i+1])
+		out = append(out, '"')
+	}
+	return string(out)
+}
+
+// appendEscaped appends s with Prometheus label-value escapes applied
+// (backslash, double quote, newline).
+func appendEscaped(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\', '"':
+			dst = append(dst, '\\', c)
+		case '\n':
+			dst = append(dst, '\\', 'n')
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// shardFor picks the shard owning a series key (FNV-1a).
+func (r *Registry) shardFor(key string) *regShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	return &r.shards[h%regShards]
+}
+
+// getOrCreate resolves the series for (name, labels), creating it with mk on
+// first use. When an existing series has a different kind (a name collision
+// across instrument types) it returns nil and the caller hands out a
+// standalone instrument instead of corrupting the registered one.
+func (r *Registry) getOrCreate(name, help string, kind metricKind, labels []string, mk func(*series)) *series {
+	s := &series{name: name, labels: renderLabels(labels), help: help, kind: kind}
+	key := s.key()
+	sh := r.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if prev, ok := sh.series[key]; ok {
+		if prev.kind != kind {
+			return nil
+		}
+		return prev
+	}
+	mk(s)
+	sh.series[key] = s
+	return s
+}
+
+// Counter returns the counter registered under (name, labels), creating it on
+// first use. labels are alternating key,value pairs. On a nil registry (or a
+// kind collision) it returns a live standalone counter.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return NewCounter()
+	}
+	s := r.getOrCreate(name, help, kindCounter, labels, func(s *series) { s.c = NewCounter() })
+	if s == nil {
+		return NewCounter()
+	}
+	return s.c
+}
+
+// Gauge returns the gauge registered under (name, labels), creating it on
+// first use. On a nil registry (or a kind collision) it returns a live
+// standalone gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return NewGauge()
+	}
+	s := r.getOrCreate(name, help, kindGauge, labels, func(s *series) { s.g = NewGauge() })
+	if s == nil {
+		return NewGauge()
+	}
+	return s.g
+}
+
+// Histogram returns the log-bucketed latency histogram registered under
+// (name, labels), creating it on first use. On a nil registry (or a kind
+// collision) it returns a live standalone histogram.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	if r == nil {
+		return NewHistogram()
+	}
+	s := r.getOrCreate(name, help, kindHistogram, labels, func(s *series) { s.h = NewHistogram() })
+	if s == nil {
+		return NewHistogram()
+	}
+	return s.h
+}
+
+// CounterFunc registers a read-only counter series whose value is fetched
+// from fn at exposition time — the adoption path for components that already
+// keep their own monotone count under a lock. fn must be safe to call from
+// any goroutine. No-op on a nil registry or on a key collision.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.getOrCreate(name, help, kindCounterFunc, labels, func(s *series) { s.fn = fn })
+}
+
+// GaugeFunc registers a read-only gauge series whose value is fetched from fn
+// at exposition time (queue depths and other values owned by another lock).
+// fn must be safe to call from any goroutine. No-op on a nil registry or on a
+// key collision.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.getOrCreate(name, help, kindGaugeFunc, labels, func(s *series) { s.fn = fn })
+}
+
+// snapshotSeries collects every registered series. The slice is freshly
+// allocated; entries point at the live instruments.
+func (r *Registry) snapshotSeries() []*series {
+	if r == nil {
+		return nil
+	}
+	var out []*series
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.series {
+			out = append(out, s)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

@@ -10,7 +10,30 @@ import (
 	"time"
 
 	"querc/internal/core"
+	"querc/internal/obs"
 )
+
+// countingAuditSink tallies audit events by outcome tag; Emit must be safe
+// for the dispatcher's worker goroutines and Enqueue callers concurrently.
+type countingAuditSink struct {
+	mu sync.Mutex
+	by map[string]uint64
+}
+
+func (s *countingAuditSink) Emit(ev *obs.AuditEvent) {
+	s.mu.Lock()
+	if s.by == nil {
+		s.by = map[string]uint64{}
+	}
+	s.by[ev.Outcome]++
+	s.mu.Unlock()
+}
+
+func (s *countingAuditSink) count(outcome string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.by[outcome]
+}
 
 // TestConservationInvariant is the dispatcher's ledger check: every Enqueue
 // outcome is counted exactly once, and after Close+Drain the books balance —
@@ -160,6 +183,12 @@ func TestConservationInvariant(t *testing.T) {
 				delivered[task.Query.SQL]++
 				mu.Unlock()
 			}
+			// The observability plane keeps its own books: a tracer sampling
+			// every query and an audit sink counting terminal events, both
+			// checked against the dispatcher's ledger below.
+			tracer := obs.NewTracer(obs.TracerConfig{SampleRate: 1, RingSize: 4096})
+			audit := &countingAuditSink{}
+			tc.cfg.Audit = audit
 			d, err := New(tc.cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -176,6 +205,7 @@ func TestConservationInvariant(t *testing.T) {
 					rng := rand.New(rand.NewSource(int64(1000 + p)))
 					for i := 0; i < perProducer; i++ {
 						q := &core.LabeledQuery{SQL: fmt.Sprintf("q-%d-%d", p, i)}
+						q.SetTrace(tracer.Begin("app", q.SQL))
 						if c := classes[rng.Intn(len(classes))]; c != "" {
 							q.SetLabel("resource", c)
 							q.SetLabel("sla", c)
@@ -271,6 +301,47 @@ func TestConservationInvariant(t *testing.T) {
 			if uint64(len(delivered)) != st.Completed+st.Failed+st.Evicted {
 				t.Errorf("%d distinct tasks delivered, want %d",
 					len(delivered), st.Completed+st.Failed+st.Evicted)
+			}
+			// Trace ledger: exactly one settled trace per produced query,
+			// and the per-outcome settle counts mirror the dispatcher's
+			// books — even when a hedge clone and the original race, or a
+			// retry is in backoff at Close (clones never carry the trace).
+			ts := tracer.Stats()
+			produced := accepted.Load() + rejected.Load() + refused.Load()
+			if ts.Begun != produced || ts.Sampled != produced {
+				t.Errorf("tracer begun=%d sampled=%d, produced %d queries",
+					ts.Begun, ts.Sampled, produced)
+			}
+			if ts.DoubleSettles != 0 {
+				t.Errorf("tracer saw %d double settles", ts.DoubleSettles)
+			}
+			if ts.Settled() != ts.Sampled {
+				t.Errorf("settled %d traces, sampled %d", ts.Settled(), ts.Sampled)
+			}
+			traceBooks := []struct {
+				outcome string
+				settled uint64
+				ledger  uint64
+			}{
+				{"completed", ts.Completed, st.Completed},
+				{"failed", ts.Failed, st.Failed},
+				{"rejected", ts.Rejected, st.Rejected},
+				{"shed", ts.Shed, st.Shed},
+				{"evicted", ts.Evicted, st.Evicted},
+				{"annotated", ts.Annotated, 0},
+			}
+			for _, b := range traceBooks {
+				if b.settled != b.ledger {
+					t.Errorf("tracer settled %d %s traces, dispatcher counted %d",
+						b.settled, b.outcome, b.ledger)
+				}
+				// Audit stream: one structured event per terminal outcome.
+				if b.outcome != "annotated" {
+					if got := audit.count(b.outcome); got != b.ledger {
+						t.Errorf("audit emitted %d %s events, dispatcher counted %d",
+							got, b.outcome, b.ledger)
+					}
+				}
 			}
 			if tc.name == "backpressure-fifo" && failCount.Load() == 0 {
 				t.Error("failure injection never fired; the invariant was not exercised on the error path")

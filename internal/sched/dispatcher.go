@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"querc/internal/core"
+	"querc/internal/obs"
 )
 
 // Admission errors.
@@ -99,6 +100,14 @@ type Config struct {
 	// Callers holding per-task resources — a client waiting on the query,
 	// say — release them here; evicted tasks never reach OnDone.
 	OnEvict func(*Task)
+	// Metrics, when set, is the observability-plane registry the dispatcher
+	// publishes its counters on (querc_sched_*). nil still counts — every
+	// instrument degrades to a standalone atomic — it just isn't scraped.
+	Metrics *obs.Registry
+	// Audit, when set, receives one structured event per query that reaches
+	// a terminal outcome (completed, failed, rejected, shed, evicted).
+	// Emit runs outside the dispatcher lock.
+	Audit obs.AuditSink
 }
 
 // backend is the runtime state of one configured Backend.
@@ -108,11 +117,11 @@ type backend struct {
 	memoryMB   float64 // working-set budget (<= 0 unbounded)
 	exec       Executor
 	busy       int
-	memUsed    float64 // aggregate predicted MemMB of running tasks
-	actualUsed float64 // aggregate ActualMemMB of running tasks
-	oomEvents  uint64  // dispatches that pushed actualUsed past memoryMB
-	completed  uint64
-	failed     uint64 // tasks that failed terminally on this backend
+	memUsed    float64      // aggregate predicted MemMB of running tasks
+	actualUsed float64      // aggregate ActualMemMB of running tasks
+	oomEvents  *obs.Counter // dispatches that pushed actualUsed past memoryMB
+	completed  *obs.Counter
+	failed     *obs.Counter // tasks that failed terminally on this backend
 	br         *breaker
 }
 
@@ -128,19 +137,39 @@ type classQueue struct {
 // p50/p99 snapshot metrics.
 const slaLatencyWindow = 4096
 
-// slaStats accumulates one SLA class's accounting.
+// slaStats accumulates one SLA class's accounting. The counters are
+// observability-plane instruments (registered as querc_sched_class_* when the
+// dispatcher has a registry); writers increment them under the dispatcher
+// lock, but snapshot readers may load them without it.
 type slaStats struct {
-	admitted      uint64 // tasks admitted into the class (the retry-budget base)
-	completed     uint64
-	failed        uint64 // tasks that failed terminally
-	retries       uint64 // re-dispatches consumed by the class
-	violations    uint64
-	dropped       uint64 // shed under overload (evicted from the queue or refused at admission)
-	oomViolations uint64 // dispatches of this class that pushed a backend's actual memory past its budget
+	admitted      *obs.Counter // tasks admitted into the class (the retry-budget base)
+	completed     *obs.Counter
+	failed        *obs.Counter // tasks that failed terminally
+	retries       *obs.Counter // re-dispatches consumed by the class
+	violations    *obs.Counter
+	dropped       *obs.Counter // shed under overload (evicted from the queue or refused at admission)
+	oomViolations *obs.Counter // dispatches of this class that pushed a backend's actual memory past its budget
+	hist          *obs.Histogram
 	penaltyMS     float64
 	lat           []float64 // ring of recent latencies (ms)
 	latN          int       // valid entries
 	latIdx        int       // next write position
+}
+
+// newSLAStats builds one class's accounting bucket with its registry series.
+//
+//querc:allow-alloc per-class series are created at most maxTrackedClasses times over the dispatcher's life
+func newSLAStats(r *obs.Registry, class string) *slaStats {
+	return &slaStats{
+		admitted:      r.Counter("querc_sched_class_admitted_total", "Tasks admitted per SLA class.", "class", class),
+		completed:     r.Counter("querc_sched_class_completed_total", "Tasks completed per SLA class.", "class", class),
+		failed:        r.Counter("querc_sched_class_failed_total", "Tasks failed terminally per SLA class.", "class", class),
+		retries:       r.Counter("querc_sched_class_retries_total", "Re-dispatches consumed per SLA class.", "class", class),
+		violations:    r.Counter("querc_sched_class_violations_total", "SLA deadline violations per class.", "class", class),
+		dropped:       r.Counter("querc_sched_class_dropped_total", "Tasks shed under overload per SLA class.", "class", class),
+		oomViolations: r.Counter("querc_sched_class_oom_violations_total", "Memory-budget overruns per SLA class.", "class", class),
+		hist:          r.Histogram("querc_sched_class_latency_seconds", "Submit-to-finish latency per SLA class.", "class", class),
+	}
 }
 
 func (s *slaStats) record(latMS float64) {
@@ -203,27 +232,37 @@ type Dispatcher struct {
 	seq      uint64
 	backlog  int
 	inflight int
+	// Terminal deliveries (audit event + OnDone) still running after the
+	// counters dropped: Drain waits for these too, so the audit stream and
+	// OnDone tallies are complete when it returns.
+	termPending int
 
 	retryRNG       *rand.Rand               // jitter source, guarded by mu
 	retryTimers    map[*retryEntry]struct{} // parked retries; membership decides the timer-vs-Close race
 	hedgeTimers    map[*hedgeEntry]struct{} // armed hedges; membership decides the timer-vs-finish race
 	pendingRetries int                      // retries parked in a backoff (neither backlog nor inflight)
 
-	submitted        uint64
-	completed        uint64
-	failed           uint64 // tasks that failed terminally (error after retries exhausted)
-	rejected         uint64
-	shedCount        uint64 // incoming tasks refused by shedding (never counted in submitted)
-	evicted          uint64 // queued tasks evicted by shedding (counted in submitted, never completed)
-	stolen           uint64
-	memWaits         uint64 // class scans skipped because no queued task fit the remaining memory budget
-	oomViolations    uint64 // dispatches that pushed a backend's actual memory past its budget
-	retries          uint64 // re-dispatches after retriable failures
-	retryStarved     uint64 // retriable failures denied by an exhausted class budget
-	hedges           uint64 // hedge clones queued
-	hedgeWins        uint64 // queries whose hedge clone delivered the result
-	hedgeWaste       uint64 // attempts discarded because a racing sibling finished first
-	deadlineExceeded uint64 // attempts that failed past their execution deadline
+	// Plane counters live on observability-plane instruments (registered as
+	// querc_sched_* when Config.Metrics is set): writers stay under d.mu —
+	// which keeps seeded runs deterministic — while stats polls and registry
+	// scrapes load them without racing the writers.
+	metrics          *obs.Registry
+	audit            obs.AuditSink
+	submitted        *obs.Counter
+	completed        *obs.Counter
+	failed           *obs.Counter // tasks that failed terminally (error after retries exhausted)
+	rejected         *obs.Counter
+	shedCount        *obs.Counter // incoming tasks refused by shedding (never counted in submitted)
+	evicted          *obs.Counter // queued tasks evicted by shedding (counted in submitted, never completed)
+	stolen           *obs.Counter
+	memWaits         *obs.Counter // class scans skipped because no queued task fit the remaining memory budget
+	oomViolations    *obs.Counter // dispatches that pushed a backend's actual memory past its budget
+	retries          *obs.Counter // re-dispatches after retriable failures
+	retryStarved     *obs.Counter // retriable failures denied by an exhausted class budget
+	hedges           *obs.Counter // hedge clones queued
+	hedgeWins        *obs.Counter // queries whose hedge clone delivered the result
+	hedgeWaste       *obs.Counter // attempts discarded because a racing sibling finished first
+	deadlineExceeded *obs.Counter // attempts that failed past their execution deadline
 	perSLA           map[string]*slaStats
 
 	wg sync.WaitGroup
@@ -235,6 +274,7 @@ func New(cfg Config) (*Dispatcher, error) {
 	if len(cfg.Backends) == 0 {
 		return nil, fmt.Errorf("sched: at least one backend required")
 	}
+	r := cfg.Metrics // nil-safe: instruments degrade to standalone atomics
 	d := &Dispatcher{
 		policy:       cfg.Policy,
 		queueCap:     cfg.QueueCap,
@@ -252,7 +292,31 @@ func New(cfg Config) (*Dispatcher, error) {
 		perSLA:       make(map[string]*slaStats),
 		retryTimers:  make(map[*retryEntry]struct{}),
 		hedgeTimers:  make(map[*hedgeEntry]struct{}),
+
+		metrics:          r,
+		audit:            cfg.Audit,
+		submitted:        r.Counter("querc_sched_submitted_total", "Queries admitted into the scheduling plane."),
+		completed:        r.Counter("querc_sched_completed_total", "Queries that completed successfully."),
+		failed:           r.Counter("querc_sched_failed_total", "Queries whose terminal outcome was an error."),
+		rejected:         r.Counter("querc_sched_rejected_total", "Enqueue calls backpressured by a full queue."),
+		shedCount:        r.Counter("querc_sched_shed_total", "Incoming tasks refused by load shedding."),
+		evicted:          r.Counter("querc_sched_evicted_total", "Queued tasks evicted by load shedding."),
+		stolen:           r.Counter("querc_sched_stolen_total", "Dispatches that ignored backend affinity."),
+		memWaits:         r.Counter("querc_sched_mem_waits_total", "Class scans skipped because no queued task fit the memory budget."),
+		oomViolations:    r.Counter("querc_sched_oom_violations_total", "Dispatches that pushed a backend past its memory budget."),
+		retries:          r.Counter("querc_sched_retries_total", "Re-dispatches after retriable failures."),
+		retryStarved:     r.Counter("querc_sched_retry_starved_total", "Retriable failures denied by an exhausted class budget."),
+		hedges:           r.Counter("querc_sched_hedges_total", "Hedge clones queued."),
+		hedgeWins:        r.Counter("querc_sched_hedge_wins_total", "Queries whose hedge clone delivered the result."),
+		hedgeWaste:       r.Counter("querc_sched_hedge_waste_total", "Attempts discarded because a racing sibling finished first."),
+		deadlineExceeded: r.Counter("querc_sched_deadline_exceeded_total", "Attempts that failed past their execution deadline."),
 	}
+	r.GaugeFunc("querc_sched_backlog", "Tasks queued across all classes.",
+		func() float64 { d.mu.Lock(); defer d.mu.Unlock(); return float64(d.backlog) })
+	r.GaugeFunc("querc_sched_inflight", "Tasks currently executing.",
+		func() float64 { d.mu.Lock(); defer d.mu.Unlock(); return float64(d.inflight) })
+	r.GaugeFunc("querc_sched_pending_retries", "Retries currently parked in a backoff.",
+		func() float64 { d.mu.Lock(); defer d.mu.Unlock(); return float64(d.pendingRetries) })
 	if cfg.Deadline > 0 {
 		d.deadline = cfg.Deadline
 	}
@@ -310,7 +374,12 @@ func New(cfg Config) (*Dispatcher, error) {
 		if slots <= 0 {
 			slots = 1
 		}
-		bk := &backend{name: b.Name, slots: slots, memoryMB: b.MemoryMB, exec: b.Exec}
+		bk := &backend{
+			name: b.Name, slots: slots, memoryMB: b.MemoryMB, exec: b.Exec,
+			completed: r.Counter("querc_sched_backend_completed_total", "Tasks completed per backend.", "backend", b.Name),
+			failed:    r.Counter("querc_sched_backend_failed_total", "Tasks failed terminally per backend.", "backend", b.Name),
+			oomEvents: r.Counter("querc_sched_backend_oom_events_total", "Memory-budget overruns per backend.", "backend", b.Name),
+		}
 		if d.breakerCfg != nil {
 			bk.br = &breaker{cfg: d.breakerCfg}
 		}
@@ -339,6 +408,7 @@ func (d *Dispatcher) Policy() Policy { return d.policy }
 //querc:hotpath
 func (d *Dispatcher) Enqueue(q *core.LabeledQuery) error {
 	now := time.Now()
+	tr := q.Trace() // nil for unsampled queries; every mark/settle is nil-safe
 	class, aff := d.policy.Admit(q)
 	t := &Task{
 		Query:     q,
@@ -383,14 +453,18 @@ func (d *Dispatcher) Enqueue(q *core.LabeledQuery) error {
 		// Open breakers shrink the healthy pool; under that saturation a
 		// full backlog degrades to shed-lowest-class even without Shed.
 		if !d.shed && !d.breakerDegradeLocked() {
-			d.rejected++
+			d.rejected.Inc()
 			d.mu.Unlock()
+			tr.Settle(obs.OutcomeRejected, ErrQueueFull)
+			d.auditTask(t, obs.OutcomeRejected, ErrQueueFull)
 			return ErrQueueFull
 		}
 		if victim = d.shedForLocked(t); victim == nil {
-			d.shedCount++
-			d.slaStatsLocked(t.SLAClass).dropped++
+			d.shedCount.Inc()
+			d.slaStatsLocked(t.SLAClass).dropped.Inc()
 			d.mu.Unlock()
+			tr.Settle(obs.OutcomeShed, ErrShed)
+			d.auditTask(t, obs.OutcomeShed, ErrShed)
 			return ErrShed
 		}
 		if vst := victim.state; vst != nil && (vst.done || vst.outstanding > 1) {
@@ -398,31 +472,66 @@ func (d *Dispatcher) Enqueue(q *core.LabeledQuery) error {
 			// already (done) or still carries the query (outstanding > 1), so
 			// the queue slot is freed but nothing is evicted.
 			vst.outstanding--
-			d.hedgeWaste++
+			d.hedgeWaste.Inc()
 			victim = nil
 		} else {
 			if vst := victim.state; vst != nil {
 				vst.outstanding--
 				d.retireStateLocked(vst)
 			}
-			d.evicted++
-			d.slaStatsLocked(victim.SLAClass).dropped++
+			d.evicted.Inc()
+			d.slaStatsLocked(victim.SLAClass).dropped.Inc()
 		}
 	}
 	d.pushLocked(t)
 	d.backlog++
-	d.submitted++
-	d.slaStatsLocked(t.SLAClass).admitted++
+	d.submitted.Inc()
+	d.slaStatsLocked(t.SLAClass).admitted.Inc()
+	tr.MarkAdmit(t.Class, t.SLAClass)
 	if d.waiting > 0 {
 		d.cond.Broadcast()
 	}
 	onEvict := d.onEvict
 	d.mu.Unlock()
-	if victim != nil && onEvict != nil {
+	if victim != nil {
 		victim.Err = ErrShed
-		onEvict(victim)
+		victim.Query.Trace().Settle(obs.OutcomeEvicted, ErrShed)
+		d.auditTask(victim, obs.OutcomeEvicted, ErrShed)
+		if onEvict != nil {
+			onEvict(victim)
+		}
 	}
 	return nil
+}
+
+// auditTask emits one terminal audit event for t on the configured sink.
+// Called outside the dispatcher lock; the event is stack-built and the sink
+// contract forbids retaining it.
+func (d *Dispatcher) auditTask(t *Task, o obs.Outcome, err error) {
+	if d.audit == nil {
+		return
+	}
+	now := time.Now()
+	ev := obs.AuditEvent{
+		TimeUnixNano: now.UnixNano(),
+		App:          t.Query.App,
+		SQL:          t.Query.SQL,
+		Outcome:      o.String(),
+		Class:        t.Class,
+		SLAClass:     t.SLAClass,
+		Backend:      t.RanOn,
+		Attempts:     t.Attempt,
+		Hedged:       t.state != nil && t.state.hedged,
+	}
+	if !t.Finished.IsZero() {
+		ev.LatencyMS = float64(t.Latency()) / float64(time.Millisecond)
+	} else {
+		ev.LatencyMS = float64(now.Sub(t.Submitted)) / float64(time.Millisecond)
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	d.audit.Emit(&ev)
 }
 
 // breakerDegradeLocked reports whether any backend's breaker currently
@@ -622,11 +731,11 @@ func (d *Dispatcher) pickLocked(b *backend) *Task {
 			if best == nil {
 				if gate {
 					// Queued work, but none of it fits the remaining budget.
-					d.memWaits++
+					d.memWaits.Inc()
 				}
 				continue
 			}
-			d.stolen++
+			d.stolen.Inc()
 		}
 		return d.removeLocked(q, bestAff, bestIdx)
 	}
@@ -682,7 +791,7 @@ func (d *Dispatcher) slaStatsLocked(class string) *slaStats {
 		}
 		class = overflowClass
 	}
-	st := &slaStats{}
+	st := newSLAStats(d.metrics, class)
 	d.perSLA[class] = st
 	return st
 }
@@ -711,7 +820,7 @@ func (d *Dispatcher) worker(b *backend) {
 			// A racing sibling delivered the outcome while this attempt sat
 			// queued: retire it without executing.
 			st.outstanding--
-			d.hedgeWaste++
+			d.hedgeWaste.Inc()
 			if d.waiting > 0 {
 				d.cond.Broadcast()
 			}
@@ -727,11 +836,12 @@ func (d *Dispatcher) worker(b *backend) {
 			// memory-blind admission this is the OOM the plane exists to
 			// prevent; with memory-aware admission it quantifies prediction
 			// error. Either way it is an accounted violation, never a stall.
-			b.oomEvents++
-			d.oomViolations++
-			d.slaStatsLocked(t.SLAClass).oomViolations++
+			b.oomEvents.Inc()
+			d.oomViolations.Inc()
+			d.slaStatsLocked(t.SLAClass).oomViolations.Inc()
 		}
 		t.Attempt++
+		t.Query.Trace().MarkAttempt(b.name)
 		probe := false
 		if b.br != nil && b.br.state == stateHalfOpen {
 			b.br.probing++
@@ -813,7 +923,7 @@ func (d *Dispatcher) fireHedge(he *hedgeEntry) {
 		st.hedge = nil
 	}
 	if d.closed || st.done ||
-		float64(d.hedges+1) > d.hedge.Budget*float64(d.submitted)+float64(d.hedge.BudgetFloor) {
+		float64(d.hedges.Load()+1) > d.hedge.Budget*float64(d.submitted.Load())+float64(d.hedge.BudgetFloor) {
 		d.mu.Unlock()
 		return
 	}
@@ -835,7 +945,8 @@ func (d *Dispatcher) fireHedge(he *hedgeEntry) {
 	}
 	d.seq++
 	st.outstanding++
-	d.hedges++
+	d.hedges.Inc()
+	t.Query.Trace().MarkHedge()
 	// Hedges bypass QueueCap — they are bounded by the hedge budget.
 	d.pushLocked(clone)
 	d.backlog++
@@ -866,7 +977,7 @@ func (d *Dispatcher) completeAttempt(t *Task, b *backend, err error, finished ti
 	if st != nil && st.done {
 		// A racing sibling already delivered: this attempt's outcome is void.
 		st.outstanding--
-		d.hedgeWaste++
+		d.hedgeWaste.Inc()
 		if d.waiting > 0 {
 			d.cond.Broadcast()
 		}
@@ -883,14 +994,15 @@ func (d *Dispatcher) completeAttempt(t *Task, b *backend, err error, finished ti
 	}
 	expired := !t.ExecDeadline.IsZero() && !finished.Before(t.ExecDeadline)
 	if expired {
-		d.deadlineExceeded++
+		d.deadlineExceeded.Inc()
 	}
 	if st != nil && d.retry != nil && !expired && !isPermanent(err) && st.retries < d.retry.MaxRetries {
 		cs := d.slaStatsLocked(t.SLAClass)
-		if float64(cs.retries+1) <= d.retry.Budget*float64(cs.admitted)+float64(d.retry.BudgetFloor) {
+		if float64(cs.retries.Load()+1) <= d.retry.Budget*float64(cs.admitted.Load())+float64(d.retry.BudgetFloor) {
 			st.retries++
-			cs.retries++
-			d.retries++
+			cs.retries.Inc()
+			d.retries.Inc()
+			t.Query.Trace().MarkRetry()
 			t.avoid = b.name
 			t.Err = nil
 			d.scheduleRetryLocked(t, d.backoffLocked(st.retries))
@@ -900,7 +1012,7 @@ func (d *Dispatcher) completeAttempt(t *Task, b *backend, err error, finished ti
 			d.mu.Unlock()
 			return
 		}
-		d.retryStarved++
+		d.retryStarved.Inc()
 	}
 	if st != nil {
 		st.outstanding--
@@ -926,31 +1038,52 @@ func (d *Dispatcher) finishLocked(t *Task, b *backend, err error) {
 		d.retireStateLocked(st)
 	}
 	cs := d.slaStatsLocked(t.SLAClass)
+	outcome := obs.OutcomeCompleted
 	if err == nil {
-		b.completed++
-		d.completed++
-		cs.completed++
+		b.completed.Inc()
+		d.completed.Inc()
+		cs.completed.Inc()
 		cs.record(float64(t.Latency()) / float64(time.Millisecond))
+		cs.hist.Observe(t.Latency())
 		if !t.Deadline.IsZero() && t.Finished.After(t.Deadline) {
-			cs.violations++
+			cs.violations.Inc()
 			cs.penaltyMS += float64(t.Finished.Sub(t.Deadline)) / float64(time.Millisecond)
 		}
 		if t.Hedge {
-			d.hedgeWins++
+			d.hedgeWins.Inc()
 		}
 	} else {
-		b.failed++
-		d.failed++
-		cs.failed++
+		b.failed.Inc()
+		d.failed.Inc()
+		cs.failed.Inc()
+		outcome = obs.OutcomeFailed
 	}
+	// Settle under the lock: the done flag set in retireStateLocked orders
+	// racing siblings behind this terminal delivery, so no late mark can
+	// touch the trace once it returns to the tracer's pool.
+	t.Query.Trace().Settle(outcome, err)
 	if d.waiting > 0 {
 		d.cond.Broadcast()
 	}
 	done := d.onDone
+	deliver := done != nil || d.audit != nil
+	if deliver {
+		d.termPending++
+	}
 	d.mu.Unlock()
+	if !deliver {
+		return
+	}
+	d.auditTask(t, outcome, err)
 	if done != nil {
 		done(t)
 	}
+	d.mu.Lock()
+	d.termPending--
+	if d.waiting > 0 {
+		d.cond.Broadcast()
+	}
+	d.mu.Unlock()
 }
 
 // recordHealthLocked folds one attempt's outcome into the backend's breaker:
@@ -1044,7 +1177,7 @@ func (d *Dispatcher) fireRetry(re *retryEntry) {
 func (d *Dispatcher) releaseRetryLocked(t *Task) {
 	if st := t.state; st != nil && st.done {
 		st.outstanding--
-		d.hedgeWaste++
+		d.hedgeWaste.Inc()
 		return
 	}
 	d.requeueLocked(t)
@@ -1080,9 +1213,10 @@ func (d *Dispatcher) Close() {
 	d.mu.Unlock()
 }
 
-// Drain blocks until every queued and in-flight task has completed, or until
-// timeout (timeout <= 0 waits forever). It does not stop intake — callers
-// wanting shutdown semantics Close first.
+// Drain blocks until every queued and in-flight task has completed — hook
+// and audit deliveries included, so OnDone tallies and the audit stream are
+// settled when it returns — or until timeout (timeout <= 0 waits forever).
+// It does not stop intake — callers wanting shutdown semantics Close first.
 func (d *Dispatcher) Drain(timeout time.Duration) error {
 	var deadline time.Time
 	if timeout > 0 {
@@ -1096,7 +1230,7 @@ func (d *Dispatcher) Drain(timeout time.Duration) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for d.backlog > 0 || d.inflight > 0 || d.pendingRetries > 0 {
+	for d.backlog > 0 || d.inflight > 0 || d.pendingRetries > 0 || d.termPending > 0 {
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			return fmt.Errorf("sched: drain timed out with %d queued, %d in flight, %d retries pending",
 				d.backlog, d.inflight, d.pendingRetries)
@@ -1224,22 +1358,22 @@ func (d *Dispatcher) Counters() Snapshot {
 func (d *Dispatcher) countersLocked() Snapshot {
 	s := Snapshot{
 		Policy:           d.policy.Name(),
-		Submitted:        d.submitted,
-		Completed:        d.completed,
-		Failed:           d.failed,
-		Rejected:         d.rejected,
-		Shed:             d.shedCount,
-		Evicted:          d.evicted,
-		Stolen:           d.stolen,
-		OOMViolations:    d.oomViolations,
-		MemWaits:         d.memWaits,
-		Retries:          d.retries,
-		RetryStarved:     d.retryStarved,
+		Submitted:        d.submitted.Load(),
+		Completed:        d.completed.Load(),
+		Failed:           d.failed.Load(),
+		Rejected:         d.rejected.Load(),
+		Shed:             d.shedCount.Load(),
+		Evicted:          d.evicted.Load(),
+		Stolen:           d.stolen.Load(),
+		OOMViolations:    d.oomViolations.Load(),
+		MemWaits:         d.memWaits.Load(),
+		Retries:          d.retries.Load(),
+		RetryStarved:     d.retryStarved.Load(),
 		PendingRetries:   d.pendingRetries,
-		Hedges:           d.hedges,
-		HedgeWins:        d.hedgeWins,
-		HedgeWaste:       d.hedgeWaste,
-		DeadlineExceeded: d.deadlineExceeded,
+		Hedges:           d.hedges.Load(),
+		HedgeWins:        d.hedgeWins.Load(),
+		HedgeWaste:       d.hedgeWaste.Load(),
+		DeadlineExceeded: d.deadlineExceeded.Load(),
 		Backlog:          d.backlog,
 		Inflight:         d.inflight,
 	}
@@ -1281,13 +1415,13 @@ func (d *Dispatcher) Stats() Snapshot {
 		s.Classes = append(s.Classes, SLASnapshot{
 			Class:         class,
 			TargetMS:      float64(d.sla[class]) / float64(time.Millisecond),
-			Admitted:      st.admitted,
-			Completed:     st.completed,
-			Failed:        st.failed,
-			Retries:       st.retries,
-			Violations:    st.violations,
-			Dropped:       st.dropped,
-			OOMViolations: st.oomViolations,
+			Admitted:      st.admitted.Load(),
+			Completed:     st.completed.Load(),
+			Failed:        st.failed.Load(),
+			Retries:       st.retries.Load(),
+			Violations:    st.violations.Load(),
+			Dropped:       st.dropped.Load(),
+			OOMViolations: st.oomViolations.Load(),
 			PenaltyMS:     st.penaltyMS,
 		})
 	}
@@ -1295,8 +1429,8 @@ func (d *Dispatcher) Stats() Snapshot {
 		bk := d.backends[name]
 		bs := BackendSnapshot{
 			Name: bk.name, Slots: bk.slots, Busy: bk.busy,
-			Completed: bk.completed, Failed: bk.failed,
-			MemoryMB: bk.memoryMB, MemUsedMB: bk.memUsed, OOMEvents: bk.oomEvents,
+			Completed: bk.completed.Load(), Failed: bk.failed.Load(),
+			MemoryMB: bk.memoryMB, MemUsedMB: bk.memUsed, OOMEvents: bk.oomEvents.Load(),
 		}
 		if br := bk.br; br != nil {
 			bs.Breaker = br.stateName()

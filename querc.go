@@ -40,12 +40,15 @@
 package querc
 
 import (
+	"io"
+
 	"querc/internal/apps"
 	"querc/internal/core"
 	"querc/internal/doc2vec"
 	"querc/internal/drift"
 	"querc/internal/lstm"
 	"querc/internal/ml/forest"
+	"querc/internal/obs"
 	"querc/internal/sched"
 	"querc/internal/vec"
 )
@@ -120,6 +123,66 @@ type (
 	FaultWindow        = sched.Window
 	FaultExecutor      = sched.FaultExecutor
 )
+
+// Re-exported observability plane: every plane's counters, gauges, and
+// latency histograms aggregate on one sharded, allocation-free
+// MetricsRegistry (Service.Metrics; quercd's GET /metrics renders it in
+// Prometheus text format). Service.EnableTracing samples per-query lifecycle
+// Traces — submit through tokenize/embed/label, admission, dispatch attempts,
+// and a terminal settle mirroring the dispatcher's conservation ledger — into
+// a bounded in-memory ring (quercd's GET /v1/trace). An Auditor (or any
+// AuditSink on SchedulerConfig.Audit) receives one structured event per query
+// reaching a terminal outcome, encoded as JSON lines.
+// (Registry names the model registry here, so the obs registry re-exports as
+// MetricsRegistry.)
+type (
+	MetricsRegistry   = obs.Registry
+	MetricsCounter    = obs.Counter
+	MetricsGauge      = obs.Gauge
+	MetricsHistogram  = obs.Histogram
+	HistogramSnapshot = obs.HistogramSnapshot
+	Trace             = obs.Trace
+	TraceRecord       = obs.TraceRecord
+	TraceOutcome      = obs.Outcome
+	Tracer            = obs.Tracer
+	TracerConfig      = obs.TracerConfig
+	TracerStats       = obs.TracerStats
+	TraceQuery        = obs.TraceQuery
+	AuditEvent        = obs.AuditEvent
+	AuditSink         = obs.AuditSink
+	Auditor           = obs.Auditor
+	AuditorStats      = obs.AuditorStats
+)
+
+// Trace outcomes recorded at settle time (TraceRecord.Outcome tags).
+const (
+	TraceOutcomePending   = obs.OutcomePending
+	TraceOutcomeAnnotated = obs.OutcomeAnnotated
+	TraceOutcomeCompleted = obs.OutcomeCompleted
+	TraceOutcomeFailed    = obs.OutcomeFailed
+	TraceOutcomeRejected  = obs.OutcomeRejected
+	TraceOutcomeShed      = obs.OutcomeShed
+	TraceOutcomeEvicted   = obs.OutcomeEvicted
+)
+
+// NewMetricsRegistry returns an empty metrics registry. Service owns one
+// already (Service.Metrics); standalone registries suit tests and embedders
+// that bypass the Service.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer builds a lifecycle tracer outside a Service (tests, custom
+// runtimes). Most callers want Service.EnableTracing instead, which also
+// registers the tracer's settle ledger on the service registry.
+func NewTracer(cfg TracerConfig) *Tracer { return obs.NewTracer(cfg) }
+
+// NewAuditor returns an audit sink encoding events as JSON lines on w,
+// buffered; call Flush (or Close) to write through.
+func NewAuditor(w io.Writer) *Auditor { return obs.NewAuditor(w) }
+
+// ValidatePromText checks a Prometheus text-exposition payload (as served by
+// quercd's GET /metrics) for well-formedness — the checker behind the CI
+// scrape smoke.
+func ValidatePromText(data []byte) error { return obs.ValidateProm(data) }
 
 // Breaker states reported in SchedulerStats.Backends[i].Breaker.
 const (
